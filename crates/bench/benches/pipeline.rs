@@ -1,0 +1,53 @@
+//! Criterion benchmarks of whole-pipeline simulation throughput.
+//!
+//! Measures simulated-instructions-per-second for both memory-ordering
+//! backends on both machine configurations, using a representative kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use aim_isa::Interpreter;
+use aim_lsq::LsqConfig;
+use aim_pipeline::{simulate_with_trace, SimConfig};
+use aim_predictor::EnforceMode;
+use aim_workloads::{by_name, Scale};
+
+fn pipeline_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_throughput");
+    group.sample_size(10);
+
+    let configs: Vec<(&str, SimConfig)> = vec![
+        ("baseline_lsq", SimConfig::baseline_lsq()),
+        (
+            "baseline_sfc_mdt",
+            SimConfig::baseline_sfc_mdt(EnforceMode::All),
+        ),
+        (
+            "aggressive_lsq",
+            SimConfig::aggressive_lsq(LsqConfig::aggressive_120x80()),
+        ),
+        (
+            "aggressive_sfc_mdt",
+            SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder),
+        ),
+    ];
+
+    for kernel in ["gzip", "swim"] {
+        let w = by_name(kernel, Scale::Tiny).expect("known kernel");
+        let trace = Interpreter::new(&w.program).run(2_000_000).expect("clean");
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        for (name, cfg) in &configs {
+            group.bench_with_input(
+                BenchmarkId::new(*name, kernel),
+                &(&w.program, &trace, cfg),
+                |b, (program, trace, cfg)| {
+                    b.iter(|| black_box(simulate_with_trace(program, trace, cfg).unwrap()))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(pipeline, pipeline_throughput);
+criterion_main!(pipeline);

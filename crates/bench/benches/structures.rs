@@ -1,0 +1,132 @@
+//! Criterion microbenchmarks of the memory-ordering structures.
+//!
+//! These quantify the paper's §1/§4 complexity argument in simulator time:
+//! the LSQ's associative, age-prioritized search does work proportional to
+//! queue occupancy, while the address-indexed SFC and MDT perform O(1)
+//! lookups regardless of how many loads and stores are in flight.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use aim_core::{Mdt, MdtConfig, Sfc, SfcConfig};
+use aim_lsq::{Lsq, LsqConfig};
+use aim_mem::MainMemory;
+use aim_predictor::{EnforceMode, ProducerSetPredictor, TagScoreboard, ViolationKind};
+use aim_types::{AccessSize, Addr, MemAccess, SeqNum};
+
+fn acc(addr: u64) -> MemAccess {
+    MemAccess::new(Addr(addr), AccessSize::Double).unwrap()
+}
+
+/// Store-queue search latency as occupancy grows: the load must scan the
+/// queue associatively, youngest first.
+fn lsq_search_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsq_search_scaling");
+    let mem = MainMemory::new();
+    for &occupancy in &[8usize, 32, 128, 512] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(occupancy),
+            &occupancy,
+            |b, &n| {
+                let mut lsq = Lsq::new(LsqConfig {
+                    load_entries: 4,
+                    store_entries: n + 1,
+                });
+                for i in 0..n as u64 {
+                    lsq.dispatch_store(SeqNum(i + 1), i);
+                    lsq.store_execute(SeqNum(i + 1), acc(0x1000 + 8 * i), i, &mem);
+                }
+                let load_seq = SeqNum(n as u64 + 1);
+                lsq.dispatch_load(load_seq, 0x999);
+                // The searched address misses every entry: the worst case.
+                b.iter(|| black_box(lsq.load_execute(load_seq, acc(0x9_0000), &mem)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// SFC lookup latency at the same occupancies: address-indexed, constant.
+fn sfc_lookup_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sfc_lookup_scaling");
+    for &occupancy in &[8usize, 32, 128, 512] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(occupancy),
+            &occupancy,
+            |b, &n| {
+                let mut sfc = Sfc::new(SfcConfig::aggressive());
+                for i in 0..n as u64 {
+                    sfc.store_write(SeqNum(i + 1), acc(0x1000 + 8 * i), i, SeqNum(1))
+                        .unwrap();
+                }
+                b.iter(|| black_box(sfc.load_lookup(acc(0x9_0000), SeqNum(1))));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// MDT disambiguation check at the same occupancies: two sequence-number
+/// comparisons, constant.
+fn mdt_check_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdt_check_scaling");
+    for &occupancy in &[8usize, 32, 128, 512] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(occupancy),
+            &occupancy,
+            |b, &n| {
+                let mut mdt = Mdt::new(MdtConfig::aggressive());
+                for i in 0..n as u64 {
+                    mdt.on_store_execute(SeqNum(i + 1), i, acc(0x1000 + 8 * i), SeqNum(1))
+                        .unwrap();
+                }
+                let mut seq = n as u64 + 1;
+                b.iter(|| {
+                    seq += 1;
+                    black_box(
+                        mdt.on_load_execute(SeqNum(seq), 0x40, acc(0x9_0000), SeqNum(1))
+                            .unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Producer-set predictor dispatch lookup (PT/CT read + LFPT update).
+fn predictor_dispatch(c: &mut Criterion) {
+    let mut pred = ProducerSetPredictor::new(EnforceMode::All);
+    let mut tags = TagScoreboard::new();
+    pred.record_violation(0x40, 0x80, ViolationKind::True);
+    let mut pc = 0u64;
+    c.bench_function("predictor_dispatch", |b| {
+        b.iter(|| {
+            pc = (pc + 8) & 0xfff;
+            black_box(pred.on_dispatch(pc, &mut tags))
+        })
+    });
+}
+
+/// SFC store write (tag check + byte merge).
+fn sfc_store_write(c: &mut Criterion) {
+    let mut sfc = Sfc::new(SfcConfig::baseline());
+    let mut i = 0u64;
+    c.bench_function("sfc_store_write", |b| {
+        b.iter(|| {
+            i += 1;
+            let a = acc(0x1000 + 8 * (i % 64));
+            black_box(sfc.store_write(SeqNum(i), a, i, SeqNum(i.saturating_sub(32))))
+        })
+    });
+}
+
+criterion_group!(
+    structures,
+    lsq_search_scaling,
+    sfc_lookup_scaling,
+    mdt_check_scaling,
+    predictor_dispatch,
+    sfc_store_write
+);
+criterion_main!(structures);

@@ -1,0 +1,56 @@
+//! Developer diagnostic: per-kernel breakdown of everything that costs
+//! cycles under the SFC/MDT backend, for tuning workload shapes against the
+//! paper's reported pathologies. Not one of the paper artifacts.
+
+use aim_bench::{prepare_all, run, scale_from_args};
+use aim_lsq::LsqConfig;
+use aim_pipeline::SimConfig;
+use aim_predictor::EnforceMode;
+
+fn main() {
+    let scale = scale_from_args();
+    let aggressive = aim_bench::has_flag("--aggressive");
+    let (lsq_cfg, enf_cfg) = if aggressive {
+        (
+            SimConfig::aggressive_lsq(LsqConfig::aggressive_120x80()),
+            SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder),
+        )
+    } else {
+        (
+            SimConfig::baseline_lsq(),
+            SimConfig::baseline_sfc_mdt(EnforceMode::All),
+        )
+    };
+
+    println!(
+        "{:<11} {:>6} {:>6} | {:>7} {:>7} {:>7} {:>7} | {:>5} {:>4} {:>4} {:>4} {:>9} | {:>7} {:>7} {:>5}",
+        "bench", "lsqIPC", "norm", "ld.mdt%", "st.mdt%", "st.sfc%", "corr%",
+        "fl.br", "tru", "ant", "out", "pf/ff", "fwd%", "stall%", "mis%"
+    );
+    for p in prepare_all(scale) {
+        let lsq = run(&p, &lsq_cfg);
+        let s = run(&p, &enf_cfg);
+        let norm = s.ipc() / lsq.ipc();
+        let stall_frac = 100.0
+            * (s.dispatch_stalls.rob_full + s.dispatch_stalls.no_phys_reg) as f64
+            / s.cycles as f64;
+        println!(
+            "{:<11} {:>6.3} {:>6.3} | {:>7.2} {:>7.2} {:>7.2} {:>7.2} | {:>5} {:>4} {:>4} {:>4} {:>9} | {:>7.2} {:>7.2} {:>5.2}",
+            p.name,
+            lsq.ipc(),
+            norm,
+            s.mdt_conflict_rate(),
+            aim_types::percent(s.replays.store_mdt_conflicts, s.retired_stores),
+            s.sfc_conflict_rate(),
+            s.corrupt_replay_rate(),
+            s.flushes.branch,
+            s.flushes.true_dep,
+            s.flushes.anti_dep,
+            s.flushes.output_dep,
+            format!("{}/{}", s.sfc.map_or(0, |x| x.partial_flushes), s.sfc.map_or(0, |x| x.full_flushes)),
+            aim_types::percent(s.loads_forwarded, s.retired_loads),
+            stall_frac,
+            aim_types::percent(s.branch_mispredicts, s.branches_retired),
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! §3.2 in-text: the set-conflict study.
+//!
+//! "In bzip2, over 50% of dynamic stores must be replayed because of set
+//! conflicts in the SFC. The rate of SFC set conflicts across all other
+//! specint benchmarks is less than 0.16%. Likewise, in mcf, over 16% of
+//! dynamic loads must be replayed because of set conflicts in the MDT. ...
+//! we increased the associativity of the SFC and the MDT to 16 while
+//! maintaining the same number of sets. In this configuration, only 0.07% of
+//! bzip2's stores experience set conflicts ... and the IPC increases by
+//! 9.0%. Likewise, 0.00% of mcf's loads experience set conflicts ... and the
+//! IPC increases by 6.5%."
+//!
+//! Pass `--granularity` to additionally sweep the MDT granularity (§2.2),
+//! `--untagged` for the tagged-vs-untagged MDT comparison (§2.2: an untagged
+//! MDT never takes structural conflicts but aliases every address that maps
+//! to one entry), and `--hash` for the paper's closing hypothesis — "a
+//! better hash function ... would increase the performance of bzip2 and mcf
+//! to an acceptable level" — evaluated with an XOR-folded set index.
+
+use aim_bench::{has_flag, prepare_all, rule, run, scale_from_args};
+use aim_core::{MdtTagging, SetHash};
+use aim_pipeline::{BackendConfig, SimConfig};
+use aim_predictor::EnforceMode;
+
+fn main() {
+    let scale = scale_from_args();
+    let base = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let mut assoc16 = base.clone();
+    if let BackendConfig::SfcMdt { sfc, mdt } = &mut assoc16.backend {
+        sfc.ways = 16;
+        mdt.ways = 16;
+    }
+
+    println!("Set-conflict and associativity study (aggressive machine)");
+    println!("Paper: bzip2 >50% store SFC conflicts, mcf >16% load MDT conflicts (2-way);");
+    println!("       with 16 ways, conflicts ≈ 0 and IPC +9.0% (bzip2) / +6.5% (mcf).");
+    rule(92);
+    println!(
+        "{:<11} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8} | {:>9}",
+        "benchmark", "sfc2 st%", "mdt2 ld%", "IPC", "sfc16 st%", "mdt16 ld%", "IPC", "IPC gain"
+    );
+    rule(92);
+
+    for p in prepare_all(scale) {
+        if p.name == "mesa" {
+            continue;
+        }
+        let two = run(&p, &base);
+        let sixteen = run(&p, &assoc16);
+        let gain = 100.0 * (sixteen.ipc() / two.ipc() - 1.0);
+        println!(
+            "{:<11} | {:>8.2}% {:>8.2}% {:>8.3} | {:>8.2}% {:>8.2}% {:>8.3} | {:>+8.1}%",
+            p.name,
+            two.sfc_conflict_rate(),
+            two.mdt_conflict_rate(),
+            two.ipc(),
+            sixteen.sfc_conflict_rate(),
+            sixteen.mdt_conflict_rate(),
+            sixteen.ipc(),
+            gain
+        );
+    }
+    rule(92);
+
+    if has_flag("--hash") {
+        println!();
+        println!("Set-hash study (§3.2 closing hypothesis; aggressive machine)");
+        rule(84);
+        println!(
+            "{:<11} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8} | {:>8}",
+            "benchmark", "low st%", "low ld%", "IPC", "xor st%", "xor ld%", "IPC", "gain"
+        );
+        rule(84);
+        let mut xor_cfg = base.clone();
+        if let BackendConfig::SfcMdt { sfc, mdt } = &mut xor_cfg.backend {
+            sfc.hash = SetHash::XorFold;
+            mdt.hash = SetHash::XorFold;
+        }
+        for p in prepare_all(scale) {
+            if p.name == "mesa" {
+                continue;
+            }
+            let low = run(&p, &base);
+            let xor = run(&p, &xor_cfg);
+            println!(
+                "{:<11} | {:>8.2}% {:>8.2}% {:>8.3} | {:>8.2}% {:>8.2}% {:>8.3} | {:>+7.1}%",
+                p.name,
+                low.sfc_conflict_rate(),
+                low.mdt_conflict_rate(),
+                low.ipc(),
+                xor.sfc_conflict_rate(),
+                xor.mdt_conflict_rate(),
+                xor.ipc(),
+                100.0 * (xor.ipc() / low.ipc() - 1.0)
+            );
+        }
+        rule(84);
+        println!("one XOR fold of the upper granule bits defeats mcf's set-sized stride");
+        println!("entirely; bzip2's residual conflicts come from a few *hot* bucket lines");
+        println!("that any hash must place somewhere — only associativity absorbs those");
+    }
+
+    if has_flag("--untagged") {
+        println!();
+        println!("Tagged vs untagged MDT (§2.2; aggressive machine)");
+        rule(76);
+        println!(
+            "{:<11} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8}",
+            "benchmark", "tag ld%", "tag viol", "IPC", "untag ld%", "untag viol", "IPC"
+        );
+        rule(76);
+        let mut untagged_cfg = base.clone();
+        if let BackendConfig::SfcMdt { mdt, .. } = &mut untagged_cfg.backend {
+            mdt.tagging = MdtTagging::Untagged;
+        }
+        for p in prepare_all(scale) {
+            if p.name == "mesa" {
+                continue;
+            }
+            let tagged = run(&p, &base);
+            let untagged = run(&p, &untagged_cfg);
+            println!(
+                "{:<11} | {:>8.2}% {:>9} {:>8.3} | {:>8.2}% {:>9} {:>8.3}",
+                p.name,
+                tagged.mdt_conflict_rate(),
+                tagged.flushes.memory(),
+                tagged.ipc(),
+                untagged.mdt_conflict_rate(),
+                untagged.flushes.memory(),
+                untagged.ipc()
+            );
+        }
+        rule(76);
+        println!("untagged entries never conflict (no replays) but alias, trading");
+        println!("structural re-execution for spurious ordering violations");
+    }
+
+    if has_flag("--granularity") {
+        println!();
+        println!("MDT granularity sweep (§2.2; aggressive machine, IPC normalized to 8-byte)");
+        rule(60);
+        println!(
+            "{:<11} | {:>8} {:>8} {:>8} {:>8}",
+            "benchmark", "8 B", "16 B", "32 B", "64 B"
+        );
+        rule(60);
+        for p in prepare_all(scale) {
+            if p.name == "mesa" {
+                continue;
+            }
+            let mut row = format!("{:<11} |", p.name);
+            let reference = run(&p, &base).ipc();
+            for g in [8u64, 16, 32, 64] {
+                let mut cfg = base.clone();
+                if let BackendConfig::SfcMdt { mdt, .. } = &mut cfg.backend {
+                    mdt.granularity = g;
+                }
+                let ipc = run(&p, &cfg).ipc();
+                row.push_str(&format!(" {:>8.3}", ipc / reference));
+            }
+            println!("{row}");
+        }
+        rule(60);
+        println!("larger granules alias more distinct addresses: spurious violations rise");
+    }
+}

@@ -1,0 +1,103 @@
+//! §3.1 / §3.2 in-text violation-rate claims.
+//!
+//! * §3.1 (baseline): "the dependence predictor reduces the rate of anti and
+//!   output dependence violations by more than an order of magnitude"
+//!   (ENF vs NOT-ENF).
+//! * §3.2 (aggressive): "across all benchmarks the average rate of memory
+//!   dependence violations decreases from 0.93% in the NOT-ENF configuration
+//!   to 0.11% in the ENF configuration."
+//!
+//! Rates are violations per retired memory instruction, as in the paper.
+//! Pass `--policies` to additionally print the §2.4 recovery-policy ablation
+//! (aggressive single-load true-dependence recovery, corrupt-marking output
+//! recovery).
+
+use aim_bench::{has_flag, prepare_all, rule, run, scale_from_args};
+use aim_core::TrueDepRecovery;
+use aim_pipeline::{BackendConfig, OutputDepRecovery, SimConfig, SimStats};
+use aim_predictor::EnforceMode;
+
+fn anti_output_rate(s: &SimStats) -> f64 {
+    aim_types::percent(
+        s.flushes.anti_dep + s.flushes.output_dep,
+        s.retired_loads + s.retired_stores,
+    )
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let workloads = prepare_all(scale);
+
+    println!("Violation rates (% of retired loads+stores)");
+    println!("Paper: baseline ENF cuts anti+output rates >10x; aggressive 0.93% -> 0.11%.");
+    rule(96);
+    println!(
+        "{:<11} | {:>12} {:>12} {:>8} | {:>12} {:>12}",
+        "benchmark", "base NOT-ENF", "base ENF", "ratio", "aggr NOT-ENF", "aggr ENF"
+    );
+    rule(96);
+
+    let base_enf = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let base_not = SimConfig::baseline_sfc_mdt(EnforceMode::TrueOnly);
+    let aggr_enf = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let aggr_not = SimConfig::aggressive_sfc_mdt(EnforceMode::TrueOnly);
+
+    let mut sums = [0.0f64; 4];
+    let mut n = 0usize;
+    for p in &workloads {
+        let bn = run(p, &base_not);
+        let be = run(p, &base_enf);
+        let an = run(p, &aggr_not);
+        let ae = run(p, &aggr_enf);
+        let (bnr, ber) = (anti_output_rate(&bn), anti_output_rate(&be));
+        let (anr, aer) = (an.violation_rate(), ae.violation_rate());
+        let ratio = if ber > 0.0 { bnr / ber } else { f64::INFINITY };
+        sums[0] += bnr;
+        sums[1] += ber;
+        sums[2] += anr;
+        sums[3] += aer;
+        n += 1;
+        println!(
+            "{:<11} | {:>11.3}% {:>11.3}% {:>8.1} | {:>11.3}% {:>11.3}%",
+            p.name, bnr, ber, ratio, anr, aer
+        );
+    }
+    rule(96);
+    let n = n as f64;
+    println!(
+        "{:<11} | {:>11.3}% {:>11.3}% {:>8} | {:>11.3}% {:>11.3}%",
+        "average",
+        sums[0] / n,
+        sums[1] / n,
+        "",
+        sums[2] / n,
+        sums[3] / n
+    );
+    println!(
+        "paper: aggressive averages NOT-ENF ≈ 0.93%, ENF ≈ 0.11% (ours above; shape: >5x drop)"
+    );
+
+    if has_flag("--policies") {
+        println!();
+        println!("§2.4 recovery-policy ablation (aggressive machine, normalized IPC vs default)");
+        rule(70);
+        println!(
+            "{:<11} | {:>10} {:>14} {:>14}",
+            "benchmark", "default", "aggressive-TD", "corrupt-OD"
+        );
+        rule(70);
+        let mut td_cfg = aggr_enf.clone();
+        if let BackendConfig::SfcMdt { mdt, .. } = &mut td_cfg.backend {
+            mdt.true_dep_recovery = TrueDepRecovery::SingleLoadAggressive;
+        }
+        let mut od_cfg = aggr_enf.clone();
+        od_cfg.output_dep_recovery = OutputDepRecovery::MarkCorrupt;
+        for p in &workloads {
+            let base = run(p, &aggr_enf).ipc();
+            let td = run(p, &td_cfg).ipc() / base;
+            let od = run(p, &od_cfg).ipc() / base;
+            println!("{:<11} | {:>10.3} {:>14.3} {:>14.3}", p.name, 1.0, td, od);
+        }
+        rule(70);
+    }
+}

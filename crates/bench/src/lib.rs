@@ -1,0 +1,201 @@
+//! Experiment harness: shared machinery for regenerating every table and
+//! figure of the paper's evaluation (§3).
+//!
+//! Each `src/bin/*.rs` binary reproduces one artifact:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig4_config` | Figure 4 (simulator parameters) |
+//! | `fig5_baseline` | Figure 5 (baseline 4-wide, ENF / NOT-ENF vs 48×32 LSQ) |
+//! | `fig6_aggressive` | Figure 6 (aggressive 8-wide, LSQ sizes vs MDT/SFC) |
+//! | `table_violations` | §3.1/§3.2 violation-rate claims |
+//! | `table_enf_effect` | §3.2 ENF vs NOT-ENF on the aggressive machine |
+//! | `table_assoc_sweep` | §3.2 bzip2/mcf set-conflict + associativity-16 study |
+//! | `table_corruption` | §3.2 SFC corruption-rate study |
+//!
+//! Shared flags: `--scale tiny|small|full` (default `full`).
+
+use aim_isa::{Interpreter, Program, Trace};
+use aim_pipeline::{simulate_with_trace, SimConfig, SimStats};
+use aim_workloads::{Scale, Suite, Workload};
+
+/// A workload with its golden trace precomputed (reused across configs).
+pub struct Prepared {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Suite membership.
+    pub suite: Suite,
+    /// The program.
+    pub program: Program,
+    /// The architectural trace.
+    pub trace: Trace,
+}
+
+/// Builds and architecturally executes every kernel at `scale`.
+///
+/// # Panics
+///
+/// Panics if any kernel faults architecturally (a workload bug).
+pub fn prepare_all(scale: Scale) -> Vec<Prepared> {
+    aim_workloads::all(scale)
+        .into_iter()
+        .map(|w| prepare(w, scale))
+        .collect()
+}
+
+/// Builds and architecturally executes one kernel.
+///
+/// # Panics
+///
+/// Panics if the kernel faults architecturally.
+pub fn prepare(w: Workload, _scale: Scale) -> Prepared {
+    let trace = Interpreter::new(&w.program)
+        .run(5_000_000)
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    assert!(trace.halted(), "{} exceeded the trace budget", w.name);
+    Prepared {
+        name: w.name,
+        suite: w.suite,
+        program: w.program,
+        trace,
+    }
+}
+
+/// Runs a prepared workload under `cfg`.
+///
+/// # Panics
+///
+/// Panics on validation or deadlock errors — the harness treats simulator
+/// failures as fatal.
+pub fn run(p: &Prepared, cfg: &SimConfig) -> SimStats {
+    simulate_with_trace(&p.program, &p.trace, cfg)
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", p.name, cfg.backend.name()))
+}
+
+/// Parses `--scale tiny|small|full` from the command line (default `full`).
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--scale") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("tiny") => Scale::Tiny,
+            Some("small") => Scale::Small,
+            Some("full") | None => Scale::Full,
+            Some(other) => panic!("unknown scale `{other}` (tiny|small|full)"),
+        },
+        None => Scale::Full,
+    }
+}
+
+/// Whether a `--flag` is present on the command line.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Parses `--csv <path>` from the command line, if present.
+pub fn csv_path_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// A minimal CSV emitter for the figure harnesses (numbers and plain names
+/// only — no quoting needed).
+#[derive(Debug, Default)]
+pub struct CsvTable {
+    lines: Vec<String>,
+}
+
+impl CsvTable {
+    /// Starts a table with a header row.
+    pub fn new(columns: &[&str]) -> CsvTable {
+        CsvTable {
+            lines: vec![columns.join(",")],
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: &[String]) {
+        self.lines.push(cells.join(","));
+    }
+
+    /// Writes the table to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.lines.join("\n") + "\n")
+    }
+}
+
+/// Per-suite averages of `(suite, value)` pairs, using the geometric mean
+/// (values are IPC ratios).
+pub fn suite_means(rows: &[(Suite, f64)]) -> (f64, f64) {
+    let ints: Vec<f64> = rows
+        .iter()
+        .filter(|(s, _)| *s == Suite::Int)
+        .map(|(_, v)| *v)
+        .collect();
+    let fps: Vec<f64> = rows
+        .iter()
+        .filter(|(s, _)| *s == Suite::Fp)
+        .map(|(_, v)| *v)
+        .collect();
+    (aim_types::geomean(&ints), aim_types::geomean(&fps))
+}
+
+/// Prints a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim_predictor::EnforceMode;
+
+    #[test]
+    fn prepare_and_run_smoke() {
+        let w = aim_workloads::by_name("crafty", Scale::Tiny).unwrap();
+        let p = prepare(w, Scale::Tiny);
+        let stats = run(&p, &SimConfig::baseline_sfc_mdt(EnforceMode::All));
+        assert!(stats.retired > 1_000);
+    }
+
+    #[test]
+    fn suite_means_split() {
+        let rows = vec![(Suite::Int, 1.0), (Suite::Int, 4.0), (Suite::Fp, 2.0)];
+        let (int, fp) = suite_means(&rows);
+        assert!((int - 2.0).abs() < 1e-12);
+        assert!((fp - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_table_round_trips_through_a_file() {
+        let mut t = CsvTable::new(&["benchmark", "ipc"]);
+        t.row(&["gzip".into(), "2.358".into()]);
+        t.row(&["mcf".into(), "1.9".into()]);
+        let path = std::env::temp_dir().join("aim_bench_csv_test.csv");
+        t.write(path.to_str().unwrap()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "benchmark,ipc\ngzip,2.358\nmcf,1.9\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn scale_and_flags_parse_from_plain_args() {
+        // No CLI args in the test harness: defaults apply.
+        assert_eq!(scale_from_args(), Scale::Full);
+        assert!(!has_flag("--nonexistent"));
+        assert_eq!(csv_path_from_args(), None);
+    }
+
+    #[test]
+    fn prepare_all_covers_the_registry_in_order() {
+        let all = prepare_all(Scale::Tiny);
+        assert_eq!(all.len(), aim_workloads::names().len());
+        let names: Vec<&str> = all.iter().map(|p| p.name).collect();
+        assert_eq!(names, aim_workloads::names());
+    }
+}

@@ -1,0 +1,470 @@
+//! Command-line driver for the `aim-sim` simulator.
+//!
+//! The `aim-sim` binary runs any workload kernel under any machine
+//! configuration and prints a statistics report:
+//!
+//! ```text
+//! aim-sim list
+//! aim-sim run gzip --machine baseline --backend sfc-mdt --mode enf
+//! aim-sim run swim --machine aggressive --backend lsq --lsq 120x80 --scale full
+//! aim-sim compare mcf --scale small
+//! ```
+//!
+//! This crate exposes the argument parsing and report formatting as a
+//! library so they can be unit-tested; `src/main.rs` is a thin wrapper.
+
+use std::fmt;
+
+use aim_core::{CorruptionPolicy, MdtTagging};
+use aim_lsq::LsqConfig;
+use aim_pipeline::{BackendConfig, SimConfig, SimStats};
+use aim_predictor::EnforceMode;
+use aim_workloads::Scale;
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List the available kernels.
+    List,
+    /// Run one kernel under one configuration.
+    Run(RunArgs),
+    /// Run one kernel under the LSQ and the SFC/MDT and print both.
+    Compare(RunArgs),
+    /// Assemble and run a `.s` source file (the kernel field is the path).
+    Asm(RunArgs),
+    /// Print usage.
+    Help,
+}
+
+/// Options shared by `run` and `compare`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Kernel name (see `aim-sim list`).
+    pub kernel: String,
+    /// `baseline` (4-wide, 128-entry window) or `aggressive` (8-wide, 1024).
+    pub aggressive: bool,
+    /// `lsq` or `sfc-mdt`.
+    pub lsq_backend: bool,
+    /// Predictor mode for the SFC/MDT backend.
+    pub mode: EnforceMode,
+    /// LSQ capacity, e.g. `48x32`.
+    pub lsq_size: (usize, usize),
+    /// Dynamic instruction budget.
+    pub scale: Scale,
+    /// Use the untagged MDT variant.
+    pub untagged: bool,
+    /// Use the flush-endpoint SFC variant.
+    pub endpoints: bool,
+    /// Enable the §4 MDT search filter.
+    pub filter: bool,
+    /// Print the last N pipeline events after the run.
+    pub trace: usize,
+    /// Render the last N retired instructions as pipeline timelines.
+    pub pipeview: usize,
+}
+
+impl Default for RunArgs {
+    fn default() -> RunArgs {
+        RunArgs {
+            kernel: String::new(),
+            aggressive: false,
+            lsq_backend: false,
+            mode: EnforceMode::All,
+            lsq_size: (48, 32),
+            scale: Scale::Small,
+            untagged: false,
+            endpoints: false,
+            filter: false,
+            trace: 0,
+            pipeview: 0,
+        }
+    }
+}
+
+/// Errors from argument parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The usage string printed by `aim-sim help`.
+pub const USAGE: &str = "\
+aim-sim — the SFC/MDT memory-disambiguation simulator (MICRO-38 reproduction)
+
+USAGE:
+  aim-sim list                       list available kernels
+  aim-sim run <kernel> [options]     simulate one kernel
+  aim-sim compare <kernel> [options] simulate under both backends
+  aim-sim asm <file.s> [options]     assemble and simulate a source file
+
+OPTIONS:
+  --machine baseline|aggressive   pipeline configuration      [baseline]
+  --backend sfc-mdt|lsq           memory-ordering machinery   [sfc-mdt]
+  --mode enf|not-enf|total        predictor enforcement       [enf]
+  --lsq LxS                       LSQ capacity, e.g. 120x80   [48x32]
+  --scale tiny|small|full         instruction budget          [small]
+  --untagged                      untagged MDT variant (§2.2)
+  --endpoints                     flush-endpoint SFC variant (§3.2)
+  --filter                        MDT search filter (§4 future work)
+  --trace N                       print the last N pipeline events
+  --pipeview N                    draw stage timelines for the last N retirements
+";
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for unknown commands, kernels left unspecified,
+/// or malformed option values.
+pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
+    let mut it = args.iter();
+    let cmd = match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some("list") => return Ok(Command::List),
+        Some(c @ ("run" | "compare" | "asm")) => c.to_string(),
+        Some(other) => return Err(ParseError(format!("unknown command `{other}`"))),
+    };
+
+    let mut run = RunArgs {
+        kernel: it
+            .next()
+            .ok_or_else(|| ParseError("missing kernel name".to_string()))?
+            .clone(),
+        ..RunArgs::default()
+    };
+
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ParseError(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--machine" => {
+                run.aggressive = match value("--machine")?.as_str() {
+                    "baseline" => false,
+                    "aggressive" => true,
+                    other => return Err(ParseError(format!("unknown machine `{other}`"))),
+                }
+            }
+            "--backend" => {
+                run.lsq_backend = match value("--backend")?.as_str() {
+                    "sfc-mdt" => false,
+                    "lsq" => true,
+                    other => return Err(ParseError(format!("unknown backend `{other}`"))),
+                }
+            }
+            "--mode" => {
+                run.mode = match value("--mode")?.as_str() {
+                    "enf" => EnforceMode::All,
+                    "not-enf" => EnforceMode::TrueOnly,
+                    "total" => EnforceMode::TotalOrder,
+                    other => return Err(ParseError(format!("unknown mode `{other}`"))),
+                }
+            }
+            "--lsq" => {
+                let v = value("--lsq")?;
+                let (l, s) = v
+                    .split_once('x')
+                    .ok_or_else(|| ParseError(format!("--lsq wants LxS, got `{v}`")))?;
+                run.lsq_size = (
+                    l.parse()
+                        .map_err(|_| ParseError(format!("bad load count `{l}`")))?,
+                    s.parse()
+                        .map_err(|_| ParseError(format!("bad store count `{s}`")))?,
+                );
+            }
+            "--scale" => {
+                run.scale = match value("--scale")?.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => return Err(ParseError(format!("unknown scale `{other}`"))),
+                }
+            }
+            "--untagged" => run.untagged = true,
+            "--endpoints" => run.endpoints = true,
+            "--filter" => run.filter = true,
+            "--pipeview" => {
+                let v = value("--pipeview")?;
+                run.pipeview = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad pipeview length `{v}`")))?;
+            }
+            "--trace" => {
+                let v = value("--trace")?;
+                run.trace = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad trace length `{v}`")))?;
+            }
+            other => return Err(ParseError(format!("unknown option `{other}`"))),
+        }
+    }
+
+    Ok(match cmd.as_str() {
+        "run" => Command::Run(run),
+        "asm" => Command::Asm(run),
+        _ => Command::Compare(run),
+    })
+}
+
+/// Builds the [`SimConfig`] a [`RunArgs`] describes.
+pub fn build_config(args: &RunArgs) -> SimConfig {
+    let mut cfg = if args.lsq_backend {
+        let lsq = LsqConfig {
+            load_entries: args.lsq_size.0,
+            store_entries: args.lsq_size.1,
+        };
+        if args.aggressive {
+            SimConfig::aggressive_lsq(lsq)
+        } else {
+            let mut c = SimConfig::baseline_lsq();
+            c.backend = BackendConfig::Lsq(lsq);
+            c
+        }
+    } else if args.aggressive {
+        SimConfig::aggressive_sfc_mdt(args.mode)
+    } else {
+        SimConfig::baseline_sfc_mdt(args.mode)
+    };
+    if let BackendConfig::SfcMdt { sfc, mdt } = &mut cfg.backend {
+        if args.untagged {
+            mdt.tagging = MdtTagging::Untagged;
+        }
+        if args.endpoints {
+            sfc.corruption = CorruptionPolicy::FlushEndpoints { capacity: 16 };
+        }
+    }
+    cfg.mdt_filter = args.filter;
+    cfg.event_trace = args.trace > 0;
+    cfg.pipeview = args.pipeview > 0;
+    cfg
+}
+
+/// Formats a full statistics report for one run.
+pub fn report(name: &str, backend: &str, stats: &SimStats) -> String {
+    let mut out = String::new();
+    let mut line = |s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+    line(format!("== {name} under {backend} =="));
+    line(format!(
+        "  retired {:>9} instructions in {:>9} cycles   IPC {:.3}",
+        stats.retired,
+        stats.cycles,
+        stats.ipc()
+    ));
+    line(format!(
+        "  loads {:>7}  stores {:>7}  forwarded {:>6} ({:.2}% of loads)",
+        stats.retired_loads,
+        stats.retired_stores,
+        stats.loads_forwarded,
+        aim_types::percent(stats.loads_forwarded, stats.retired_loads)
+    ));
+    line(format!(
+        "  branches {:>6}  mispredicted {:>5} ({:.2}%)",
+        stats.branches_retired,
+        stats.branch_mispredicts,
+        aim_types::percent(stats.branch_mispredicts, stats.branches_retired)
+    ));
+    line(format!(
+        "  flushes: branch {:>5}  true {:>4}  anti {:>4}  output {:>4}",
+        stats.flushes.branch,
+        stats.flushes.true_dep,
+        stats.flushes.anti_dep,
+        stats.flushes.output_dep
+    ));
+    if let Some(sfc) = stats.sfc {
+        line(format!(
+            "  SFC: conflicts {:>5}  corrupt replays {:>5}  partial/full flushes {}/{}",
+            stats.replays.store_sfc_conflicts,
+            stats.replays.load_corrupt,
+            sfc.partial_flushes,
+            sfc.full_flushes
+        ));
+    }
+    if stats.mdt.is_some() {
+        line(format!(
+            "  MDT: load conflicts {:>5}  store conflicts {:>5}  head bypasses {:>4}",
+            stats.replays.load_mdt_conflicts,
+            stats.replays.store_mdt_conflicts,
+            stats.head_bypasses
+        ));
+        if stats.mdt_filtered_loads > 0 {
+            line(format!(
+                "  MDT search filter: {:>6} load checks skipped",
+                stats.mdt_filtered_loads
+            ));
+        }
+    }
+    if let Some(lsq) = stats.lsq {
+        line(format!(
+            "  LSQ: SQ searches {:>7}  LQ searches {:>7}  peak {}x{}  dispatch stalls {}",
+            lsq.sq_searches,
+            lsq.lq_searches,
+            lsq.peak_lq,
+            lsq.peak_sq,
+            stats.dispatch_stalls.lq_full + stats.dispatch_stalls.sq_full
+        ));
+    }
+    let (l1i, l1d, l2) = stats.caches;
+    line(format!(
+        "  caches: L1I {:.1}%  L1D {:.1}%  L2 {:.1}% hit",
+        l1i.hit_rate(),
+        l1d.hit_rate(),
+        l2.hit_rate()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Command, ParseError> {
+        let v: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        parse_args(&v)
+    }
+
+    #[test]
+    fn help_and_list() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["list"]).unwrap(), Command::List);
+    }
+
+    #[test]
+    fn run_defaults() {
+        let Command::Run(args) = parse(&["run", "gzip"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(args.kernel, "gzip");
+        assert!(!args.aggressive);
+        assert!(!args.lsq_backend);
+        assert_eq!(args.mode, EnforceMode::All);
+    }
+
+    #[test]
+    fn full_option_set() {
+        let Command::Compare(args) = parse(&[
+            "compare",
+            "swim",
+            "--machine",
+            "aggressive",
+            "--backend",
+            "lsq",
+            "--mode",
+            "total",
+            "--lsq",
+            "120x80",
+            "--scale",
+            "full",
+            "--untagged",
+            "--endpoints",
+        ])
+        .unwrap() else {
+            panic!("expected compare");
+        };
+        assert!(args.aggressive);
+        assert!(args.lsq_backend);
+        assert_eq!(args.mode, EnforceMode::TotalOrder);
+        assert_eq!(args.lsq_size, (120, 80));
+        assert_eq!(args.scale, Scale::Full);
+        assert!(args.untagged && args.endpoints);
+    }
+
+    #[test]
+    fn asm_command_parses() {
+        let Command::Asm(args) = parse(&["asm", "prog.s", "--trace", "16"]).unwrap() else {
+            panic!("expected asm");
+        };
+        assert_eq!(args.kernel, "prog.s");
+        assert_eq!(args.trace, 16);
+        assert!(parse(&["asm"]).unwrap_err().0.contains("missing kernel"));
+        let Command::Run(args) = parse(&["run", "gzip", "--pipeview", "24"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(args.pipeview, 24);
+        assert!(build_config(&args).pipeview);
+        assert!(parse(&["run", "x", "--pipeview", "many"])
+            .unwrap_err()
+            .0
+            .contains("bad pipeview length"));
+        assert!(parse(&["run", "x", "--trace", "lots"])
+            .unwrap_err()
+            .0
+            .contains("bad trace length"));
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&["frobnicate"])
+            .unwrap_err()
+            .0
+            .contains("unknown command"));
+        assert!(parse(&["run"]).unwrap_err().0.contains("missing kernel"));
+        assert!(parse(&["run", "x", "--lsq", "banana"])
+            .unwrap_err()
+            .0
+            .contains("LxS"));
+        assert!(parse(&["run", "x", "--mode"])
+            .unwrap_err()
+            .0
+            .contains("needs a value"));
+        assert!(parse(&["run", "x", "--bogus"])
+            .unwrap_err()
+            .0
+            .contains("unknown option"));
+    }
+
+    #[test]
+    fn build_config_respects_variants() {
+        let mut args = RunArgs {
+            kernel: "gzip".into(),
+            untagged: true,
+            endpoints: true,
+            filter: true,
+            ..RunArgs::default()
+        };
+        let cfg = build_config(&args);
+        match cfg.backend {
+            BackendConfig::SfcMdt { sfc, mdt } => {
+                assert_eq!(mdt.tagging, MdtTagging::Untagged);
+                assert!(matches!(
+                    sfc.corruption,
+                    CorruptionPolicy::FlushEndpoints { capacity: 16 }
+                ));
+                assert!(cfg.mdt_filter);
+            }
+            _ => panic!("expected SFC/MDT backend"),
+        }
+        args.lsq_backend = true;
+        args.lsq_size = (7, 9);
+        match build_config(&args).backend {
+            BackendConfig::Lsq(l) => {
+                assert_eq!((l.load_entries, l.store_entries), (7, 9));
+            }
+            _ => panic!("expected LSQ backend"),
+        }
+    }
+
+    #[test]
+    fn report_mentions_key_sections() {
+        let stats = SimStats {
+            retired: 100,
+            cycles: 50,
+            ..SimStats::default()
+        };
+        let text = report("gzip", "sfc-mdt", &stats);
+        assert!(text.contains("IPC 2.000"));
+        assert!(text.contains("flushes:"));
+        assert!(text.contains("caches:"));
+    }
+}

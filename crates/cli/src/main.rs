@@ -1,0 +1,86 @@
+//! The `aim-sim` binary; see [`aim_cli`] for the command grammar.
+
+use std::process::ExitCode;
+
+use aim_cli::{build_config, parse_args, report, Command, RunArgs, USAGE};
+use aim_pipeline::{pipeview, simulate_pipeview, simulate_traced};
+
+fn run_program(name: &str, program: &aim_isa::Program, args: &RunArgs) -> Result<(), String> {
+    let cfg = build_config(args);
+    let backend = cfg.backend.name();
+    if args.pipeview > 0 {
+        let (stats, records) = simulate_pipeview(program, &cfg).map_err(|e| e.to_string())?;
+        print!("{}", report(name, &backend, &stats));
+        let tail = records.len().saturating_sub(args.pipeview);
+        println!("-- last {} retirements --", records.len() - tail);
+        print!("{}", pipeview::render(&records[tail..], 64));
+        return Ok(());
+    }
+    let (stats, events) = simulate_traced(program, &cfg).map_err(|e| e.to_string())?;
+    print!("{}", report(name, &backend, &stats));
+    if args.trace > 0 {
+        println!(
+            "-- last {} pipeline events --",
+            args.trace.min(events.len())
+        );
+        for line in events.iter().rev().take(args.trace).rev() {
+            println!("{line}");
+        }
+    }
+    Ok(())
+}
+
+fn run_one(args: &RunArgs) -> Result<(), String> {
+    let workload = aim_workloads::by_name(&args.kernel, args.scale)
+        .ok_or_else(|| format!("unknown kernel `{}` (try `aim-sim list`)", args.kernel))?;
+    run_program(&args.kernel, &workload.program, args)
+}
+
+fn run_asm_file(args: &RunArgs) -> Result<(), String> {
+    let source = std::fs::read_to_string(&args.kernel)
+        .map_err(|e| format!("cannot read `{}`: {e}", args.kernel))?;
+    let program = aim_isa::parse_program(&source).map_err(|e| format!("{}: {e}", args.kernel))?;
+    run_program(&args.kernel, &program, args)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::List => {
+            for name in aim_workloads::names() {
+                println!("{name}");
+            }
+            Ok(())
+        }
+        Command::Run(args) => run_one(&args),
+        Command::Asm(args) => run_asm_file(&args),
+        Command::Compare(args) => {
+            let mut lsq_args = args.clone();
+            lsq_args.lsq_backend = true;
+            let mut sfc_args = args;
+            sfc_args.lsq_backend = false;
+            run_one(&lsq_args).and_then(|()| run_one(&sfc_args))
+        }
+    };
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

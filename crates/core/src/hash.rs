@@ -1,0 +1,78 @@
+//! Set-index hash functions for the SFC and MDT.
+
+/// How an address granule selects a set in the SFC or MDT.
+///
+/// "At present, the hash functions use the least significant bits of the
+/// load/store address to select a set in the SFC or MDT. This simple hash
+/// makes the caches susceptible to high conflict rates when a process
+/// accesses multiple data structures whose size is a multiple of the SFC or
+/// MDT size. ... We conclude that a better hash function or a larger, more
+/// associative SFC and MDT would increase the performance of bzip2 and mcf
+/// to an acceptable level" (§3.2).
+///
+/// [`SetHash::LowBits`] is the paper's evaluated design; [`SetHash::XorFold`]
+/// is the "better hash function" it hypothesizes: folding the upper granule
+/// bits into the index so power-of-two strides no longer collapse onto one
+/// set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SetHash {
+    /// `set = granule & (sets - 1)` — the paper's simple hash.
+    #[default]
+    LowBits,
+    /// `set = (granule ^ (granule >> log2(sets))) & (sets - 1)` — one XOR
+    /// fold of the next-higher bits, a single gate level in hardware.
+    XorFold,
+}
+
+impl SetHash {
+    /// Maps a granule (or word) number to a set index. `sets` must be a
+    /// power of two.
+    #[inline]
+    pub fn index(self, granule: u64, sets: usize) -> usize {
+        debug_assert!(sets.is_power_of_two());
+        let mask = sets as u64 - 1;
+        let idx = match self {
+            SetHash::LowBits => granule & mask,
+            SetHash::XorFold => (granule ^ (granule >> sets.trailing_zeros())) & mask,
+        };
+        idx as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_bits_is_modulo() {
+        assert_eq!(SetHash::LowBits.index(0x1234, 256), 0x34);
+        assert_eq!(SetHash::LowBits.index(511, 256), 255);
+    }
+
+    #[test]
+    fn xor_fold_separates_set_sized_strides() {
+        // Granules exactly `sets` apart collide under LowBits...
+        let sets = 512;
+        let a = SetHash::LowBits.index(100, sets);
+        let b = SetHash::LowBits.index(100 + sets as u64, sets);
+        assert_eq!(a, b);
+        // ...but not under XorFold.
+        let a = SetHash::XorFold.index(100, sets);
+        let b = SetHash::XorFold.index(100 + sets as u64, sets);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn xor_fold_stays_in_range() {
+        for g in (0..100_000u64).step_by(37) {
+            assert!(SetHash::XorFold.index(g, 128) < 128);
+        }
+    }
+
+    #[test]
+    fn both_hashes_are_deterministic() {
+        for &h in &[SetHash::LowBits, SetHash::XorFold] {
+            assert_eq!(h.index(999, 64), h.index(999, 64));
+        }
+    }
+}

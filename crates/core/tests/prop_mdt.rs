@@ -1,0 +1,137 @@
+//! Property tests: the MDT against a total-order violation oracle.
+//!
+//! The defining soundness property (§2.2): when loads and stores to the same
+//! granule issue out of program order, the MDT must detect a violation — it
+//! may be conservative (spurious violations from aliasing or stale entries
+//! are allowed; they only cost performance), but it must never miss a true,
+//! anti, or output conflict that the paper's rules define, as long as every
+//! access actually completed (no structural conflicts).
+
+use std::collections::HashMap;
+
+use aim_core::{Mdt, MdtConfig};
+use aim_types::{AccessSize, Addr, MemAccess, SeqNum, ViolationKind};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    is_store: bool,
+    slot: u8,
+}
+
+fn access_strategy() -> impl Strategy<Value = Access> {
+    (any::<bool>(), 0u8..8).prop_map(|(is_store, slot)| Access { is_store, slot })
+}
+
+fn mem_access(slot: u8) -> MemAccess {
+    MemAccess::new(Addr(0x4000 + slot as u64 * 8), AccessSize::Double).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Issue a program-order sequence in a scrambled execution order and
+    /// check that every genuine ordering conflict raises a violation.
+    #[test]
+    fn mdt_never_misses_genuine_violations(
+        accesses in proptest::collection::vec(access_strategy(), 2..40),
+        shuffle_seed in any::<u64>(),
+    ) {
+        // Program order: seq = index + 1. Execution order: a deterministic
+        // shuffle of the indices.
+        let mut order: Vec<usize> = (0..accesses.len()).collect();
+        let mut s = shuffle_seed | 1;
+        for i in (1..order.len()).rev() {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            order.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+
+        // A huge MDT: no structural conflicts, no aliasing between slots.
+        let mut mdt = Mdt::new(MdtConfig {
+            sets: 4096,
+            ways: 8,
+            ..MdtConfig::baseline()
+        });
+        let floor = SeqNum(1); // everything stays in flight
+
+        // Oracle: per slot, the max executed load/store seq so far.
+        let mut max_load: HashMap<u8, u64> = HashMap::new();
+        let mut max_store: HashMap<u8, u64> = HashMap::new();
+
+        for &idx in &order {
+            let a = accesses[idx];
+            let seq = SeqNum(idx as u64 + 1);
+            let acc = mem_access(a.slot);
+            if a.is_store {
+                let expect_output = max_store.get(&a.slot).copied().unwrap_or(0) > seq.0;
+                let expect_true = max_load.get(&a.slot).copied().unwrap_or(0) > seq.0;
+                let violations = mdt.on_store_execute(seq, idx as u64, acc, floor)
+                    .expect("no structural conflicts in a huge MDT");
+                let kinds: Vec<ViolationKind> = violations.iter().map(|v| v.kind).collect();
+                if expect_output {
+                    prop_assert!(
+                        kinds.contains(&ViolationKind::Output),
+                        "missed output violation at seq {seq}"
+                    );
+                }
+                if expect_true {
+                    prop_assert!(
+                        kinds.contains(&ViolationKind::True),
+                        "missed true violation at seq {seq}"
+                    );
+                }
+                let e = max_store.entry(a.slot).or_insert(0);
+                *e = (*e).max(seq.0);
+            } else {
+                let expect_anti = max_store.get(&a.slot).copied().unwrap_or(0) > seq.0;
+                let v = mdt.on_load_execute(seq, idx as u64, acc, floor)
+                    .expect("no structural conflicts in a huge MDT");
+                if expect_anti {
+                    prop_assert!(
+                        matches!(v, Some(x) if x.kind == ViolationKind::Anti),
+                        "missed anti violation at seq {seq}"
+                    );
+                } else {
+                    // Loads that violate do not record themselves; only track
+                    // clean completions.
+                    let e = max_load.entry(a.slot).or_insert(0);
+                    *e = (*e).max(seq.0);
+                }
+            }
+        }
+    }
+
+    /// In-order execution never raises a violation, and retirement drains
+    /// the table back to empty.
+    #[test]
+    fn in_order_execution_is_clean_and_drains(
+        accesses in proptest::collection::vec(access_strategy(), 1..60),
+    ) {
+        let mut mdt = Mdt::new(MdtConfig::baseline());
+        let floor = SeqNum(1);
+        for (idx, a) in accesses.iter().enumerate() {
+            let seq = SeqNum(idx as u64 + 1);
+            let acc = mem_access(a.slot);
+            if a.is_store {
+                let v = mdt.on_store_execute(seq, idx as u64, acc, floor).unwrap();
+                prop_assert!(v.is_empty(), "spurious violation in order at {seq}");
+            } else {
+                let v = mdt.on_load_execute(seq, idx as u64, acc, floor).unwrap();
+                prop_assert!(v.is_none(), "spurious violation in order at {seq}");
+            }
+        }
+        for (idx, a) in accesses.iter().enumerate() {
+            let seq = SeqNum(idx as u64 + 1);
+            let acc = mem_access(a.slot);
+            if a.is_store {
+                mdt.on_store_retire(seq, acc);
+            } else {
+                mdt.on_load_retire(seq, acc);
+            }
+        }
+        prop_assert_eq!(mdt.occupancy(), 0, "retirement must drain the MDT");
+        prop_assert_eq!(mdt.stats().total_violations(), 0);
+    }
+}

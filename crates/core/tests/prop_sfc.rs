@@ -1,0 +1,161 @@
+//! Property tests: the SFC against a naive byte-overlay oracle.
+//!
+//! The oracle tracks, per byte, the value of the youngest surviving store and
+//! whether the byte could have been corrupted by a canceled store. Any value
+//! the SFC forwards must match the oracle exactly, and the SFC must never
+//! forward a byte the oracle says is corrupt — under arbitrary interleavings
+//! of stores, lookups, partial/full flushes, and retirements.
+
+use std::collections::HashMap;
+
+use aim_core::{Sfc, SfcConfig, SfcLoadResult};
+use aim_types::{AccessSize, Addr, MemAccess, SeqNum};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Store {
+        slot: u8,
+        size_idx: u8,
+        sub: u8,
+        value: u64,
+    },
+    Lookup {
+        slot: u8,
+        size_idx: u8,
+        sub: u8,
+    },
+    PartialFlush,
+    RetireOldest,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), 0u8..4, any::<u8>(), any::<u64>())
+            .prop_map(|(slot, size_idx, sub, value)| Op::Store { slot, size_idx, sub, value }),
+        4 => (any::<u8>(), 0u8..4, any::<u8>())
+            .prop_map(|(slot, size_idx, sub)| Op::Lookup { slot, size_idx, sub }),
+        1 => Just(Op::PartialFlush),
+        2 => Just(Op::RetireOldest),
+    ]
+}
+
+fn access(slot: u8, size_idx: u8, sub: u8) -> MemAccess {
+    let size = AccessSize::ALL[size_idx as usize];
+    let sub = (sub as u64 % (8 / size.bytes())) * size.bytes();
+    // 16 hot words: plenty of same-line interaction.
+    let addr = 0x1000 + (slot as u64 % 16) * 8 + sub;
+    MemAccess::new(Addr(addr), size).unwrap()
+}
+
+/// Oracle byte state.
+#[derive(Debug, Clone, Copy, Default)]
+struct OracleByte {
+    value: u8,
+    valid: bool,
+    corrupt: bool,
+    writer: u64,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sfc_matches_byte_overlay_oracle(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut sfc = Sfc::new(SfcConfig { sets: 4, ways: 4, corruption: Default::default(), hash: Default::default() });
+        let mut oracle: HashMap<u64, OracleByte> = HashMap::new();
+        let mut next_seq = 1u64;
+        let mut inflight: Vec<(u64, MemAccess, u64)> = Vec::new(); // (seq, access, value)
+
+        for op in ops {
+            match op {
+                Op::Store { slot, size_idx, sub, value } => {
+                    let acc = access(slot, size_idx, sub);
+                    let seq = SeqNum(next_seq);
+                    next_seq += 1;
+                    let floor = inflight.first().map_or(SeqNum(next_seq), |f| SeqNum(f.0));
+                    if sfc.store_write(seq, acc, value, floor).is_ok() {
+                        inflight.push((seq.0, acc, value));
+                        for (k, byte_idx) in acc.mask().iter_bytes().enumerate() {
+                            let addr = acc.word_addr().0 + byte_idx as u64;
+                            let b = oracle.entry(addr).or_default();
+                            b.value = (value >> (8 * k)) as u8;
+                            b.valid = true;
+                            b.corrupt = false;
+                            b.writer = seq.0;
+                        }
+                    }
+                }
+                Op::Lookup { slot, size_idx, sub } => {
+                    let acc = access(slot, size_idx, sub);
+                    let floor = inflight.first().map_or(SeqNum(next_seq), |f| SeqNum(f.0));
+                    match sfc.load_lookup(acc, floor) {
+                        SfcLoadResult::Forward(v) => {
+                            // Every byte must be valid, clean and equal.
+                            for (k, byte_idx) in acc.mask().iter_bytes().enumerate() {
+                                let addr = acc.word_addr().0 + byte_idx as u64;
+                                let b = oracle.get(&addr).copied().unwrap_or_default();
+                                prop_assert!(b.valid, "forwarded an invalid byte at {addr:#x}");
+                                prop_assert!(!b.corrupt, "forwarded a corrupt byte at {addr:#x}");
+                                prop_assert_eq!(
+                                    (v >> (8 * k)) as u8,
+                                    b.value,
+                                    "wrong forwarded byte at {:#x}", addr
+                                );
+                            }
+                        }
+                        SfcLoadResult::Partial { data, valid } => {
+                            for byte_idx in valid.iter_bytes() {
+                                let addr = acc.word_addr().0 + byte_idx as u64;
+                                let b = oracle.get(&addr).copied().unwrap_or_default();
+                                prop_assert!(b.valid && !b.corrupt);
+                                prop_assert_eq!(data[byte_idx as usize], b.value);
+                            }
+                        }
+                        SfcLoadResult::Miss | SfcLoadResult::Corrupt => {
+                            // Conservative outcomes are always permitted.
+                        }
+                    }
+                }
+                Op::PartialFlush => {
+                    let survivor = SeqNum(next_seq.saturating_sub(1));
+                    sfc.on_partial_flush(survivor, survivor);
+                    for b in oracle.values_mut() {
+                        if b.valid {
+                            b.corrupt = true;
+                        }
+                    }
+                }
+                Op::RetireOldest => {
+                    if !inflight.is_empty() {
+                        let (seq, acc, _) = inflight.remove(0);
+                        if sfc.on_store_retire(SeqNum(seq), acc) {
+                            // Line freed: its bytes are gone from the SFC.
+                            for byte_idx in 0..8u64 {
+                                let addr = acc.word_addr().0 + byte_idx;
+                                oracle.remove(&addr);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_flush_always_empties(stores in proptest::collection::vec(
+        (any::<u8>(), any::<u64>()), 1..40))
+    {
+        let mut sfc = Sfc::new(SfcConfig { sets: 4, ways: 2, corruption: Default::default(), hash: Default::default() });
+        for (i, (slot, value)) in stores.iter().enumerate() {
+            let acc = access(*slot, 3, 0);
+            let _ = sfc.store_write(SeqNum(i as u64 + 1), acc, *value, SeqNum(1));
+        }
+        sfc.on_full_flush();
+        prop_assert_eq!(sfc.occupancy(), 0);
+        for slot in 0u8..16 {
+            let acc = access(slot, 3, 0);
+            prop_assert_eq!(sfc.load_lookup(acc, SeqNum(1)), SfcLoadResult::Miss);
+        }
+    }
+}

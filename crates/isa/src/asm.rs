@@ -1,0 +1,547 @@
+//! A label-aware assembler for building [`Program`]s in Rust code.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use aim_types::{AccessSize, Addr};
+
+use crate::instr::{AluOp, BranchCond, Instr, Reg};
+use crate::Program;
+
+/// Errors produced at [`Assembler::assemble`] time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch or jump referenced a label that was never defined.
+    UnknownLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnknownLabel(l) => write!(f, "unknown label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Done(Instr),
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+    },
+    Jump {
+        label: String,
+    },
+    Jal {
+        rd: Reg,
+        label: String,
+    },
+}
+
+/// Builds a [`Program`] instruction by instruction, resolving forward label
+/// references at [`assemble`](Assembler::assemble) time.
+///
+/// # Examples
+///
+/// ```
+/// use aim_isa::{Assembler, Reg};
+///
+/// let mut asm = Assembler::new();
+/// asm.movi(Reg::new(1), 3);
+/// asm.label("spin");
+/// asm.subi(Reg::new(1), Reg::new(1), 1);
+/// asm.bne(Reg::new(1), Reg::ZERO, "spin");
+/// asm.halt();
+/// let program = asm.assemble()?;
+/// assert_eq!(program.len(), 4);
+/// # Ok::<(), aim_isa::AsmError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Assembler {
+    slots: Vec<Slot>,
+    labels: HashMap<String, u64>,
+    duplicate: Option<String>,
+    data: Vec<(Addr, Vec<u8>)>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Current instruction index (where the next emitted instruction lands).
+    pub fn here(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
+    /// Defines `name` at the current position.
+    pub fn label(&mut self, name: &str) {
+        if self.labels.insert(name.to_string(), self.here()).is_some() && self.duplicate.is_none() {
+            self.duplicate = Some(name.to_string());
+        }
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, instr: Instr) {
+        self.slots.push(Slot::Done(instr));
+    }
+
+    /// Adds a region to the program's initial data image.
+    pub fn data(&mut self, addr: Addr, bytes: Vec<u8>) {
+        self.data.push((addr, bytes));
+    }
+
+    /// Adds a region of little-endian 64-bit words to the data image.
+    pub fn data_words(&mut self, addr: Addr, words: &[u64]) {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.data.push((addr, bytes));
+    }
+
+    // --- ALU ---------------------------------------------------------------
+
+    /// `rd = rs1 + rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        });
+    }
+
+    /// `rd = rs1 - rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        });
+    }
+
+    /// `rd = rs1 & rs2`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::And,
+            rd,
+            rs1,
+            rs2,
+        });
+    }
+
+    /// `rd = rs1 | rs2`.
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            rs2,
+        });
+    }
+
+    /// `rd = rs1 ^ rs2`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            rs2,
+        });
+    }
+
+    /// `rd = rs1 * rs2` (low 64 bits).
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        });
+    }
+
+    /// `rd = rs1 << rs2`.
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            rs2,
+        });
+    }
+
+    /// `rd = (rs1 < rs2) ? 1 : 0`, signed.
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instr::Alu {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            rs2,
+        });
+    }
+
+    // --- ALU immediate -----------------------------------------------------
+
+    /// `rd = rs1 + imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        });
+    }
+
+    /// `rd = rs1 - imm`.
+    pub fn subi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::AluImm {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            imm,
+        });
+    }
+
+    /// `rd = rs1 & imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::AluImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        });
+    }
+
+    /// `rd = rs1 ^ imm`.
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::AluImm {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            imm,
+        });
+    }
+
+    /// `rd = rs1 << imm`.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::AluImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm,
+        });
+    }
+
+    /// `rd = rs1 >> imm` (logical).
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::AluImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm,
+        });
+    }
+
+    /// `rd = rs1 * imm`.
+    pub fn muli(&mut self, rd: Reg, rs1: Reg, imm: i64) {
+        self.emit(Instr::AluImm {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            imm,
+        });
+    }
+
+    /// `rd = imm` (full 64-bit immediate).
+    pub fn movi(&mut self, rd: Reg, imm: i64) {
+        self.emit(Instr::MovImm { rd, imm });
+    }
+
+    /// `rd = rs` (register move; encoded as `rd = rs + 0`).
+    pub fn mov(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+
+    // --- Memory ------------------------------------------------------------
+
+    /// `rd = zero_extend(mem[base + offset])`.
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i64, size: AccessSize) {
+        self.emit(Instr::Load {
+            rd,
+            base,
+            offset,
+            size,
+        });
+    }
+
+    /// 8-byte load.
+    pub fn ld(&mut self, rd: Reg, base: Reg, offset: i64) {
+        self.load(rd, base, offset, AccessSize::Double);
+    }
+
+    /// 4-byte load.
+    pub fn lw(&mut self, rd: Reg, base: Reg, offset: i64) {
+        self.load(rd, base, offset, AccessSize::Word);
+    }
+
+    /// 1-byte load.
+    pub fn lb(&mut self, rd: Reg, base: Reg, offset: i64) {
+        self.load(rd, base, offset, AccessSize::Byte);
+    }
+
+    /// `mem[base + offset] = rs`.
+    pub fn store(&mut self, rs: Reg, base: Reg, offset: i64, size: AccessSize) {
+        self.emit(Instr::Store {
+            rs,
+            base,
+            offset,
+            size,
+        });
+    }
+
+    /// 8-byte store.
+    pub fn sd(&mut self, rs: Reg, base: Reg, offset: i64) {
+        self.store(rs, base, offset, AccessSize::Double);
+    }
+
+    /// 4-byte store.
+    pub fn sw(&mut self, rs: Reg, base: Reg, offset: i64) {
+        self.store(rs, base, offset, AccessSize::Word);
+    }
+
+    /// 1-byte store.
+    pub fn sb(&mut self, rs: Reg, base: Reg, offset: i64) {
+        self.store(rs, base, offset, AccessSize::Byte);
+    }
+
+    // --- Control -----------------------------------------------------------
+
+    /// Conditional branch to `label`.
+    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: &str) {
+        self.slots.push(Slot::Branch {
+            cond,
+            rs1,
+            rs2,
+            label: label.to_string(),
+        });
+    }
+
+    /// Branch if equal.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchCond::Eq, rs1, rs2, label);
+    }
+
+    /// Branch if not equal.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchCond::Ne, rs1, rs2, label);
+    }
+
+    /// Branch if less than (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchCond::Lt, rs1, rs2, label);
+    }
+
+    /// Branch if greater than or equal (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchCond::Ge, rs1, rs2, label);
+    }
+
+    /// Branch if less than (unsigned).
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: &str) {
+        self.branch(BranchCond::Ltu, rs1, rs2, label);
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jump(&mut self, label: &str) {
+        self.slots.push(Slot::Jump {
+            label: label.to_string(),
+        });
+    }
+
+    /// Jump-and-link to `label`.
+    pub fn jal(&mut self, rd: Reg, label: &str) {
+        self.slots.push(Slot::Jal {
+            rd,
+            label: label.to_string(),
+        });
+    }
+
+    /// Indirect jump through `rs`.
+    pub fn jr(&mut self, rs: Reg) {
+        self.emit(Instr::Jr { rs });
+    }
+
+    /// Stop the machine.
+    pub fn halt(&mut self) {
+        self.emit(Instr::Halt);
+    }
+
+    /// Do-nothing instruction.
+    pub fn nop(&mut self) {
+        self.emit(Instr::Nop);
+    }
+
+    /// Resolves labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnknownLabel`] for unresolved references and
+    /// [`AsmError::DuplicateLabel`] if any label was defined twice.
+    pub fn assemble(self) -> Result<Program, AsmError> {
+        if let Some(dup) = self.duplicate {
+            return Err(AsmError::DuplicateLabel(dup));
+        }
+        let resolve = |label: &str| -> Result<u64, AsmError> {
+            self.labels
+                .get(label)
+                .copied()
+                .ok_or_else(|| AsmError::UnknownLabel(label.to_string()))
+        };
+        let mut instrs = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let instr = match slot {
+                Slot::Done(i) => *i,
+                Slot::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    label,
+                } => Instr::Branch {
+                    cond: *cond,
+                    rs1: *rs1,
+                    rs2: *rs2,
+                    target: resolve(label)?,
+                },
+                Slot::Jump { label } => Instr::Jump {
+                    target: resolve(label)?,
+                },
+                Slot::Jal { rd, label } => Instr::Jal {
+                    rd: *rd,
+                    target: resolve(label)?,
+                },
+            };
+            instrs.push(instr);
+        }
+        let mut program = Program::from_instrs(instrs);
+        for (addr, bytes) in self.data {
+            program.add_data(addr, bytes);
+        }
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut asm = Assembler::new();
+        asm.label("start");
+        asm.beq(r(1), r(2), "end"); // forward
+        asm.jump("start"); // backward
+        asm.label("end");
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        assert_eq!(
+            p.instrs()[0],
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs1: r(1),
+                rs2: r(2),
+                target: 2
+            }
+        );
+        assert_eq!(p.instrs()[1], Instr::Jump { target: 0 });
+    }
+
+    #[test]
+    fn unknown_label_errors() {
+        let mut asm = Assembler::new();
+        asm.jump("nowhere");
+        let err = asm.assemble().unwrap_err();
+        assert_eq!(err, AsmError::UnknownLabel("nowhere".to_string()));
+        assert!(err.to_string().contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut asm = Assembler::new();
+        asm.label("x");
+        asm.nop();
+        asm.label("x");
+        asm.halt();
+        assert_eq!(
+            asm.assemble().unwrap_err(),
+            AsmError::DuplicateLabel("x".to_string())
+        );
+    }
+
+    #[test]
+    fn data_words_little_endian() {
+        let mut asm = Assembler::new();
+        asm.halt();
+        asm.data_words(Addr(0x100), &[0x0102_0304_0506_0708]);
+        let p = asm.assemble().unwrap();
+        let mem = p.build_memory();
+        assert_eq!(mem.read_byte(Addr(0x100)), 0x08);
+        assert_eq!(mem.read_byte(Addr(0x107)), 0x01);
+    }
+
+    #[test]
+    fn mov_is_addi_zero() {
+        let mut asm = Assembler::new();
+        asm.mov(r(1), r(2));
+        let p = asm.assemble().unwrap();
+        assert_eq!(
+            p.instrs()[0],
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: r(1),
+                rs1: r(2),
+                imm: 0
+            }
+        );
+    }
+
+    #[test]
+    fn jal_links_and_targets() {
+        let mut asm = Assembler::new();
+        asm.jal(r(31), "fn");
+        asm.halt();
+        asm.label("fn");
+        asm.jr(r(31));
+        let p = asm.assemble().unwrap();
+        assert_eq!(
+            p.instrs()[0],
+            Instr::Jal {
+                rd: r(31),
+                target: 2
+            }
+        );
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut asm = Assembler::new();
+        assert_eq!(asm.here(), 0);
+        asm.nop();
+        asm.nop();
+        assert_eq!(asm.here(), 2);
+    }
+}

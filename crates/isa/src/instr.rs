@@ -1,0 +1,481 @@
+//! Instruction definitions and pure functional semantics.
+
+use core::fmt;
+
+use aim_types::AccessSize;
+
+/// An architectural register, `r0`–`r31`. `r0` is hardwired to zero.
+///
+/// # Examples
+///
+/// ```
+/// use aim_isa::Reg;
+///
+/// let r5 = Reg::new(5);
+/// assert_eq!(r5.index(), 5);
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Number of architectural registers.
+    pub const COUNT: usize = 32;
+
+    /// Creates register `r{index}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub fn new(index: u8) -> Reg {
+        assert!((index as usize) < Reg::COUNT, "register index out of range");
+        Reg(index)
+    }
+
+    /// The register number.
+    #[inline]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the hardwired-zero register.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Two-operand integer operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (amount taken mod 64).
+    Sll,
+    /// Logical shift right (amount taken mod 64).
+    Srl,
+    /// Arithmetic shift right (amount taken mod 64).
+    Sra,
+    /// Set-if-less-than, signed: `1` if `a < b` else `0`.
+    Slt,
+    /// Set-if-less-than, unsigned.
+    Sltu,
+    /// Wrapping multiplication (low 64 bits).
+    Mul,
+}
+
+impl AluOp {
+    /// Evaluates the operation on 64-bit operands.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aim_isa::AluOp;
+    ///
+    /// assert_eq!(AluOp::Add.eval(2, 3), 5);
+    /// assert_eq!(AluOp::Slt.eval(u64::MAX, 0), 1); // -1 < 0 signed
+    /// ```
+    #[inline]
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a.wrapping_shl(b as u32),
+            AluOp::Srl => a.wrapping_shr(b as u32),
+            AluOp::Sra => (a as i64).wrapping_shr(b as u32) as u64,
+            AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+            AluOp::Sltu => (a < b) as u64,
+            AluOp::Mul => a.wrapping_mul(b),
+        }
+    }
+}
+
+/// Conditions for conditional branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if less than, signed.
+    Lt,
+    /// Branch if greater than or equal, signed.
+    Ge,
+    /// Branch if less than, unsigned.
+    Ltu,
+    /// Branch if greater than or equal, unsigned.
+    Geu,
+}
+
+impl BranchCond {
+    /// Evaluates the condition on 64-bit operands.
+    #[inline]
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i64) < (b as i64),
+            BranchCond::Ge => (a as i64) >= (b as i64),
+            BranchCond::Ltu => a < b,
+            BranchCond::Geu => a >= b,
+        }
+    }
+}
+
+/// Execution-resource class of an instruction (drives functional-unit
+/// latency in the pipeline model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecClass {
+    /// Single-cycle integer operation.
+    Alu,
+    /// Pipelined multiplier.
+    Mul,
+    /// Conditional branch or jump resolution.
+    Branch,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// No work (`Nop`, `Halt`).
+    None,
+}
+
+/// One decoded instruction.
+///
+/// Branch and jump targets are absolute instruction indices (the assembler
+/// resolves labels to these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `rd = op(rs1, rs2)`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// `rd = op(rs1, imm)`.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs1: Reg,
+        /// Immediate (sign-extended to 64 bits).
+        imm: i64,
+    },
+    /// `rd = imm` (64-bit immediate move).
+    MovImm {
+        /// Destination.
+        rd: Reg,
+        /// Immediate.
+        imm: i64,
+    },
+    /// `rd = zero_extend(mem[rs1 + offset])`.
+    Load {
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+        /// Access width.
+        size: AccessSize,
+    },
+    /// `mem[base + offset] = low_bytes(rs)`.
+    Store {
+        /// Data source.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        offset: i64,
+        /// Access width.
+        size: AccessSize,
+    },
+    /// Conditional branch to `target` when `cond(rs1, rs2)`.
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// First comparand.
+        rs1: Reg,
+        /// Second comparand.
+        rs2: Reg,
+        /// Absolute instruction index of the taken target.
+        target: u64,
+    },
+    /// Unconditional jump to `target`.
+    Jump {
+        /// Absolute instruction index.
+        target: u64,
+    },
+    /// Jump-and-link: `rd = pc + 1`, then jump to `target`.
+    Jal {
+        /// Link destination register.
+        rd: Reg,
+        /// Absolute instruction index.
+        target: u64,
+    },
+    /// Indirect jump to the instruction index in `rs`.
+    Jr {
+        /// Register holding the target instruction index.
+        rs: Reg,
+    },
+    /// Stop the machine.
+    Halt,
+    /// Do nothing.
+    Nop,
+}
+
+impl Instr {
+    /// The architectural register written by this instruction, if any
+    /// (writes to `r0` are discarded and reported as `None`).
+    pub fn def(&self) -> Option<Reg> {
+        let rd = match *self {
+            Instr::Alu { rd, .. }
+            | Instr::AluImm { rd, .. }
+            | Instr::MovImm { rd, .. }
+            | Instr::Load { rd, .. }
+            | Instr::Jal { rd, .. } => rd,
+            _ => return None,
+        };
+        if rd.is_zero() {
+            None
+        } else {
+            Some(rd)
+        }
+    }
+
+    /// The architectural registers read by this instruction (up to two).
+    pub fn uses(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Instr::Alu { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Instr::AluImm { rs1, .. } => [Some(rs1), None],
+            Instr::MovImm { .. } => [None, None],
+            Instr::Load { base, .. } => [Some(base), None],
+            Instr::Store { rs, base, .. } => [Some(base), Some(rs)],
+            Instr::Branch { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Instr::Jump { .. } | Instr::Jal { .. } => [None, None],
+            Instr::Jr { rs } => [Some(rs), None],
+            Instr::Halt | Instr::Nop => [None, None],
+        }
+    }
+
+    /// Whether this is a memory read.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Instr::Load { .. })
+    }
+
+    /// Whether this is a memory write.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Instr::Store { .. })
+    }
+
+    /// Whether this is a conditional branch.
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Instr::Branch { .. })
+    }
+
+    /// Whether this instruction may redirect the front end (any branch or
+    /// jump, conditional or not).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. } | Instr::Jump { .. } | Instr::Jal { .. } | Instr::Jr { .. }
+        )
+    }
+
+    /// The functional-unit class of this instruction.
+    pub fn exec_class(&self) -> ExecClass {
+        match self {
+            Instr::Alu { op, .. } | Instr::AluImm { op, .. } => {
+                if *op == AluOp::Mul {
+                    ExecClass::Mul
+                } else {
+                    ExecClass::Alu
+                }
+            }
+            Instr::MovImm { .. } => ExecClass::Alu,
+            Instr::Load { .. } => ExecClass::Load,
+            Instr::Store { .. } => ExecClass::Store,
+            Instr::Branch { .. } | Instr::Jump { .. } | Instr::Jal { .. } | Instr::Jr { .. } => {
+                ExecClass::Branch
+            }
+            Instr::Halt | Instr::Nop => ExecClass::None,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Alu { op, rd, rs1, rs2 } => write!(f, "{op:?} {rd}, {rs1}, {rs2}"),
+            Instr::AluImm { op, rd, rs1, imm } => write!(f, "{op:?}i {rd}, {rs1}, {imm}"),
+            Instr::MovImm { rd, imm } => write!(f, "movi {rd}, {imm}"),
+            Instr::Load {
+                rd,
+                base,
+                offset,
+                size,
+            } => write!(f, "ld{} {rd}, {offset}({base})", size.bytes()),
+            Instr::Store {
+                rs,
+                base,
+                offset,
+                size,
+            } => write!(f, "st{} {rs}, {offset}({base})", size.bytes()),
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => write!(f, "b{cond:?} {rs1}, {rs2}, @{target}"),
+            Instr::Jump { target } => write!(f, "j @{target}"),
+            Instr::Jal { rd, target } => write!(f, "jal {rd}, @{target}"),
+            Instr::Jr { rs } => write!(f, "jr {rs}"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_bounds() {
+        assert_eq!(Reg::new(31).index(), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.eval(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.eval(0, 1), u64::MAX);
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Sll.eval(1, 63), 1 << 63);
+        assert_eq!(AluOp::Srl.eval(u64::MAX, 63), 1);
+        assert_eq!(AluOp::Sra.eval(u64::MAX, 63), u64::MAX);
+        assert_eq!(AluOp::Slt.eval(1, 2), 1);
+        assert_eq!(AluOp::Slt.eval(u64::MAX, 0), 1);
+        assert_eq!(AluOp::Sltu.eval(u64::MAX, 0), 0);
+        assert_eq!(AluOp::Mul.eval(3, 5), 15);
+    }
+
+    #[test]
+    fn shift_amount_wraps_mod_64() {
+        assert_eq!(AluOp::Sll.eval(1, 64), 1);
+        assert_eq!(AluOp::Sll.eval(1, 65), 2);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BranchCond::Eq.eval(4, 4));
+        assert!(BranchCond::Ne.eval(4, 5));
+        assert!(BranchCond::Lt.eval(u64::MAX, 0)); // signed -1 < 0
+        assert!(!BranchCond::Ltu.eval(u64::MAX, 0));
+        assert!(BranchCond::Ge.eval(0, u64::MAX));
+        assert!(BranchCond::Geu.eval(u64::MAX, 0));
+    }
+
+    #[test]
+    fn def_excludes_r0() {
+        let i = Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            rs1: Reg::new(1),
+            imm: 1,
+        };
+        assert_eq!(i.def(), None);
+        let j = Instr::MovImm {
+            rd: Reg::new(3),
+            imm: 0,
+        };
+        assert_eq!(j.def(), Some(Reg::new(3)));
+    }
+
+    #[test]
+    fn uses_of_store_include_data_and_base() {
+        let s = Instr::Store {
+            rs: Reg::new(7),
+            base: Reg::new(8),
+            offset: 0,
+            size: AccessSize::Word,
+        };
+        assert_eq!(s.uses(), [Some(Reg::new(8)), Some(Reg::new(7))]);
+        assert!(s.is_store() && !s.is_load());
+    }
+
+    #[test]
+    fn exec_class_partition() {
+        assert_eq!(
+            Instr::Alu {
+                op: AluOp::Mul,
+                rd: Reg::new(1),
+                rs1: Reg::new(2),
+                rs2: Reg::new(3)
+            }
+            .exec_class(),
+            ExecClass::Mul
+        );
+        assert_eq!(Instr::Jump { target: 0 }.exec_class(), ExecClass::Branch);
+        assert_eq!(Instr::Halt.exec_class(), ExecClass::None);
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Instr::Jr { rs: Reg::new(1) }.is_control());
+        assert!(!Instr::Jr { rs: Reg::new(1) }.is_cond_branch());
+        assert!(Instr::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            target: 0
+        }
+        .is_cond_branch());
+        assert!(!Instr::Nop.is_control());
+    }
+
+    #[test]
+    fn display_round_trip_smoke() {
+        let i = Instr::Load {
+            rd: Reg::new(1),
+            base: Reg::new(2),
+            offset: -8,
+            size: AccessSize::Double,
+        };
+        assert_eq!(i.to_string(), "ld8 r1, -8(r2)");
+    }
+}

@@ -1,0 +1,589 @@
+//! A text front end for the [`Assembler`]: parse `.s`-style source into a
+//! [`Program`].
+//!
+//! # Syntax
+//!
+//! One statement per line; `#` or `;` starts a comment.
+//!
+//! ```text
+//! # data regions: .data <addr>: <word> <word> ...
+//! .data 0x1000: 1 2 3 0xdead
+//!
+//!         movi  r1, 100          # 64-bit immediate move
+//!         movi  r2, 0x1000
+//! loop:                          # labels end with ':'
+//!         ld8   r3, 0(r2)        # ld1/ld2/ld4/ld8  rd, offset(base)
+//!         addi  r3, r3, 1
+//!         st8   r3, 0(r2)        # st1/st2/st4/st8  rs, offset(base)
+//!         subi  r1, r1, 1
+//!         bne   r1, r0, loop     # beq/bne/blt/bge/bltu/bgeu rs1, rs2, label
+//!         halt
+//! ```
+//!
+//! Register operands are `r0`–`r31`. ALU mnemonics: `add sub and or xor mul
+//! sll srl sra slt sltu` (register) and `addi subi andi ori xori muli slli
+//! srli srai slti` (immediate), plus `mov rd, rs`, `jal rd, label`,
+//! `j label`, `jr rs`, `nop`, `halt`.
+
+use core::fmt;
+
+use aim_types::{AccessSize, Addr};
+
+use crate::asm::Assembler;
+use crate::instr::{AluOp, BranchCond, Reg};
+use crate::Program;
+
+/// A parse failure, with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseAsmError {
+    ParseAsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseAsmError> {
+    let idx = tok
+        .strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| (n as usize) < Reg::COUNT)
+        .ok_or_else(|| err(line, format!("expected a register r0..r31, got `{tok}`")))?;
+    Ok(Reg::new(idx))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseAsmError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16)
+    } else {
+        body.replace('_', "").parse::<u64>()
+    }
+    .map_err(|_| err(line, format!("expected an integer, got `{tok}`")))?;
+    let signed = value as i64;
+    Ok(if neg { signed.wrapping_neg() } else { signed })
+}
+
+/// Splits `offset(base)` into its parts.
+fn parse_mem_operand(tok: &str, line: usize) -> Result<(i64, Reg), ParseAsmError> {
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected offset(base), got `{tok}`")))?;
+    let close = tok
+        .strip_suffix(')')
+        .ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
+    let offset = if open == 0 {
+        0
+    } else {
+        parse_imm(&tok[..open], line)?
+    };
+    let base = parse_reg(&close[open + 1..], line)?;
+    Ok((offset, base))
+}
+
+fn operands(rest: &str) -> Vec<&str> {
+    rest.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn alu_op(mnemonic: &str) -> Option<AluOp> {
+    Some(match mnemonic {
+        "add" | "addi" => AluOp::Add,
+        "sub" | "subi" => AluOp::Sub,
+        "and" | "andi" => AluOp::And,
+        "or" | "ori" => AluOp::Or,
+        "xor" | "xori" => AluOp::Xor,
+        "mul" | "muli" => AluOp::Mul,
+        "sll" | "slli" => AluOp::Sll,
+        "srl" | "srli" => AluOp::Srl,
+        "sra" | "srai" => AluOp::Sra,
+        "slt" | "slti" => AluOp::Slt,
+        "sltu" | "sltui" => AluOp::Sltu,
+        _ => return None,
+    })
+}
+
+fn branch_cond(mnemonic: &str) -> Option<BranchCond> {
+    Some(match mnemonic {
+        "beq" => BranchCond::Eq,
+        "bne" => BranchCond::Ne,
+        "blt" => BranchCond::Lt,
+        "bge" => BranchCond::Ge,
+        "bltu" => BranchCond::Ltu,
+        "bgeu" => BranchCond::Geu,
+        _ => return None,
+    })
+}
+
+fn access_size(suffix: &str) -> Option<AccessSize> {
+    Some(match suffix {
+        "1" => AccessSize::Byte,
+        "2" => AccessSize::Half,
+        "4" => AccessSize::Word,
+        "8" => AccessSize::Double,
+        _ => return None,
+    })
+}
+
+/// Parses assembler source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError`] with the offending line for syntax errors,
+/// unknown mnemonics, bad operands, or assembler-level failures (unknown or
+/// duplicate labels).
+///
+/// # Examples
+///
+/// ```
+/// use aim_isa::{parse_program, Interpreter, Reg};
+///
+/// let program = parse_program(
+///     "        movi r1, 3\n\
+///      loop:   addi r2, r2, 5\n\
+///              subi r1, r1, 1\n\
+///              bne  r1, r0, loop\n\
+///              halt\n",
+/// )?;
+/// let mut interp = Interpreter::new(&program);
+/// interp.run(100).unwrap();
+/// assert_eq!(interp.reg(Reg::new(2)), 15);
+/// # Ok::<(), aim_isa::ParseAsmError>(())
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, ParseAsmError> {
+    let mut asm = Assembler::new();
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.split(['#', ';']).next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+
+        // Data directive.
+        if let Some(rest) = text.strip_prefix(".data") {
+            let (addr_tok, words_tok) = rest
+                .split_once(':')
+                .ok_or_else(|| err(line, ".data wants `<addr>: <words...>`"))?;
+            let addr = parse_imm(addr_tok.trim(), line)? as u64;
+            let words = words_tok
+                .split_whitespace()
+                .map(|w| parse_imm(w, line).map(|v| v as u64))
+                .collect::<Result<Vec<u64>, _>>()?;
+            asm.data_words(Addr(addr), &words);
+            continue;
+        }
+
+        // Leading label(s).
+        let mut text = text;
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(line, format!("bad label `{label}`")));
+            }
+            asm.label(label);
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (text, ""),
+        };
+        let ops = operands(rest);
+        let want = |n: usize| -> Result<(), ParseAsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line,
+                    format!("`{mnemonic}` wants {n} operands, got {}", ops.len()),
+                ))
+            }
+        };
+
+        match mnemonic {
+            "nop" => {
+                want(0)?;
+                asm.nop();
+            }
+            "halt" => {
+                want(0)?;
+                asm.halt();
+            }
+            "movi" => {
+                want(2)?;
+                asm.movi(parse_reg(ops[0], line)?, parse_imm(ops[1], line)?);
+            }
+            "mov" => {
+                want(2)?;
+                asm.mov(parse_reg(ops[0], line)?, parse_reg(ops[1], line)?);
+            }
+            "j" | "jump" => {
+                want(1)?;
+                asm.jump(ops[0]);
+            }
+            "jal" => {
+                want(2)?;
+                asm.jal(parse_reg(ops[0], line)?, ops[1]);
+            }
+            "jr" => {
+                want(1)?;
+                asm.jr(parse_reg(ops[0], line)?);
+            }
+            m if branch_cond(m).is_some() => {
+                want(3)?;
+                asm.branch(
+                    branch_cond(m).expect("checked"),
+                    parse_reg(ops[0], line)?,
+                    parse_reg(ops[1], line)?,
+                    ops[2],
+                );
+            }
+            m if m.starts_with("ld") && access_size(&m[2..]).is_some() => {
+                want(2)?;
+                let size = access_size(&m[2..]).expect("checked");
+                let rd = parse_reg(ops[0], line)?;
+                let (offset, base) = parse_mem_operand(ops[1], line)?;
+                asm.load(rd, base, offset, size);
+            }
+            m if m.starts_with("st") && access_size(&m[2..]).is_some() => {
+                want(2)?;
+                let size = access_size(&m[2..]).expect("checked");
+                let rs = parse_reg(ops[0], line)?;
+                let (offset, base) = parse_mem_operand(ops[1], line)?;
+                asm.store(rs, base, offset, size);
+            }
+            m if alu_op(m).is_some() => {
+                want(3)?;
+                let op = alu_op(m).expect("checked");
+                let rd = parse_reg(ops[0], line)?;
+                let rs1 = parse_reg(ops[1], line)?;
+                // Immediate forms all end in `i` (addi, slli, …); register
+                // forms never do.
+                if m.ends_with('i') {
+                    asm.emit(crate::Instr::AluImm {
+                        op,
+                        rd,
+                        rs1,
+                        imm: parse_imm(ops[2], line)?,
+                    });
+                } else {
+                    asm.emit(crate::Instr::Alu {
+                        op,
+                        rd,
+                        rs1,
+                        rs2: parse_reg(ops[2], line)?,
+                    });
+                }
+            }
+            other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+        }
+    }
+
+    asm.assemble()
+        .map_err(|e| err(source.lines().count(), e.to_string()))
+}
+
+fn alu_mnemonic(op: AluOp, imm: bool) -> &'static str {
+    match (op, imm) {
+        (AluOp::Add, false) => "add",
+        (AluOp::Sub, false) => "sub",
+        (AluOp::And, false) => "and",
+        (AluOp::Or, false) => "or",
+        (AluOp::Xor, false) => "xor",
+        (AluOp::Mul, false) => "mul",
+        (AluOp::Sll, false) => "sll",
+        (AluOp::Srl, false) => "srl",
+        (AluOp::Sra, false) => "sra",
+        (AluOp::Slt, false) => "slt",
+        (AluOp::Sltu, false) => "sltu",
+        (AluOp::Add, true) => "addi",
+        (AluOp::Sub, true) => "subi",
+        (AluOp::And, true) => "andi",
+        (AluOp::Or, true) => "ori",
+        (AluOp::Xor, true) => "xori",
+        (AluOp::Mul, true) => "muli",
+        (AluOp::Sll, true) => "slli",
+        (AluOp::Srl, true) => "srli",
+        (AluOp::Sra, true) => "srai",
+        (AluOp::Slt, true) => "slti",
+        (AluOp::Sltu, true) => "sltui",
+    }
+}
+
+fn branch_mnemonic(cond: BranchCond) -> &'static str {
+    match cond {
+        BranchCond::Eq => "beq",
+        BranchCond::Ne => "bne",
+        BranchCond::Lt => "blt",
+        BranchCond::Ge => "bge",
+        BranchCond::Ltu => "bltu",
+        BranchCond::Geu => "bgeu",
+    }
+}
+
+/// Renders a [`Program`] as assembler source that [`parse_program`] accepts
+/// (a disassembler). Branch targets become `L<index>` labels; data regions
+/// whose length is word-aligned become `.data` directives.
+///
+/// # Examples
+///
+/// ```
+/// use aim_isa::{parse_program, program_to_asm};
+///
+/// let p = parse_program("movi r1, 7\nhalt\n")?;
+/// let text = program_to_asm(&p);
+/// let q = parse_program(&text)?;
+/// assert_eq!(p.instrs(), q.instrs());
+/// # Ok::<(), aim_isa::ParseAsmError>(())
+/// ```
+pub fn program_to_asm(program: &Program) -> String {
+    use crate::instr::Instr;
+    use std::collections::BTreeSet;
+    use std::fmt::Write as _;
+
+    let mut targets = BTreeSet::new();
+    for instr in program.instrs() {
+        match *instr {
+            Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Jal { target, .. } => {
+                targets.insert(target);
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    for (addr, bytes) in program.data() {
+        if bytes.len() % 8 == 0 {
+            let words: Vec<String> = bytes
+                .chunks_exact(8)
+                .map(|c| format!("{:#x}", u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+                .collect();
+            let _ = writeln!(out, ".data {:#x}: {}", addr.0, words.join(" "));
+        }
+    }
+
+    for (i, instr) in program.instrs().iter().enumerate() {
+        if targets.contains(&(i as u64)) {
+            let _ = writeln!(out, "L{i}:");
+        }
+        let text = match *instr {
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                format!("{} {rd}, {rs1}, {rs2}", alu_mnemonic(op, false))
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                format!("{} {rd}, {rs1}, {imm}", alu_mnemonic(op, true))
+            }
+            Instr::MovImm { rd, imm } => format!("movi {rd}, {imm}"),
+            Instr::Load {
+                rd,
+                base,
+                offset,
+                size,
+            } => {
+                format!("ld{} {rd}, {offset}({base})", size.bytes())
+            }
+            Instr::Store {
+                rs,
+                base,
+                offset,
+                size,
+            } => {
+                format!("st{} {rs}, {offset}({base})", size.bytes())
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                format!("{} {rs1}, {rs2}, L{target}", branch_mnemonic(cond))
+            }
+            Instr::Jump { target } => format!("j L{target}"),
+            Instr::Jal { rd, target } => format!("jal {rd}, L{target}"),
+            Instr::Jr { rs } => format!("jr {rs}"),
+            Instr::Halt => "halt".to_string(),
+            Instr::Nop => "nop".to_string(),
+        };
+        let _ = writeln!(out, "        {text}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Interpreter;
+
+    #[test]
+    fn parses_the_doc_example() {
+        let src = "\
+# data regions
+.data 0x1000: 1 2 3 0xdead
+
+        movi  r1, 4
+        movi  r2, 0x1000
+        movi  r4, 0
+loop:
+        ld8   r3, 0(r2)
+        add   r4, r4, r3
+        addi  r2, r2, 8
+        subi  r1, r1, 1
+        bne   r1, r0, loop
+        halt
+";
+        let program = parse_program(src).unwrap();
+        let mut interp = Interpreter::new(&program);
+        interp.run(1000).unwrap();
+        assert_eq!(interp.reg(Reg::new(4)), 1 + 2 + 3 + 0xdead);
+    }
+
+    #[test]
+    fn all_alu_mnemonics_parse() {
+        let src = "\
+add r1, r2, r3
+sub r1, r2, r3
+and r1, r2, r3
+or  r1, r2, r3
+xor r1, r2, r3
+mul r1, r2, r3
+sll r1, r2, r3
+srl r1, r2, r3
+sra r1, r2, r3
+slt r1, r2, r3
+sltu r1, r2, r3
+addi r1, r2, -5
+subi r1, r2, 5
+andi r1, r2, 0xff
+ori  r1, r2, 1
+xori r1, r2, 2
+muli r1, r2, 3
+slli r1, r2, 4
+srli r1, r2, 5
+srai r1, r2, 6
+slti r1, r2, 7
+halt
+";
+        let program = parse_program(src).unwrap();
+        assert_eq!(program.len(), 22);
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let p = parse_program("ld4 r1, (r2)\nst2 r3, -16(r4)\nhalt\n").unwrap();
+        assert_eq!(
+            p.instrs()[0],
+            crate::Instr::Load {
+                rd: Reg::new(1),
+                base: Reg::new(2),
+                offset: 0,
+                size: AccessSize::Word
+            }
+        );
+        assert_eq!(
+            p.instrs()[1],
+            crate::Instr::Store {
+                rs: Reg::new(3),
+                base: Reg::new(4),
+                offset: -16,
+                size: AccessSize::Half
+            }
+        );
+    }
+
+    #[test]
+    fn labels_and_jumps() {
+        let src = "\
+start: j over
+       nop
+over:  jal r31, fn
+       halt
+fn:    jr r31
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.instrs()[0], crate::Instr::Jump { target: 2 });
+        assert_eq!(
+            p.instrs()[2],
+            crate::Instr::Jal {
+                rd: Reg::new(31),
+                target: 4
+            }
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_program("nop\nfrobnicate r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+
+        let e = parse_program("ld8 r1\n").unwrap_err();
+        assert!(e.message.contains("2 operands"));
+
+        let e = parse_program("add r1, r2, 99\n").unwrap_err();
+        assert!(e.message.contains("register"));
+
+        let e = parse_program("beq r1, r2, nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = parse_program("; comment only\n\n  # another\nhalt ; trailing\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn disassembly_round_trips() {
+        let src = "\
+.data 0x2000: 0x1 0x2
+        movi r1, 2
+        movi r2, 0x2000
+loop:   ld8  r3, 0(r2)
+        add  r4, r4, r3
+        addi r2, r2, 8
+        subi r1, r1, 1
+        bne  r1, r0, loop
+        jal  r31, fin
+        nop
+fin:    halt
+";
+        let p = parse_program(src).unwrap();
+        let text = program_to_asm(&p);
+        let q = parse_program(&text).unwrap();
+        assert_eq!(p.instrs(), q.instrs());
+        assert_eq!(p.data(), q.data());
+    }
+
+    #[test]
+    fn negative_and_hex_immediates() {
+        let p = parse_program("movi r1, -0x10\nmovi r2, 1_000\nhalt\n").unwrap();
+        let mut interp = Interpreter::new(&p);
+        interp.run(10).unwrap();
+        assert_eq!(interp.reg(Reg::new(1)) as i64, -16);
+        assert_eq!(interp.reg(Reg::new(2)), 1000);
+    }
+}

@@ -1,0 +1,114 @@
+//! Architectural retirement traces.
+
+use aim_types::MemAccess;
+
+use crate::instr::{Instr, Reg};
+
+/// One retired instruction in the architectural (golden) execution.
+///
+/// The out-of-order pipeline compares every instruction it retires against
+/// the corresponding record; any divergence is a simulator correctness bug
+/// (e.g. a forwarding error the disambiguation hardware failed to catch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Dynamic instruction number (0-based retirement order).
+    pub index: u64,
+    /// Instruction index (program counter) of this instruction.
+    pub pc: u64,
+    /// The instruction itself.
+    pub instr: Instr,
+    /// Architectural register written, with the value.
+    pub reg_write: Option<(Reg, u64)>,
+    /// Memory written: access plus the stored value.
+    pub mem_store: Option<(MemAccess, u64)>,
+    /// Memory read: access plus the loaded value.
+    pub mem_load: Option<(MemAccess, u64)>,
+    /// The next program counter (branch/jump outcomes included).
+    pub next_pc: u64,
+}
+
+/// The golden in-order retirement trace of a program run.
+///
+/// # Examples
+///
+/// ```
+/// use aim_isa::{Assembler, Interpreter};
+///
+/// let mut asm = Assembler::new();
+/// asm.nop();
+/// asm.halt();
+/// let p = asm.assemble().unwrap();
+/// let trace = Interpreter::new(&p).run(10).unwrap();
+/// assert_eq!(trace.len(), 2);
+/// assert!(trace.halted());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    halted: bool,
+}
+
+impl Trace {
+    pub(crate) fn new() -> Trace {
+        Trace::default()
+    }
+
+    pub(crate) fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    pub(crate) fn set_halted(&mut self) {
+        self.halted = true;
+    }
+
+    /// Number of retired instructions (including the final `Halt`, if any).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no instructions were retired.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether the program reached `Halt` within the run's instruction budget.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The record for dynamic instruction `index`.
+    pub fn get(&self, index: u64) -> Option<&TraceRecord> {
+        self.records.get(index as usize)
+    }
+
+    /// All records in retirement order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_accumulates() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(TraceRecord {
+            index: 0,
+            pc: 0,
+            instr: Instr::Nop,
+            reg_write: None,
+            mem_store: None,
+            mem_load: None,
+            next_pc: 1,
+        });
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(0).unwrap().next_pc, 1);
+        assert!(t.get(1).is_none());
+        assert!(!t.halted());
+        t.set_halted();
+        assert!(t.halted());
+    }
+}

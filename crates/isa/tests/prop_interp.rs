@@ -1,0 +1,125 @@
+//! Property tests: ISA semantics and assembler behaviour.
+
+use aim_isa::{AluOp, Assembler, BranchCond, Instr, Interpreter, Program, Reg};
+use aim_types::AccessSize;
+use proptest::prelude::*;
+
+fn alu_reference(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a << (b % 64),
+        AluOp::Srl => a >> (b % 64),
+        AluOp::Sra => ((a as i64) >> (b % 64)) as u64,
+        AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+        AluOp::Sltu => (a < b) as u64,
+        AluOp::Mul => a.wrapping_mul(b),
+    }
+}
+
+const ALU_OPS: [AluOp; 11] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Mul,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every ALU op, executed through the interpreter, matches an
+    /// independently written reference semantics.
+    #[test]
+    fn alu_ops_match_reference(op_idx in 0usize..11, a in any::<u64>(), b in any::<u64>()) {
+        let op = ALU_OPS[op_idx];
+        let r = Reg::new;
+        let program = Program::from_instrs(vec![
+            Instr::Alu { op, rd: r(3), rs1: r(1), rs2: r(2) },
+            Instr::Halt,
+        ]);
+        let mut interp = Interpreter::new(&program);
+        interp.set_reg(r(1), a);
+        interp.set_reg(r(2), b);
+        interp.run(10).unwrap();
+        prop_assert_eq!(interp.reg(r(3)), alu_reference(op, a, b));
+    }
+
+    /// Store-then-load round-trips through memory for every size and offset,
+    /// with correct zero-extension.
+    #[test]
+    fn memory_roundtrip_zero_extends(
+        value in any::<u64>(),
+        size_idx in 0usize..4,
+        word in 0u64..8,
+    ) {
+        let size = AccessSize::ALL[size_idx];
+        let sub_slots = 8 / size.bytes();
+        for sub in 0..sub_slots {
+            let offset = (word * 8 + sub * size.bytes()) as i64;
+            let mut asm = Assembler::new();
+            let r = Reg::new;
+            asm.movi(r(1), 0x2000);
+            asm.movi(r(2), value as i64);
+            asm.store(r(2), r(1), offset, size);
+            asm.load(r(3), r(1), offset, size);
+            asm.halt();
+            let program = asm.assemble().unwrap();
+            let mut interp = Interpreter::new(&program);
+            interp.run(10).unwrap();
+            let mask = if size.bytes() == 8 { u64::MAX } else { (1 << (8 * size.bytes())) - 1 };
+            prop_assert_eq!(interp.reg(r(3)), value & mask);
+        }
+    }
+
+    /// Branch conditions agree with their Rust-level comparisons.
+    #[test]
+    fn branch_conditions_match_reference(a in any::<u64>(), b in any::<u64>()) {
+        let cases: [(BranchCond, bool); 6] = [
+            (BranchCond::Eq, a == b),
+            (BranchCond::Ne, a != b),
+            (BranchCond::Lt, (a as i64) < (b as i64)),
+            (BranchCond::Ge, (a as i64) >= (b as i64)),
+            (BranchCond::Ltu, a < b),
+            (BranchCond::Geu, a >= b),
+        ];
+        for (cond, expect) in cases {
+            prop_assert_eq!(cond.eval(a, b), expect, "{:?}", cond);
+        }
+    }
+
+    /// Any program built of forward branches and ALU ops terminates at its
+    /// Halt with a consistent trace: next_pc chains through every record.
+    #[test]
+    fn trace_next_pc_chains(skips in proptest::collection::vec(any::<bool>(), 1..20)) {
+        let mut asm = Assembler::new();
+        let r = Reg::new;
+        for (i, &skip) in skips.iter().enumerate() {
+            let label = format!("l{i}");
+            asm.movi(r(1), skip as i64);
+            asm.bne(r(1), Reg::ZERO, &label);
+            asm.addi(r(2), r(2), 1);
+            asm.label(&label);
+        }
+        asm.halt();
+        let program = asm.assemble().unwrap();
+        let trace = Interpreter::new(&program).run(10_000).unwrap();
+        prop_assert!(trace.halted());
+        for w in trace.records().windows(2) {
+            prop_assert_eq!(w[0].next_pc, w[1].pc, "trace must chain");
+        }
+        let skipped = skips.iter().filter(|&&s| s).count();
+        let executed_adds = skips.len() - skipped;
+        let interp_len = 2 * skips.len() + executed_adds + 1;
+        prop_assert_eq!(trace.len(), interp_len);
+    }
+}

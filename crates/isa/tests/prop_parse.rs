@@ -1,0 +1,49 @@
+//! Property tests: the text assembler never panics, and accepts everything
+//! the disassembler emits.
+
+use aim_isa::{parse_program, program_to_asm};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary text never panics the parser: it either parses or returns a
+    /// line-numbered error.
+    #[test]
+    fn parser_is_total(source in "[ -~\\n]{0,400}") {
+        match parse_program(&source) {
+            Ok(program) => {
+                // Whatever parsed must disassemble and reparse identically.
+                let text = program_to_asm(&program);
+                let again = parse_program(&text).expect("disassembly reparses");
+                prop_assert_eq!(program.instrs(), again.instrs());
+            }
+            Err(e) => {
+                prop_assert!(e.line >= 1);
+                prop_assert!(!e.message.is_empty());
+            }
+        }
+    }
+
+    /// Token soup assembled from plausible fragments never panics either.
+    #[test]
+    fn mnemonic_soup_is_total(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("add"), Just("ld8"), Just("st4"), Just("movi"), Just("beq"),
+                Just("r1"), Just("r31"), Just("r99"), Just("0x10"), Just("-5"),
+                Just("(r2)"), Just("8(r2)"), Just("label:"), Just(","), Just("halt"),
+                Just(".data"), Just(":"), Just("#x"),
+            ],
+            0..30,
+        ),
+        newlines in proptest::collection::vec(any::<bool>(), 0..30),
+    ) {
+        let mut source = String::new();
+        for (i, part) in parts.iter().enumerate() {
+            source.push_str(part);
+            source.push(if newlines.get(i).copied().unwrap_or(false) { '\n' } else { ' ' });
+        }
+        let _ = parse_program(&source); // must not panic
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests: LSQ forwarding against an exhaustive byte-wise reference.
+//!
+//! The reference recomputes every load's value by scanning *all* executed
+//! older stores per byte (youngest wins) with memory as the fallback — the
+//! specification the LSQ's associative age-prioritized search implements.
+
+use aim_lsq::{Lsq, LsqConfig};
+use aim_mem::MainMemory;
+use aim_types::{AccessSize, Addr, MemAccess, SeqNum, ViolationKind};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+struct St {
+    slot: u8,
+    size_idx: u8,
+    sub: u8,
+    value: u64,
+}
+
+fn st_strategy() -> impl Strategy<Value = St> {
+    (0u8..12, 0u8..4, any::<u8>(), any::<u64>()).prop_map(|(slot, size_idx, sub, value)| St {
+        slot,
+        size_idx,
+        sub,
+        value,
+    })
+}
+
+fn mem_access(slot: u8, size_idx: u8, sub: u8) -> MemAccess {
+    let size = AccessSize::ALL[size_idx as usize];
+    let sub = (sub as u64 % (8 / size.bytes())) * size.bytes();
+    MemAccess::new(Addr(0x8000 + (slot as u64 % 12) * 8 + sub), size).unwrap()
+}
+
+fn reference_value(
+    stores: &[(u64, MemAccess, u64)],
+    reader_seq: u64,
+    acc: MemAccess,
+    mem: &MainMemory,
+) -> u64 {
+    let mut value = 0u64;
+    for (k, byte_idx) in acc.mask().iter_bytes().enumerate() {
+        let addr = acc.word_addr().0 + byte_idx as u64;
+        let mut byte = mem.read_byte(Addr(addr));
+        let mut best = 0u64;
+        for (seq, sacc, sval) in stores {
+            if *seq < reader_seq
+                && *seq > best
+                && sacc.word_addr() == acc.word_addr()
+                && sacc.mask().contains_byte(byte_idx)
+            {
+                best = *seq;
+                byte = (*sval >> (8 * (addr - sacc.addr().0))) as u8;
+            }
+        }
+        value |= (byte as u64) << (8 * k);
+    }
+    value
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn forwarding_matches_exhaustive_reference(
+        stores in proptest::collection::vec(st_strategy(), 0..24),
+        load in (0u8..12, 0u8..4, any::<u8>()),
+        mem_seed in any::<u64>(),
+    ) {
+        let mut mem = MainMemory::new();
+        let mut s = mem_seed | 1;
+        for slot in 0..12u64 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            mem.write(MemAccess::new(Addr(0x8000 + slot * 8), AccessSize::Double).unwrap(), s);
+        }
+
+        let mut lsq = Lsq::new(LsqConfig { load_entries: 4, store_entries: 32 });
+        let mut executed = Vec::new();
+        for (i, st) in stores.iter().enumerate() {
+            let seq = i as u64 + 1;
+            let acc = mem_access(st.slot, st.size_idx, st.sub);
+            lsq.dispatch_store(SeqNum(seq), seq);
+            lsq.store_execute(SeqNum(seq), acc, st.value, &mem);
+            executed.push((seq, acc, st.value));
+        }
+        let load_seq = stores.len() as u64 + 1;
+        let lacc = mem_access(load.0, load.1, load.2);
+        lsq.dispatch_load(SeqNum(load_seq), load_seq);
+        let got = lsq.load_execute(SeqNum(load_seq), lacc, &mem);
+        let expect = reference_value(&executed, load_seq, lacc, &mem);
+        prop_assert_eq!(got.value, expect);
+    }
+
+    /// A late store raises a violation exactly when it changes what an
+    /// already-executed younger load should have read (the silent-store
+    /// rule).
+    #[test]
+    fn violations_are_value_based(
+        early_value in any::<u64>(),
+        late_value in any::<u64>(),
+        slot in 0u8..4,
+    ) {
+        let mut mem = MainMemory::new();
+        let acc = mem_access(slot, 3, 0);
+        mem.write(acc, early_value);
+
+        let mut lsq = Lsq::new(LsqConfig::baseline_48x32());
+        lsq.dispatch_store(SeqNum(1), 0x10);
+        lsq.dispatch_load(SeqNum(2), 0x20);
+        // The load executes before the older store.
+        let got = lsq.load_execute(SeqNum(2), acc, &mem);
+        prop_assert_eq!(got.value, early_value);
+        let violation = lsq.store_execute(SeqNum(1), acc, late_value, &mem);
+        if late_value == early_value {
+            prop_assert!(violation.is_none(), "silent store must not be flagged");
+        } else {
+            let v = violation.expect("value-changing late store must be flagged");
+            prop_assert_eq!(v.kind, ViolationKind::True);
+            prop_assert_eq!(v.squash_after, SeqNum(1));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The non-associative store FIFO (paper Figure 1).
+
+use std::collections::VecDeque;
+
+use aim_types::{MemAccess, SeqNum};
+
+/// One store buffered for in-order retirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreFifoEntry {
+    /// The store's sequence number (program order).
+    pub seq: SeqNum,
+    /// Address and size; `None` until the store executes.
+    pub access: Option<MemAccess>,
+    /// Store data; meaningful once `access` is set.
+    pub value: u64,
+}
+
+/// The paper's store FIFO: "a store enters the non-associative store FIFO at
+/// dispatch, writes its data and address to the FIFO during execution, and
+/// exits the FIFO at retirement" (Figure 1).
+///
+/// Because it is never searched associatively, the FIFO has no CAM; it exists
+/// to buffer stores between execution and in-order commit. Squashed stores
+/// are removed from the tail on recovery.
+///
+/// # Examples
+///
+/// ```
+/// use aim_mem::StoreFifo;
+/// use aim_types::{AccessSize, Addr, MemAccess, SeqNum};
+///
+/// let mut fifo = StoreFifo::new();
+/// fifo.push(SeqNum(1));
+/// let acc = MemAccess::new(Addr(0x10), AccessSize::Double).unwrap();
+/// fifo.fill(SeqNum(1), acc, 99);
+/// let entry = fifo.pop_retired(SeqNum(1)).unwrap();
+/// assert_eq!(entry.value, 99);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StoreFifo {
+    entries: VecDeque<StoreFifoEntry>,
+    peak_occupancy: usize,
+}
+
+impl StoreFifo {
+    /// Creates an empty FIFO.
+    pub fn new() -> StoreFifo {
+        StoreFifo::default()
+    }
+
+    /// Number of stores currently buffered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Highest occupancy ever observed (for sizing studies).
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Allocates a slot at dispatch. Sequence numbers must arrive in
+    /// ascending order (dispatch is in program order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not newer than the current tail.
+    pub fn push(&mut self, seq: SeqNum) {
+        if let Some(tail) = self.entries.back() {
+            assert!(tail.seq < seq, "store FIFO dispatch out of program order");
+        }
+        self.entries.push_back(StoreFifoEntry {
+            seq,
+            access: None,
+            value: 0,
+        });
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+    }
+
+    /// Records the address and data when the store executes.
+    ///
+    /// Returns `false` if the store is no longer in the FIFO (it was squashed
+    /// between issue and execute).
+    pub fn fill(&mut self, seq: SeqNum, access: MemAccess, value: u64) -> bool {
+        match self.entries.iter_mut().find(|e| e.seq == seq) {
+            Some(e) => {
+                e.access = Some(access);
+                e.value = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pops the head entry at retirement; it must match `seq` and have been
+    /// filled.
+    ///
+    /// Returns `None` (and leaves the FIFO unchanged) if the head does not
+    /// match — callers treat that as a simulator invariant failure.
+    pub fn pop_retired(&mut self, seq: SeqNum) -> Option<StoreFifoEntry> {
+        match self.entries.front() {
+            Some(head) if head.seq == seq && head.access.is_some() => self.entries.pop_front(),
+            _ => None,
+        }
+    }
+
+    /// Removes every store younger than `survivor` (i.e. `seq > survivor`) on
+    /// a pipeline flush; returns how many were squashed.
+    pub fn squash_after(&mut self, survivor: SeqNum) -> usize {
+        let before = self.entries.len();
+        while matches!(self.entries.back(), Some(e) if e.seq > survivor) {
+            self.entries.pop_back();
+        }
+        before - self.entries.len()
+    }
+
+    /// Removes everything (full pipeline flush); returns how many were
+    /// squashed.
+    pub fn squash_all(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+
+    /// Iterates over buffered stores in program order.
+    pub fn iter(&self) -> impl Iterator<Item = &StoreFifoEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim_types::{AccessSize, Addr};
+
+    fn acc(a: u64) -> MemAccess {
+        MemAccess::new(Addr(a), AccessSize::Double).unwrap()
+    }
+
+    #[test]
+    fn fifo_order_push_fill_pop() {
+        let mut f = StoreFifo::new();
+        f.push(SeqNum(1));
+        f.push(SeqNum(5));
+        assert!(f.fill(SeqNum(1), acc(0x10), 11));
+        assert!(f.fill(SeqNum(5), acc(0x18), 55));
+        assert_eq!(f.pop_retired(SeqNum(1)).unwrap().value, 11);
+        assert_eq!(f.pop_retired(SeqNum(5)).unwrap().value, 55);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of program order")]
+    fn out_of_order_push_panics() {
+        let mut f = StoreFifo::new();
+        f.push(SeqNum(5));
+        f.push(SeqNum(1));
+    }
+
+    #[test]
+    fn pop_requires_filled_head() {
+        let mut f = StoreFifo::new();
+        f.push(SeqNum(1));
+        assert!(f.pop_retired(SeqNum(1)).is_none()); // not yet executed
+        f.fill(SeqNum(1), acc(0), 7);
+        assert!(f.pop_retired(SeqNum(2)).is_none()); // wrong seq
+        assert!(f.pop_retired(SeqNum(1)).is_some());
+    }
+
+    #[test]
+    fn fill_after_squash_reports_false() {
+        let mut f = StoreFifo::new();
+        f.push(SeqNum(1));
+        f.push(SeqNum(2));
+        assert_eq!(f.squash_after(SeqNum(1)), 1);
+        assert!(!f.fill(SeqNum(2), acc(0), 0));
+        assert!(f.fill(SeqNum(1), acc(0), 0));
+    }
+
+    #[test]
+    fn squash_after_keeps_older() {
+        let mut f = StoreFifo::new();
+        for s in [1, 3, 7, 9] {
+            f.push(SeqNum(s));
+        }
+        assert_eq!(f.squash_after(SeqNum(3)), 2);
+        let seqs: Vec<u64> = f.iter().map(|e| e.seq.0).collect();
+        assert_eq!(seqs, vec![1, 3]);
+    }
+
+    #[test]
+    fn squash_all_and_peak() {
+        let mut f = StoreFifo::new();
+        f.push(SeqNum(1));
+        f.push(SeqNum(2));
+        f.push(SeqNum(3));
+        assert_eq!(f.squash_all(), 3);
+        assert!(f.is_empty());
+        assert_eq!(f.peak_occupancy(), 3);
+    }
+}

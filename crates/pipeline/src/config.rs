@@ -1,0 +1,266 @@
+//! Simulator configuration: the paper's Figure 4 in code.
+
+use aim_core::{MdtConfig, PartialMatchPolicy, SfcConfig};
+use aim_lsq::LsqConfig;
+use aim_mem::HierarchyConfig;
+use aim_predictor::{EnforceMode, PredictorConfig};
+
+/// Which memory-ordering machinery the pipeline uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendConfig {
+    /// The idealized load/store queue baseline.
+    Lsq(LsqConfig),
+    /// The paper's store forwarding cache + memory disambiguation table.
+    SfcMdt {
+        /// SFC geometry.
+        sfc: SfcConfig,
+        /// MDT geometry and true-dependence recovery policy.
+        mdt: MdtConfig,
+    },
+}
+
+impl BackendConfig {
+    /// Short human-readable name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            BackendConfig::Lsq(c) => format!("lsq{}x{}", c.load_entries, c.store_entries),
+            BackendConfig::SfcMdt { sfc, mdt } => {
+                format!("sfc{}x{}/mdt{}x{}", sfc.sets, sfc.ways, mdt.sets, mdt.ways)
+            }
+        }
+    }
+}
+
+/// Recovery policy for output dependence violations (paper §2.4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputDepRecovery {
+    /// Conservatively flush all instructions subsequent to the completing
+    /// (earlier) store.
+    #[default]
+    Flush,
+    /// "The memory subsystem could simply mark the corresponding SFC entry as
+    /// corrupt, and optionally alert the memory dependence predictor" — no
+    /// pipeline flush.
+    MarkCorrupt,
+}
+
+/// Full machine configuration. [`SimConfig::baseline`] and
+/// [`SimConfig::aggressive`] reproduce the two columns of Figure 4.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Instructions fetched, dispatched and retired per cycle.
+    pub width: usize,
+    /// Maximum branches fetched per cycle (1 baseline, 8 aggressive).
+    pub max_branches_per_cycle: usize,
+    /// Issue bandwidth (identical fully pipelined function units).
+    pub issue_width: usize,
+    /// Reorder-buffer entries (= scheduling window; Figure 4 sizes them
+    /// identically).
+    pub rob_entries: usize,
+    /// Physical registers (must exceed `rob_entries + 32`).
+    pub phys_regs: usize,
+    /// Branch misprediction penalty in cycles (Figure 4: 8).
+    pub mispredict_penalty: u64,
+    /// Extra penalty on MDT-detected violations, modeling the MDT tag check
+    /// ("we increase the penalty for memory ordering violations by one cycle
+    /// with the MDT", §3).
+    pub mdt_violation_extra_penalty: u64,
+    /// Extra store latency modeling the SFC tag check ("we increase the
+    /// latency of store instructions by one cycle for all experiments with
+    /// the SFC", §3).
+    pub sfc_store_extra_latency: u64,
+    /// Single-cycle integer-op latency.
+    pub alu_latency: u64,
+    /// Multiplier latency.
+    pub mul_latency: u64,
+    /// Address-generation latency for loads and stores.
+    pub agu_latency: u64,
+    /// Cache geometry and miss latencies.
+    pub hierarchy: HierarchyConfig,
+    /// LSQ or SFC/MDT.
+    pub backend: BackendConfig,
+    /// Producer-set predictor geometry and enforcement mode.
+    pub dep_predictor: PredictorConfig,
+    /// Gshare size (2-bit counters; Figure 4: 4096 = 8 Kbit).
+    pub gshare_counters: usize,
+    /// Gshare global-history bits.
+    pub gshare_history_bits: u32,
+    /// Fraction of correct-path mispredicts repaired by the oracle
+    /// (Figure 4: 0.8).
+    pub oracle_fix_probability: f64,
+    /// RNG seed for the oracle (deterministic runs).
+    pub seed: u64,
+    /// Partial-match handling in the SFC.
+    pub partial_match_policy: PartialMatchPolicy,
+    /// Output-dependence recovery policy.
+    pub output_dep_recovery: OutputDepRecovery,
+    /// Whether replayed instructions sleep until an SFC/MDT entry is freed
+    /// (the stall-bit heuristic of §2.4.3).
+    pub stall_bits: bool,
+    /// Store FIFO capacity for the SFC/MDT backend (0 = unbounded; the paper
+    /// does not size its FIFO, and the reorder buffer bounds it anyway).
+    pub store_fifo_entries: usize,
+    /// §4 extension: filter MDT accesses for loads that provably cannot
+    /// conflict. "Search filtering has been proposed as a technique for
+    /// decreasing the LSQ's dynamic power consumption ... search filtering
+    /// could dramatically decrease the pressure on the MDT, thereby offering
+    /// higher performance from a much smaller MDT." A load skips the MDT
+    /// entirely when (a) no in-flight store is still unexecuted — so no
+    /// later-executing older store could need the load's record — and (b) a
+    /// counting filter over executed-unretired store granules shows no
+    /// possible alias — so no anti-dependence check is needed. Off by
+    /// default (the paper's evaluated design has no filter).
+    pub mdt_filter: bool,
+    /// Record a per-event pipeline trace (see [`Machine::run_traced`]);
+    /// costs time and memory, off by default.
+    ///
+    /// [`Machine::run_traced`]: crate::Machine::run_traced
+    pub event_trace: bool,
+    /// Collect per-instruction stage timelines for the pipeline viewer (see
+    /// [`crate::pipeview`]); bounded memory, off by default.
+    pub pipeview: bool,
+    /// Stop after this many retired instructions (0 = trace length).
+    pub max_instrs: u64,
+}
+
+impl SimConfig {
+    /// The paper's baseline 4-wide superscalar (Figure 4, left column).
+    pub fn baseline(backend: BackendConfig) -> SimConfig {
+        SimConfig {
+            width: 4,
+            max_branches_per_cycle: 1,
+            issue_width: 4,
+            rob_entries: 128,
+            phys_regs: 128 + 64,
+            mispredict_penalty: 8,
+            mdt_violation_extra_penalty: 1,
+            sfc_store_extra_latency: 1,
+            alu_latency: 1,
+            mul_latency: 3,
+            agu_latency: 1,
+            hierarchy: HierarchyConfig::default(),
+            backend,
+            dep_predictor: PredictorConfig::figure4(EnforceMode::All),
+            gshare_counters: 4096,
+            gshare_history_bits: 12,
+            oracle_fix_probability: 0.8,
+            seed: 0xA1A1,
+            partial_match_policy: PartialMatchPolicy::Combine,
+            output_dep_recovery: OutputDepRecovery::Flush,
+            stall_bits: true,
+            store_fifo_entries: 0,
+            mdt_filter: false,
+            event_trace: false,
+            pipeview: false,
+            max_instrs: 0,
+        }
+    }
+
+    /// The paper's aggressive 8-wide superscalar (Figure 4, right column).
+    pub fn aggressive(backend: BackendConfig) -> SimConfig {
+        SimConfig {
+            width: 8,
+            max_branches_per_cycle: 8,
+            issue_width: 8,
+            rob_entries: 1024,
+            phys_regs: 1024 + 64,
+            // The aggressive ENF configuration enforces a total order within
+            // each producer set (§3.2).
+            dep_predictor: PredictorConfig::figure4(EnforceMode::TotalOrder),
+            ..SimConfig::baseline(backend)
+        }
+    }
+
+    /// Convenience: baseline machine with the Figure 5 SFC/MDT geometry
+    /// ("a 256 entry, 2-way associative store forwarding cache, an 8192
+    /// entry, 2-way associative memory disambiguation table").
+    pub fn baseline_sfc_mdt(mode: EnforceMode) -> SimConfig {
+        let mut cfg = SimConfig::baseline(BackendConfig::SfcMdt {
+            sfc: SfcConfig::baseline(),
+            mdt: MdtConfig::baseline(),
+        });
+        cfg.dep_predictor = PredictorConfig::figure4(mode);
+        cfg
+    }
+
+    /// Convenience: baseline machine with the Figure 5 idealized 48×32 LSQ.
+    pub fn baseline_lsq() -> SimConfig {
+        let mut cfg = SimConfig::baseline(BackendConfig::Lsq(LsqConfig::baseline_48x32()));
+        cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
+        cfg
+    }
+
+    /// Convenience: aggressive machine with the Figure 6 SFC/MDT geometry
+    /// ("a 1K entry, 2-way associative SFC, a 16K entry, 2-way associative
+    /// MDT").
+    pub fn aggressive_sfc_mdt(mode: EnforceMode) -> SimConfig {
+        let mut cfg = SimConfig::aggressive(BackendConfig::SfcMdt {
+            sfc: SfcConfig::aggressive(),
+            mdt: MdtConfig::aggressive(),
+        });
+        cfg.dep_predictor = PredictorConfig::figure4(mode);
+        cfg
+    }
+
+    /// Convenience: aggressive machine with an idealized LSQ of the given
+    /// capacity.
+    pub fn aggressive_lsq(lsq: LsqConfig) -> SimConfig {
+        let mut cfg = SimConfig::aggressive(BackendConfig::Lsq(lsq));
+        cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_figure4() {
+        let c = SimConfig::baseline_lsq();
+        assert_eq!(c.width, 4);
+        assert_eq!(c.max_branches_per_cycle, 1);
+        assert_eq!(c.rob_entries, 128);
+        assert_eq!(c.mispredict_penalty, 8);
+        assert_eq!(c.gshare_counters * 2, 8192); // 8 Kbit
+        assert_eq!(c.oracle_fix_probability, 0.8);
+        match c.backend {
+            BackendConfig::Lsq(l) => {
+                assert_eq!(l.load_entries, 48);
+                assert_eq!(l.store_entries, 32);
+            }
+            _ => panic!("expected LSQ backend"),
+        }
+    }
+
+    #[test]
+    fn aggressive_matches_figure4() {
+        let c = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+        assert_eq!(c.width, 8);
+        assert_eq!(c.max_branches_per_cycle, 8);
+        assert_eq!(c.rob_entries, 1024);
+        match c.backend {
+            BackendConfig::SfcMdt { sfc, mdt } => {
+                assert_eq!(sfc.sets, 512); // 1K entries, 2-way
+                assert_eq!(sfc.ways, 2);
+                assert_eq!(mdt.sets, 8192); // 16K entries, 2-way
+                assert_eq!(mdt.ways, 2);
+            }
+            _ => panic!("expected SFC/MDT backend"),
+        }
+        assert_eq!(c.dep_predictor.mode, EnforceMode::TotalOrder);
+    }
+
+    #[test]
+    fn backend_names() {
+        assert_eq!(
+            BackendConfig::Lsq(LsqConfig::baseline_48x32()).name(),
+            "lsq48x32"
+        );
+        let b = BackendConfig::SfcMdt {
+            sfc: SfcConfig::baseline(),
+            mdt: MdtConfig::baseline(),
+        };
+        assert_eq!(b.name(), "sfc128x2/mdt4096x2");
+    }
+}

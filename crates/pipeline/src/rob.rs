@@ -1,0 +1,312 @@
+//! The reorder buffer and the in-flight instruction record.
+
+use std::collections::VecDeque;
+
+use aim_isa::Instr;
+use aim_predictor::DepTag;
+use aim_types::{MemAccess, SeqNum};
+
+use crate::rename::{PhysReg, RenameDest};
+
+/// Lifecycle of an in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrState {
+    /// In the scheduling window, waiting for operands / dependence tag.
+    Waiting,
+    /// Issued; executing on a function unit.
+    Executing,
+    /// Execution finished; result broadcast; awaiting retirement.
+    Completed,
+}
+
+/// One in-flight instruction: the union of its ROB, scheduler and payload
+/// state.
+#[derive(Debug, Clone)]
+pub struct InFlight {
+    /// Dense, monotonically increasing dispatch sequence number.
+    pub seq: SeqNum,
+    /// Program counter (instruction index).
+    pub pc: u64,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Position in the golden trace, if fetched on the correct path.
+    pub trace_index: Option<u64>,
+    /// The next PC fetch assumed after this instruction.
+    pub predicted_next_pc: u64,
+    /// Renamed destination, if the instruction writes a register.
+    pub dest: Option<RenameDest>,
+    /// Renamed sources (physical registers to wait on).
+    pub srcs: [Option<PhysReg>; 2],
+    /// Dependence tag this instruction must consume before issue.
+    pub dep_consumes: Option<DepTag>,
+    /// Dependence tag this instruction produces at successful completion.
+    pub dep_produces: Option<DepTag>,
+    /// Current pipeline state.
+    pub state: InstrState,
+    /// Result value (dest write, or link value).
+    pub result: u64,
+    /// Resolved memory access and its data (loads: loaded value; stores:
+    /// store data).
+    pub mem: Option<(MemAccess, u64)>,
+    /// Resolved next PC (control instructions, at completion).
+    pub actual_next_pc: Option<u64>,
+    /// Memory instruction previously dropped on a structural conflict or
+    /// corruption; eligible for the ROB-head bypass.
+    pub replayed: bool,
+    /// Executed via the ROB-head bypass (skipped the SFC/MDT).
+    pub bypassed: bool,
+    /// Stall bit (§2.4.3): sleeping until an SFC/MDT entry is freed. Holds
+    /// the free-event counter value at which the instruction may wake.
+    pub stall_until_free_event: Option<u64>,
+    /// Speculative global branch history at fetch, before this instruction's
+    /// own prediction; recovery rolls the predictor back to it.
+    pub history_snapshot: u64,
+    /// Cycle the instruction entered the ROB (pipeline viewer).
+    pub dispatched_cycle: u64,
+    /// Cycle the latest execution pass began (pipeline viewer).
+    pub issued_cycle: u64,
+    /// Cycle the result was broadcast (pipeline viewer).
+    pub completed_cycle: u64,
+    /// Store bookkeeping for the §4 MDT search filter: still counted in the
+    /// unexecuted-store census.
+    pub counted_unexecuted: bool,
+    /// Store bookkeeping: this store incremented the executed-store granule
+    /// filter and must decrement it at retire or squash.
+    pub filter_counted: bool,
+}
+
+impl InFlight {
+    /// Creates a freshly dispatched record.
+    pub fn new(seq: SeqNum, pc: u64, instr: Instr) -> InFlight {
+        InFlight {
+            seq,
+            pc,
+            instr,
+            trace_index: None,
+            predicted_next_pc: pc + 1,
+            dest: None,
+            srcs: [None, None],
+            dep_consumes: None,
+            dep_produces: None,
+            state: InstrState::Waiting,
+            result: 0,
+            mem: None,
+            actual_next_pc: None,
+            replayed: false,
+            bypassed: false,
+            stall_until_free_event: None,
+            history_snapshot: 0,
+            dispatched_cycle: 0,
+            issued_cycle: 0,
+            completed_cycle: 0,
+            counted_unexecuted: false,
+            filter_counted: false,
+        }
+    }
+
+    /// The next PC this instruction actually leads to, as far as is known:
+    /// resolved control flow if completed, otherwise the predicted path.
+    pub fn known_next_pc(&self) -> u64 {
+        self.actual_next_pc.unwrap_or(self.predicted_next_pc)
+    }
+}
+
+/// The reorder buffer: in-flight instructions in dispatch order.
+///
+/// Sequence numbers are monotonically increasing but not dense across
+/// flushes, so lookup is by binary search.
+///
+/// # Examples
+///
+/// ```
+/// use aim_isa::Instr;
+/// use aim_pipeline::{InFlight, Rob};
+/// use aim_types::SeqNum;
+///
+/// let mut rob = Rob::new(8);
+/// rob.push(InFlight::new(SeqNum(1), 0, Instr::Nop));
+/// rob.push(InFlight::new(SeqNum(2), 1, Instr::Halt));
+/// assert_eq!(rob.head().unwrap().seq, SeqNum(1));
+/// let squashed = rob.squash_after(SeqNum(1));
+/// assert_eq!(squashed.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Rob {
+    entries: VecDeque<InFlight>,
+    capacity: usize,
+}
+
+impl Rob {
+    /// Creates an empty ROB with `capacity` entries.
+    pub fn new(capacity: usize) -> Rob {
+        Rob {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ROB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether another instruction can dispatch.
+    pub fn has_room(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Appends a newly dispatched instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if full or out of order.
+    pub fn push(&mut self, entry: InFlight) {
+        assert!(self.has_room(), "ROB overflow");
+        if let Some(tail) = self.entries.back() {
+            assert!(tail.seq < entry.seq, "ROB dispatch out of order");
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// The oldest in-flight instruction.
+    pub fn head(&self) -> Option<&InFlight> {
+        self.entries.front()
+    }
+
+    /// Pops the head at retirement.
+    pub fn pop_head(&mut self) -> Option<InFlight> {
+        self.entries.pop_front()
+    }
+
+    fn index_of(&self, seq: SeqNum) -> Option<usize> {
+        self.entries.binary_search_by_key(&seq, |e| e.seq).ok()
+    }
+
+    /// Immutable lookup by sequence number.
+    pub fn get(&self, seq: SeqNum) -> Option<&InFlight> {
+        self.index_of(seq).map(|i| &self.entries[i])
+    }
+
+    /// Mutable lookup by sequence number.
+    pub fn get_mut(&mut self, seq: SeqNum) -> Option<&mut InFlight> {
+        self.index_of(seq).map(move |i| &mut self.entries[i])
+    }
+
+    /// The oldest instruction younger than `survivor` (the first to be
+    /// squashed by a flush after `survivor`).
+    pub fn first_after(&self, survivor: SeqNum) -> Option<&InFlight> {
+        let idx = self.entries.partition_point(|e| e.seq <= survivor);
+        self.entries.get(idx)
+    }
+
+    /// Removes and returns all instructions younger than `survivor`,
+    /// youngest first (the order walk-back recovery needs).
+    pub fn squash_after(&mut self, survivor: SeqNum) -> Vec<InFlight> {
+        let mut squashed = Vec::new();
+        while matches!(self.entries.back(), Some(e) if e.seq > survivor) {
+            squashed.push(self.entries.pop_back().expect("back checked"));
+        }
+        squashed
+    }
+
+    /// Iterates over in-flight instructions, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &InFlight> {
+        self.entries.iter()
+    }
+
+    /// Iterates mutably, oldest first.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut InFlight> {
+        self.entries.iter_mut()
+    }
+
+    /// The sequence number of the oldest in-flight instruction; used as the
+    /// retirement floor for SFC/MDT stale-entry reclamation. When empty, the
+    /// floor is `next_seq` (everything older is done).
+    pub fn floor(&self, next_seq: SeqNum) -> SeqNum {
+        self.entries.front().map_or(next_seq, |e| e.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64) -> InFlight {
+        InFlight::new(SeqNum(seq), seq, Instr::Nop)
+    }
+
+    #[test]
+    fn push_pop_fifo() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(1));
+        rob.push(entry(2));
+        assert_eq!(rob.len(), 2);
+        assert_eq!(rob.head().unwrap().seq, SeqNum(1));
+        assert_eq!(rob.pop_head().unwrap().seq, SeqNum(1));
+        assert_eq!(rob.head().unwrap().seq, SeqNum(2));
+    }
+
+    #[test]
+    fn capacity_gates() {
+        let mut rob = Rob::new(2);
+        rob.push(entry(1));
+        rob.push(entry(2));
+        assert!(!rob.has_room());
+    }
+
+    #[test]
+    fn lookup_with_sparse_seqs() {
+        let mut rob = Rob::new(8);
+        for s in [1, 5, 9, 20] {
+            rob.push(entry(s));
+        }
+        assert_eq!(rob.get(SeqNum(9)).unwrap().pc, 9);
+        assert!(rob.get(SeqNum(10)).is_none());
+        rob.get_mut(SeqNum(5)).unwrap().result = 42;
+        assert_eq!(rob.get(SeqNum(5)).unwrap().result, 42);
+    }
+
+    #[test]
+    fn first_after_finds_oldest_squash_candidate() {
+        let mut rob = Rob::new(8);
+        for s in [1, 5, 9, 20] {
+            rob.push(entry(s));
+        }
+        assert_eq!(rob.first_after(SeqNum(5)).unwrap().seq, SeqNum(9));
+        assert_eq!(rob.first_after(SeqNum(4)).unwrap().seq, SeqNum(5));
+        assert!(rob.first_after(SeqNum(20)).is_none());
+    }
+
+    #[test]
+    fn squash_returns_youngest_first() {
+        let mut rob = Rob::new(8);
+        for s in [1, 5, 9, 20] {
+            rob.push(entry(s));
+        }
+        let squashed = rob.squash_after(SeqNum(5));
+        let seqs: Vec<u64> = squashed.iter().map(|e| e.seq.0).collect();
+        assert_eq!(seqs, vec![20, 9]);
+        assert_eq!(rob.len(), 2);
+    }
+
+    #[test]
+    fn floor_tracks_head() {
+        let mut rob = Rob::new(4);
+        assert_eq!(rob.floor(SeqNum(7)), SeqNum(7));
+        rob.push(entry(3));
+        assert_eq!(rob.floor(SeqNum(7)), SeqNum(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_push_panics() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(5));
+        rob.push(entry(3));
+    }
+}

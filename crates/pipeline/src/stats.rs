@@ -1,0 +1,210 @@
+//! Aggregate simulation statistics.
+
+use aim_core::{MdtStats, SfcStats};
+use aim_lsq::LsqStats;
+use aim_mem::CacheStats;
+use aim_predictor::{GshareStats, PredictorStats};
+use aim_types::percent;
+
+/// Why dispatch stalled, cycle by cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchStalls {
+    /// Reorder buffer full.
+    pub rob_full: u64,
+    /// No free physical register.
+    pub no_phys_reg: u64,
+    /// Load queue full (LSQ backend only).
+    pub lq_full: u64,
+    /// Store queue full (LSQ backend only).
+    pub sq_full: u64,
+    /// Store FIFO full (bounded-FIFO configurations only).
+    pub fifo_full: u64,
+}
+
+/// Why memory instructions were dropped and replayed (SFC/MDT backend).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayCounts {
+    /// Loads replayed on MDT set conflicts.
+    pub load_mdt_conflicts: u64,
+    /// Stores replayed on MDT set conflicts.
+    pub store_mdt_conflicts: u64,
+    /// Stores replayed on SFC set conflicts.
+    pub store_sfc_conflicts: u64,
+    /// Loads replayed on SFC corruption.
+    pub load_corrupt: u64,
+    /// Loads replayed on SFC partial matches (replay policy only).
+    pub load_partial: u64,
+}
+
+impl ReplayCounts {
+    /// Total replays of any cause.
+    pub fn total(&self) -> u64 {
+        self.load_mdt_conflicts
+            + self.store_mdt_conflicts
+            + self.store_sfc_conflicts
+            + self.load_corrupt
+            + self.load_partial
+    }
+}
+
+/// Pipeline-flush counts by cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushCounts {
+    /// Branch misprediction recoveries.
+    pub branch: u64,
+    /// True dependence violation recoveries.
+    pub true_dep: u64,
+    /// Anti dependence violation recoveries.
+    pub anti_dep: u64,
+    /// Output dependence violation recoveries.
+    pub output_dep: u64,
+}
+
+impl FlushCounts {
+    /// Total flushes.
+    pub fn total(&self) -> u64 {
+        self.branch + self.true_dep + self.anti_dep + self.output_dep
+    }
+
+    /// Memory-ordering flushes only.
+    pub fn memory(&self) -> u64 {
+        self.true_dep + self.anti_dep + self.output_dep
+    }
+}
+
+/// Everything a simulation run measured.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Executed machine cycles.
+    pub cycles: u64,
+    /// Retired (committed) instructions.
+    pub retired: u64,
+    /// Retired loads.
+    pub retired_loads: u64,
+    /// Retired stores.
+    pub retired_stores: u64,
+    /// Instructions fetched (including wrong-path).
+    pub fetched: u64,
+    /// Instructions dispatched into the window.
+    pub dispatched: u64,
+    /// Instructions issued to function units (includes replays).
+    pub issued: u64,
+    /// Instructions squashed by recoveries.
+    pub squashed: u64,
+    /// Dynamic loads that executed (attempts, including replays).
+    pub load_executions: u64,
+    /// Dynamic stores that executed (attempts, including replays).
+    pub store_executions: u64,
+    /// Loads forwarded in full from the SFC or store queue.
+    pub loads_forwarded: u64,
+    /// Head-of-ROB bypasses of the MDT/SFC (§2.2 lockup avoidance).
+    pub head_bypasses: u64,
+    /// Loads that skipped the MDT via the §4 search filter.
+    pub mdt_filtered_loads: u64,
+    /// Dispatch stall causes.
+    pub dispatch_stalls: DispatchStalls,
+    /// Replay causes.
+    pub replays: ReplayCounts,
+    /// Flush causes.
+    pub flushes: FlushCounts,
+    /// Conditional branches retired.
+    pub branches_retired: u64,
+    /// Conditional branch mispredicts (effective, after oracle).
+    pub branch_mispredicts: u64,
+    /// Peak store-FIFO occupancy.
+    pub store_fifo_peak: usize,
+    /// Peak SFC line occupancy (SFC/MDT backend).
+    pub sfc_peak_occupancy: usize,
+    /// Peak MDT entry occupancy (SFC/MDT backend).
+    pub mdt_peak_occupancy: usize,
+    /// SFC counters (SFC/MDT backend).
+    pub sfc: Option<SfcStats>,
+    /// MDT counters (SFC/MDT backend).
+    pub mdt: Option<MdtStats>,
+    /// LSQ counters (LSQ backend).
+    pub lsq: Option<LsqStats>,
+    /// Gshare accuracy.
+    pub gshare: GshareStats,
+    /// Producer-set predictor counters.
+    pub dep_predictor: PredictorStats,
+    /// (L1I, L1D, L2) cache counters.
+    pub caches: (CacheStats, CacheStats, CacheStats),
+}
+
+impl SimStats {
+    /// Retired instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Memory-ordering violations per retired memory instruction, in percent
+    /// (the paper's "rate of memory dependence violations").
+    pub fn violation_rate(&self) -> f64 {
+        percent(
+            self.flushes.memory(),
+            self.retired_loads + self.retired_stores,
+        )
+    }
+
+    /// Fraction of retired loads that were replayed due to SFC corruption.
+    pub fn corrupt_replay_rate(&self) -> f64 {
+        percent(self.replays.load_corrupt, self.retired_loads)
+    }
+
+    /// Fraction of retired stores replayed on SFC set conflicts.
+    pub fn sfc_conflict_rate(&self) -> f64 {
+        percent(self.replays.store_sfc_conflicts, self.retired_stores)
+    }
+
+    /// Fraction of retired loads replayed on MDT set conflicts.
+    pub fn mdt_conflict_rate(&self) -> f64 {
+        percent(self.replays.load_mdt_conflicts, self.retired_loads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_computation() {
+        let s = SimStats {
+            cycles: 100,
+            retired: 250,
+            ..SimStats::default()
+        };
+        assert_eq!(s.ipc(), 2.5);
+        assert_eq!(SimStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn rates() {
+        let s = SimStats {
+            retired_loads: 100,
+            retired_stores: 100,
+            flushes: FlushCounts {
+                branch: 5,
+                true_dep: 1,
+                anti_dep: 1,
+                output_dep: 0,
+            },
+            replays: ReplayCounts {
+                load_corrupt: 20,
+                store_sfc_conflicts: 50,
+                load_mdt_conflicts: 16,
+                ..ReplayCounts::default()
+            },
+            ..SimStats::default()
+        };
+        assert_eq!(s.violation_rate(), 1.0);
+        assert_eq!(s.corrupt_replay_rate(), 20.0);
+        assert_eq!(s.sfc_conflict_rate(), 50.0);
+        assert_eq!(s.mdt_conflict_rate(), 16.0);
+        assert_eq!(s.flushes.total(), 7);
+        assert_eq!(s.replays.total(), 86);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests: the renamer against a reference architectural map under
+//! random rename / write / walk-back / retire interleavings.
+
+use aim_isa::Reg;
+use aim_pipeline::{RenameDest, Renamer};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Rename architectural register `1 + (r % 31)` and write `value`.
+    RenameWrite { r: u8, value: u64 },
+    /// Squash the youngest `n % 4 + 1` in-flight renames (walk-back).
+    Squash { n: u8 },
+    /// Retire the oldest in-flight rename.
+    RetireOldest,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u8>(), any::<u64>()).prop_map(|(r, value)| Op::RenameWrite { r, value }),
+        1 => any::<u8>().prop_map(|n| Op::Squash { n }),
+        2 => Just(Op::RetireOldest),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Invariant: after any interleaving, each architectural register's
+    /// current physical mapping holds exactly the value the reference
+    /// (squash-aware) architectural state expects.
+    #[test]
+    fn renamer_matches_reference(ops in proptest::collection::vec(op(), 1..80)) {
+        let mut renamer = Renamer::new(256);
+        // Reference architectural values (what the surviving writes say).
+        let mut reference = [0u64; 32];
+        // In-flight renames, oldest first, with the value each wrote and the
+        // reference value it replaced (for squash undo).
+        let mut inflight: Vec<(RenameDest, u64, u64)> = Vec::new();
+
+        for o in ops {
+            match o {
+                Op::RenameWrite { r, value } => {
+                    if renamer.free_count() == 0 {
+                        continue; // dispatch would stall
+                    }
+                    let arch = Reg::new(1 + r % 31);
+                    let dest = renamer.rename_dest(arch).expect("free list checked");
+                    prop_assert!(!renamer.is_ready(dest.new_phys));
+                    renamer.write(dest.new_phys, value);
+                    let prev = reference[arch.index() as usize];
+                    reference[arch.index() as usize] = value;
+                    inflight.push((dest, value, prev));
+                }
+                Op::Squash { n } => {
+                    for _ in 0..(n % 4 + 1) {
+                        let Some((dest, _, prev)) = inflight.pop() else { break };
+                        renamer.undo(dest);
+                        reference[dest.arch.index() as usize] = prev;
+                    }
+                }
+                Op::RetireOldest => {
+                    if !inflight.is_empty() {
+                        let (dest, _, _) = inflight.remove(0);
+                        renamer.retire(dest);
+                    }
+                }
+            }
+            // The RAT must agree with the reference for every register.
+            for i in 1..32u8 {
+                let arch = Reg::new(i);
+                let p = renamer.lookup(arch);
+                prop_assert!(renamer.is_ready(p), "r{i} maps to a non-ready reg");
+                prop_assert_eq!(
+                    renamer.read(p),
+                    reference[i as usize],
+                    "r{} diverged", i
+                );
+            }
+        }
+    }
+
+    /// Physical registers are conserved: free + in-flight-held is constant.
+    #[test]
+    fn physical_registers_are_conserved(ops in proptest::collection::vec(op(), 1..80)) {
+        let total = 96usize;
+        let mut renamer = Renamer::new(total);
+        let initial_free = renamer.free_count();
+        let mut inflight: Vec<RenameDest> = Vec::new();
+
+        for o in ops {
+            match o {
+                Op::RenameWrite { r, value } => {
+                    if renamer.free_count() == 0 {
+                        continue;
+                    }
+                    let dest = renamer.rename_dest(Reg::new(1 + r % 31)).unwrap();
+                    renamer.write(dest.new_phys, value);
+                    inflight.push(dest);
+                }
+                Op::Squash { n } => {
+                    for _ in 0..(n % 4 + 1) {
+                        if let Some(dest) = inflight.pop() {
+                            renamer.undo(dest);
+                        }
+                    }
+                }
+                Op::RetireOldest => {
+                    if !inflight.is_empty() {
+                        let dest = inflight.remove(0);
+                        renamer.retire(dest);
+                    }
+                }
+            }
+            // Every rename takes one register, every undo or retire returns
+            // one (the retired instruction frees its *old* mapping while its
+            // new one becomes the architectural holding): conserved.
+            prop_assert_eq!(
+                renamer.free_count() + inflight.len(),
+                initial_free,
+                "physical registers leaked or duplicated"
+            );
+        }
+    }
+}

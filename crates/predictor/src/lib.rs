@@ -1,0 +1,48 @@
+//! Branch prediction and memory dependence prediction for `aim-sim`.
+//!
+//! Two predictor families from the paper's Figure 4:
+//!
+//! * **Branch direction**: an "8 Kbit Gshare" ([`Gshare`]) whose mispredictions
+//!   are partially repaired by an oracle — "80% of mispredicts turned to
+//!   correct predictions by an oracle" ([`OracleBoost`]).
+//! * **Memory dependences**: the paper's **producer-set predictor** (§2.1), an
+//!   adaptation of Chrysos & Emer's store-set predictor. It has a producer
+//!   table and a consumer table (in place of the store-set id table) and a
+//!   last-fetched producer table (LFPT). When the MDT reports a violation, the
+//!   earlier instruction (producer) and later instruction (consumer) are
+//!   placed in the same producer set. Dispatching instructions receive
+//!   *dependence tags* from the LFPT; the scheduler tracks tag readiness
+//!   "in much the same manner as it tracks the availability of physical
+//!   registers" ([`TagScoreboard`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use aim_predictor::{EnforceMode, ProducerSetPredictor, TagScoreboard, ViolationKind};
+//!
+//! let mut pred = ProducerSetPredictor::new(EnforceMode::All);
+//! let mut tags = TagScoreboard::new();
+//!
+//! // A true-dependence violation between the store at pc 10 and the load at
+//! // pc 20 trains the predictor...
+//! pred.record_violation(10, 20, ViolationKind::True);
+//!
+//! // ...so at the next dispatch the store produces a tag and the load
+//! // consumes it.
+//! let store_hints = pred.on_dispatch(10, &mut tags);
+//! let load_hints = pred.on_dispatch(20, &mut tags);
+//! assert_eq!(load_hints.consumes, store_hints.produces);
+//! ```
+
+mod branch;
+mod producer_set;
+mod tags;
+
+pub use branch::{Gshare, GshareStats, OracleBoost};
+pub use producer_set::{
+    DepHints, EnforceMode, PredictorConfig, PredictorStats, ProducerSetPredictor,
+};
+pub use tags::{DepTag, TagScoreboard};
+
+/// Re-export: the violation vocabulary shared with `aim-core`'s MDT.
+pub use aim_types::ViolationKind;

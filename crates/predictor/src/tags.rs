@@ -1,0 +1,122 @@
+//! Dependence tags and the scheduler-side tag scoreboard.
+
+use std::collections::HashMap;
+
+/// A renamed dependence tag.
+///
+/// "When a load or store instruction enters the memory dependence predictor
+/// ... \[it\] obtains a dependence tag from the LFPT's free list ... The
+/// scheduler tracks the availability of dependence tags in much the same
+/// manner as it tracks the availability of physical registers" (§2.1).
+///
+/// Tags are numbered monotonically; the scoreboard treats sufficiently old
+/// tags as ready, modeling the finite hardware free list without ever
+/// deadlocking the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DepTag(pub u64);
+
+/// Readiness tracking for in-flight dependence tags.
+///
+/// * A tag is allocated by a dispatching *producer* ([`TagScoreboard::alloc`]).
+/// * Consumers poll [`TagScoreboard::is_ready`]; a not-ready tag keeps the
+///   consumer out of the issue pool.
+/// * The producer marks the tag ready when it completes
+///   ([`TagScoreboard::mark_ready`]). A squashed producer also marks its tag
+///   ready so surviving consumers can never deadlock on it.
+/// * Tags unknown to the scoreboard (already purged) read as ready, which is
+///   the correct semantics for a tag whose producer has long retired.
+///
+/// # Examples
+///
+/// ```
+/// use aim_predictor::TagScoreboard;
+///
+/// let mut sb = TagScoreboard::new();
+/// let t = sb.alloc();
+/// assert!(!sb.is_ready(t));
+/// sb.mark_ready(t);
+/// assert!(sb.is_ready(t));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TagScoreboard {
+    next: u64,
+    pending: HashMap<DepTag, bool>,
+}
+
+impl TagScoreboard {
+    /// Creates an empty scoreboard.
+    pub fn new() -> TagScoreboard {
+        TagScoreboard::default()
+    }
+
+    /// Allocates a fresh, not-ready tag.
+    pub fn alloc(&mut self) -> DepTag {
+        let tag = DepTag(self.next);
+        self.next += 1;
+        self.pending.insert(tag, false);
+        tag
+    }
+
+    /// Whether `tag`'s producer has completed (or the tag has been retired
+    /// out of the scoreboard).
+    pub fn is_ready(&self, tag: DepTag) -> bool {
+        self.pending.get(&tag).copied().unwrap_or(true)
+    }
+
+    /// Marks `tag` ready (producer completed, retired, or was squashed).
+    pub fn mark_ready(&mut self, tag: DepTag) {
+        if let Some(r) = self.pending.get_mut(&tag) {
+            *r = true;
+        }
+    }
+
+    /// Drops bookkeeping for tags older than `floor` (all read as ready
+    /// afterwards). Call with the oldest in-flight tag to bound memory.
+    pub fn purge_older_than(&mut self, floor: DepTag) {
+        self.pending.retain(|t, _| *t >= floor);
+    }
+
+    /// Number of tags currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_monotonic() {
+        let mut sb = TagScoreboard::new();
+        let a = sb.alloc();
+        let b = sb.alloc();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn fresh_tags_not_ready_until_marked() {
+        let mut sb = TagScoreboard::new();
+        let t = sb.alloc();
+        assert!(!sb.is_ready(t));
+        sb.mark_ready(t);
+        assert!(sb.is_ready(t));
+    }
+
+    #[test]
+    fn unknown_tags_read_ready() {
+        let sb = TagScoreboard::new();
+        assert!(sb.is_ready(DepTag(999)));
+    }
+
+    #[test]
+    fn purge_makes_old_tags_ready_and_bounds_memory() {
+        let mut sb = TagScoreboard::new();
+        let a = sb.alloc();
+        let b = sb.alloc();
+        sb.purge_older_than(b);
+        assert!(sb.is_ready(a)); // purged => ready
+        assert!(!sb.is_ready(b)); // still tracked, still pending
+        assert_eq!(sb.tracked(), 1);
+    }
+}

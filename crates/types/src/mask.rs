@@ -1,0 +1,193 @@
+//! Per-byte masks over an aligned 8-byte word.
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr, Not};
+
+/// A per-byte mask over an aligned 8-byte word.
+///
+/// Bit *i* refers to byte *i* of the word. The store forwarding cache keeps
+/// two of these per line: the *valid* mask ("which bytes hold in-flight store
+/// data") and the *corrupt* mask ("which bytes may have been overwritten by a
+/// canceled store"), exactly as in Figure 3 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use aim_types::ByteMask;
+///
+/// let lo = ByteMask::for_access(0, 4);
+/// let hi = ByteMask::for_access(4, 4);
+/// assert_eq!(lo | hi, ByteMask::FULL);
+/// assert!(!lo.intersects(hi));
+/// assert!(ByteMask::FULL.covers(lo));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ByteMask(u8);
+
+impl ByteMask {
+    /// The empty mask (no bytes).
+    pub const EMPTY: ByteMask = ByteMask(0);
+    /// The full mask (all eight bytes).
+    pub const FULL: ByteMask = ByteMask(0xff);
+
+    /// Mask covering `len` bytes starting at byte `offset` of the word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + len > 8` (the access would straddle the word;
+    /// such accesses are rejected earlier by [`MemAccess`]).
+    ///
+    /// [`MemAccess`]: crate::MemAccess
+    #[inline]
+    pub fn for_access(offset: u32, len: u32) -> ByteMask {
+        assert!(offset + len <= 8, "access straddles the aligned word");
+        if len == 0 {
+            return ByteMask::EMPTY;
+        }
+        let ones = if len == 8 { 0xff } else { (1u8 << len) - 1 };
+        ByteMask(ones << offset)
+    }
+
+    /// Raw bit pattern (bit *i* = byte *i*).
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Constructs a mask from a raw bit pattern.
+    #[inline]
+    pub fn from_bits(bits: u8) -> ByteMask {
+        ByteMask(bits)
+    }
+
+    /// Whether no bytes are selected.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of selected bytes.
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the two masks share at least one byte.
+    #[inline]
+    pub fn intersects(self, other: ByteMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether every byte of `other` is also in `self`.
+    #[inline]
+    pub fn covers(self, other: ByteMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether byte `i` (0..8) is selected.
+    #[inline]
+    pub fn contains_byte(self, i: u32) -> bool {
+        debug_assert!(i < 8);
+        self.0 & (1 << i) != 0
+    }
+
+    /// Iterator over the selected byte indices, ascending.
+    pub fn iter_bytes(self) -> impl Iterator<Item = u32> {
+        (0..8u32).filter(move |&i| self.contains_byte(i))
+    }
+}
+
+impl BitOr for ByteMask {
+    type Output = ByteMask;
+    #[inline]
+    fn bitor(self, rhs: ByteMask) -> ByteMask {
+        ByteMask(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for ByteMask {
+    type Output = ByteMask;
+    #[inline]
+    fn bitand(self, rhs: ByteMask) -> ByteMask {
+        ByteMask(self.0 & rhs.0)
+    }
+}
+
+impl Not for ByteMask {
+    type Output = ByteMask;
+    #[inline]
+    fn not(self) -> ByteMask {
+        ByteMask(!self.0)
+    }
+}
+
+impl fmt::Display for ByteMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:08b}", self.0)
+    }
+}
+
+impl fmt::Binary for ByteMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_access_full_word() {
+        assert_eq!(ByteMask::for_access(0, 8), ByteMask::FULL);
+    }
+
+    #[test]
+    fn for_access_empty() {
+        assert_eq!(ByteMask::for_access(3, 0), ByteMask::EMPTY);
+    }
+
+    #[test]
+    fn for_access_positions() {
+        assert_eq!(ByteMask::for_access(2, 2).bits(), 0b0000_1100);
+        assert_eq!(ByteMask::for_access(7, 1).bits(), 0b1000_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "straddles")]
+    fn for_access_straddle_panics() {
+        let _ = ByteMask::for_access(6, 4);
+    }
+
+    #[test]
+    fn covers_and_intersects() {
+        let word = ByteMask::for_access(0, 4);
+        let half = ByteMask::for_access(2, 2);
+        assert!(word.covers(half));
+        assert!(!half.covers(word));
+        assert!(word.intersects(half));
+        assert!(!word.intersects(ByteMask::for_access(4, 4)));
+        assert!(word.covers(ByteMask::EMPTY));
+    }
+
+    #[test]
+    fn bit_ops() {
+        let a = ByteMask::for_access(0, 2);
+        let b = ByteMask::for_access(1, 2);
+        assert_eq!((a | b).bits(), 0b111);
+        assert_eq!((a & b).bits(), 0b010);
+        assert_eq!((!a).bits(), 0b1111_1100);
+    }
+
+    #[test]
+    fn iter_bytes_ascending() {
+        let m = ByteMask::from_bits(0b1010_0001);
+        let v: Vec<u32> = m.iter_bytes().collect();
+        assert_eq!(v, vec![0, 5, 7]);
+    }
+
+    #[test]
+    fn display_is_binary() {
+        assert_eq!(ByteMask::from_bits(0b101).to_string(), "00000101");
+    }
+}

@@ -1,0 +1,60 @@
+//! Memory dependence violation kinds.
+
+use core::fmt;
+
+/// The kind of memory dependence violated by out-of-order execution.
+///
+/// "Because loads and stores access the SFC out of order, the accesses to a
+/// given address may violate true, anti, or output dependences" (paper §2).
+/// The memory disambiguation table detects all three kinds; the conventional
+/// load/store queue only ever suffers (and reports) true violations, because
+/// it renames in-flight stores to the same address (§2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// Read-after-write: a load executed before an earlier store to the same
+    /// address.
+    True,
+    /// Write-after-read: a store executed before an earlier load to the same
+    /// address.
+    Anti,
+    /// Write-after-write: a store executed before an earlier store to the
+    /// same address.
+    Output,
+}
+
+impl ViolationKind {
+    /// All three kinds, in the paper's customary order.
+    pub const ALL: [ViolationKind; 3] = [
+        ViolationKind::True,
+        ViolationKind::Anti,
+        ViolationKind::Output,
+    ];
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ViolationKind::True => "true",
+            ViolationKind::Anti => "anti",
+            ViolationKind::Output => "output",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ViolationKind::True.to_string(), "true");
+        assert_eq!(ViolationKind::Anti.to_string(), "anti");
+        assert_eq!(ViolationKind::Output.to_string(), "output");
+    }
+
+    #[test]
+    fn all_lists_each_once() {
+        assert_eq!(ViolationKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests: byte-mask algebra and access geometry.
+
+use aim_types::{AccessSize, Addr, ByteMask, MemAccess};
+use proptest::prelude::*;
+
+fn mask() -> impl Strategy<Value = ByteMask> {
+    any::<u8>().prop_map(ByteMask::from_bits)
+}
+
+fn access() -> impl Strategy<Value = MemAccess> {
+    (any::<u32>(), 0usize..4).prop_map(|(addr, size_idx)| {
+        let size = AccessSize::ALL[size_idx];
+        let aligned = (addr as u64) & !(size.bytes() - 1);
+        MemAccess::new(Addr(aligned), size).expect("aligned by construction")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Boolean-algebra laws the SFC's mask manipulation relies on.
+    #[test]
+    fn mask_algebra_laws(a in mask(), b in mask(), c in mask()) {
+        // Commutativity and associativity.
+        prop_assert_eq!(a | b, b | a);
+        prop_assert_eq!(a & b, b & a);
+        prop_assert_eq!((a | b) | c, a | (b | c));
+        prop_assert_eq!((a & b) & c, a & (b & c));
+        // Distribution.
+        prop_assert_eq!(a & (b | c), (a & b) | (a & c));
+        // De Morgan.
+        prop_assert_eq!(!(a | b), !a & !b);
+        // Involution and identities.
+        prop_assert_eq!(!!a, a);
+        prop_assert_eq!(a | ByteMask::EMPTY, a);
+        prop_assert_eq!(a & ByteMask::FULL, a);
+    }
+
+    #[test]
+    fn covers_and_intersects_agree(a in mask(), b in mask()) {
+        prop_assert_eq!(a.covers(b), (a & b) == b);
+        prop_assert_eq!(a.intersects(b), !(a & b).is_empty());
+        // covers is reflexive and transitive through intersection.
+        prop_assert!(a.covers(a));
+        if a.covers(b) && !b.is_empty() {
+            prop_assert!(a.intersects(b));
+        }
+    }
+
+    #[test]
+    fn count_matches_iteration(a in mask()) {
+        prop_assert_eq!(a.count() as usize, a.iter_bytes().count());
+        let rebuilt = a
+            .iter_bytes()
+            .fold(ByteMask::EMPTY, |m, i| m | ByteMask::for_access(i, 1));
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    /// The mask of an access covers exactly its bytes within the word.
+    #[test]
+    fn access_mask_geometry(a in access()) {
+        let m = a.mask();
+        prop_assert_eq!(m.count() as u64, a.size().bytes());
+        let offset = a.addr().offset_in_word();
+        for (k, byte) in m.iter_bytes().enumerate() {
+            prop_assert_eq!(byte, offset + k as u32);
+        }
+        // The word address is aligned and contains the access.
+        prop_assert_eq!(a.word_addr().0 % 8, 0);
+        prop_assert!(a.addr().0 >= a.word_addr().0);
+        prop_assert!(a.addr().0 + a.size().bytes() <= a.word_addr().0 + 8);
+    }
+
+    /// Overlap is symmetric, reflexive, and equivalent to byte-range
+    /// intersection.
+    #[test]
+    fn overlap_is_byte_range_intersection(a in access(), b in access()) {
+        prop_assert!(a.overlaps(a));
+        prop_assert_eq!(a.overlaps(b), b.overlaps(a));
+        let a_range = a.addr().0..a.addr().0 + a.size().bytes();
+        let b_range = b.addr().0..b.addr().0 + b.size().bytes();
+        let ranges_overlap = a_range.start < b_range.end && b_range.start < a_range.end;
+        prop_assert_eq!(a.overlaps(b), ranges_overlap);
+    }
+
+    #[test]
+    fn percent_and_geomean_sane(n in 0u64..1_000, d in 1u64..1_000, xs in proptest::collection::vec(0.01f64..100.0, 1..20)) {
+        let p = aim_types::percent(n, d);
+        prop_assert!((0.0..=100_000.0).contains(&p));
+        let g = aim_types::geomean(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= lo * 0.999 && g <= hi * 1.001, "geomean {g} outside [{lo}, {hi}]");
+    }
+}

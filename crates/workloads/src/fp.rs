@@ -1,0 +1,483 @@
+//! SPECfp 2000 analogue kernels.
+//!
+//! The FP suite's defining property in the paper's Figure 6 is *memory-level
+//! parallelism*: long, regular sweeps keep far more loads and stores in
+//! flight than a 120×80 LSQ can hold, so the capacity-free SFC/MDT comes out
+//! ~2% ahead. The sweeps here are 8×-unrolled ping-pong (Jacobi) phases over
+//! arrays much longer than the window, so the main body is hazard-free and
+//! branch-light.
+//!
+//! The suite's anti/output dependences — the ones whose enforcement the paper
+//! shows is cheap because they are "rarely on a process's critical path" —
+//! come from the **residual mailbox** idiom ([`residual_mailbox`]): once per
+//! unrolled chunk, a cheap progress store and a slow residual store hit one
+//! fixed address. Unenforced (NOT-ENF), consecutive chunks' mailbox stores
+//! violate output dependences and flush the machine's huge window
+//! constantly; enforced, the predictor serializes just those two static
+//! stores at negligible cost.
+//!
+//! Array bases are deliberately *not* power-of-two-congruent (they carry
+//! distinct sub-page offsets), so equal indices of different arrays never
+//! collide in one MDT/SFC set — the benign layout real allocators usually
+//! produce, which the paper's well-behaved FP codes enjoy.
+
+use aim_isa::{Program, Reg};
+use aim_types::Addr;
+
+use crate::kernel::{KernelBuilder, Xorshift};
+use crate::Scale;
+
+const A_BASE: i64 = 0x0300_0000;
+const B_BASE: i64 = 0x0310_0208;
+const C_BASE: i64 = 0x0320_0410;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+fn random_table(k: &mut KernelBuilder, base: i64, words: usize, seed: u64) {
+    let mut rng = Xorshift::new(seed);
+    let data: Vec<u64> = (0..words).map(|_| rng.next_u64() & 0xffff_ffff).collect();
+    k.asm.data_words(Addr(base as u64), &data);
+}
+
+/// Emits the *residual mailbox* idiom, inline (branchless) at the end of an
+/// unrolled chunk: a cheap "progress" store (data: the chunk counter, ready
+/// at dispatch) followed by a slow "residual" store (data: a multiply chain
+/// over a chunk value in `r8`) to the **same fixed address** (`r23`).
+///
+/// Consecutive chunks therefore put an older-but-slow store and a
+/// younger-but-fast store to one address in flight together — the paper's
+/// off-critical-path **output dependences** (§3.1).
+pub fn residual_mailbox(k: &mut KernelBuilder) {
+    k.asm.sd(r(12), r(23), 0); // progress store: data ready at dispatch
+    k.asm.mul(r(22), r(22), r(8)); // slow residual chain (3-cycle muls
+    k.asm.muli(r(22), r(22), 0x9E37_79B1); // fed by this chunk's loads)
+    k.asm.xor(r(22), r(22), r(8));
+    k.asm.sd(r(22), r(23), 0); // residual store: data ready late
+}
+
+/// Emits one 8×-unrolled Jacobi phase over `n` elements:
+/// `dst[i+1] = (src[i] + src[i+1] + src[i+2]) >> 1 + 1`, with a
+/// [`residual_mailbox`] per chunk. Every element's loads are independent
+/// (maximum memory-level parallelism) and phases of length `n` ≫ window
+/// never overlap, so the main body is hazard-free.
+///
+/// Clobbers r6–r9, r12–r13 and the mailbox registers r22/r23.
+fn jacobi_phase(k: &mut KernelBuilder, label: &str, src: Reg, dst: Reg, n: i64) {
+    assert!(n % 8 == 0);
+    k.asm.movi(r(12), 0);
+    k.asm.label(label);
+    k.asm.slli(r(6), r(12), 6); // chunk byte offset (8 elements)
+    k.asm.add(r(6), r(6), src);
+    k.asm.add(r(13), r(6), dst);
+    k.asm.sub(r(13), r(13), src); // dst chunk base without re-shifting
+    for e in 0..8i64 {
+        k.asm.ld(r(7), r(6), 8 * e);
+        k.asm.ld(r(8), r(6), 8 * e + 8);
+        k.asm.ld(r(9), r(6), 8 * e + 16);
+        k.asm.add(r(7), r(7), r(8));
+        k.asm.add(r(7), r(7), r(9));
+        k.asm.srli(r(7), r(7), 1);
+        k.asm.addi(r(7), r(7), 1);
+        k.asm.sd(r(7), r(13), 8 * e + 8);
+    }
+    residual_mailbox(k);
+    k.asm.addi(r(12), r(12), 1);
+    k.asm.movi(r(9), n / 8);
+    k.asm.blt(r(12), r(9), label);
+}
+
+/// `swim` — shallow-water modelling.
+///
+/// The archetypal streaming stencil: ping-pong 3-point Jacobi sweeps A→B,
+/// B→A over 1024-element (8 KiB) fields, with the [`residual_mailbox`]
+/// chunk stores.
+pub fn swim(scale: Scale) -> Program {
+    // 8 KiB fields (16 KiB combined): past the 8 KiB L1, so steady-state loads miss to L2 and
+    // the window stays deep — the memory-level parallelism the LSQ must hold.
+    let n: i64 = if scale == Scale::Tiny { 128 } else { 1024 };
+    let mut k = KernelBuilder::new();
+    let iters = ((scale.target_instrs() / (2 * 10 * n as u64)).max(1)) as i64;
+    random_table(&mut k, A_BASE, (n + 2) as usize, 201);
+    random_table(&mut k, B_BASE, (n + 2) as usize, 215);
+
+    k.asm.movi(r(1), iters);
+    k.asm.movi(r(10), A_BASE);
+    k.asm.movi(r(11), B_BASE);
+    k.asm.movi(r(22), 0x5117);
+    k.asm.movi(r(23), C_BASE);
+    k.asm.label("outer");
+    jacobi_phase(&mut k, "fwd", r(10), r(11), n);
+    jacobi_phase(&mut k, "bwd", r(11), r(10), n);
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "outer");
+    k.asm.halt();
+    k.finish()
+}
+
+/// `mgrid` — multigrid solver.
+///
+/// A 2-D-flavoured Jacobi ping-pong with neighbours at ±1 and ±16 words —
+/// more loads per store than `swim`, same hazard-free unrolled main body
+/// plus the [`residual_mailbox`] chunk stores.
+pub fn mgrid(scale: Scale) -> Program {
+    const DIM: i64 = 16;
+    // 8 KiB interiors (16 KiB combined): L1-missing, window-deepening (see `swim`).
+    let n: i64 = if scale == Scale::Tiny { 128 } else { 1024 };
+    let mut k = KernelBuilder::new();
+    let iters = ((scale.target_instrs() / (2 * 15 * n as u64)).max(1)) as i64;
+    random_table(&mut k, A_BASE, (n + 2 * DIM + 2) as usize, 202);
+    random_table(&mut k, B_BASE, (n + 2 * DIM + 2) as usize, 216);
+
+    k.asm.movi(r(1), iters);
+    k.asm.movi(r(10), A_BASE + DIM * 8);
+    k.asm.movi(r(11), B_BASE + DIM * 8);
+    k.asm.movi(r(22), 0x316D);
+    k.asm.movi(r(23), C_BASE);
+
+    let phase = |k: &mut KernelBuilder, label: &str, src: Reg, dst: Reg| {
+        k.asm.movi(r(12), 0);
+        k.asm.label(label);
+        k.asm.slli(r(6), r(12), 6);
+        k.asm.add(r(6), r(6), src);
+        k.asm.add(r(13), r(6), dst);
+        k.asm.sub(r(13), r(13), src);
+        for e in 0..8i64 {
+            k.asm.ld(r(7), r(6), 8 * e - 8);
+            k.asm.ld(r(8), r(6), 8 * e + 8);
+            k.asm.add(r(7), r(7), r(8));
+            k.asm.ld(r(8), r(6), 8 * (e - DIM));
+            k.asm.add(r(7), r(7), r(8));
+            k.asm.ld(r(8), r(6), 8 * (e + DIM));
+            k.asm.add(r(7), r(7), r(8));
+            k.asm.srli(r(7), r(7), 2);
+            k.asm.slli(r(9), r(7), 2);
+            k.asm.xor(r(7), r(7), r(9));
+            k.asm.addi(r(7), r(7), 3);
+            k.asm.sd(r(7), r(13), 8 * e);
+            if e == 7 {
+                k.asm.mov(r(8), r(7)); // feed the residual chain
+            }
+        }
+        residual_mailbox(k);
+        k.asm.addi(r(12), r(12), 1);
+        k.asm.movi(r(9), n / 8);
+        k.asm.blt(r(12), r(9), label);
+    };
+    k.asm.label("outer");
+    phase(&mut k, "fwd", r(10), r(11));
+    phase(&mut k, "bwd", r(11), r(10));
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "outer");
+    k.asm.halt();
+    k.finish()
+}
+
+/// `applu` — parabolic/elliptic PDE solver.
+///
+/// Lower/upper alternation: a forward A→B Jacobi sweep followed by a
+/// *backward* B→A sweep (descending chunks), both with the
+/// [`residual_mailbox`] chunk stores.
+pub fn applu(scale: Scale) -> Program {
+    // 8 KiB fields (16 KiB combined): L1-missing, window-deepening (see `swim`).
+    let n: i64 = if scale == Scale::Tiny { 128 } else { 1024 };
+    let mut k = KernelBuilder::new();
+    let iters = ((scale.target_instrs() / (2 * 10 * n as u64)).max(1)) as i64;
+    random_table(&mut k, A_BASE, (n + 2) as usize, 203);
+    random_table(&mut k, B_BASE, (n + 2) as usize, 217);
+
+    k.asm.movi(r(1), iters);
+    k.asm.movi(r(10), A_BASE);
+    k.asm.movi(r(11), B_BASE);
+    k.asm.movi(r(22), 0xA991);
+    k.asm.movi(r(23), C_BASE);
+
+    k.asm.label("outer");
+    jacobi_phase(&mut k, "lower", r(10), r(11), n);
+    // Backward phase: descending chunks, B→A.
+    k.asm.movi(r(12), n / 8 - 1);
+    k.asm.label("upper");
+    k.asm.slli(r(6), r(12), 6);
+    k.asm.add(r(6), r(6), r(11));
+    k.asm.add(r(13), r(6), r(10));
+    k.asm.sub(r(13), r(13), r(11));
+    for e in (0..8i64).rev() {
+        k.asm.ld(r(7), r(6), 8 * e);
+        k.asm.ld(r(8), r(6), 8 * e + 16);
+        k.asm.add(r(7), r(7), r(8));
+        k.asm.srli(r(7), r(7), 1);
+        k.asm.sd(r(7), r(13), 8 * e + 8);
+    }
+    residual_mailbox(&mut k);
+    k.asm.subi(r(12), r(12), 1);
+    k.asm.bge(r(12), Reg::ZERO, "upper");
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "outer");
+    k.asm.halt();
+    k.finish()
+}
+
+/// `apsi` — pollutant-transport weather code.
+///
+/// Three interleaved streams (read A and B, write C), 8×-unrolled, over
+/// 1024-word fields: pure multi-stream memory-level parallelism with no
+/// main-body hazards — the kernel that most purely exposes LSQ capacity
+/// limits — plus the [`residual_mailbox`] chunk stores.
+pub fn apsi(scale: Scale) -> Program {
+    let mut k = KernelBuilder::new();
+    let chunks = (scale.target_instrs() / 70).max(8) as i64;
+    random_table(&mut k, A_BASE, 1024, 204);
+    random_table(&mut k, B_BASE, 1024, 205);
+
+    k.asm.movi(r(1), chunks);
+    k.asm.movi(r(10), A_BASE);
+    k.asm.movi(r(11), B_BASE);
+    k.asm.movi(r(14), C_BASE);
+    k.asm.movi(r(12), 0); // chunk counter
+    k.asm.movi(r(22), 0xA951);
+    k.asm.movi(r(23), C_BASE + 0x8000);
+
+    k.asm.label("loop");
+    k.asm.andi(r(6), r(12), 127); // wrap over 128 chunks = 1024 words
+    k.asm.slli(r(6), r(6), 6);
+    for e in 0..8i64 {
+        k.asm.add(r(7), r(6), r(10));
+        k.asm.ld(r(8), r(7), 8 * e);
+        k.asm.add(r(7), r(6), r(11));
+        k.asm.ld(r(9), r(7), 8 * e);
+        k.asm.mul(r(8), r(8), r(9));
+        k.asm.srli(r(8), r(8), 3);
+        k.asm.add(r(7), r(6), r(14));
+        k.asm.sd(r(8), r(7), 8 * e);
+    }
+    // Mailbox every other chunk: beyond the baseline window, well inside
+    // the aggressive one.
+    k.asm.andi(r(7), r(12), 1);
+    k.asm.bne(r(7), Reg::ZERO, "no_mb");
+    residual_mailbox(&mut k);
+    k.asm.label("no_mb");
+    k.asm.addi(r(12), r(12), 1);
+    k.asm.blt(r(12), r(1), "loop");
+    k.asm.halt();
+    k.finish()
+}
+
+/// `art` — neural-network image recognition.
+///
+/// Load-dominated dot products: long multiply-accumulate streams over weight
+/// and feature vectors, with an activation mailbox per 8-element dot — the
+/// aggressive machine's load queue is the binding resource.
+pub fn art(scale: Scale) -> Program {
+    let mut k = KernelBuilder::new();
+    let iters = scale.iterations(38);
+    random_table(&mut k, A_BASE, 1024, 206);
+    random_table(&mut k, B_BASE, 1024, 207);
+
+    k.asm.movi(r(1), iters);
+    k.asm.movi(r(10), A_BASE); // weights
+    k.asm.movi(r(11), B_BASE); // features
+    k.asm.movi(r(21), 0);
+    k.asm.movi(r(23), C_BASE); // activation mailbox
+
+    k.asm.label("outer");
+    k.asm.movi(r(20), 0);
+    k.asm.andi(r(6), r(21), 1023);
+    k.asm.slli(r(6), r(6), 3);
+    for e in 0..8i64 {
+        k.asm.add(r(7), r(6), r(10));
+        k.asm.ld(r(8), r(7), 8 * e);
+        k.asm.add(r(7), r(6), r(11));
+        k.asm.ld(r(9), r(7), 8 * e);
+        k.asm.mul(r(8), r(8), r(9));
+        k.asm.add(r(20), r(20), r(8));
+    }
+    k.asm.addi(r(21), r(21), 8);
+    // Activation mailbox every other dot product: a fast progress store,
+    // then the slow dot result, to the same address — art's
+    // off-critical-path output deps, spaced beyond the baseline window.
+    k.asm.andi(r(6), r(21), 8);
+    k.asm.bne(r(6), Reg::ZERO, "no_mb");
+    k.asm.sd(r(21), r(23), 0);
+    k.asm.srli(r(20), r(20), 6);
+    k.asm.sd(r(20), r(23), 0);
+    k.asm.label("no_mb");
+    k.asm.srli(r(20), r(20), 1);
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "outer");
+    k.asm.halt();
+    k.finish()
+}
+
+/// `equake` — seismic wave simulation (sparse matvec).
+///
+/// The paper groups equake with vpr_route and ammp: "roughly 20% of all
+/// dynamic loads must be replayed because of corruptions in the SFC" (§3.2).
+/// Sparse rows accumulate into a *hot* 16-slot result vector that is
+/// immediately re-read; the per-element magnitude test is data-dependent
+/// (resolving only after its operand load) and mispredicts often, and every
+/// mispredict's partial flush corrupts the 16 hot accumulator lines the next
+/// iterations re-read.
+pub fn equake(scale: Scale) -> Program {
+    let mut k = KernelBuilder::new();
+    let iters = scale.iterations(24);
+    // Column indices and values.
+    let mut rng = Xorshift::new(208);
+    let cols: Vec<u64> = (0..1024).map(|_| rng.below(512)).collect();
+    k.asm.data_words(Addr(A_BASE as u64), &cols);
+    random_table(&mut k, B_BASE, 1024, 209);
+    random_table(&mut k, C_BASE, 512, 210);
+
+    k.asm.movi(r(1), iters);
+    k.asm.movi(r(10), A_BASE); // column indices
+    k.asm.movi(r(11), B_BASE); // matrix values
+    k.asm.movi(r(12), C_BASE); // result vector (hot, 16 slots used)
+    k.asm.movi(r(21), 0);
+
+    k.asm.label("loop");
+    k.asm.andi(r(6), r(21), 1023);
+    k.asm.slli(r(6), r(6), 3);
+    k.asm.add(r(7), r(6), r(10));
+    k.asm.ld(r(8), r(7), 0); // col = IDX[j]
+    k.asm.add(r(7), r(6), r(11));
+    k.asm.ld(r(9), r(7), 0); // val = A[j]
+                             // Skip tiny elements: data-dependent, resolves only after the value
+                             // load; poorly predictable.
+    k.asm.andi(r(13), r(9), 1);
+    k.asm.beq(r(13), Reg::ZERO, "skip");
+    // Y[col & 15] += val (hot accumulator RMW, re-read soon after).
+    k.asm.andi(r(8), r(8), 15);
+    k.asm.slli(r(8), r(8), 3);
+    k.asm.add(r(8), r(8), r(12));
+    k.asm.ld(r(14), r(8), 0);
+    k.asm.add(r(14), r(14), r(9));
+    k.asm.sd(r(14), r(8), 0);
+    k.asm.label("skip");
+    k.asm.addi(r(21), r(21), 1);
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "loop");
+    k.asm.halt();
+    k.finish()
+}
+
+/// `ammp` — molecular dynamics.
+///
+/// Force accumulation with a cutoff test: each pair interaction reads two
+/// particle positions, computes a slow interaction product, branches on a
+/// data-dependent cutoff (resolving late, so plenty of younger force stores
+/// are already in flight when it mispredicts), and RMWs both particles'
+/// *hot* 16-slot force array when it passes — the paper's third
+/// ~20 %-corruption benchmark.
+pub fn ammp(scale: Scale) -> Program {
+    let mut k = KernelBuilder::new();
+    let iters = scale.iterations(32);
+    random_table(&mut k, A_BASE, 128, 211); // positions
+    random_table(&mut k, B_BASE, 16, 212); // forces (hot)
+
+    k.asm.movi(r(1), iters);
+    k.asm.movi(r(5), 0xA117);
+    k.asm.movi(r(10), A_BASE);
+    k.asm.movi(r(11), B_BASE);
+    k.asm.movi(r(19), 0x0500_0000); // neighbour list (32 KiB, L1-missing)
+    k.asm.movi(r(16), 0);
+    k.asm.movi(r(20), 0);
+    k.asm.movi(r(21), 0); // neighbour cursor
+
+    k.asm.label("loop");
+    // Cold neighbour-list load: keeps completed force stores in flight, so
+    // mispredict flushes are partial and their corruption marks persist.
+    k.asm.andi(r(6), r(21), 0xfff); // 32 KiB: warms fast, then L1-missing
+    k.asm.slli(r(6), r(6), 3);
+    k.asm.add(r(6), r(6), r(19));
+    k.asm.ld(r(7), r(6), 0);
+    k.asm.add(r(20), r(20), r(7));
+    k.asm.addi(r(21), r(21), 17); // stride past the line: every access misses
+    k.xorshift(r(5), r(6));
+    k.index_word(r(7), r(5), 0, 127, r(10));
+    k.index_word(r(8), r(5), 12, 127, r(10));
+    k.asm.ld(r(9), r(7), 0); // pos[i]
+    k.asm.ld(r(12), r(8), 0); // pos[j]
+    k.asm.mul(r(13), r(9), r(12)); // slow "interaction" product
+    k.asm.sub(r(13), r(13), r(9));
+    // Cutoff: data-dependent and late-resolving.
+    k.asm.andi(r(14), r(13), 1);
+    k.asm.beq(r(14), Reg::ZERO, "cut");
+    // Force RMWs on both particles (hot 128-byte region).
+    k.index_word(r(15), r(5), 0, 15, r(11));
+    k.asm.ld(r(16), r(15), 0);
+    k.asm.add(r(16), r(16), r(13));
+    k.asm.sd(r(16), r(15), 0);
+    k.index_word(r(17), r(5), 12, 15, r(11));
+    k.asm.ld(r(18), r(17), 0);
+    k.asm.sub(r(18), r(18), r(13));
+    k.asm.sd(r(18), r(17), 0);
+    // Second shell of interactions on neighbouring slots.
+    k.asm.ld(r(16), r(15), 8);
+    k.asm.add(r(16), r(16), r(13));
+    k.asm.sd(r(16), r(15), 8);
+    k.asm.ld(r(16), r(17), 8);
+    k.asm.sub(r(16), r(16), r(13));
+    k.asm.sd(r(16), r(17), 8);
+    // Energy re-read of the freshly updated slots: after a mispredict's
+    // partial flush these hit corrupt lines — the replay/violation path
+    // that turns corruption into real cost (the paper's ammp pathology).
+    k.asm.ld(r(16), r(15), 0);
+    k.asm.add(r(20), r(20), r(16));
+    k.asm.ld(r(18), r(17), 0);
+    k.asm.add(r(20), r(20), r(18));
+    k.asm.label("cut");
+    k.asm.add(r(20), r(20), r(13));
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "loop");
+    k.asm.halt();
+    k.finish()
+}
+
+/// `mesa` — 3-D rasterization.
+///
+/// Overlapping short spans with a z-test: the span origin jitters inside a
+/// 64-pixel window, so nearby spans rewrite the same pixels while both are
+/// in flight — the recurring same-address store pairs whose *output*
+/// dependences the paper credits for mesa's ENF speedup (§3.1). The older
+/// store waits on its (16 KiB, L1-missing) z-load while the younger's often
+/// issues first. Evaluated only in the baseline study, as in the paper.
+pub fn mesa(scale: Scale) -> Program {
+    let mut k = KernelBuilder::new();
+    let iters = scale.iterations(22);
+    random_table(&mut k, A_BASE, 2048, 213); // z-buffer (16 KiB: L1 misses)
+    random_table(&mut k, B_BASE, 2048, 214); // color buffer
+
+    k.asm.movi(r(1), iters);
+    k.asm.movi(r(5), 0x3E5A);
+    k.asm.movi(r(10), A_BASE);
+    k.asm.movi(r(11), B_BASE);
+    k.asm.movi(r(21), 0); // pixel cursor within the span window
+    k.asm.movi(r(22), 0); // span-window base
+
+    k.asm.label("loop");
+    k.xorshift(r(5), r(6));
+    // New span every 8 pixels: jitter the window base by 0..8 pixels.
+    k.asm.andi(r(6), r(21), 7);
+    k.asm.bne(r(6), Reg::ZERO, "samespan");
+    k.asm.andi(r(7), r(5), 7);
+    k.asm.add(r(22), r(22), r(7));
+    k.asm.label("samespan");
+    // Pixel = (window + cursor) & 2047.
+    k.asm.add(r(6), r(22), r(21));
+    k.asm.andi(r(6), r(6), 2047);
+    k.asm.slli(r(6), r(6), 3);
+    k.asm.add(r(7), r(6), r(10));
+    k.asm.ld(r(8), r(7), 0); // old z (may miss L1)
+    k.asm.srli(r(9), r(5), 40); // new z (random)
+                                // Depth test: data-dependent.
+    k.asm.bltu(r(8), r(9), "occluded");
+    k.asm.sd(r(9), r(7), 0); // write z
+    k.asm.add(r(12), r(6), r(11));
+    k.asm.sd(r(5), r(12), 0); // write color
+    k.asm.label("occluded");
+    k.asm.addi(r(21), r(21), 1);
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "loop");
+    k.asm.halt();
+    k.finish()
+}

@@ -1,0 +1,739 @@
+//! SPECint 2000 analogue kernels.
+//!
+//! Each kernel documents the memory-ordering behaviour it is engineered to
+//! reproduce; see the crate docs for the paper-level mapping.
+
+use aim_isa::{Program, Reg};
+use aim_types::Addr;
+
+use crate::kernel::{KernelBuilder, Xorshift};
+use crate::Scale;
+
+// Bases carry distinct sub-page offsets so equal indices of different
+// tables never share an MDT/SFC set (see the note in `crate::fp`).
+const A_BASE: i64 = 0x0100_0000;
+const B_BASE: i64 = 0x0110_0208;
+const C_BASE: i64 = 0x0120_0410;
+const OUT_BASE: i64 = 0x0140_0618;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// Fills a `words`-long little-endian table at `base` with seeded
+/// pseudo-random values.
+fn random_table(k: &mut KernelBuilder, base: i64, words: usize, seed: u64) {
+    let mut rng = Xorshift::new(seed);
+    let data: Vec<u64> = (0..words).map(|_| rng.next_u64()).collect();
+    k.asm.data_words(Addr(base as u64), &data);
+}
+
+/// `bzip2` — block-sorting compression.
+///
+/// The paper: "in bzip2, over 50% of dynamic stores must be replayed because
+/// of set conflicts in the SFC ... bzip2 \[is\] limited by the size,
+/// associativity, and hash functions of the SFC" (§3.2). The kernel mirrors
+/// the block sort's structure: a *cache-missing suffix-array access* (a
+/// streaming load over a 2 MiB region, regularly missing the L2) blocks
+/// retirement, while fast bucket-count read-modify-writes pile up behind it.
+/// The buckets sit 4 KiB apart — all aliasing into a single set of the 2-way
+/// SFC, the pathology of data structures "whose size is a multiple of the
+/// SFC size". The 1024-instruction window accumulates dozens of live bucket
+/// lines in that set; the 128-instruction baseline only 2–3. Associativity
+/// 16 absorbs them.
+pub fn bzip2(scale: Scale) -> Program {
+    let mut k = KernelBuilder::new();
+    let iters = scale.iterations(70);
+    // 2 MiB "suffix array" region (only a prefix is initialized; the rest
+    // reads as zero, which is fine — only the miss behaviour matters).
+    random_table(&mut k, A_BASE, 4096, 11);
+
+    k.asm.movi(r(1), iters);
+    k.asm.movi(r(5), 0xB215);
+    // The 2 MiB suffix region would overlap the shared bases; bzip2 uses a
+    // private layout well clear of it.
+    k.asm.movi(r(10), A_BASE); // suffix array (2 MiB footprint)
+    k.asm.movi(r(11), 0x0400_0208); // bucket counters, 4 KiB apart
+    k.asm.movi(r(12), 0x0480_0410); // sorted output
+    k.asm.movi(r(9), 0); // scatter counter
+    k.asm.movi(r(17), 0x0400_0208); // previous bucket address (chained read)
+    k.asm.movi(r(20), 0); // checksum
+    k.asm.movi(r(21), 0); // suffix cursor
+
+    k.asm.label("loop");
+    // Strided suffix-array walk: 24-byte steps span cache lines faster
+    // than they can stay resident, so the recurring misses delay retirement
+    // and bucket stores pile up behind them, keeping the hot SFC set
+    // saturated at any run length.
+    k.asm.andi(r(6), r(21), 0x1_ffff);
+    k.asm.slli(r(6), r(6), 3);
+    k.asm.add(r(6), r(6), r(10));
+    k.asm.ld(r(7), r(6), 0);
+    k.asm.addi(r(21), r(21), 3);
+    k.asm.add(r(20), r(20), r(7)); // checksum chain consumes the load
+                                   // Fast bucket scatter: four stores per symbol (the radix pass touches a
+                                   // bucket per key digit), with indices from the (register-only) PRNG so
+                                   // the stores execute long before older work retires. Store-only, so no
+                                   // cache miss sits on their path and no read-after-write pairs form to be
+                                   // serialized away by the predictor — the conflicts are pure
+                                   // SFC-allocation pressure, as in the paper: the deep window holds far
+                                   // more aliasing lines than the 2 ways can hold, while the rank loop
+                                   // below keeps total store density just under a 120x80 LSQ's capacity.
+    k.xorshift(r(5), r(6));
+    for digit in 0..4i64 {
+        k.asm.srli(r(8), r(5), 10 * digit);
+        k.asm.andi(r(8), r(8), 15); // 16 hot buckets: lines stay pinned by
+                                    // ever-newer writers (only the *latest* store frees an SFC line)
+        k.asm.slli(r(8), r(8), 12); // bucket stride 4 KiB: single SFC set
+        k.asm.add(r(8), r(8), r(11));
+        k.asm.sd(r(5), r(8), 8 * digit); // the SFC-thrashing scatter store
+    }
+    // Chained verify read of the *previous* symbol's bucket: when that
+    // store is still asleep on a set conflict, this load either races ahead
+    // (a true violation and a flush) or — once the predictor learns the
+    // pair — waits for the sleeping store, putting the conflict's latency
+    // on the retirement path. With 16 ways neither happens.
+    k.asm.ld(r(15), r(17), 8);
+    k.asm.add(r(20), r(20), r(15));
+    k.asm.ld(r(15), r(17), 16);
+    k.asm.add(r(20), r(20), r(15));
+    k.asm.mov(r(17), r(8));
+    k.asm.addi(r(9), r(9), 1);
+    // Suffix-ranking ALU work (dilutes memory density; see above).
+    k.asm.movi(r(16), 3);
+    k.asm.label("rank");
+    k.asm.srli(r(14), r(7), 8);
+    k.asm.xor(r(7), r(7), r(14));
+    k.asm.muli(r(14), r(7), 0x1_0001);
+    k.asm.add(r(20), r(20), r(14));
+    k.asm.slli(r(15), r(20), 1);
+    k.asm.xor(r(20), r(20), r(15));
+    k.asm.subi(r(16), r(16), 1);
+    k.asm.bne(r(16), Reg::ZERO, "rank");
+    // Emit a token to the (sequential, conflict-free) output.
+    k.asm.andi(r(13), r(21), 4095);
+    k.asm.slli(r(13), r(13), 3);
+    k.asm.add(r(13), r(13), r(12));
+    k.asm.sd(r(5), r(13), 0);
+    k.asm.add(r(20), r(20), r(9));
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "loop");
+    k.asm.halt();
+    k.finish()
+}
+
+/// `crafty` — chess (bitboards).
+///
+/// Computation-dominated: shift/mask bitboard manipulation with a small
+/// attack-table lookup and an occasional history-table update. Memory
+/// ordering is benign; the kernel anchors the "well-behaved" end of the int
+/// suite, where the MDT/SFC should match the LSQ.
+pub fn crafty(scale: Scale) -> Program {
+    let mut k = KernelBuilder::new();
+    let iters = scale.iterations(30);
+    random_table(&mut k, A_BASE, 512, 22);
+
+    k.asm.movi(r(1), iters);
+    k.asm.movi(r(5), 0xC4AF);
+    k.asm.movi(r(10), A_BASE); // attack tables
+    k.asm.movi(r(11), B_BASE); // history table
+    k.asm.movi(r(20), 0);
+    k.asm.movi(r(24), 1);
+    k.asm.movi(r(25), OUT_BASE + 0x4020); // statistics journal
+
+    k.asm.label("loop");
+    k.xorshift(r(5), r(6));
+    // Bitboard mixing: rotate-ish shuffles.
+    k.asm.slli(r(7), r(5), 7);
+    k.asm.srli(r(8), r(5), 57);
+    k.asm.or(r(7), r(7), r(8));
+    k.asm.and(r(8), r(7), r(5));
+    k.asm.xor(r(20), r(20), r(8));
+    // Attack-table lookup from the piece square.
+    k.index_word(r(9), r(7), 3, 511, r(10));
+    k.asm.ld(r(12), r(9), 0);
+    k.asm.add(r(20), r(20), r(12));
+    // Popcount-flavoured reduction (4 rounds).
+    k.asm.srli(r(13), r(12), 1);
+    k.asm.xor(r(12), r(12), r(13));
+    k.asm.srli(r(13), r(12), 2);
+    k.asm.xor(r(12), r(12), r(13));
+    k.asm.srli(r(13), r(12), 4);
+    k.asm.xor(r(12), r(12), r(13));
+    k.asm.andi(r(12), r(12), 255);
+    // Occasional history update: every 4th visit on average.
+    k.asm.andi(r(14), r(5), 3);
+    k.asm.bne(r(14), Reg::ZERO, "skip");
+    k.index_word(r(9), r(12), 0, 255, r(11));
+    k.asm.ld(r(15), r(9), 0);
+    k.asm.add(r(15), r(15), r(12));
+    k.asm.sd(r(15), r(9), 0);
+    k.asm.label("skip");
+    // Search-statistics journal (node counter + cumulative evaluation
+    // digest) — see `KernelBuilder::journal`.
+    k.journal(r(1), 7, r(1), r(12), r(24), r(25), "no_jr");
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "loop");
+    k.asm.halt();
+    k.finish()
+}
+
+/// `gap` — computational group theory.
+///
+/// Call/return-structured vector arithmetic: an inner "function" (JAL/JR)
+/// sums a window of a vector and stores the result. Moderate, regular memory
+/// traffic with function-call control flow.
+pub fn gap(scale: Scale) -> Program {
+    let mut k = KernelBuilder::new();
+    let iters = scale.iterations(34);
+    random_table(&mut k, A_BASE, 1024, 33);
+
+    k.asm.movi(r(1), iters);
+    k.asm.movi(r(5), 0x6A9);
+    k.asm.movi(r(10), A_BASE);
+    k.asm.movi(r(11), OUT_BASE);
+    k.asm.movi(r(13), OUT_BASE + 0x4008); // result mailbox
+    k.asm.movi(r(20), 0);
+    k.asm.movi(r(24), 1);
+    k.asm.jump("main");
+
+    // fn window_sum(r7 = word index) -> r9, clobbers r8, r12.
+    k.asm.label("window_sum");
+    k.asm.movi(r(9), 0);
+    k.asm.movi(r(12), 4); // four-element window
+    k.asm.label("ws_loop");
+    k.asm.andi(r(8), r(7), 1023);
+    k.asm.slli(r(8), r(8), 3);
+    k.asm.add(r(8), r(8), r(10));
+    k.asm.ld(r(8), r(8), 0);
+    k.asm.add(r(9), r(9), r(8));
+    k.asm.addi(r(7), r(7), 1);
+    k.asm.subi(r(12), r(12), 1);
+    k.asm.bne(r(12), Reg::ZERO, "ws_loop");
+    k.asm.jr(r(31));
+
+    k.asm.label("main");
+    k.xorshift(r(5), r(6));
+    k.asm.andi(r(7), r(5), 1023);
+    k.asm.jal(r(31), "window_sum");
+    k.asm.add(r(20), r(20), r(9));
+    // Result mailbox every 4th call: a fast progress store (loop counter)
+    // then the slow window sum to one fixed address — the off-critical-path
+    // output dependences real codes get from global counters and spill
+    // slots. The cadence (~140 instructions) keeps at most one pair in the
+    // baseline's 128-entry window but ~7 in the aggressive machine's.
+    k.asm.andi(r(14), r(1), 3);
+    k.asm.bne(r(14), Reg::ZERO, "no_mb");
+    k.asm.sd(r(1), r(13), 0);
+    k.asm.add(r(24), r(24), r(9)); // cumulative residual: the chain spans
+    k.asm.mul(r(24), r(24), r(9)); // mailboxes, so this store's data is
+    k.asm.muli(r(24), r(24), 0x9E37_79B1); // always late
+    k.asm.sd(r(24), r(13), 0);
+    k.asm.label("no_mb");
+    // Store the window sum to a rotating output slot.
+    k.asm.andi(r(8), r(1), 255);
+    k.asm.slli(r(8), r(8), 3);
+    k.asm.add(r(8), r(8), r(11));
+    k.asm.sd(r(9), r(8), 0);
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "main");
+    k.asm.halt();
+    k.finish()
+}
+
+/// `gcc` — compilation.
+///
+/// Irregular traversal of variable-size records with data-dependent control
+/// flow: each record's header selects how many fields to read and whether to
+/// patch one (a store). Mispredictable branches and pointer-ish access
+/// patterns, with occasional in-flight same-address pairs.
+pub fn gcc(scale: Scale) -> Program {
+    let mut k = KernelBuilder::new();
+    let iters = scale.iterations(27);
+    random_table(&mut k, A_BASE, 4096, 44);
+
+    k.asm.movi(r(1), iters);
+    k.asm.movi(r(5), 0x6CC);
+    k.asm.movi(r(10), A_BASE); // record pool
+    k.asm.movi(r(16), OUT_BASE + 0x4018); // patch journal head
+    k.asm.movi(r(20), 0);
+    k.asm.movi(r(21), 0); // record cursor
+    k.asm.movi(r(24), 1);
+
+    k.asm.label("loop");
+    // Record base: cursor masked to the pool, records 8 words apart.
+    k.asm.andi(r(7), r(21), 511);
+    k.asm.slli(r(7), r(7), 6);
+    k.asm.add(r(7), r(7), r(10));
+    k.asm.ld(r(8), r(7), 0); // header
+    k.asm.addi(r(21), r(21), 1);
+    // Field count = 1 + (header & 3); read fields serially.
+    k.asm.andi(r(9), r(8), 3);
+    k.asm.addi(r(9), r(9), 1);
+    k.asm.movi(r(12), 0); // field offset in bytes
+    k.asm.label("fields");
+    k.asm.ld(r(13), r(7), 8); // fields at fixed offsets 8..
+    k.asm.add(r(13), r(13), r(12));
+    k.asm.add(r(20), r(20), r(13));
+    k.asm.addi(r(12), r(12), 8);
+    k.asm.subi(r(9), r(9), 1);
+    k.asm.bne(r(9), Reg::ZERO, "fields");
+    // Patch the header when the hash bit says so (mispredictable).
+    k.xorshift(r(5), r(6));
+    k.asm.andi(r(14), r(21), 7);
+    k.asm.bne(r(14), Reg::ZERO, "nopatch");
+    k.asm.xor(r(8), r(8), r(20));
+    k.asm.sd(r(8), r(7), 0);
+    // Patch journal: fast cursor store, then the slowly accumulated patch
+    // digest, to one fixed address — output deps across in-flight patches.
+    k.asm.sd(r(21), r(16), 0);
+    k.asm.add(r(24), r(24), r(8));
+    k.asm.mul(r(24), r(24), r(8));
+    k.asm.muli(r(24), r(24), 0x9E37_79B1);
+    k.asm.sd(r(24), r(16), 0);
+    k.asm.label("nopatch");
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "loop");
+    k.asm.halt();
+    k.finish()
+}
+
+/// `gzip` — LZ77 compression.
+///
+/// The paper singles gzip out as a benchmark whose IPC rises significantly
+/// when the predictor enforces *output* dependences (§3.1). The kernel is a
+/// hash-chain updater: every symbol loads its hash-bucket head and stores a
+/// new head. Buckets recur quickly (64-entry table), so nearby iterations
+/// carry same-address store pairs in flight; the older store's data depends
+/// on an input load that may miss the (8 KiB) L1, so the younger store often
+/// becomes ready first — an output-dependence violation unless enforced.
+pub fn gzip(scale: Scale) -> Program {
+    let mut k = KernelBuilder::new();
+    let iters = scale.iterations(44);
+    // 64 KiB of input text: streaming misses keep load latency variable.
+    random_table(&mut k, A_BASE, 8192, 55);
+
+    k.asm.movi(r(1), iters);
+    k.asm.movi(r(10), A_BASE); // input text
+    k.asm.movi(r(11), B_BASE); // 256-entry hash-head table
+    k.asm.movi(r(12), OUT_BASE); // token output
+    k.asm.movi(r(20), 0); // cursor
+    k.asm.movi(r(22), 0); // output cursor
+
+    k.asm.label("loop");
+    // Next input word (streaming, 64 KiB footprint).
+    k.asm.andi(r(6), r(20), 8191);
+    k.asm.slli(r(6), r(6), 3);
+    k.asm.add(r(6), r(6), r(10));
+    k.asm.ld(r(7), r(6), 0);
+    k.asm.addi(r(20), r(20), 1);
+    // hash = (sym * golden) >> 56 (8 bits).
+    k.asm.muli(r(8), r(7), 0x9E37_79B1);
+    k.asm.srli(r(8), r(8), 56);
+    k.asm.slli(r(8), r(8), 3);
+    k.asm.add(r(8), r(8), r(11));
+    k.asm.ld(r(9), r(8), 0); // old chain head
+    k.asm.sd(r(7), r(8), 0); // new head: value depends on the input load
+                             // Match check against the previous head.
+    k.asm.beq(r(9), r(7), "match");
+    // Literal: Huffman-flavoured bit scan (4 rounds), then emit the token.
+    k.asm.srli(r(14), r(7), 4);
+    k.asm.xor(r(14), r(14), r(7));
+    k.asm.movi(r(16), 4);
+    k.asm.label("huff");
+    k.asm.muli(r(14), r(14), 0x0101_0101);
+    k.asm.srli(r(15), r(14), 32);
+    k.asm.xor(r(14), r(14), r(15));
+    k.asm.slli(r(15), r(14), 3);
+    k.asm.add(r(14), r(14), r(15));
+    k.asm.subi(r(16), r(16), 1);
+    k.asm.bne(r(16), Reg::ZERO, "huff");
+    k.asm.andi(r(14), r(14), 0xffff);
+    k.asm.andi(r(13), r(22), 4095);
+    k.asm.slli(r(13), r(13), 3);
+    k.asm.add(r(13), r(13), r(12));
+    k.asm.sd(r(14), r(13), 0);
+    k.asm.addi(r(22), r(22), 1);
+    k.asm.jump("cont");
+    k.asm.label("match");
+    k.asm.addi(r(22), r(22), 1);
+    k.asm.label("cont");
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "loop");
+    k.asm.halt();
+    k.finish()
+}
+
+/// `mcf` — single-depot vehicle scheduling (network simplex).
+///
+/// The paper: "in mcf, over 16% of dynamic loads must be replayed because of
+/// set conflicts in the MDT" (§3.2), because its data structures stride at
+/// multiples of the MDT size. The kernel scans arcs: each iteration
+/// dereferences a node sitting 8 KiB apart from its neighbours — the 64
+/// node headers land in just eight MDT sets (four in the baseline geometry),
+/// so the aggressive machine's ~10 in-flight dereferences overwhelm the
+/// 2 ways while the baseline's 1–2 fit. Associativity 16 absorbs them.
+pub fn mcf(scale: Scale) -> Program {
+    let mut k = KernelBuilder::new();
+    let iters = scale.iterations(66);
+    // Node headers: 64 nodes at 16 KiB stride; potentials in a dense array.
+    let mut rng = Xorshift::new(66);
+    for node in 0..64u64 {
+        let base = 0x0200_0000 + node * 0x2000;
+        let vals: Vec<u64> = (0..4).map(|_| rng.next_u64() & 0xffff).collect();
+        k.asm.data_words(Addr(base), &vals);
+    }
+    random_table(&mut k, B_BASE, 512, 67);
+
+    k.asm.movi(r(1), iters);
+    k.asm.movi(r(5), 0x3CF);
+    k.asm.movi(r(10), 0x0200_0000); // node pool (8 KiB stride)
+    k.asm.movi(r(11), B_BASE); // potentials
+    k.asm.movi(r(20), 0);
+
+    k.asm.label("loop");
+    k.xorshift(r(5), r(6));
+    // Random node: addr = pool + (rng & 63) << 13. Eight MDT sets total.
+    k.asm.andi(r(7), r(5), 63);
+    k.asm.slli(r(7), r(7), 13);
+    k.asm.add(r(7), r(7), r(10));
+    k.asm.ld(r(8), r(7), 0); // node cost — the MDT-thrashing load
+                             // Arc scan: eight dense potential lookups per node (well-behaved work
+                             // that dilutes the conflicting loads to realistic density — the 128-
+                             // instruction baseline window holds ~1, the 1024-window holds ~10).
+    k.asm.andi(r(12), r(5), 255);
+    k.asm.movi(r(16), 5);
+    k.asm.label("arcs");
+    k.asm.andi(r(13), r(12), 511);
+    k.asm.slli(r(13), r(13), 3);
+    k.asm.add(r(13), r(13), r(11));
+    k.asm.ld(r(14), r(13), 0);
+    k.asm.add(r(14), r(14), r(8));
+    k.asm.srli(r(15), r(14), 3);
+    k.asm.xor(r(20), r(20), r(15));
+    k.asm.add(r(20), r(20), r(14));
+    k.asm.addi(r(12), r(12), 1);
+    k.asm.subi(r(16), r(16), 1);
+    k.asm.bne(r(16), Reg::ZERO, "arcs");
+    // Occasional potential update (every 8th node; mcf is load-dominated).
+    k.asm.andi(r(15), r(5), 7);
+    k.asm.bne(r(15), Reg::ZERO, "noupd");
+    k.asm.sd(r(20), r(13), 0);
+    k.asm.label("noupd");
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "loop");
+    k.asm.halt();
+    k.finish()
+}
+
+/// `parser` — link-grammar parsing.
+///
+/// Dictionary binary search: a chain of data-dependent compares over a
+/// sorted table, one hard-to-predict branch per probe, plus a small
+/// memoization store. Load-heavy with mispredict-driven wrong-path fetch.
+pub fn parser(scale: Scale) -> Program {
+    let mut k = KernelBuilder::new();
+    let iters = scale.iterations(42);
+    // Sorted dictionary of 1024 words.
+    let mut rng = Xorshift::new(77);
+    let mut dict: Vec<u64> = (0..1024).map(|_| rng.next_u64() >> 16).collect();
+    dict.sort_unstable();
+    k.asm.data_words(Addr(A_BASE as u64), &dict);
+
+    k.asm.movi(r(1), iters);
+    k.asm.movi(r(5), 0x9A55);
+    k.asm.movi(r(10), A_BASE); // dictionary
+    k.asm.movi(r(11), B_BASE); // memo table
+    k.asm.movi(r(20), 0);
+    k.asm.movi(r(24), 1);
+    k.asm.movi(r(25), OUT_BASE + 0x4028); // statistics journal
+
+    k.asm.label("loop");
+    k.xorshift(r(5), r(6));
+    k.asm.srli(r(7), r(5), 16); // probe key
+    k.asm.movi(r(8), 0); // lo
+    k.asm.movi(r(9), 1024); // hi
+    k.asm.movi(r(12), 10); // 10 bisection steps
+    k.asm.label("bisect");
+    k.asm.add(r(13), r(8), r(9));
+    k.asm.srli(r(13), r(13), 1); // mid
+    k.asm.slli(r(14), r(13), 3);
+    k.asm.add(r(14), r(14), r(10));
+    k.asm.ld(r(15), r(14), 0);
+    k.asm.bltu(r(15), r(7), "go_right");
+    k.asm.mov(r(9), r(13));
+    k.asm.jump("bs_next");
+    k.asm.label("go_right");
+    k.asm.mov(r(8), r(13));
+    k.asm.label("bs_next");
+    k.asm.subi(r(12), r(12), 1);
+    k.asm.bne(r(12), Reg::ZERO, "bisect");
+    k.asm.add(r(20), r(20), r(8));
+    // Memoize the landing slot.
+    k.asm.andi(r(13), r(8), 255);
+    k.asm.slli(r(13), r(13), 3);
+    k.asm.add(r(13), r(13), r(11));
+    k.asm.sd(r(7), r(13), 0);
+    // Parse-statistics journal (see `KernelBuilder::journal`).
+    k.journal(r(1), 7, r(1), r(8), r(24), r(25), "no_jr");
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "loop");
+    k.asm.halt();
+    k.finish()
+}
+
+/// `perlbmk` — Perl interpreter.
+///
+/// Bytecode dispatch through an in-memory jump table (indirect `JR`), each
+/// handler doing a little arithmetic and touching the interpreter's "stack"
+/// or a hash bucket. Exercises indirect control flow plus pointer-shaped
+/// memory traffic.
+pub fn perlbmk(scale: Scale) -> Program {
+    let mut k = KernelBuilder::new();
+    let iters = scale.iterations(22);
+    random_table(&mut k, B_BASE, 256, 88);
+
+    k.asm.movi(r(1), iters);
+    k.asm.jump("main");
+
+    // Handlers; their instruction indices go into the dispatch table.
+    let h_add = k.asm.here();
+    k.asm.add(r(20), r(20), r(7));
+    k.asm.jump("dispatched");
+    let h_xor = k.asm.here();
+    k.asm.xor(r(20), r(20), r(7));
+    k.asm.jump("dispatched");
+    let h_push = k.asm.here();
+    k.asm.andi(r(8), r(21), 127);
+    k.asm.slli(r(8), r(8), 3);
+    k.asm.add(r(8), r(8), r(11));
+    k.asm.sd(r(20), r(8), 0);
+    k.asm.addi(r(21), r(21), 1);
+    k.asm.jump("dispatched");
+    let h_pop = k.asm.here();
+    k.asm.subi(r(21), r(21), 1);
+    k.asm.andi(r(8), r(21), 127);
+    k.asm.slli(r(8), r(8), 3);
+    k.asm.add(r(8), r(8), r(11));
+    k.asm.ld(r(20), r(8), 0);
+    k.asm.jump("dispatched");
+
+    k.asm.label("main");
+    k.asm.movi(r(5), 0x9E51);
+    k.asm.movi(r(10), C_BASE); // dispatch table
+    k.asm.movi(r(11), OUT_BASE); // value stack
+    k.asm.movi(r(12), B_BASE); // hash pool
+    k.asm.movi(r(20), 0);
+    k.asm.movi(r(21), 64); // stack pointer (word index)
+    k.asm.movi(r(24), 1);
+    k.asm.movi(r(25), OUT_BASE + 0x4030); // opcount journal
+    k.asm.label("loop");
+    k.xorshift(r(5), r(6));
+    k.asm.srli(r(7), r(5), 20);
+    // opcode = rng & 3; target = table[opcode].
+    k.asm.andi(r(8), r(5), 3);
+    k.asm.slli(r(8), r(8), 3);
+    k.asm.add(r(8), r(8), r(10));
+    k.asm.ld(r(9), r(8), 0);
+    k.asm.jr(r(9));
+    k.asm.label("dispatched");
+    // Hash-bucket touch.
+    k.index_word(r(8), r(5), 9, 255, r(12));
+    k.asm.ld(r(13), r(8), 0);
+    k.asm.add(r(20), r(20), r(13));
+    // Opcount journal (see `KernelBuilder::journal`).
+    k.journal(r(1), 7, r(1), r(20), r(24), r(25), "no_jr");
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "loop");
+    k.asm.halt();
+
+    k.asm
+        .data_words(Addr(C_BASE as u64), &[h_add, h_xor, h_push, h_pop]);
+    k.finish()
+}
+
+/// `twolf` — standard-cell place and route.
+///
+/// Simulated-annealing pair swaps: load two random cells, compare costs,
+/// conditionally swap them (two stores). Random indices collide across the
+/// in-flight window, generating true, anti *and* output dependences between
+/// dynamically-varying address pairs, guarded by a data-dependent branch.
+pub fn twolf(scale: Scale) -> Program {
+    let mut k = KernelBuilder::new();
+    let iters = scale.iterations(22);
+    random_table(&mut k, A_BASE, 256, 99);
+
+    k.asm.movi(r(1), iters);
+    k.asm.movi(r(5), 0x201F);
+    k.asm.movi(r(10), A_BASE); // cell array
+    k.asm.movi(r(20), 0);
+    k.asm.movi(r(24), 1);
+    k.asm.movi(r(25), OUT_BASE + 0x4038); // statistics journal
+
+    k.asm.label("loop");
+    k.xorshift(r(5), r(6));
+    k.index_word(r(7), r(5), 0, 255, r(10));
+    k.index_word(r(8), r(5), 8, 255, r(10));
+    k.asm.ld(r(9), r(7), 0);
+    k.asm.ld(r(12), r(8), 0);
+    k.asm.add(r(20), r(20), r(9));
+    // Swap when out of order (about half the time, poorly predictable).
+    k.asm.bltu(r(9), r(12), "noswap");
+    k.asm.sd(r(12), r(7), 0);
+    k.asm.sd(r(9), r(8), 0);
+    k.asm.label("noswap");
+    // Annealing-statistics journal (see `KernelBuilder::journal`).
+    k.journal(r(1), 7, r(1), r(9), r(24), r(25), "no_jr");
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "loop");
+    k.asm.halt();
+    k.finish()
+}
+
+/// `vortex` — object-oriented database.
+///
+/// Object-record traversal: pick an object, read several fields through its
+/// base, verify a checksum, occasionally rewrite a field. Dense-ish records
+/// with moderate reuse — a middle-of-the-road int benchmark.
+pub fn vortex(scale: Scale) -> Program {
+    let mut k = KernelBuilder::new();
+    let iters = scale.iterations(24);
+    random_table(&mut k, A_BASE, 2048, 111);
+
+    k.asm.movi(r(1), iters);
+    k.asm.movi(r(5), 0x0DB);
+    k.asm.movi(r(10), A_BASE); // object pool: 512 records of 4 words
+    k.asm.movi(r(16), OUT_BASE + 0x4010); // transaction journal head
+    k.asm.movi(r(20), 0);
+    k.asm.movi(r(24), 1);
+
+    k.asm.label("loop");
+    k.xorshift(r(5), r(6));
+    // Object base = pool + (rng & 511) * 32.
+    k.asm.andi(r(7), r(5), 511);
+    k.asm.slli(r(7), r(7), 5);
+    k.asm.add(r(7), r(7), r(10));
+    k.asm.ld(r(8), r(7), 0);
+    k.asm.ld(r(9), r(7), 8);
+    k.asm.ld(r(12), r(7), 16);
+    k.asm.add(r(13), r(8), r(9));
+    k.asm.xor(r(13), r(13), r(12));
+    k.asm.add(r(20), r(20), r(13));
+    // Update the object's checksum field every 8th visit (deterministic,
+    // so pairs never fit the baseline window), and log it to the
+    // transaction journal: a fast sequence-number store followed by the
+    // slowly accumulated checksum to one fixed address (output deps across
+    // updates).
+    k.asm.andi(r(14), r(1), 7);
+    k.asm.bne(r(14), Reg::ZERO, "noupd");
+    k.asm.sd(r(13), r(7), 24);
+    k.asm.sd(r(1), r(16), 0);
+    k.asm.add(r(24), r(24), r(13));
+    k.asm.mul(r(24), r(24), r(13));
+    k.asm.muli(r(24), r(24), 0x0101_0101);
+    k.asm.sd(r(24), r(16), 0);
+    k.asm.label("noupd");
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "loop");
+    k.asm.halt();
+    k.finish()
+}
+
+/// `vpr_place` — FPGA placement.
+///
+/// Like [`twolf`], annealing swaps, but with a cost accumulator RMW on every
+/// iteration so stores are denser and same-address pairs more frequent.
+pub fn vpr_place(scale: Scale) -> Program {
+    let mut k = KernelBuilder::new();
+    let iters = scale.iterations(26);
+    random_table(&mut k, A_BASE, 512, 123);
+    random_table(&mut k, B_BASE, 64, 124);
+
+    k.asm.movi(r(1), iters);
+    k.asm.movi(r(5), 0x914C);
+    k.asm.movi(r(10), A_BASE); // block positions
+    k.asm.movi(r(11), B_BASE); // per-net cost accumulators
+    k.asm.movi(r(20), 0);
+    k.asm.movi(r(24), 1);
+    k.asm.movi(r(25), OUT_BASE + 0x4040); // cost journal
+
+    k.asm.label("loop");
+    k.xorshift(r(5), r(6));
+    k.index_word(r(7), r(5), 0, 511, r(10));
+    k.index_word(r(8), r(5), 10, 511, r(10));
+    k.asm.ld(r(9), r(7), 0);
+    k.asm.ld(r(12), r(8), 0);
+    // Net cost RMW (64 hot accumulators: frequent same-address pairs).
+    k.index_word(r(13), r(5), 20, 63, r(11));
+    k.asm.ld(r(14), r(13), 0);
+    k.asm.sub(r(15), r(9), r(12));
+    k.asm.add(r(14), r(14), r(15));
+    k.asm.sd(r(14), r(13), 0);
+    // Accept the move on a data-dependent compare.
+    k.asm.blt(r(15), Reg::ZERO, "reject");
+    k.asm.sd(r(12), r(7), 0);
+    k.asm.sd(r(9), r(8), 0);
+    k.asm.label("reject");
+    k.asm.add(r(20), r(20), r(15));
+    // Placement-cost journal (see `KernelBuilder::journal`).
+    k.journal(r(1), 7, r(1), r(15), r(24), r(25), "no_jr");
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "loop");
+    k.asm.halt();
+    k.finish()
+}
+
+/// `vpr_route` — FPGA routing.
+///
+/// The paper: "vpr route ... experience\[s\] relatively high rates of SFC
+/// corruptions. In these three benchmarks, roughly 20% of all dynamic loads
+/// must be replayed because of corruptions in the SFC" (§3.2). The kernel is
+/// a maze-router frontier update: every iteration stores to a hot frontier
+/// slot and soon re-reads it, with a hard-to-predict branch in between. Each
+/// mispredict's partial flush marks all valid SFC bytes corrupt, so the
+/// re-reads replay.
+pub fn vpr_route(scale: Scale) -> Program {
+    let mut k = KernelBuilder::new();
+    let iters = scale.iterations(30);
+    random_table(&mut k, A_BASE, 64, 133);
+
+    k.asm.movi(r(1), iters);
+    k.asm.movi(r(5), 0x907E);
+    k.asm.movi(r(10), A_BASE); // routing-cost grid (hot, 64 cells)
+    k.asm.movi(r(19), 0x0500_0000); // net-list stream (2 MiB, cold)
+    k.asm.movi(r(20), 0);
+    k.asm.movi(r(21), 0); // net cursor
+
+    k.asm.label("loop");
+    // Cold net-list load: keeps completed frontier stores in flight (see
+    // `ammp`), so mispredict flushes are partial and corruption persists.
+    k.asm.andi(r(6), r(21), 0x3_ffff);
+    k.asm.slli(r(6), r(6), 3);
+    k.asm.add(r(6), r(6), r(19));
+    k.asm.ld(r(13), r(6), 0);
+    k.asm.add(r(20), r(20), r(13));
+    k.asm.addi(r(21), r(21), 17); // stride past the line: every access misses
+    k.xorshift(r(5), r(6));
+    // Touch a random grid cell: RMW.
+    k.index_word(r(7), r(5), 0, 63, r(10));
+    k.asm.ld(r(8), r(7), 0);
+    k.asm.addi(r(8), r(8), 3);
+    k.asm.sd(r(8), r(7), 0);
+    // Expand-or-not: data-dependent on the *loaded* cost, so the branch
+    // resolves only after the load — by then younger frontier stores are
+    // already in flight, and each real mispredict's partial flush marks
+    // every live SFC line corrupt.
+    k.asm.andi(r(9), r(8), 1);
+    k.asm.beq(r(9), Reg::ZERO, "skip");
+    k.index_word(r(12), r(5), 9, 63, r(10));
+    k.asm.ld(r(13), r(12), 0);
+    k.asm.add(r(20), r(20), r(13));
+    k.asm.label("skip");
+    // Re-read the cell just written: hits the (possibly corrupt) SFC line.
+    k.asm.ld(r(14), r(7), 0);
+    k.asm.add(r(20), r(20), r(14));
+    k.asm.subi(r(1), r(1), 1);
+    k.asm.bne(r(1), Reg::ZERO, "loop");
+    k.asm.halt();
+    k.finish()
+}

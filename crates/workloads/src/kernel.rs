@@ -1,0 +1,202 @@
+//! Shared kernel-construction helpers.
+
+use aim_isa::{Assembler, Reg};
+
+/// Host-side xorshift64 PRNG, bit-identical to the in-ISA sequence emitted by
+/// [`KernelBuilder::xorshift`]. Used to precompute data images that the
+/// kernels then traverse.
+///
+/// # Examples
+///
+/// ```
+/// use aim_workloads::Xorshift;
+///
+/// let mut a = Xorshift::new(42);
+/// let mut b = Xorshift::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Xorshift {
+    state: u64,
+}
+
+impl Xorshift {
+    /// Creates a generator; a zero seed is replaced with a fixed odd constant
+    /// (xorshift has a zero fixed point).
+    pub fn new(seed: u64) -> Xorshift {
+        Xorshift {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Advances and returns the next value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// A value in `0..bound` (bound need not be a power of two).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A thin wrapper over [`Assembler`] adding the idioms every kernel uses:
+/// an in-register xorshift64 PRNG and masked word indexing.
+///
+/// # Examples
+///
+/// ```
+/// use aim_isa::{Interpreter, Reg};
+/// use aim_workloads::KernelBuilder;
+///
+/// let mut k = KernelBuilder::new();
+/// let r = Reg::new;
+/// k.asm.movi(r(5), 42);
+/// k.xorshift(r(5), r(6));
+/// k.asm.halt();
+/// let p = k.finish();
+/// let mut i = Interpreter::new(&p);
+/// i.run(100).unwrap();
+/// let mut host = aim_workloads::Xorshift::new(42);
+/// assert_eq!(i.reg(r(5)), host.next_u64());
+/// ```
+#[derive(Debug, Default)]
+pub struct KernelBuilder {
+    /// The underlying assembler (kernels use it directly for everything
+    /// without a helper).
+    pub asm: Assembler,
+}
+
+impl KernelBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> KernelBuilder {
+        KernelBuilder::default()
+    }
+
+    /// Emits the xorshift64 step on register `x`, clobbering scratch `t`:
+    /// `x ^= x<<13; x ^= x>>7; x ^= x<<17` (6 instructions).
+    pub fn xorshift(&mut self, x: Reg, t: Reg) {
+        self.asm.slli(t, x, 13);
+        self.asm.xor(x, x, t);
+        self.asm.srli(t, x, 7);
+        self.asm.xor(x, x, t);
+        self.asm.slli(t, x, 17);
+        self.asm.xor(x, x, t);
+    }
+
+    /// Emits `out = base_reg + ((idx >> shift) & mask) * 8`: a random word
+    /// address within a `mask+1`-word table (3–4 instructions).
+    pub fn index_word(&mut self, out: Reg, idx: Reg, shift: i64, mask: i64, base_reg: Reg) {
+        if shift > 0 {
+            self.asm.srli(out, idx, shift);
+            self.asm.andi(out, out, mask);
+        } else {
+            self.asm.andi(out, idx, mask);
+        }
+        self.asm.slli(out, out, 3);
+        self.asm.add(out, out, base_reg);
+    }
+
+    /// Emits the *journal* idiom: when `(gate & gate_mask) == 0`, a fast
+    /// progress store (`fast`, typically a loop counter — data ready at
+    /// dispatch) followed by a slow cumulative-digest store
+    /// (`acc = (acc + value) * value * golden`, a multiply chain that spans
+    /// journal entries) to the fixed address in `addr` (7–8 instructions;
+    /// clobbers `r28`).
+    ///
+    /// This reproduces the off-critical-path **output dependences** real
+    /// programs carry on global counters, statistics and spill slots: with a
+    /// gate cadence longer than the baseline window, only a large-window
+    /// machine ever has two journal pairs in flight, and an unenforced
+    /// (NOT-ENF) predictor then flushes on the younger-fast/older-slow store
+    /// races — the paper's §3.1 observation.
+    ///
+    /// `label` must be unique within the kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn journal(
+        &mut self,
+        gate: Reg,
+        gate_mask: i64,
+        fast: Reg,
+        value: Reg,
+        acc: Reg,
+        addr: Reg,
+        label: &str,
+    ) {
+        let r = Reg::new;
+        self.asm.andi(r(28), gate, gate_mask);
+        self.asm.bne(r(28), Reg::ZERO, label);
+        self.asm.sd(fast, addr, 0);
+        self.asm.add(acc, acc, value);
+        self.asm.mul(acc, acc, value);
+        self.asm.muli(acc, acc, 0x9E37_79B1);
+        self.asm.sd(acc, addr, 0);
+        self.asm.label(label);
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics on assembler errors (kernel construction bugs).
+    pub fn finish(self) -> aim_isa::Program {
+        self.asm.assemble().expect("kernel assembles")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim_isa::Interpreter;
+
+    #[test]
+    fn xorshift_never_zero_and_varies() {
+        let mut x = Xorshift::new(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let v = x.next_u64();
+            assert_ne!(v, 0);
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 1000);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut x = Xorshift::new(7);
+        for _ in 0..1000 {
+            assert!(x.below(37) < 37);
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_replaced() {
+        let mut x = Xorshift::new(0);
+        assert_ne!(x.next_u64(), 0);
+    }
+
+    #[test]
+    fn index_word_stays_in_table() {
+        let mut k = KernelBuilder::new();
+        let r = Reg::new;
+        k.asm.movi(r(1), 0x1234_5678_9abc_def0u64 as i64);
+        k.asm.movi(r(2), 0x10_0000);
+        k.index_word(r(3), r(1), 5, 63, r(2));
+        k.asm.halt();
+        let p = k.finish();
+        let mut i = Interpreter::new(&p);
+        i.run(100).unwrap();
+        let addr = i.reg(r(3));
+        assert!((0x10_0000..0x10_0000 + 64 * 8).contains(&addr));
+        assert_eq!(addr % 8, 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Anti/output dependence storms and the producer-set predictor.
+//!
+//! Builds a loop with deliberate write-after-write hazards (an
+//! older-but-slow store racing a younger-but-fast store to one address) and
+//! shows how each enforcement policy of the producer-set predictor behaves
+//! on the 8-wide, 1024-entry-window machine — the paper's §3.2 ENF study in
+//! miniature.
+//!
+//! ```text
+//! cargo run --release -p aim-examples --bin dependence_storm
+//! ```
+
+use aim_isa::{Assembler, Reg};
+use aim_pipeline::{simulate, SimConfig};
+use aim_predictor::EnforceMode;
+
+fn main() {
+    let mut asm = Assembler::new();
+    let r = Reg::new;
+    asm.movi(r(1), 4_000); // iterations
+    asm.movi(r(2), 0x1_0000); // data vector
+    asm.movi(r(3), 0x2_0000); // the contended mailbox address
+    asm.movi(r(22), 1); // slow accumulator
+    asm.movi(r(21), 0); // cursor
+    asm.label("loop");
+    // Streaming vector work (parallel, hazard-free).
+    asm.andi(r(6), r(21), 1023);
+    asm.slli(r(6), r(6), 3);
+    asm.add(r(6), r(6), r(2));
+    asm.ld(r(7), r(6), 0);
+    asm.addi(r(7), r(7), 3);
+    asm.sd(r(7), r(6), 0);
+    asm.addi(r(21), r(21), 1);
+    // The storm: a fast progress store, then a slow (multiply-chained)
+    // result store, to the same address. Consecutive iterations' stores
+    // race out of order — output dependence violations unless enforced.
+    asm.sd(r(21), r(3), 0);
+    asm.mul(r(22), r(22), r(7));
+    asm.muli(r(22), r(22), 0x9E37_79B1);
+    asm.xori(r(22), r(22), 0x55);
+    asm.sd(r(22), r(3), 0);
+    asm.subi(r(1), r(1), 1);
+    asm.bne(r(1), Reg::ZERO, "loop");
+    asm.halt();
+    let program = asm.assemble().expect("assembles");
+
+    println!("write-after-write storm on the aggressive 8-wide machine");
+    println!();
+    println!(
+        "{:<34} | {:>7} {:>9} {:>9} {:>9}",
+        "predictor policy", "IPC", "anti", "output", "flushes"
+    );
+    println!("{}", "-".repeat(76));
+    for (name, mode) in [
+        ("NOT-ENF (true deps only)", EnforceMode::TrueOnly),
+        ("ENF (pairwise producer→consumer)", EnforceMode::All),
+        ("ENF (total order in set)", EnforceMode::TotalOrder),
+    ] {
+        let cfg = SimConfig::aggressive_sfc_mdt(mode);
+        let stats = simulate(&program, &cfg).expect("validated");
+        println!(
+            "{:<34} | {:>7.3} {:>9} {:>9} {:>9}",
+            name,
+            stats.ipc(),
+            stats.flushes.anti_dep,
+            stats.flushes.output_dep,
+            stats.flushes.total()
+        );
+    }
+    println!();
+    println!("paper §3.1: \"loads and stores that violate anti and output dependences are");
+    println!("rarely on a program's critical path\" — enforcing them costs almost nothing,");
+    println!("while not enforcing them turns every race into a pipeline flush.");
+}

@@ -1,0 +1,30 @@
+# A tiny histogram kernel: bump 64 counters with pseudo-random indices and
+# checksum the re-read values — a store-to-load-forwarding workout.
+#
+#   cargo run --release -p aim-cli -- asm examples/programs/histogram.s --trace 12
+
+        movi  r1, 5000          # iterations
+        movi  r2, 0x10000       # counter table
+        movi  r5, 0x1234        # xorshift state
+        movi  r20, 0            # checksum
+loop:
+        slli  r6, r5, 13        # xorshift64
+        xor   r5, r5, r6
+        srli  r6, r5, 7
+        xor   r5, r5, r6
+        slli  r6, r5, 17
+        xor   r5, r5, r6
+
+        andi  r6, r5, 63        # counter = table[rng & 63]++
+        slli  r6, r6, 3
+        add   r6, r6, r2
+        ld8   r7, 0(r6)
+        addi  r7, r7, 1
+        st8   r7, 0(r6)
+
+        ld8   r8, 0(r6)         # re-read: forwarded from the SFC
+        add   r20, r20, r8
+
+        subi  r1, r1, 1
+        bne   r1, r0, loop
+        halt

@@ -1,0 +1,24 @@
+# Word-wise memcpy with verification read-back: a streaming store workload
+# that exercises the store FIFO and the SFC's cumulative lines.
+#
+#   cargo run --release -p aim-cli -- asm examples/programs/memcpy.s
+
+.data 0x10000: 0xdead 0xbeef 0xf00d 0xcafe 1 2 3 4
+
+        movi  r1, 1500          # outer repetitions
+copy:
+        movi  r2, 0x10000       # src
+        movi  r3, 0x20000       # dst
+        movi  r4, 8             # words
+word:
+        ld8   r5, 0(r2)
+        st8   r5, 0(r3)
+        ld8   r6, 0(r3)         # verify read: forwarded from the SFC
+        add   r20, r20, r6
+        addi  r2, r2, 8
+        addi  r3, r3, 8
+        subi  r4, r4, 1
+        bne   r4, r0, word
+        subi  r1, r1, 1
+        bne   r1, r0, copy
+        halt

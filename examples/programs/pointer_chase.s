@@ -1,0 +1,23 @@
+# Pointer chase: walk a linked list whose nodes were laid out by the .data
+# directives, summing payloads. Every load depends on the previous one —
+# the classic memory-latency-bound kernel (mcf's inner loop in miniature).
+#
+#   cargo run --release -p aim-cli -- asm examples/programs/pointer_chase.s
+
+# node layout: [next, payload]; the list 0x8000 -> 0x8040 -> 0x8020 -> 0
+.data 0x8000: 0x8040 11
+.data 0x8020: 0x0    33
+.data 0x8040: 0x8020 22
+
+        movi  r1, 2000          # laps around the list
+        movi  r20, 0            # checksum
+lap:
+        movi  r2, 0x8000        # head
+node:
+        ld8   r3, 8(r2)         # payload
+        add   r20, r20, r3
+        ld8   r2, 0(r2)         # next
+        bne   r2, r0, node
+        subi  r1, r1, 1
+        bne   r1, r0, lap
+        halt

@@ -1,0 +1,14 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in this package's `tests/` directory; each file
+//! exercises the public APIs of several `aim-sim` crates end to end.
+
+/// Re-export the workspace crates so integration tests can use one import.
+pub use aim_core as core;
+pub use aim_isa as isa;
+pub use aim_lsq as lsq;
+pub use aim_mem as mem;
+pub use aim_pipeline as pipeline;
+pub use aim_predictor as predictor;
+pub use aim_types as types;
+pub use aim_workloads as workloads;
