@@ -2,34 +2,23 @@
 //! cycles under the SFC/MDT backend, for tuning workload shapes against the
 //! paper's reported pathologies. Not one of the paper artifacts.
 
-use aim_bench::{prepare_all, run, scale_from_args};
-use aim_lsq::LsqConfig;
-use aim_pipeline::SimConfig;
-use aim_predictor::EnforceMode;
+use aim_bench::{jobs_from_args, run_matrix_timed, scale_from_args, specs, SweepReport};
 
 fn main() {
     let scale = scale_from_args();
-    let aggressive = aim_bench::has_flag("--aggressive");
-    let (lsq_cfg, enf_cfg) = if aggressive {
-        (
-            SimConfig::aggressive_lsq(LsqConfig::aggressive_120x80()),
-            SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder),
-        )
-    } else {
-        (
-            SimConfig::baseline_lsq(),
-            SimConfig::baseline_sfc_mdt(EnforceMode::All),
-        )
-    };
+    let jobs = jobs_from_args();
+    let spec = specs::calibrate(aim_bench::has_flag("--aggressive"));
+    let prepared = spec.workloads(scale);
+    let (matrix, wall) = run_matrix_timed(&prepared, &spec.configs, jobs);
 
     println!(
         "{:<11} {:>6} {:>6} | {:>7} {:>7} {:>7} {:>7} | {:>5} {:>4} {:>4} {:>4} {:>9} | {:>7} {:>7} {:>5}",
         "bench", "lsqIPC", "norm", "ld.mdt%", "st.mdt%", "st.sfc%", "corr%",
         "fl.br", "tru", "ant", "out", "pf/ff", "fwd%", "stall%", "mis%"
     );
-    for p in prepare_all(scale) {
-        let lsq = run(&p, &lsq_cfg);
-        let s = run(&p, &enf_cfg);
+    for (w, p) in prepared.iter().enumerate() {
+        let lsq = matrix.get(w, 0);
+        let s = matrix.get(w, 1);
         let norm = s.ipc() / lsq.ipc();
         let stall_frac = 100.0
             * (s.dispatch_stalls.rob_full + s.dispatch_stalls.no_phys_reg) as f64
@@ -53,4 +42,6 @@ fn main() {
             aim_types::percent(s.branch_mispredicts, s.branches_retired),
         );
     }
+
+    SweepReport::from_matrix(spec.artifact, jobs, wall, &prepared, &spec.configs, &matrix).emit();
 }

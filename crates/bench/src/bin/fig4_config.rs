@@ -2,8 +2,10 @@
 //! superscalar processors, printed from the live configuration structs so
 //! the table can never drift from what the simulator actually models.
 
+use aim_bench::{jobs_from_args, run_matrix_timed, specs, SweepReport};
 use aim_pipeline::{BackendConfig, SimConfig};
 use aim_predictor::EnforceMode;
+use aim_workloads::Scale;
 
 fn row(parameter: &str, baseline: String, aggressive: String) {
     println!("{parameter:<24} | {baseline:<34} | {aggressive}");
@@ -126,4 +128,25 @@ fn main() {
         format!("{} units", a.issue_width),
     );
     aim_bench::rule(100);
+
+    // Boot-validate both printed configurations: one tiny kernel through
+    // the shared sweep runner, so the table can never describe a machine
+    // that no longer simulates.
+    let jobs = jobs_from_args();
+    let spec = specs::fig4_boot();
+    let prepared: Vec<_> = spec.workloads(Scale::Tiny).into_iter().take(1).collect();
+    let (matrix, wall) = run_matrix_timed(&prepared, &spec.configs, jobs);
+    for (_, c, stats) in matrix.iter() {
+        assert!(
+            stats.retired > 0,
+            "{} retired nothing",
+            spec.configs[c].0
+        );
+    }
+    println!(
+        "boot check: {} simulated {} tiny cells ok",
+        prepared[0].name,
+        matrix.n_configs()
+    );
+    SweepReport::from_matrix(spec.artifact, jobs, wall, &prepared, &spec.configs, &matrix).emit();
 }

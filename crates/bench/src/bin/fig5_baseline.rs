@@ -10,17 +10,22 @@
 //! enforcing output dependences.
 
 use aim_bench::{
-    csv_path_from_args, prepare_all, rule, run, scale_from_args, suite_means, CsvTable,
+    csv_path_from_args, jobs_from_args, rule, run_matrix_timed, scale_from_args, specs,
+    suite_means, CsvTable, SweepReport,
 };
-use aim_pipeline::SimConfig;
-use aim_predictor::EnforceMode;
 use aim_workloads::Suite;
 
 fn main() {
     let scale = scale_from_args();
-    let lsq_cfg = SimConfig::baseline_lsq();
-    let enf_cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
-    let not_enf_cfg = SimConfig::baseline_sfc_mdt(EnforceMode::TrueOnly);
+    let jobs = jobs_from_args();
+    let spec = specs::fig5_baseline();
+    let prepared = spec.workloads(scale);
+    let (matrix, wall) = run_matrix_timed(&prepared, &spec.configs, jobs);
+    let (i_lsq, i_enf, i_ne) = (
+        spec.index("lsq-48x32"),
+        spec.index("sfc-mdt-enf"),
+        spec.index("sfc-mdt-not-enf"),
+    );
 
     println!("Figure 5 — baseline 4-wide superscalar (normalized to 48x32 LSQ IPC)");
     println!("Paper: ENF avg within ~1% of LSQ; NOT-ENF within ~3%.");
@@ -34,10 +39,10 @@ fn main() {
     let mut enf_rows = Vec::new();
     let mut not_enf_rows = Vec::new();
     let mut csv = CsvTable::new(&["benchmark", "suite", "lsq_ipc", "enf_norm", "not_enf_norm"]);
-    for p in prepare_all(scale) {
-        let lsq = run(&p, &lsq_cfg);
-        let enf = run(&p, &enf_cfg);
-        let not_enf = run(&p, &not_enf_cfg);
+    for (w, p) in prepared.iter().enumerate() {
+        let lsq = matrix.get(w, i_lsq);
+        let enf = matrix.get(w, i_enf);
+        let not_enf = matrix.get(w, i_ne);
         let enf_norm = enf.ipc() / lsq.ipc();
         let not_enf_norm = not_enf.ipc() / lsq.ipc();
         enf_rows.push((p.suite, enf_norm));
@@ -76,4 +81,6 @@ fn main() {
         csv.write(&path).expect("write csv");
         println!("wrote {path}");
     }
+
+    SweepReport::from_matrix(spec.artifact, jobs, wall, &prepared, &spec.configs, &matrix).emit();
 }

@@ -11,19 +11,23 @@
 //! `mesa` is excluded, as in the paper.
 
 use aim_bench::{
-    csv_path_from_args, prepare_all, rule, run, scale_from_args, suite_means, CsvTable,
+    csv_path_from_args, jobs_from_args, rule, run_matrix_timed, scale_from_args, specs,
+    suite_means, CsvTable, SweepReport,
 };
-use aim_lsq::LsqConfig;
-use aim_pipeline::SimConfig;
-use aim_predictor::EnforceMode;
 use aim_workloads::Suite;
 
 fn main() {
     let scale = scale_from_args();
-    let ref_cfg = SimConfig::aggressive_lsq(LsqConfig::aggressive_120x80());
-    let big_cfg = SimConfig::aggressive_lsq(LsqConfig::aggressive_256x256());
-    let small_cfg = SimConfig::aggressive_lsq(LsqConfig::baseline_48x32());
-    let enf_cfg = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let jobs = jobs_from_args();
+    let spec = specs::fig6_aggressive();
+    let prepared = spec.workloads(scale);
+    let (matrix, wall) = run_matrix_timed(&prepared, &spec.configs, jobs);
+    let (i_ref, i_big, i_small, i_enf) = (
+        spec.index("lsq-120x80"),
+        spec.index("lsq-256x256"),
+        spec.index("lsq-48x32"),
+        spec.index("sfc-mdt-enf"),
+    );
 
     println!("Figure 6 — aggressive 8-wide superscalar (normalized to 120x80 LSQ IPC)");
     println!("Paper: MDT/SFC(ENF) ≈ -9% int / +2% fp vs the 120x80 LSQ.");
@@ -45,14 +49,11 @@ fn main() {
         "lsq48x32_norm",
         "sfc_mdt_enf_norm",
     ]);
-    for p in prepare_all(scale) {
-        if p.name == "mesa" {
-            continue; // not reported in the paper's Figure 6
-        }
-        let reference = run(&p, &ref_cfg);
-        let big = run(&p, &big_cfg).ipc() / reference.ipc();
-        let small = run(&p, &small_cfg).ipc() / reference.ipc();
-        let enf = run(&p, &enf_cfg).ipc() / reference.ipc();
+    for (w, p) in prepared.iter().enumerate() {
+        let reference = matrix.get(w, i_ref);
+        let big = matrix.get(w, i_big).ipc() / reference.ipc();
+        let small = matrix.get(w, i_small).ipc() / reference.ipc();
+        let enf = matrix.get(w, i_enf).ipc() / reference.ipc();
         big_rows.push((p.suite, big));
         small_rows.push((p.suite, small));
         enf_rows.push((p.suite, enf));
@@ -93,4 +94,6 @@ fn main() {
         csv.write(&path).expect("write csv");
         println!("wrote {path}");
     }
+
+    SweepReport::from_matrix(spec.artifact, jobs, wall, &prepared, &spec.configs, &matrix).emit();
 }

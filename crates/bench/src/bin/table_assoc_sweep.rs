@@ -17,19 +17,15 @@
 //! better hash function ... would increase the performance of bzip2 and mcf
 //! to an acceptable level" — evaluated with an XOR-folded set index.
 
-use aim_bench::{has_flag, prepare_all, rule, run, scale_from_args};
-use aim_core::{MdtTagging, SetHash};
-use aim_pipeline::{BackendConfig, SimConfig};
-use aim_predictor::EnforceMode;
+use aim_bench::{has_flag, jobs_from_args, rule, run_matrix_timed, scale_from_args, specs, SweepReport};
 
 fn main() {
     let scale = scale_from_args();
-    let base = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
-    let mut assoc16 = base.clone();
-    if let BackendConfig::SfcMdt { sfc, mdt } = &mut assoc16.backend {
-        sfc.ways = 16;
-        mdt.ways = 16;
-    }
+    let jobs = jobs_from_args();
+    let spec = specs::table_assoc_sweep();
+    let prepared = spec.workloads(scale);
+    let (matrix, wall) = run_matrix_timed(&prepared, &spec.configs, jobs);
+    let (i_two, i_sixteen) = (spec.index("assoc-2"), spec.index("assoc-16"));
 
     println!("Set-conflict and associativity study (aggressive machine)");
     println!("Paper: bzip2 >50% store SFC conflicts, mcf >16% load MDT conflicts (2-way);");
@@ -41,12 +37,9 @@ fn main() {
     );
     rule(92);
 
-    for p in prepare_all(scale) {
-        if p.name == "mesa" {
-            continue;
-        }
-        let two = run(&p, &base);
-        let sixteen = run(&p, &assoc16);
+    for (w, p) in prepared.iter().enumerate() {
+        let two = matrix.get(w, i_two);
+        let sixteen = matrix.get(w, i_sixteen);
         let gain = 100.0 * (sixteen.ipc() / two.ipc() - 1.0);
         println!(
             "{:<11} | {:>8.2}% {:>8.2}% {:>8.3} | {:>8.2}% {:>8.2}% {:>8.3} | {:>+8.1}%",
@@ -62,6 +55,9 @@ fn main() {
     }
     rule(92);
 
+    let mut report =
+        SweepReport::from_matrix(spec.artifact, jobs, wall, &prepared, &spec.configs, &matrix);
+
     if has_flag("--hash") {
         println!();
         println!("Set-hash study (§3.2 closing hypothesis; aggressive machine)");
@@ -71,17 +67,12 @@ fn main() {
             "benchmark", "low st%", "low ld%", "IPC", "xor st%", "xor ld%", "IPC", "gain"
         );
         rule(84);
-        let mut xor_cfg = base.clone();
-        if let BackendConfig::SfcMdt { sfc, mdt } = &mut xor_cfg.backend {
-            sfc.hash = SetHash::XorFold;
-            mdt.hash = SetHash::XorFold;
-        }
-        for p in prepare_all(scale) {
-            if p.name == "mesa" {
-                continue;
-            }
-            let low = run(&p, &base);
-            let xor = run(&p, &xor_cfg);
+        let hash = specs::assoc_hash();
+        let (hm, hw) = run_matrix_timed(&prepared, &hash.configs, jobs);
+        let (i_low, i_xor) = (hash.index("hash-low"), hash.index("hash-xor"));
+        for (w, p) in prepared.iter().enumerate() {
+            let low = hm.get(w, i_low);
+            let xor = hm.get(w, i_xor);
             println!(
                 "{:<11} | {:>8.2}% {:>8.2}% {:>8.3} | {:>8.2}% {:>8.2}% {:>8.3} | {:>+7.1}%",
                 p.name,
@@ -98,6 +89,14 @@ fn main() {
         println!("one XOR fold of the upper granule bits defeats mcf's set-sized stride");
         println!("entirely; bzip2's residual conflicts come from a few *hot* bucket lines");
         println!("that any hash must place somewhere — only associativity absorbs those");
+        report.merge(SweepReport::from_matrix(
+            hash.artifact,
+            jobs,
+            hw,
+            &prepared,
+            &hash.configs,
+            &hm,
+        ));
     }
 
     if has_flag("--untagged") {
@@ -109,16 +108,12 @@ fn main() {
             "benchmark", "tag ld%", "tag viol", "IPC", "untag ld%", "untag viol", "IPC"
         );
         rule(76);
-        let mut untagged_cfg = base.clone();
-        if let BackendConfig::SfcMdt { mdt, .. } = &mut untagged_cfg.backend {
-            mdt.tagging = MdtTagging::Untagged;
-        }
-        for p in prepare_all(scale) {
-            if p.name == "mesa" {
-                continue;
-            }
-            let tagged = run(&p, &base);
-            let untagged = run(&p, &untagged_cfg);
+        let untag = specs::assoc_untagged();
+        let (um, uw) = run_matrix_timed(&prepared, &untag.configs, jobs);
+        let (i_tag, i_untag) = (untag.index("tagged"), untag.index("untagged"));
+        for (w, p) in prepared.iter().enumerate() {
+            let tagged = um.get(w, i_tag);
+            let untagged = um.get(w, i_untag);
             println!(
                 "{:<11} | {:>8.2}% {:>9} {:>8.3} | {:>8.2}% {:>9} {:>8.3}",
                 p.name,
@@ -133,6 +128,14 @@ fn main() {
         rule(76);
         println!("untagged entries never conflict (no replays) but alias, trading");
         println!("structural re-execution for spurious ordering violations");
+        report.merge(SweepReport::from_matrix(
+            untag.artifact,
+            jobs,
+            uw,
+            &prepared,
+            &untag.configs,
+            &um,
+        ));
     }
 
     if has_flag("--granularity") {
@@ -144,23 +147,28 @@ fn main() {
             "benchmark", "8 B", "16 B", "32 B", "64 B"
         );
         rule(60);
-        for p in prepare_all(scale) {
-            if p.name == "mesa" {
-                continue;
-            }
+        let gran = specs::assoc_granularity();
+        let (gm, gw) = run_matrix_timed(&prepared, &gran.configs, jobs);
+        let i_ref = gran.index("granule-8");
+        for (w, p) in prepared.iter().enumerate() {
             let mut row = format!("{:<11} |", p.name);
-            let reference = run(&p, &base).ipc();
-            for g in [8u64, 16, 32, 64] {
-                let mut cfg = base.clone();
-                if let BackendConfig::SfcMdt { mdt, .. } = &mut cfg.backend {
-                    mdt.granularity = g;
-                }
-                let ipc = run(&p, &cfg).ipc();
-                row.push_str(&format!(" {:>8.3}", ipc / reference));
+            let reference = gm.get(w, i_ref).ipc();
+            for c in 0..gm.n_configs() {
+                row.push_str(&format!(" {:>8.3}", gm.get(w, c).ipc() / reference));
             }
             println!("{row}");
         }
         rule(60);
         println!("larger granules alias more distinct addresses: spurious violations rise");
+        report.merge(SweepReport::from_matrix(
+            gran.artifact,
+            jobs,
+            gw,
+            &prepared,
+            &gran.configs,
+            &gm,
+        ));
     }
+
+    report.emit();
 }

@@ -10,14 +10,14 @@
 //! alternative ("the SFC could record the sequence numbers of the earliest
 //! and latest instructions flushed") when `--endpoints` is passed.
 
-use aim_bench::{has_flag, prepare_all, rule, run, scale_from_args};
-use aim_core::{CorruptionPolicy, PartialMatchPolicy};
-use aim_pipeline::{BackendConfig, SimConfig};
-use aim_predictor::EnforceMode;
+use aim_bench::{has_flag, jobs_from_args, rule, run_matrix_timed, scale_from_args, specs, SweepReport};
 
 fn main() {
     let scale = scale_from_args();
-    let cfg = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let jobs = jobs_from_args();
+    let spec = specs::table_corruption();
+    let prepared = spec.workloads(scale);
+    let (matrix, wall) = run_matrix_timed(&prepared, &spec.configs, jobs);
 
     println!("SFC corruption study (aggressive machine)");
     println!("Paper: vpr_route/ammp/equake ≈ 20% of loads replayed on corruption; others ≤ 6%.");
@@ -28,11 +28,8 @@ fn main() {
     );
     rule(78);
 
-    for p in prepare_all(scale) {
-        if p.name == "mesa" {
-            continue;
-        }
-        let s = run(&p, &cfg);
+    for (w, p) in prepared.iter().enumerate() {
+        let s = matrix.get(w, 0);
         let sfc = s.sfc.expect("SFC backend");
         let marker = if ["vpr_route", "ammp", "equake"].contains(&p.name) {
             "  <- paper outlier"
@@ -50,6 +47,9 @@ fn main() {
     }
     rule(78);
 
+    let mut report =
+        SweepReport::from_matrix(spec.artifact, jobs, wall, &prepared, &spec.configs, &matrix);
+
     if has_flag("--endpoints") {
         println!();
         println!("Corruption-policy ablation (§3.2): corruption masks vs flush endpoints");
@@ -59,16 +59,12 @@ fn main() {
             "benchmark", "bits corr%", "IPC", "endp corr%", "IPC"
         );
         rule(72);
-        let mut ep_cfg = cfg.clone();
-        if let BackendConfig::SfcMdt { sfc, .. } = &mut ep_cfg.backend {
-            sfc.corruption = CorruptionPolicy::FlushEndpoints { capacity: 16 };
-        }
-        for p in prepare_all(scale) {
-            if p.name == "mesa" {
-                continue;
-            }
-            let bits = run(&p, &cfg);
-            let endp = run(&p, &ep_cfg);
+        let ep = specs::corruption_endpoints();
+        let (em, ew) = run_matrix_timed(&prepared, &ep.configs, jobs);
+        let (i_bits, i_endp) = (ep.index("corrupt-bits"), ep.index("flush-endpoints"));
+        for (w, p) in prepared.iter().enumerate() {
+            let bits = em.get(w, i_bits);
+            let endp = em.get(w, i_endp);
             println!(
                 "{:<11} | {:>9.2}% {:>10.3} | {:>9.2}% {:>10.3}",
                 p.name,
@@ -81,6 +77,14 @@ fn main() {
         rule(72);
         println!("tracking flush endpoints keeps surviving stores forwardable across");
         println!("partial flushes, trading ~8 sequence numbers per line for precision");
+        report.merge(SweepReport::from_matrix(
+            ep.artifact,
+            jobs,
+            ew,
+            &prepared,
+            &ep.configs,
+            &em,
+        ));
     }
 
     if has_flag("--partial") {
@@ -92,14 +96,12 @@ fn main() {
             "benchmark", "combine", "replay", "ratio"
         );
         rule(56);
-        let mut replay_cfg = cfg.clone();
-        replay_cfg.partial_match_policy = PartialMatchPolicy::Replay;
-        for p in prepare_all(scale) {
-            if p.name == "mesa" {
-                continue;
-            }
-            let combine = run(&p, &cfg).ipc();
-            let replay = run(&p, &replay_cfg).ipc();
+        let pm = specs::corruption_partial();
+        let (pmx, pw) = run_matrix_timed(&prepared, &pm.configs, jobs);
+        let (i_combine, i_replay) = (pm.index("combine"), pm.index("replay"));
+        for (w, p) in prepared.iter().enumerate() {
+            let combine = pmx.get(w, i_combine).ipc();
+            let replay = pmx.get(w, i_replay).ipc();
             println!(
                 "{:<11} | {:>10.3} {:>10.3} {:>10.3}",
                 p.name,
@@ -109,5 +111,15 @@ fn main() {
             );
         }
         rule(56);
+        report.merge(SweepReport::from_matrix(
+            pm.artifact,
+            jobs,
+            pw,
+            &prepared,
+            &pm.configs,
+            &pmx,
+        ));
     }
+
+    report.emit();
 }

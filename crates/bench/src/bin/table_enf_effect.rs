@@ -8,16 +8,22 @@
 //! to plain producer→consumer enforcement at this window size; all three
 //! policies are printed for comparison.
 
-use aim_bench::{prepare_all, rule, run, scale_from_args, suite_means};
-use aim_pipeline::SimConfig;
-use aim_predictor::EnforceMode;
+use aim_bench::{
+    jobs_from_args, rule, run_matrix_timed, scale_from_args, specs, suite_means, SweepReport,
+};
 use aim_workloads::Suite;
 
 fn main() {
     let scale = scale_from_args();
-    let not_enf = SimConfig::aggressive_sfc_mdt(EnforceMode::TrueOnly);
-    let enf_pairwise = SimConfig::aggressive_sfc_mdt(EnforceMode::All);
-    let enf_total = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let jobs = jobs_from_args();
+    let spec = specs::table_enf_effect();
+    let prepared = spec.workloads(scale);
+    let (matrix, wall) = run_matrix_timed(&prepared, &spec.configs, jobs);
+    let (i_not, i_pair, i_total) = (
+        spec.index("not-enf"),
+        spec.index("enf-pairwise"),
+        spec.index("enf-total"),
+    );
 
     println!("ENF vs NOT-ENF on the aggressive 8-wide machine (IPC relative to NOT-ENF)");
     println!("Paper: ENF(total order) +14% int / +43% fp over NOT-ENF.");
@@ -30,13 +36,10 @@ fn main() {
 
     let mut pair_rows = Vec::new();
     let mut total_rows = Vec::new();
-    for p in prepare_all(scale) {
-        if p.name == "mesa" {
-            continue; // Figure 6 benchmark set
-        }
-        let base = run(&p, &not_enf).ipc();
-        let pairwise = run(&p, &enf_pairwise).ipc() / base;
-        let total = run(&p, &enf_total).ipc() / base;
+    for (w, p) in prepared.iter().enumerate() {
+        let base = matrix.get(w, i_not).ipc();
+        let pairwise = matrix.get(w, i_pair).ipc() / base;
+        let total = matrix.get(w, i_total).ipc() / base;
         pair_rows.push((p.suite, pairwise));
         total_rows.push((p.suite, total));
         println!(
@@ -61,4 +64,6 @@ fn main() {
     );
     rule(76);
     println!("paper targets: ENF total ≈ 1.14 (int), ≈ 1.43 (fp) relative to NOT-ENF");
+
+    SweepReport::from_matrix(spec.artifact, jobs, wall, &prepared, &spec.configs, &matrix).emit();
 }

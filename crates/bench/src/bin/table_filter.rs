@@ -20,19 +20,8 @@
 //! of the IPC of the full 16K-entry design on the conflict-bound kernels —
 //! exactly the "much smaller MDT" §4 predicts.
 
-use aim_bench::{prepare_all, rule, run, scale_from_args, suite_means};
-use aim_core::MdtConfig;
-use aim_pipeline::{BackendConfig, SimConfig, SimStats};
-use aim_predictor::EnforceMode;
-
-fn config(sets: usize, ways: usize, filter: bool) -> SimConfig {
-    let mut cfg = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
-    if let BackendConfig::SfcMdt { mdt, .. } = &mut cfg.backend {
-        *mdt = MdtConfig { sets, ways, ..*mdt };
-    }
-    cfg.mdt_filter = filter;
-    cfg
-}
+use aim_bench::{jobs_from_args, rule, run_matrix_timed, scale_from_args, specs, suite_means, SweepReport};
+use aim_pipeline::SimStats;
 
 fn conflicts(s: &SimStats) -> u64 {
     s.replays.load_mdt_conflicts + s.replays.store_mdt_conflicts
@@ -40,7 +29,10 @@ fn conflicts(s: &SimStats) -> u64 {
 
 fn main() {
     let scale = scale_from_args();
-    let workloads = prepare_all(scale);
+    let jobs = jobs_from_args();
+    let spec = specs::table_filter();
+    let workloads = spec.workloads(scale);
+    let (matrix, wall) = run_matrix_timed(&workloads, &spec.configs, jobs);
     // (sets, ways): 16Kx16 is the aggressive geometry; the rest starve it.
     let geometries: &[(usize, usize)] = &[(1024, 16), (256, 1), (64, 1), (16, 1)];
 
@@ -54,30 +46,28 @@ fn main() {
     rule(86);
 
     let mut means: Vec<(usize, usize, Vec<_>, Vec<_>)> = Vec::new();
-    for &(sets, ways) in geometries {
-        let off_cfg = config(sets, ways, false);
-        let on_cfg = config(sets, ways, true);
+    for (g, &(sets, ways)) in geometries.iter().enumerate() {
+        let i_off = spec.index(&format!("mdt{sets}x{ways}-off"));
+        let i_on = spec.index(&format!("mdt{sets}x{ways}-on"));
+        assert_eq!((i_off, i_on), (2 * g, 2 * g + 1), "spec order drifted");
         let mut off_rows = Vec::new();
         let mut on_rows = Vec::new();
-        for p in &workloads {
-            if p.name == "mesa" {
-                continue;
-            }
-            let off = run(p, &off_cfg);
-            let on = run(p, &on_cfg);
+        for (w, p) in workloads.iter().enumerate() {
+            let off = matrix.get(w, i_off);
+            let on = matrix.get(w, i_on);
             // Print per-benchmark rows only where the MDT is under pressure;
             // the suite geomeans below cover the rest.
-            if conflicts(&off) > 0 || conflicts(&on) > 0 {
+            if conflicts(off) > 0 || conflicts(on) > 0 {
                 println!(
                     "{:<12} | {:>6}x{:<3} | {:>8.3} {:>9} {:>6.1}% | {:>8.3} {:>9} {:>+6.1}%",
                     p.name,
                     sets,
                     ways,
                     off.ipc(),
-                    conflicts(&off),
+                    conflicts(off),
                     100.0 * on.mdt_filtered_loads as f64 / on.retired_loads.max(1) as f64,
                     on.ipc(),
-                    conflicts(&on),
+                    conflicts(on),
                     100.0 * (on.ipc() / off.ipc() - 1.0),
                 );
             }
@@ -104,4 +94,6 @@ fn main() {
     rule(86);
     println!("the filter holds small-MDT IPC near the 16K-entry design on the");
     println!("conflict-bound kernels — §4's \"higher performance from a much smaller MDT\"");
+
+    SweepReport::from_matrix(spec.artifact, jobs, wall, &workloads, &spec.configs, &matrix).emit();
 }

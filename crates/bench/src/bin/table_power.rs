@@ -18,26 +18,19 @@
 //! It also reports peak structure occupancies (including the store FIFO),
 //! the data a hardware implementation would size the structures from.
 
-use aim_bench::{prepare_all, rule, run, scale_from_args};
-use aim_lsq::LsqConfig;
-use aim_pipeline::{BackendConfig, SimConfig};
-use aim_predictor::EnforceMode;
+use aim_bench::{jobs_from_args, rule, run_matrix_timed, scale_from_args, specs, SweepReport};
+use aim_pipeline::BackendConfig;
 
 fn main() {
     let scale = scale_from_args();
+    let jobs = jobs_from_args();
     let aggressive = aim_bench::has_flag("--aggressive");
-    let (lsq_cfg, sfc_cfg) = if aggressive {
-        (
-            SimConfig::aggressive_lsq(LsqConfig::aggressive_120x80()),
-            SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder),
-        )
-    } else {
-        (
-            SimConfig::baseline_lsq(),
-            SimConfig::baseline_sfc_mdt(EnforceMode::All),
-        )
-    };
-    let (sfc_ways, mdt_ways) = match sfc_cfg.backend {
+    let spec = specs::table_power(aggressive);
+    let prepared = spec.workloads(scale);
+    let (matrix, wall) = run_matrix_timed(&prepared, &spec.configs, jobs);
+    let i_lsq = 0;
+    let i_sfc = spec.index("sfc-mdt-enf");
+    let (sfc_ways, mdt_ways) = match spec.configs[i_sfc].1.backend {
         BackendConfig::SfcMdt { sfc, mdt } => (sfc.ways as u64, mdt.ways as u64),
         _ => unreachable!("sfc config"),
     };
@@ -64,9 +57,9 @@ fn main() {
     rule(92);
 
     let mut totals = (0u64, 0u64, 0u64);
-    for p in prepare_all(scale) {
-        let lsq = run(&p, &lsq_cfg);
-        let sfc = run(&p, &sfc_cfg);
+    for (w, p) in prepared.iter().enumerate() {
+        let lsq = matrix.get(w, i_lsq);
+        let sfc = matrix.get(w, i_sfc);
         let lsq_stats = lsq.lsq.expect("LSQ backend");
         let lsq_cmps = lsq_stats.sq_entries_compared + lsq_stats.lq_entries_compared;
         // Each SFC/MDT access is one set read: `ways` tag comparators.
@@ -97,4 +90,6 @@ fn main() {
         totals.1,
         totals.0 as f64 / totals.1.max(1) as f64
     );
+
+    SweepReport::from_matrix(spec.artifact, jobs, wall, &prepared, &spec.configs, &matrix).emit();
 }

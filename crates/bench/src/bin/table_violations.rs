@@ -12,10 +12,8 @@
 //! (aggressive single-load true-dependence recovery, corrupt-marking output
 //! recovery).
 
-use aim_bench::{has_flag, prepare_all, rule, run, scale_from_args};
-use aim_core::TrueDepRecovery;
-use aim_pipeline::{BackendConfig, OutputDepRecovery, SimConfig, SimStats};
-use aim_predictor::EnforceMode;
+use aim_bench::{has_flag, jobs_from_args, rule, run_matrix_timed, scale_from_args, specs, SweepReport};
+use aim_pipeline::SimStats;
 
 fn anti_output_rate(s: &SimStats) -> f64 {
     aim_types::percent(
@@ -26,7 +24,16 @@ fn anti_output_rate(s: &SimStats) -> f64 {
 
 fn main() {
     let scale = scale_from_args();
-    let workloads = prepare_all(scale);
+    let jobs = jobs_from_args();
+    let spec = specs::table_violations();
+    let workloads = spec.workloads(scale);
+    let (matrix, wall) = run_matrix_timed(&workloads, &spec.configs, jobs);
+    let (i_bn, i_be, i_an, i_ae) = (
+        spec.index("base-not-enf"),
+        spec.index("base-enf"),
+        spec.index("aggr-not-enf"),
+        spec.index("aggr-enf"),
+    );
 
     println!("Violation rates (% of retired loads+stores)");
     println!("Paper: baseline ENF cuts anti+output rates >10x; aggressive 0.93% -> 0.11%.");
@@ -37,20 +44,17 @@ fn main() {
     );
     rule(96);
 
-    let base_enf = SimConfig::baseline_sfc_mdt(EnforceMode::All);
-    let base_not = SimConfig::baseline_sfc_mdt(EnforceMode::TrueOnly);
-    let aggr_enf = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
-    let aggr_not = SimConfig::aggressive_sfc_mdt(EnforceMode::TrueOnly);
-
     let mut sums = [0.0f64; 4];
     let mut n = 0usize;
-    for p in &workloads {
-        let bn = run(p, &base_not);
-        let be = run(p, &base_enf);
-        let an = run(p, &aggr_not);
-        let ae = run(p, &aggr_enf);
-        let (bnr, ber) = (anti_output_rate(&bn), anti_output_rate(&be));
-        let (anr, aer) = (an.violation_rate(), ae.violation_rate());
+    for (w, p) in workloads.iter().enumerate() {
+        let (bnr, ber) = (
+            anti_output_rate(matrix.get(w, i_bn)),
+            anti_output_rate(matrix.get(w, i_be)),
+        );
+        let (anr, aer) = (
+            matrix.get(w, i_an).violation_rate(),
+            matrix.get(w, i_ae).violation_rate(),
+        );
         let ratio = if ber > 0.0 { bnr / ber } else { f64::INFINITY };
         sums[0] += bnr;
         sums[1] += ber;
@@ -77,6 +81,9 @@ fn main() {
         "paper: aggressive averages NOT-ENF ≈ 0.93%, ENF ≈ 0.11% (ours above; shape: >5x drop)"
     );
 
+    let mut report =
+        SweepReport::from_matrix(spec.artifact, jobs, wall, &workloads, &spec.configs, &matrix);
+
     if has_flag("--policies") {
         println!();
         println!("§2.4 recovery-policy ablation (aggressive machine, normalized IPC vs default)");
@@ -86,18 +93,29 @@ fn main() {
             "benchmark", "default", "aggressive-TD", "corrupt-OD"
         );
         rule(70);
-        let mut td_cfg = aggr_enf.clone();
-        if let BackendConfig::SfcMdt { mdt, .. } = &mut td_cfg.backend {
-            mdt.true_dep_recovery = TrueDepRecovery::SingleLoadAggressive;
-        }
-        let mut od_cfg = aggr_enf.clone();
-        od_cfg.output_dep_recovery = OutputDepRecovery::MarkCorrupt;
-        for p in &workloads {
-            let base = run(p, &aggr_enf).ipc();
-            let td = run(p, &td_cfg).ipc() / base;
-            let od = run(p, &od_cfg).ipc() / base;
+        let pol = specs::violation_policies();
+        let (pol_matrix, pol_wall) = run_matrix_timed(&workloads, &pol.configs, jobs);
+        let (i_def, i_td, i_od) = (
+            pol.index("aggr-enf"),
+            pol.index("aggressive-td"),
+            pol.index("corrupt-od"),
+        );
+        for (w, p) in workloads.iter().enumerate() {
+            let base = pol_matrix.get(w, i_def).ipc();
+            let td = pol_matrix.get(w, i_td).ipc() / base;
+            let od = pol_matrix.get(w, i_od).ipc() / base;
             println!("{:<11} | {:>10.3} {:>14.3} {:>14.3}", p.name, 1.0, td, od);
         }
         rule(70);
+        report.merge(SweepReport::from_matrix(
+            pol.artifact,
+            jobs,
+            pol_wall,
+            &workloads,
+            &pol.configs,
+            &pol_matrix,
+        ));
     }
+
+    report.emit();
 }

@@ -15,14 +15,17 @@
 //! flattens as its capacity gates dispatch; the SFC/MDT curve keeps
 //! climbing.
 
-use aim_bench::{prepare_all, rule, run, scale_from_args, suite_means};
-use aim_lsq::LsqConfig;
-use aim_pipeline::SimConfig;
-use aim_predictor::EnforceMode;
+use aim_bench::{
+    jobs_from_args, rule, run_matrix_timed, scale_from_args, specs, suite_means, SweepReport,
+};
 
 fn main() {
     let scale = scale_from_args();
+    let jobs = jobs_from_args();
     let windows = [128usize, 256, 512, 1024];
+    let spec = specs::table_window_sweep();
+    let workloads = spec.workloads(scale);
+    let (matrix, wall) = run_matrix_timed(&workloads, &spec.configs, jobs);
 
     println!("Window-scaling study: geomean IPC vs instruction-window size");
     println!("(8-wide machine; LSQ fixed at 48x32 — the capacity a fast CAM affords —");
@@ -34,23 +37,15 @@ fn main() {
     );
     rule(70);
 
-    let workloads = prepare_all(scale);
     for &window in &windows {
-        let mut lsq_cfg = SimConfig::aggressive_lsq(LsqConfig::baseline_48x32());
-        lsq_cfg.rob_entries = window;
-        lsq_cfg.phys_regs = window + 64;
-        let mut sfc_cfg = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
-        sfc_cfg.rob_entries = window;
-        sfc_cfg.phys_regs = window + 64;
+        let i_lsq = spec.index(&format!("lsq-48x32@w{window}"));
+        let i_sfc = spec.index(&format!("sfc-mdt@w{window}"));
 
         let mut lsq_rows = Vec::new();
         let mut sfc_rows = Vec::new();
-        for p in &workloads {
-            if p.name == "mesa" {
-                continue;
-            }
-            lsq_rows.push((p.suite, run(p, &lsq_cfg).ipc()));
-            sfc_rows.push((p.suite, run(p, &sfc_cfg).ipc()));
+        for (w, p) in workloads.iter().enumerate() {
+            lsq_rows.push((p.suite, matrix.get(w, i_lsq).ipc()));
+            sfc_rows.push((p.suite, matrix.get(w, i_sfc).ipc()));
         }
         let (li, lf) = suite_means(&lsq_rows);
         let (si, sf) = suite_means(&sfc_rows);
@@ -63,4 +58,6 @@ fn main() {
     println!("the capacity-gated LSQ flattens; the address-indexed structures keep");
     println!("converting window into IPC — §5's \"ideally suited for checkpointed");
     println!("processors with large instruction windows\"");
+
+    SweepReport::from_matrix(spec.artifact, jobs, wall, &workloads, &spec.configs, &matrix).emit();
 }

@@ -12,12 +12,31 @@
 //! | `table_enf_effect` | §3.2 ENF vs NOT-ENF on the aggressive machine |
 //! | `table_assoc_sweep` | §3.2 bzip2/mcf set-conflict + associativity-16 study |
 //! | `table_corruption` | §3.2 SFC corruption-rate study |
+//! | `table_filter` | §4 MDT search-filter study |
+//! | `table_power` | §5 activity/power proxy counts |
+//! | `table_window_sweep` | §3.3 instruction-window scaling |
+//! | `calibrate` | IPC sanity check of the two backends |
 //!
-//! Shared flags: `--scale tiny|small|full` (default `full`).
+//! Shared flags: `--scale tiny|small|full` (default `full`) and
+//! `--jobs N` (worker threads for the sweep; `0`/absent defers to the
+//! `AIM_JOBS` environment variable, then to the host's parallelism).
+//!
+//! Every binary routes its (workload × config) sweep through
+//! [`run_matrix`], which fans independent simulations across OS threads
+//! with deterministic result ordering, and emits a host-throughput
+//! [`SweepReport`] (`BENCH_sweep.json`) alongside its human-readable
+//! output.
 
 use aim_isa::{Interpreter, Program, Trace};
 use aim_pipeline::{simulate_with_trace, SimConfig, SimStats};
 use aim_workloads::{Scale, Suite, Workload};
+
+mod matrix;
+pub mod specs;
+mod sweep;
+
+pub use matrix::{run_matrix, run_matrix_timed, Matrix};
+pub use sweep::{SweepReport, SweepRow};
 
 /// A workload with its golden trace precomputed (reused across configs).
 pub struct Prepared {
@@ -89,6 +108,45 @@ pub fn scale_from_args() -> Scale {
 /// Whether a `--flag` is present on the command line.
 pub fn has_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)
+}
+
+/// Resolves a requested worker-thread count: an explicit request (`> 0`)
+/// wins, then a positive `AIM_JOBS` environment variable, then the host's
+/// available parallelism (falling back to 1 if that is unknowable).
+pub fn resolve_jobs(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = std::env::var("AIM_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Parses `--jobs N` from the command line and resolves it via
+/// [`resolve_jobs`] (so `--jobs 0`, `AIM_JOBS`, and auto-detection all
+/// behave identically across the experiment binaries).
+///
+/// # Panics
+///
+/// Panics if `--jobs` is present without a parseable integer value.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let requested = match args.iter().position(|a| a == "--jobs") {
+        Some(i) => match args.get(i + 1) {
+            Some(s) => s
+                .parse()
+                .unwrap_or_else(|_| panic!("--jobs expects an integer, got `{s}`")),
+            None => panic!("--jobs expects a value"),
+        },
+        None => 0,
+    };
+    resolve_jobs(requested)
 }
 
 /// Parses `--csv <path>` from the command line, if present.

@@ -1,0 +1,354 @@
+//! Named (workload × config) sweep specifications for every experiment
+//! binary.
+//!
+//! Each `src/bin/*.rs` artifact used to build its configuration list
+//! inline; centralizing them here gives [`run_matrix`](crate::run_matrix)
+//! callers, the smoke tests, and the determinism tests one shared source of
+//! truth for *what* each artifact simulates. The binaries remain in charge
+//! of presentation (tables, normalization, CSV).
+
+use crate::Prepared;
+use aim_core::{CorruptionPolicy, MdtConfig, MdtTagging, SetHash, TrueDepRecovery};
+use aim_lsq::LsqConfig;
+use aim_pipeline::{BackendConfig, OutputDepRecovery, SimConfig};
+use aim_predictor::EnforceMode;
+use aim_workloads::Scale;
+
+/// The benchmarks excluded from the paper's Figure 6 set (and every study
+/// that inherits it).
+pub const FIG6_EXCLUDED: &[&str] = &["mesa"];
+
+/// One experiment binary's sweep: its named configurations and the
+/// workloads it excludes.
+pub struct ArtifactSpec {
+    /// The binary's name (and the `artifact` field of its sweep report).
+    pub artifact: &'static str,
+    /// Named configurations, in presentation order.
+    pub configs: Vec<(String, SimConfig)>,
+    /// Workload names this artifact skips.
+    pub skip: &'static [&'static str],
+}
+
+impl ArtifactSpec {
+    /// Prepares this artifact's workload set at `scale` (the full registry
+    /// minus [`ArtifactSpec::skip`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kernel faults architecturally, as
+    /// [`prepare_all`](crate::prepare_all) does.
+    pub fn workloads(&self, scale: Scale) -> Vec<Prepared> {
+        crate::prepare_all(scale)
+            .into_iter()
+            .filter(|p| !self.skip.contains(&p.name))
+            .collect()
+    }
+
+    /// The position of a named config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not one of this spec's configs.
+    pub fn index(&self, name: &str) -> usize {
+        self.configs
+            .iter()
+            .position(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("{}: no config named `{name}`", self.artifact))
+    }
+}
+
+fn named(name: &str, cfg: SimConfig) -> (String, SimConfig) {
+    (name.to_string(), cfg)
+}
+
+fn with_sfc_mdt(mut cfg: SimConfig, f: impl FnOnce(&mut aim_core::SfcConfig, &mut MdtConfig)) -> SimConfig {
+    match &mut cfg.backend {
+        BackendConfig::SfcMdt { sfc, mdt } => f(sfc, mdt),
+        BackendConfig::Lsq(_) => unreachable!("SFC/MDT mutation on an LSQ config"),
+    }
+    cfg
+}
+
+/// `calibrate`: the two backends, baseline or aggressive.
+pub fn calibrate(aggressive: bool) -> ArtifactSpec {
+    let configs = if aggressive {
+        vec![
+            named("lsq-120x80", SimConfig::aggressive_lsq(LsqConfig::aggressive_120x80())),
+            named("sfc-mdt-enf", SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder)),
+        ]
+    } else {
+        vec![
+            named("lsq-48x32", SimConfig::baseline_lsq()),
+            named("sfc-mdt-enf", SimConfig::baseline_sfc_mdt(EnforceMode::All)),
+        ]
+    };
+    ArtifactSpec {
+        artifact: "calibrate",
+        configs,
+        skip: &[],
+    }
+}
+
+/// `fig4_config`: a boot-validation pair proving the printed parameter
+/// tables describe configurations that actually simulate.
+pub fn fig4_boot() -> ArtifactSpec {
+    ArtifactSpec {
+        artifact: "fig4_config",
+        configs: vec![
+            named("baseline-enf", SimConfig::baseline_sfc_mdt(EnforceMode::All)),
+            named("aggressive-enf", SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder)),
+        ],
+        skip: &[],
+    }
+}
+
+/// `fig5_baseline`: 48×32 LSQ vs ENF vs NOT-ENF on the 4-wide machine.
+pub fn fig5_baseline() -> ArtifactSpec {
+    ArtifactSpec {
+        artifact: "fig5_baseline",
+        configs: vec![
+            named("lsq-48x32", SimConfig::baseline_lsq()),
+            named("sfc-mdt-enf", SimConfig::baseline_sfc_mdt(EnforceMode::All)),
+            named("sfc-mdt-not-enf", SimConfig::baseline_sfc_mdt(EnforceMode::TrueOnly)),
+        ],
+        skip: &[],
+    }
+}
+
+/// `fig6_aggressive`: three LSQ capacities and the ENF MDT/SFC on the
+/// 8-wide machine.
+pub fn fig6_aggressive() -> ArtifactSpec {
+    ArtifactSpec {
+        artifact: "fig6_aggressive",
+        configs: vec![
+            named("lsq-120x80", SimConfig::aggressive_lsq(LsqConfig::aggressive_120x80())),
+            named("lsq-256x256", SimConfig::aggressive_lsq(LsqConfig::aggressive_256x256())),
+            named("lsq-48x32", SimConfig::aggressive_lsq(LsqConfig::baseline_48x32())),
+            named("sfc-mdt-enf", SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder)),
+        ],
+        skip: FIG6_EXCLUDED,
+    }
+}
+
+/// `table_violations`: baseline and aggressive, ENF and NOT-ENF.
+pub fn table_violations() -> ArtifactSpec {
+    ArtifactSpec {
+        artifact: "table_violations",
+        configs: vec![
+            named("base-not-enf", SimConfig::baseline_sfc_mdt(EnforceMode::TrueOnly)),
+            named("base-enf", SimConfig::baseline_sfc_mdt(EnforceMode::All)),
+            named("aggr-not-enf", SimConfig::aggressive_sfc_mdt(EnforceMode::TrueOnly)),
+            named("aggr-enf", SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder)),
+        ],
+        skip: &[],
+    }
+}
+
+/// `table_violations --policies`: the §2.4 recovery-policy ablation.
+pub fn violation_policies() -> ArtifactSpec {
+    let default = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let td = with_sfc_mdt(default.clone(), |_, mdt| {
+        mdt.true_dep_recovery = TrueDepRecovery::SingleLoadAggressive;
+    });
+    let mut od = default.clone();
+    od.output_dep_recovery = OutputDepRecovery::MarkCorrupt;
+    ArtifactSpec {
+        artifact: "table_violations--policies",
+        configs: vec![
+            named("aggr-enf", default),
+            named("aggressive-td", td),
+            named("corrupt-od", od),
+        ],
+        skip: &[],
+    }
+}
+
+/// `table_enf_effect`: NOT-ENF vs pairwise vs total-order enforcement.
+pub fn table_enf_effect() -> ArtifactSpec {
+    ArtifactSpec {
+        artifact: "table_enf_effect",
+        configs: vec![
+            named("not-enf", SimConfig::aggressive_sfc_mdt(EnforceMode::TrueOnly)),
+            named("enf-pairwise", SimConfig::aggressive_sfc_mdt(EnforceMode::All)),
+            named("enf-total", SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder)),
+        ],
+        skip: FIG6_EXCLUDED,
+    }
+}
+
+/// `table_assoc_sweep`: the 2-way aggressive geometry vs 16 ways.
+pub fn table_assoc_sweep() -> ArtifactSpec {
+    let base = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let assoc16 = with_sfc_mdt(base.clone(), |sfc, mdt| {
+        sfc.ways = 16;
+        mdt.ways = 16;
+    });
+    ArtifactSpec {
+        artifact: "table_assoc_sweep",
+        configs: vec![named("assoc-2", base), named("assoc-16", assoc16)],
+        skip: FIG6_EXCLUDED,
+    }
+}
+
+/// `table_assoc_sweep --hash`: low-bits vs XOR-folded set index.
+pub fn assoc_hash() -> ArtifactSpec {
+    let base = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let xor = with_sfc_mdt(base.clone(), |sfc, mdt| {
+        sfc.hash = SetHash::XorFold;
+        mdt.hash = SetHash::XorFold;
+    });
+    ArtifactSpec {
+        artifact: "table_assoc_sweep--hash",
+        configs: vec![named("hash-low", base), named("hash-xor", xor)],
+        skip: FIG6_EXCLUDED,
+    }
+}
+
+/// `table_assoc_sweep --untagged`: tagged vs untagged MDT.
+pub fn assoc_untagged() -> ArtifactSpec {
+    let base = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let untagged = with_sfc_mdt(base.clone(), |_, mdt| {
+        mdt.tagging = MdtTagging::Untagged;
+    });
+    ArtifactSpec {
+        artifact: "table_assoc_sweep--untagged",
+        configs: vec![named("tagged", base), named("untagged", untagged)],
+        skip: FIG6_EXCLUDED,
+    }
+}
+
+/// `table_assoc_sweep --granularity`: the §2.2 granularity sweep.
+pub fn assoc_granularity() -> ArtifactSpec {
+    let base = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let configs = [8u64, 16, 32, 64]
+        .iter()
+        .map(|&g| {
+            let cfg = with_sfc_mdt(base.clone(), |_, mdt| mdt.granularity = g);
+            (format!("granule-{g}"), cfg)
+        })
+        .collect();
+    ArtifactSpec {
+        artifact: "table_assoc_sweep--granularity",
+        configs,
+        skip: FIG6_EXCLUDED,
+    }
+}
+
+/// `table_corruption`: the default aggressive ENF configuration.
+pub fn table_corruption() -> ArtifactSpec {
+    ArtifactSpec {
+        artifact: "table_corruption",
+        configs: vec![named("aggr-enf", SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder))],
+        skip: FIG6_EXCLUDED,
+    }
+}
+
+/// `table_corruption --endpoints`: corruption masks vs flush endpoints.
+pub fn corruption_endpoints() -> ArtifactSpec {
+    let base = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let endpoints = with_sfc_mdt(base.clone(), |sfc, _| {
+        sfc.corruption = CorruptionPolicy::FlushEndpoints { capacity: 16 };
+    });
+    ArtifactSpec {
+        artifact: "table_corruption--endpoints",
+        configs: vec![named("corrupt-bits", base), named("flush-endpoints", endpoints)],
+        skip: FIG6_EXCLUDED,
+    }
+}
+
+/// `table_corruption --partial`: combine-with-cache vs replay on partial
+/// SFC matches.
+pub fn corruption_partial() -> ArtifactSpec {
+    let base = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let mut replay = base.clone();
+    replay.partial_match_policy = aim_core::PartialMatchPolicy::Replay;
+    ArtifactSpec {
+        artifact: "table_corruption--partial",
+        configs: vec![named("combine", base), named("replay", replay)],
+        skip: FIG6_EXCLUDED,
+    }
+}
+
+/// `table_filter`: MDT geometries swept down from the aggressive design,
+/// each with the §4 search filter off and on (alternating off/on pairs).
+pub fn table_filter() -> ArtifactSpec {
+    let geometries: &[(usize, usize)] = &[(1024, 16), (256, 1), (64, 1), (16, 1)];
+    let mut configs = Vec::new();
+    for &(sets, ways) in geometries {
+        for filter in [false, true] {
+            let mut cfg = with_sfc_mdt(
+                SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder),
+                |_, mdt| *mdt = MdtConfig { sets, ways, ..*mdt },
+            );
+            cfg.mdt_filter = filter;
+            configs.push((
+                format!("mdt{sets}x{ways}-{}", if filter { "on" } else { "off" }),
+                cfg,
+            ));
+        }
+    }
+    ArtifactSpec {
+        artifact: "table_filter",
+        configs,
+        skip: FIG6_EXCLUDED,
+    }
+}
+
+/// `table_power`: the two backends whose comparator work is contrasted.
+pub fn table_power(aggressive: bool) -> ArtifactSpec {
+    let configs = if aggressive {
+        vec![
+            named("lsq-120x80", SimConfig::aggressive_lsq(LsqConfig::aggressive_120x80())),
+            named("sfc-mdt-enf", SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder)),
+        ]
+    } else {
+        vec![
+            named("lsq-48x32", SimConfig::baseline_lsq()),
+            named("sfc-mdt-enf", SimConfig::baseline_sfc_mdt(EnforceMode::All)),
+        ]
+    };
+    ArtifactSpec {
+        artifact: "table_power",
+        configs,
+        skip: &[],
+    }
+}
+
+/// `table_window_sweep`: windows 128–1024, fixed 48×32 LSQ vs SFC/MDT
+/// (window-major: `lsq@N` then `sfc-mdt@N` for each window size N).
+pub fn table_window_sweep() -> ArtifactSpec {
+    let mut configs = Vec::new();
+    for window in [128usize, 256, 512, 1024] {
+        let mut lsq = SimConfig::aggressive_lsq(LsqConfig::baseline_48x32());
+        lsq.rob_entries = window;
+        lsq.phys_regs = window + 64;
+        let mut sfc = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+        sfc.rob_entries = window;
+        sfc.phys_regs = window + 64;
+        configs.push((format!("lsq-48x32@w{window}"), lsq));
+        configs.push((format!("sfc-mdt@w{window}"), sfc));
+    }
+    ArtifactSpec {
+        artifact: "table_window_sweep",
+        configs,
+        skip: FIG6_EXCLUDED,
+    }
+}
+
+/// Every artifact's default sweep (flag-gated sections excluded), one spec
+/// per experiment binary — the set the smoke test drives.
+pub fn all_default() -> Vec<ArtifactSpec> {
+    vec![
+        calibrate(false),
+        fig4_boot(),
+        fig5_baseline(),
+        fig6_aggressive(),
+        table_violations(),
+        table_enf_effect(),
+        table_assoc_sweep(),
+        table_corruption(),
+        table_filter(),
+        table_power(false),
+        table_window_sweep(),
+    ]
+}

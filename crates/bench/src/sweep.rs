@@ -1,0 +1,239 @@
+//! Machine-readable host-throughput reports (`BENCH_sweep.json`).
+//!
+//! Every experiment binary records how fast the *host* simulated its sweep
+//! — simulated kilocycles per wall-clock second per cell, plus the total
+//! sweep wall time and the worker count — so performance regressions in the
+//! simulator itself show up in CI artifacts, not just in patience.
+//!
+//! The emitted JSON is hand-written (no serde in the offline build) against
+//! the `aim-bench-sweep/v1` schema:
+//!
+//! ```json
+//! {
+//!   "schema": "aim-bench-sweep/v1",
+//!   "artifact": "fig5_baseline",
+//!   "jobs": 8,
+//!   "wall_seconds": 12.345678,
+//!   "rows": [
+//!     {
+//!       "workload": "gzip",
+//!       "config": "sfc-mdt-enf",
+//!       "sim_cycles": 193344,
+//!       "retired": 110000,
+//!       "host_seconds": 0.014,
+//!       "kcycles_per_sec": 13810.3,
+//!       "retired_mips": 7.857
+//!     }
+//!   ]
+//! }
+//! ```
+
+use crate::{Matrix, Prepared};
+use aim_pipeline::SimConfig;
+
+/// One (workload, config) cell of a sweep report.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration name.
+    pub config: String,
+    /// Simulated cycles.
+    pub sim_cycles: u64,
+    /// Retired (simulated) instructions.
+    pub retired: u64,
+    /// Host wall-clock seconds spent in the cycle loop.
+    pub host_seconds: f64,
+    /// Simulated kilocycles per host second.
+    pub kcycles_per_sec: f64,
+    /// Retired simulated million instructions per host second.
+    pub retired_mips: f64,
+}
+
+/// Host-throughput summary of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Which experiment binary produced this (e.g. `fig5_baseline`).
+    pub artifact: String,
+    /// Worker threads the sweep used.
+    pub jobs: usize,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_seconds: f64,
+    /// Per-cell throughput rows, workload-major.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepReport {
+    /// Builds a report from a finished matrix. `prepared` and `configs`
+    /// must be the slices the matrix was run over.
+    pub fn from_matrix(
+        artifact: &str,
+        jobs: usize,
+        wall: std::time::Duration,
+        prepared: &[Prepared],
+        configs: &[(String, SimConfig)],
+        matrix: &Matrix,
+    ) -> SweepReport {
+        let rows = matrix
+            .iter()
+            .map(|(w, c, stats)| SweepRow {
+                workload: prepared[w].name.to_string(),
+                config: configs[c].0.clone(),
+                sim_cycles: stats.cycles,
+                retired: stats.retired,
+                host_seconds: stats.host_seconds(),
+                kcycles_per_sec: stats.sim_kcycles_per_sec(),
+                retired_mips: stats.retired_mips(),
+            })
+            .collect();
+        SweepReport {
+            artifact: artifact.to_string(),
+            jobs,
+            wall_seconds: wall.as_secs_f64(),
+            rows,
+        }
+    }
+
+    /// Renders the report as `aim-bench-sweep/v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.rows.len() * 160);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"aim-bench-sweep/v1\",\n");
+        out.push_str(&format!(
+            "  \"artifact\": \"{}\",\n",
+            json_escape(&self.artifact)
+        ));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!(
+            "  \"wall_seconds\": {},\n",
+            json_number(self.wall_seconds)
+        ));
+        out.push_str("  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"config\": \"{}\", \"sim_cycles\": {}, \
+                 \"retired\": {}, \"host_seconds\": {}, \"kcycles_per_sec\": {}, \
+                 \"retired_mips\": {}}}",
+                json_escape(&row.workload),
+                json_escape(&row.config),
+                row.sim_cycles,
+                row.retired,
+                json_number(row.host_seconds),
+                json_number(row.kcycles_per_sec),
+                json_number(row.retired_mips),
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Folds another section's rows and wall time into this report (for
+    /// binaries that run several flag-gated matrices in one invocation).
+    pub fn merge(&mut self, other: SweepReport) {
+        self.wall_seconds += other.wall_seconds;
+        self.rows.extend(other.rows);
+    }
+
+    /// Writes the report to the default location and prints a one-line
+    /// throughput summary; a write failure is reported on stderr, not fatal.
+    pub fn emit(&self) {
+        match self.write_default() {
+            Ok(path) => println!(
+                "sweep: {} cells in {:.2}s on {} job(s) — {path}",
+                self.rows.len(),
+                self.wall_seconds,
+                self.jobs
+            ),
+            Err(e) => eprintln!("sweep report not written: {e}"),
+        }
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Writes the report to the default location — `$AIM_SWEEP_JSON` if
+    /// set, else `BENCH_sweep.json` in the working directory — and returns
+    /// the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_default(&self) -> std::io::Result<String> {
+        let path =
+            std::env::var("AIM_SWEEP_JSON").unwrap_or_else(|_| "BENCH_sweep.json".to_string());
+        self.write(&path)?;
+        Ok(path)
+    }
+}
+
+/// JSON numbers may not be NaN/infinite; degenerate rates render as 0.
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "0.000000".to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_and_number_hygiene() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
+        assert_eq!(json_number(f64::NAN), "0.000000");
+        assert_eq!(json_number(1.5), "1.500000");
+    }
+
+    #[test]
+    fn report_renders_schema_and_rows() {
+        let report = SweepReport {
+            artifact: "unit".to_string(),
+            jobs: 3,
+            wall_seconds: 0.25,
+            rows: vec![SweepRow {
+                workload: "gzip".to_string(),
+                config: "lsq".to_string(),
+                sim_cycles: 100,
+                retired: 50,
+                host_seconds: 0.01,
+                kcycles_per_sec: 10.0,
+                retired_mips: 0.005,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"aim-bench-sweep/v1\""));
+        assert!(json.contains("\"artifact\": \"unit\""));
+        assert!(json.contains("\"jobs\": 3"));
+        assert!(json.contains("\"workload\": \"gzip\""));
+        assert!(json.contains("\"sim_cycles\": 100"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count()
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,0 +1,116 @@
+//! Integration tests for the parallel sweep runner: determinism across
+//! thread counts, every artifact's spec matrix at tiny scale, and the
+//! allocation-free (no event-string) untraced hot path.
+
+use aim_bench::{prepare_all, run_matrix, run_matrix_timed, specs, SweepReport};
+use aim_pipeline::{simulate_traced, simulate_with_trace, SimConfig};
+use aim_predictor::EnforceMode;
+use aim_workloads::Scale;
+
+/// A broad config set covering both backends and both machine classes.
+fn determinism_configs() -> Vec<(String, SimConfig)> {
+    let mut configs = specs::fig5_baseline().configs;
+    configs.extend(specs::table_violations().configs);
+    configs
+}
+
+#[test]
+fn parallel_matrix_is_byte_identical_to_serial() {
+    let prepared = prepare_all(Scale::Tiny);
+    let configs = determinism_configs();
+    let serial = run_matrix(&prepared, &configs, 1);
+    let parallel = run_matrix(&prepared, &configs, 4);
+    assert_eq!(serial.n_workloads(), prepared.len());
+    assert_eq!(parallel.n_configs(), configs.len());
+    for (w, c, stats) in serial.iter() {
+        // Host-side wall-clock timings legitimately differ between runs;
+        // every simulated quantity must not.
+        let lhs = format!("{:?}", stats.with_zeroed_host());
+        let rhs = format!("{:?}", parallel.get(w, c).with_zeroed_host());
+        assert_eq!(
+            lhs, rhs,
+            "jobs=4 diverged from jobs=1 on {} under {}",
+            prepared[w].name, configs[c].0
+        );
+    }
+}
+
+#[test]
+fn every_artifact_spec_simulates_at_tiny() {
+    let all = specs::all_default();
+    assert_eq!(all.len(), 11, "one spec per experiment binary");
+    let jobs = aim_bench::resolve_jobs(0);
+    for spec in &all {
+        let workloads = spec.workloads(Scale::Tiny);
+        assert!(!spec.configs.is_empty(), "{}: empty config list", spec.artifact);
+        let (matrix, wall) = run_matrix_timed(&workloads, &spec.configs, jobs);
+        for (w, c, stats) in matrix.iter() {
+            assert!(
+                stats.retired > 0,
+                "{}: {} under {} retired nothing",
+                spec.artifact,
+                workloads[w].name,
+                spec.configs[c].0
+            );
+            assert!(
+                stats.host.wall_ns > 0,
+                "{}: {} under {} recorded no host time",
+                spec.artifact,
+                workloads[w].name,
+                spec.configs[c].0
+            );
+        }
+        // The report renders without panicking and carries every cell.
+        let report =
+            SweepReport::from_matrix(spec.artifact, jobs, wall, &workloads, &spec.configs, &matrix);
+        assert_eq!(report.rows.len(), workloads.len() * spec.configs.len());
+        assert!(report.to_json().contains("aim-bench-sweep/v1"));
+    }
+}
+
+#[test]
+fn named_config_lookup_panics_on_unknown() {
+    let spec = specs::fig5_baseline();
+    assert_eq!(spec.index("lsq-48x32"), 0);
+    let err = std::panic::catch_unwind(|| spec.index("nonesuch"));
+    assert!(err.is_err());
+}
+
+#[test]
+fn untraced_run_builds_no_event_strings() {
+    let p = aim_bench::prepare(
+        aim_workloads::by_name("gzip", Scale::Tiny).unwrap(),
+        Scale::Tiny,
+    );
+    let cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let stats = simulate_with_trace(&p.program, &p.trace, &cfg).unwrap();
+    assert_eq!(
+        stats.host.event_strings_built, 0,
+        "untraced cycle loop formatted pipeline events"
+    );
+    assert!(stats.host.wall_ns > 0);
+
+    let mut traced_cfg = cfg;
+    traced_cfg.event_trace = true;
+    let (traced_stats, events) = simulate_traced(&p.program, &traced_cfg).unwrap();
+    assert!(traced_stats.host.event_strings_built > 0);
+    assert!(!events.is_empty());
+    // The counter matches what the ring saw in total.
+    assert!(traced_stats.host.event_strings_built >= events.len() as u64);
+}
+
+#[test]
+fn empty_inputs_yield_empty_matrix() {
+    let configs = determinism_configs();
+    let matrix = run_matrix(&[], &configs, 8);
+    assert_eq!(matrix.n_workloads(), 0);
+    let report = SweepReport::from_matrix(
+        "empty",
+        8,
+        std::time::Duration::ZERO,
+        &[],
+        &configs,
+        &matrix,
+    );
+    assert!(report.to_json().contains("\"rows\": [\n  ]"));
+}

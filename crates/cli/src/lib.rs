@@ -61,6 +61,9 @@ pub struct RunArgs {
     pub trace: usize,
     /// Render the last N retired instructions as pipeline timelines.
     pub pipeview: usize,
+    /// Worker threads for `compare` sweeps (0 = `AIM_JOBS`, then host
+    /// parallelism).
+    pub jobs: usize,
 }
 
 impl Default for RunArgs {
@@ -77,6 +80,7 @@ impl Default for RunArgs {
             filter: false,
             trace: 0,
             pipeview: 0,
+            jobs: 0,
         }
     }
 }
@@ -114,6 +118,7 @@ OPTIONS:
   --filter                        MDT search filter (§4 future work)
   --trace N                       print the last N pipeline events
   --pipeview N                    draw stage timelines for the last N retirements
+  --jobs N                        worker threads for compare sweeps [AIM_JOBS/auto]
 ";
 
 /// Parses a command line (without the program name).
@@ -202,6 +207,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 run.trace = v
                     .parse()
                     .map_err(|_| ParseError(format!("bad trace length `{v}`")))?;
+            }
+            "--jobs" => {
+                let v = value("--jobs")?;
+                run.jobs = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad job count `{v}`")))?;
             }
             other => return Err(ParseError(format!("unknown option `{other}`"))),
         }
@@ -401,6 +412,19 @@ mod tests {
             .unwrap_err()
             .0
             .contains("bad trace length"));
+    }
+
+    #[test]
+    fn jobs_flag_parses() {
+        let Command::Compare(args) = parse(&["compare", "mcf", "--jobs", "4"]).unwrap() else {
+            panic!("expected compare");
+        };
+        assert_eq!(args.jobs, 4);
+        assert_eq!(RunArgs::default().jobs, 0);
+        assert!(parse(&["compare", "mcf", "--jobs", "many"])
+            .unwrap_err()
+            .0
+            .contains("bad job count"));
     }
 
     #[test]

@@ -36,6 +36,27 @@ fn run_one(args: &RunArgs) -> Result<(), String> {
     run_program(&args.kernel, &workload.program, args)
 }
 
+/// Runs the `compare` pair as a 1×2 matrix on the shared sweep runner, so
+/// both backends simulate concurrently when `--jobs`/`AIM_JOBS` allow.
+fn compare_parallel(lsq_args: &RunArgs, sfc_args: &RunArgs) -> Result<(), String> {
+    let workload = aim_workloads::by_name(&lsq_args.kernel, lsq_args.scale)
+        .ok_or_else(|| format!("unknown kernel `{}` (try `aim-sim list`)", lsq_args.kernel))?;
+    let prepared = vec![aim_bench::prepare(workload, lsq_args.scale)];
+    let configs = vec![
+        ("lsq".to_string(), build_config(lsq_args)),
+        ("sfc-mdt".to_string(), build_config(sfc_args)),
+    ];
+    let jobs = aim_bench::resolve_jobs(lsq_args.jobs);
+    let matrix = aim_bench::run_matrix(&prepared, &configs, jobs);
+    for (c, (_, cfg)) in configs.iter().enumerate() {
+        print!(
+            "{}",
+            report(&lsq_args.kernel, &cfg.backend.name(), matrix.get(0, c))
+        );
+    }
+    Ok(())
+}
+
 fn run_asm_file(args: &RunArgs) -> Result<(), String> {
     let source = std::fs::read_to_string(&args.kernel)
         .map_err(|e| format!("cannot read `{}`: {e}", args.kernel))?;
@@ -72,7 +93,13 @@ fn main() -> ExitCode {
             lsq_args.lsq_backend = true;
             let mut sfc_args = args;
             sfc_args.lsq_backend = false;
-            run_one(&lsq_args).and_then(|()| run_one(&sfc_args))
+            if lsq_args.trace == 0 && lsq_args.pipeview == 0 {
+                compare_parallel(&lsq_args, &sfc_args)
+            } else {
+                // Event traces and pipeview records only surface through the
+                // sequential single-run path.
+                run_one(&lsq_args).and_then(|()| run_one(&sfc_args))
+            }
         }
     };
 

@@ -131,7 +131,17 @@ pub struct Machine<'a> {
     fetch_buffer: VecDeque<Fetched>,
 
     exec_events: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Violations awaiting their raiser's completion event, kept sorted by
+    /// raising sequence number (see [`Machine::queue_violation`]) so lookup
+    /// and squash are range operations instead of whole-vector scans.
     pending_violations: Vec<(SeqNum, PendingViolation)>,
+
+    /// Scratch buffers reused across cycles so the steady-state loop
+    /// allocates nothing: issue's ready list, recovery's squash list, and
+    /// completion's taken-violation list keep their capacity run-long.
+    issue_scratch: Vec<SeqNum>,
+    squash_scratch: Vec<InFlight>,
+    violation_scratch: Vec<PendingViolation>,
 
     /// §4 MDT search filter: count of in-flight stores that have not yet
     /// (successfully) executed, and a counting filter over the granules of
@@ -146,7 +156,7 @@ pub struct Machine<'a> {
     last_retire_cycle: u64,
     /// Event log (only populated when `config.event_trace` is set); bounded
     /// to the most recent [`TRACE_CAPACITY`] events.
-    events: Vec<String>,
+    events: VecDeque<String>,
 }
 
 /// Maximum events retained by the pipeline trace (a ring of the most recent).
@@ -191,6 +201,9 @@ impl<'a> Machine<'a> {
             fetch_buffer: VecDeque::new(),
             exec_events: BinaryHeap::new(),
             pending_violations: Vec::new(),
+            issue_scratch: Vec::new(),
+            squash_scratch: Vec::new(),
+            violation_scratch: Vec::new(),
             unexecuted_stores: 0,
             pipe_records: Vec::new(),
             store_granule_filter: vec![0; 1024],
@@ -200,7 +213,7 @@ impl<'a> Machine<'a> {
             target_retired,
             stats: SimStats::default(),
             last_retire_cycle: 0,
-            events: Vec::new(),
+            events: VecDeque::new(),
             config,
             program,
             trace,
@@ -208,13 +221,18 @@ impl<'a> Machine<'a> {
     }
 
     /// Appends a pipeline event to the trace ring when tracing is enabled.
+    ///
+    /// The closure keeps formatting lazy: with `event_trace` off nothing is
+    /// formatted or allocated, which
+    /// [`HostPerf::event_strings_built`](crate::HostPerf) records.
     fn log(&mut self, event: impl FnOnce() -> String) {
         if self.config.event_trace {
             if self.events.len() == TRACE_CAPACITY {
-                self.events.remove(0);
+                self.events.pop_front();
             }
             let line = format!("{:>8}  {}", self.cycle, event());
-            self.events.push(line);
+            self.stats.host.event_strings_built += 1;
+            self.events.push_back(line);
         }
     }
 
@@ -240,7 +258,7 @@ impl<'a> Machine<'a> {
     /// See [`Machine::run`].
     pub fn run_traced(mut self) -> Result<(SimStats, Vec<String>), SimError> {
         self.run_loop()?;
-        Ok((self.stats, self.events))
+        Ok((self.stats, self.events.into()))
     }
 
     /// Like [`Machine::run`], but also returns the per-instruction stage
@@ -261,6 +279,7 @@ impl<'a> Machine<'a> {
         if self.target_retired == 0 {
             return Ok(());
         }
+        let wall_start = std::time::Instant::now();
         loop {
             self.cycle += 1;
             self.retire()?;
@@ -286,6 +305,7 @@ impl<'a> Machine<'a> {
             }
         }
         self.stats.cycles = self.cycle;
+        self.stats.host.wall_ns = wall_start.elapsed().as_nanos() as u64;
         self.finalize_stats();
         Ok(())
     }
@@ -523,7 +543,8 @@ impl<'a> Machine<'a> {
         let mut budget = self.config.issue_width;
         let free_events = self.free_event_count();
         let head_seq = self.rob.head().map(|h| h.seq);
-        let mut to_issue: Vec<SeqNum> = Vec::new();
+        let mut to_issue = std::mem::take(&mut self.issue_scratch);
+        to_issue.clear();
 
         for e in self.rob.iter() {
             if budget == 0 {
@@ -550,9 +571,10 @@ impl<'a> Machine<'a> {
             budget -= 1;
         }
 
-        for seq in to_issue {
+        for seq in to_issue.drain(..) {
             self.start_execute(seq);
         }
+        self.issue_scratch = to_issue;
     }
 
     fn src_values(&self, seq: SeqNum) -> (u64, u64) {
@@ -838,7 +860,7 @@ impl<'a> Machine<'a> {
             LoadPlan::Anti(v) => {
                 // Anti violation: the load itself is flushed; carry the
                 // recovery to the completion event.
-                self.pending_violations.push((seq, v));
+                self.queue_violation(seq, v);
                 let e = self.rob.get_mut(seq).expect("exists");
                 e.state = InstrState::Executing;
                 self.exec_events
@@ -949,7 +971,7 @@ impl<'a> Machine<'a> {
                         self.stats.flushes.output_dep += 1;
                         continue;
                     }
-                    self.pending_violations.push((
+                    self.queue_violation(
                         seq,
                         PendingViolation {
                             kind: v.kind,
@@ -958,7 +980,7 @@ impl<'a> Machine<'a> {
                             squash_after: v.squash_after,
                             corrupt_only,
                         },
-                    ));
+                    );
                 }
                 let latency = match &self.backend {
                     Backend::Lsq(_) => 1,
@@ -1011,29 +1033,48 @@ impl<'a> Machine<'a> {
         }
     }
 
+    /// Records a violation to apply when the raising instruction (`seq`)
+    /// completes, preserving the sorted-by-raiser invariant of
+    /// `pending_violations`. Completion events arrive out of sequence order,
+    /// so this is an ordered insert, not a push.
+    fn queue_violation(&mut self, seq: SeqNum, v: PendingViolation) {
+        let at = self
+            .pending_violations
+            .partition_point(|(s, _)| *s <= seq);
+        self.pending_violations.insert(at, (seq, v));
+    }
+
+    /// The index range of violations raised by `seq` (contiguous, because
+    /// the vector is sorted by raiser).
+    fn violation_range(&self, seq: SeqNum) -> std::ops::Range<usize> {
+        let start = self.pending_violations.partition_point(|(s, _)| *s < seq);
+        let end = self.pending_violations.partition_point(|(s, _)| *s <= seq);
+        start..end
+    }
+
     fn take_violations(&mut self, seq: SeqNum) -> Vec<PendingViolation> {
-        let mut taken = Vec::new();
-        self.pending_violations.retain(|(s, v)| {
-            if *s == seq {
-                taken.push(*v);
-                false
-            } else {
-                true
-            }
-        });
+        let range = self.violation_range(seq);
+        let mut taken = std::mem::take(&mut self.violation_scratch);
+        taken.clear();
+        taken.extend(self.pending_violations.drain(range).map(|(_, v)| v));
         taken
     }
 
     fn complete_one(&mut self, seq: SeqNum) {
         let Some(e) = self.rob.get(seq) else {
-            self.pending_violations.retain(|(s, _)| *s != seq);
+            let range = self.violation_range(seq);
+            self.pending_violations.drain(range);
             return; // squashed while executing
         };
         if e.state != InstrState::Executing {
             return;
         }
         let violations = self.take_violations(seq);
+        self.apply_completion(seq, &violations);
+        self.violation_scratch = violations;
+    }
 
+    fn apply_completion(&mut self, seq: SeqNum, violations: &[PendingViolation]) {
         // An anti violation squashes the violating load itself; nothing else
         // about the instruction completes.
         if let Some(v) = violations
@@ -1090,7 +1131,7 @@ impl<'a> Machine<'a> {
         // Memory-ordering violations raised by this (surviving) instruction.
         let mut flush_point: Option<SeqNum> = None;
         let mut penalty = self.config.mispredict_penalty;
-        for v in &violations {
+        for v in violations {
             self.train_predictor(v);
             match v.kind {
                 ViolationKind::True => self.stats.flushes.true_dep += 1,
@@ -1180,7 +1221,15 @@ impl<'a> Machine<'a> {
                 survivor.0
             )
         });
-        let squashed = self.rob.squash_after(survivor);
+        let mut squashed = std::mem::take(&mut self.squash_scratch);
+        self.rob.squash_after_into(survivor, &mut squashed);
+        // Pending violations are keyed by the raising instruction's sequence
+        // number and the vector is sorted by it; every squashed instruction
+        // is younger than `survivor`, so one truncate drops them all.
+        let keep = self
+            .pending_violations
+            .partition_point(|(s, _)| *s <= survivor);
+        self.pending_violations.truncate(keep);
         for e in &squashed {
             if let Some(d) = e.dest {
                 self.renamer.undo(d);
@@ -1189,7 +1238,6 @@ impl<'a> Machine<'a> {
                 // A squashed producer's dependence no longer applies.
                 self.tags.mark_ready(tag);
             }
-            self.pending_violations.retain(|(s, _)| *s != e.seq);
             if e.counted_unexecuted {
                 self.unexecuted_stores -= 1;
             }
@@ -1238,6 +1286,8 @@ impl<'a> Machine<'a> {
         }
         self.fetch_halted = false;
         self.fetch_stall_until = self.fetch_stall_until.max(self.cycle + penalty);
+        squashed.clear();
+        self.squash_scratch = squashed;
         self.debug_check_filter_census();
     }
 

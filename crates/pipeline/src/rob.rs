@@ -208,10 +208,18 @@ impl Rob {
     /// youngest first (the order walk-back recovery needs).
     pub fn squash_after(&mut self, survivor: SeqNum) -> Vec<InFlight> {
         let mut squashed = Vec::new();
-        while matches!(self.entries.back(), Some(e) if e.seq > survivor) {
-            squashed.push(self.entries.pop_back().expect("back checked"));
-        }
+        self.squash_after_into(survivor, &mut squashed);
         squashed
+    }
+
+    /// Like [`Rob::squash_after`], but fills a caller-provided buffer
+    /// (cleared first) so the recovery hot path can reuse its allocation
+    /// across flushes.
+    pub fn squash_after_into(&mut self, survivor: SeqNum, out: &mut Vec<InFlight>) {
+        out.clear();
+        while matches!(self.entries.back(), Some(e) if e.seq > survivor) {
+            out.push(self.entries.pop_back().expect("back checked"));
+        }
     }
 
     /// Iterates over in-flight instructions, oldest first.

@@ -72,6 +72,22 @@ impl FlushCounts {
     }
 }
 
+/// Host-side measurement of the simulation run itself (as opposed to the
+/// simulated machine): wall-clock time and allocation-tracking counters.
+///
+/// Everything here depends on the host and is *not* deterministic; code
+/// comparing runs for reproducibility should compare
+/// [`SimStats::with_zeroed_host`] results instead of raw stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostPerf {
+    /// Wall-clock nanoseconds spent inside the cycle loop.
+    pub wall_ns: u64,
+    /// Event-trace strings actually formatted. Zero whenever
+    /// `SimConfig::event_trace` is off — the regression test for the
+    /// allocation-free hot path asserts exactly that.
+    pub event_strings_built: u64,
+}
+
 /// Everything a simulation run measured.
 #[derive(Debug, Clone, Default)]
 pub struct SimStats {
@@ -129,6 +145,9 @@ pub struct SimStats {
     pub dep_predictor: PredictorStats,
     /// (L1I, L1D, L2) cache counters.
     pub caches: (CacheStats, CacheStats, CacheStats),
+    /// Host-side throughput measurement (non-deterministic; see
+    /// [`HostPerf`]).
+    pub host: HostPerf,
 }
 
 impl SimStats {
@@ -163,6 +182,39 @@ impl SimStats {
     /// Fraction of retired loads replayed on MDT set conflicts.
     pub fn mdt_conflict_rate(&self) -> f64 {
         percent(self.replays.load_mdt_conflicts, self.retired_loads)
+    }
+
+    /// Host wall-clock seconds spent simulating.
+    pub fn host_seconds(&self) -> f64 {
+        self.host.wall_ns as f64 / 1e9
+    }
+
+    /// Host throughput in simulated kilocycles per wall-clock second.
+    pub fn sim_kcycles_per_sec(&self) -> f64 {
+        if self.host.wall_ns == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / 1e3 / self.host_seconds()
+        }
+    }
+
+    /// Host throughput in retired (simulated) million instructions per
+    /// wall-clock second.
+    pub fn retired_mips(&self) -> f64 {
+        if self.host.wall_ns == 0 {
+            0.0
+        } else {
+            self.retired as f64 / 1e6 / self.host_seconds()
+        }
+    }
+
+    /// A copy with [`SimStats::host`] zeroed — the deterministic portion of
+    /// the statistics, suitable for run-to-run equality comparison.
+    pub fn with_zeroed_host(&self) -> SimStats {
+        SimStats {
+            host: HostPerf::default(),
+            ..self.clone()
+        }
     }
 }
 

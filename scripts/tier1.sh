@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything a change must keep green.
+#
+#   scripts/tier1.sh
+#
+# Builds the workspace in release mode, runs the full test suite, and holds
+# the tree to a warning-free clippy bar (all targets, -D warnings).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --release =="
+cargo build --release
+
+echo "== tier1: cargo test -q =="
+cargo test -q
+
+echo "== tier1: cargo clippy --all-targets -- -D warnings =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== tier1: OK =="

@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The aim-sim build environment has no crates.io access, so the workspace
+//! vendors a minimal wall-clock benchmark harness with the same API surface
+//! the repo's benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros, [`BenchmarkId`] and
+//! [`Throughput`]. No statistics beyond a trimmed mean — each benchmark is
+//! calibrated to a target measurement time and reported as ns/iter (plus
+//! derived element throughput when declared).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level driver handed to each benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = measure(self, &mut f);
+        print_report(name, &report, None);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (kept for API compatibility; this harness uses
+    /// it only to scale the measurement time).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work per iteration so the report can show throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` with `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let report = measure(self.criterion, &mut |b: &mut Bencher| f(b, input));
+        let label = format!("{}/{}", self.name, id.id);
+        print_report(&label, &report, self.throughput.as_ref());
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = measure(self.criterion, &mut f);
+        let label = format!("{}/{}", self.name, id.id);
+        print_report(&label, &report, self.throughput.as_ref());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `name`, parameterized by `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A benchmark identified only by its parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Work performed per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the measured closure; [`Bencher::iter`] runs the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Report {
+    ns_per_iter: f64,
+}
+
+fn run_once(f: &mut dyn FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+/// Calibrates the iteration count to the measurement window, then takes
+/// `sample_size` samples and averages the middle half.
+fn measure(criterion: &Criterion, f: &mut dyn FnMut(&mut Bencher)) -> Report {
+    let mut iters = 1u64;
+    loop {
+        let elapsed = run_once(f, iters);
+        if elapsed >= Duration::from_millis(2) || iters >= 1 << 30 {
+            break;
+        }
+        iters *= 8;
+    }
+    let samples = criterion.sample_size.clamp(1, 100);
+    let per_sample =
+        (criterion.measurement.as_nanos() as u64 / samples as u64).max(Duration::from_millis(2).as_nanos() as u64);
+    let sample_elapsed = run_once(f, iters).as_nanos().max(1) as u64;
+    let scaled_iters = (iters * per_sample / sample_elapsed).max(1);
+
+    let mut rates: Vec<f64> = (0..samples)
+        .map(|_| run_once(f, scaled_iters).as_nanos() as f64 / scaled_iters as f64)
+        .collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("elapsed times are finite"));
+    let keep = &rates[rates.len() / 4..rates.len() - rates.len() / 4];
+    let ns_per_iter = keep.iter().sum::<f64>() / keep.len() as f64;
+    Report { ns_per_iter }
+}
+
+fn print_report(label: &str, report: &Report, throughput: Option<&Throughput>) {
+    let per_iter = report.ns_per_iter;
+    let time = if per_iter >= 1e9 {
+        format!("{:.3} s", per_iter / 1e9)
+    } else if per_iter >= 1e6 {
+        format!("{:.3} ms", per_iter / 1e6)
+    } else if per_iter >= 1e3 {
+        format!("{:.3} µs", per_iter / 1e3)
+    } else {
+        format!("{per_iter:.1} ns")
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = *n as f64 / (per_iter / 1e9);
+            println!("{label:<48} {time:>12}/iter  {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = *n as f64 / (per_iter / 1e9);
+            println!("{label:<48} {time:>12}/iter  {rate:>14.0} B/s");
+        }
+        None => println!("{label:<48} {time:>12}/iter"),
+    }
+}
+
+/// Defines a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,82 @@
+//! [`Arbitrary`] and [`any`], covering the primitive types the tests draw.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one uniformly distributed value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )+};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Any<T> {
+        *self
+    }
+}
+
+impl<T> Copy for Any<T> {}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_draws_vary_and_cover_sign() {
+        let mut rng = TestRng::for_test("arbitrary-tests");
+        let draws: Vec<u64> = (0..32).map(|_| any::<u64>().generate(&mut rng)).collect();
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+        let signed: Vec<i8> = (0..256).map(|_| any::<i8>().generate(&mut rng)).collect();
+        assert!(signed.iter().any(|&v| v < 0) && signed.iter().any(|&v| v >= 0));
+        let flips = (0..1_000).filter(|_| any::<bool>().generate(&mut rng)).count();
+        assert!((300..700).contains(&flips), "flips {flips}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`uniform4`] (generic over the array length).
+#[derive(Debug, Clone)]
+pub struct UniformArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+/// A `[T; 4]` with every element drawn from `element`.
+pub fn uniform4<S: Strategy>(element: S) -> UniformArrayStrategy<S, 4> {
+    UniformArrayStrategy { element }
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform4_fills_all_lanes_in_bounds() {
+        let mut rng = TestRng::for_test("array-tests");
+        for _ in 0..100 {
+            let a = uniform4(5u32..9).generate(&mut rng);
+            assert!(a.iter().all(|&v| (5..9).contains(&v)));
+        }
+        let draws: Vec<[u64; 4]> = (0..8).map(|_| uniform4(0u64..1 << 32).generate(&mut rng)).collect();
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+    }
+}

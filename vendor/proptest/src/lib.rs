@@ -1,0 +1,103 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The aim-sim build environment has no crates.io access, so the workspace
+//! vendors a minimal property-testing harness with the same surface the
+//! repo's property tests use: the [`proptest!`] macro, `prop_assert*`,
+//! [`prop_oneof!`], [`strategy::Strategy`] with `prop_map`,
+//! [`arbitrary::any`], integer/float range strategies, tuple strategies,
+//! [`collection::vec`], [`array::uniform4`], a regex-subset string strategy,
+//! and [`test_runner::ProptestConfig`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the standard assertion
+//!   message; cases are reproducible because every test derives its RNG
+//!   seed from the test name (override with `PROPTEST_RNG_SEED`).
+//! * **Case count** comes from `ProptestConfig::with_cases` or the
+//!   `PROPTEST_CASES` environment variable, as upstream.
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` running `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for _ in 0..config.cases {
+                    let ($($arg,)+) = ($(
+                        $crate::strategy::Strategy::generate(&($strategy), &mut rng),
+                    )+);
+                    // Bodies may `return Ok(())` early, as under real
+                    // proptest, so each case runs in a fallible closure.
+                    let case = move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    if let ::core::result::Result::Err(err) = case() {
+                        ::core::panic!("property failed: {}", err);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Weighted (`w => strategy`) or unweighted choice between strategies with a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy)),)+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy)),)+
+        ])
+    };
+}
+
+/// The glob import the property tests start from.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}

@@ -1,0 +1,381 @@
+//! The [`Strategy`] trait and the combinators the workspace tests use:
+//! ranges, tuples, [`Just`], `prop_map`, weighted [`Union`] (backing
+//! `prop_oneof!`), and a regex-subset string strategy for `&str` patterns.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe producing random values of an associated type.
+///
+/// Unlike real proptest there is no value tree or shrinking: `generate`
+/// yields a finished value directly.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value with `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map }
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Weighted choice between boxed strategies; `prop_oneof!` builds one.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// A union of `(weight, strategy)` arms; total weight must be non-zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs at least one arm with weight > 0");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (weight, strategy) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strategy.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("pick is below the total weight")
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = u128::from(rng.next_u64()) % span;
+                (self.start as i128 + offset as i128) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                // span can be 2^64 (full u64/i64 domain); `% 2^64` over a
+                // 64-bit draw is the identity, which is exactly right.
+                let offset = u128::from(rng.next_u64()) % span;
+                (start as i128 + offset as i128) as $ty
+            }
+        }
+    )+};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident . $idx:tt),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+}
+
+/// `&str` patterns are strategies over the regex subset the tests use:
+/// a sequence of literals, escapes, and character classes (with ranges),
+/// each optionally quantified by `{m}`, `{m,n}`, `*`, `+`, or `?`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let terms = parse_pattern(self);
+        let mut out = String::new();
+        for term in &terms {
+            let count = term.min + rng.below((term.max - term.min + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(term.chars[rng.below(term.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+struct Term {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Term> {
+    let mut terms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => parse_class(pattern, &mut chars),
+            '\\' => vec![unescape(pattern, chars.next())],
+            '.' => (' '..='~').collect(),
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("unsupported regex construct {c:?} in strategy pattern {pattern:?}")
+            }
+            literal => vec![literal],
+        };
+        let (min, max) = parse_quantifier(pattern, &mut chars);
+        terms.push(Term { chars: set, min, max });
+    }
+    terms
+}
+
+fn parse_class(
+    pattern: &str,
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Vec<char> {
+    let mut set = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(']') => break,
+            Some('\\') => unescape(pattern, chars.next()),
+            Some(c) => c,
+            None => panic!("unterminated character class in strategy pattern {pattern:?}"),
+        };
+        // A `-` between two members denotes a range (but `-` before `]` is
+        // a literal, as in `[ -~]`... where ` -~` is itself a range).
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next();
+            match lookahead.peek() {
+                Some(&']') | None => set.push(c),
+                _ => {
+                    chars.next();
+                    let end = match chars.next() {
+                        Some('\\') => unescape(pattern, chars.next()),
+                        Some(e) => e,
+                        None => panic!("unterminated range in strategy pattern {pattern:?}"),
+                    };
+                    assert!(c <= end, "inverted range in strategy pattern {pattern:?}");
+                    set.extend(c..=end);
+                }
+            }
+        } else {
+            set.push(c);
+        }
+    }
+    assert!(!set.is_empty(), "empty character class in strategy pattern {pattern:?}");
+    set
+}
+
+fn unescape(pattern: &str, c: Option<char>) -> char {
+    match c {
+        Some('n') => '\n',
+        Some('t') => '\t',
+        Some('r') => '\r',
+        Some('0') => '\0',
+        Some(c @ ('\\' | ']' | '[' | '-' | '.' | '(' | ')' | '|' | '^' | '$' | '{' | '}' | '*'
+        | '+' | '?')) => c,
+        other => panic!("unsupported escape {other:?} in strategy pattern {pattern:?}"),
+    }
+}
+
+fn parse_quantifier(
+    pattern: &str,
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let min = parse_number(pattern, chars);
+            let max = match chars.next() {
+                Some('}') => min,
+                Some(',') => {
+                    let max = parse_number(pattern, chars);
+                    assert_eq!(
+                        chars.next(),
+                        Some('}'),
+                        "malformed quantifier in strategy pattern {pattern:?}"
+                    );
+                    max
+                }
+                _ => panic!("malformed quantifier in strategy pattern {pattern:?}"),
+            };
+            assert!(min <= max, "inverted quantifier in strategy pattern {pattern:?}");
+            (min, max)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_number(
+    pattern: &str,
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> usize {
+    let mut digits = String::new();
+    while let Some(c) = chars.peek() {
+        if !c.is_ascii_digit() {
+            break;
+        }
+        digits.push(*c);
+        chars.next();
+    }
+    digits
+        .parse()
+        .unwrap_or_else(|_| panic!("malformed quantifier in strategy pattern {pattern:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_test("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            assert!((3u8..7).generate(&mut rng) < 7);
+            let signed = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&signed));
+            let inclusive = (0u64..=u64::MAX).generate(&mut rng);
+            let _ = inclusive; // full domain: any value is in bounds
+            let f = (0.25f64..4.0).generate(&mut rng);
+            assert!((0.25..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_just_and_tuples_compose() {
+        let mut rng = rng();
+        let s = (Just(10u32), 0u32..5).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((10..15).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let mut rng = rng();
+        let s = Union::new(vec![(9, Just(true).boxed()), (1, Just(false).boxed())]);
+        let hits = (0..10_000).filter(|_| s.generate(&mut rng)).count();
+        assert!((8_500..9_500).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn printable_class_pattern_generates_in_alphabet() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[ -~\\n]{0,400}".generate(&mut rng);
+            assert!(s.len() <= 400);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+        let lens: Vec<usize> = (0..50).map(|_| "[ -~]{0,40}".generate(&mut rng).len()).collect();
+        assert!(lens.iter().any(|&l| l > 0), "quantifier never varies");
+    }
+
+    #[test]
+    fn literal_and_quantified_patterns() {
+        let mut rng = rng();
+        assert_eq!("abc".generate(&mut rng), "abc");
+        let s = "a{3}[0-1]+".generate(&mut rng);
+        assert!(s.starts_with("aaa"));
+        assert!(s.len() > 3 && s[3..].chars().all(|c| c == '0' || c == '1'));
+    }
+}

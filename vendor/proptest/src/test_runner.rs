@@ -1,0 +1,131 @@
+//! Test configuration and the deterministic RNG driving case generation.
+
+/// Per-test configuration; only the fields the workspace uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases (still overridable by
+    /// `PROPTEST_CASES`).
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig::with_cases(256)
+    }
+}
+
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+}
+
+/// Error type a property body can return (`return Ok(())` early-exits a
+/// case; the `prop_assert*` macros panic instead of constructing this).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// A failed case with the given reason.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic xorshift64* generator; each test gets a seed hashed from
+/// its own name, so failures reproduce run-to-run without a persistence
+/// file. `PROPTEST_RNG_SEED` perturbs every test's seed at once.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The generator for the named test.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut seed = fnv1a(name.as_bytes());
+        if let Ok(extra) = std::env::var("PROPTEST_RNG_SEED") {
+            seed ^= fnv1a(extra.as_bytes());
+        }
+        // SplitMix64 whitening guarantees a non-zero xorshift state.
+        TestRng {
+            state: splitmix64(seed) | 1,
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform value in `0..n` (`n` must be non-zero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// A uniform float in `[0, 1)` (53 mantissa bits).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01B3);
+    }
+    hash
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("alpha");
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::for_test("beta");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_and_unit_stay_in_bounds() {
+        let mut rng = TestRng::for_test("bounds");
+        for _ in 0..1_000 {
+            assert!(rng.below(7) < 7);
+            let u = rng.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}
