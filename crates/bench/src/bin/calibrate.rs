@@ -36,7 +36,11 @@ fn main() {
             s.flushes.true_dep,
             s.flushes.anti_dep,
             s.flushes.output_dep,
-            format!("{}/{}", s.sfc.map_or(0, |x| x.partial_flushes), s.sfc.map_or(0, |x| x.full_flushes)),
+            format!(
+                "{}/{}",
+                s.backend.sfc().map_or(0, |x| x.partial_flushes),
+                s.backend.sfc().map_or(0, |x| x.full_flushes)
+            ),
             aim_types::percent(s.loads_forwarded, s.retired_loads),
             stall_frac,
             aim_types::percent(s.branch_mispredicts, s.branches_retired),

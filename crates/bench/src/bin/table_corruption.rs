@@ -30,7 +30,7 @@ fn main() {
 
     for (w, p) in prepared.iter().enumerate() {
         let s = matrix.get(w, 0);
-        let sfc = s.sfc.expect("SFC backend");
+        let sfc = s.backend.sfc().expect("SFC backend");
         let marker = if ["vpr_route", "ammp", "equake"].contains(&p.name) {
             "  <- paper outlier"
         } else {

@@ -60,11 +60,12 @@ fn main() {
     for (w, p) in prepared.iter().enumerate() {
         let lsq = matrix.get(w, i_lsq);
         let sfc = matrix.get(w, i_sfc);
-        let lsq_stats = lsq.lsq.expect("LSQ backend");
+        let lsq_stats = lsq.backend.lsq().expect("LSQ backend");
         let lsq_cmps = lsq_stats.sq_entries_compared + lsq_stats.lq_entries_compared;
         // Each SFC/MDT access is one set read: `ways` tag comparators.
-        let sfc_stats = sfc.sfc.expect("SFC backend");
-        let mdt_stats = sfc.mdt.expect("MDT backend");
+        let aim = sfc.backend.aim().expect("SFC/MDT backend");
+        let sfc_stats = &aim.sfc;
+        let mdt_stats = &aim.mdt;
         let sfc_cmps = (sfc_stats.load_lookups + sfc_stats.store_writes) * sfc_ways
             + (mdt_stats.load_checks + mdt_stats.store_checks) * mdt_ways;
         totals.0 += lsq_cmps;
@@ -78,9 +79,9 @@ fn main() {
             sfc_cmps,
             sfc_cmps as f64 / sfc.retired as f64,
             lsq_cmps as f64 / sfc_cmps.max(1) as f64,
-            sfc.sfc_peak_occupancy,
-            sfc.mdt_peak_occupancy,
-            sfc.store_fifo_peak,
+            aim.sfc_peak_occupancy,
+            aim.mdt_peak_occupancy,
+            aim.store_fifo_peak,
         );
     }
     rule(92);

@@ -64,7 +64,7 @@ fn named(name: &str, cfg: SimConfig) -> (String, SimConfig) {
 fn with_sfc_mdt(mut cfg: SimConfig, f: impl FnOnce(&mut aim_core::SfcConfig, &mut MdtConfig)) -> SimConfig {
     match &mut cfg.backend {
         BackendConfig::SfcMdt { sfc, mdt } => f(sfc, mdt),
-        BackendConfig::Lsq(_) => unreachable!("SFC/MDT mutation on an LSQ config"),
+        _ => unreachable!("SFC/MDT mutation on a non-SFC/MDT config"),
     }
     cfg
 }
@@ -314,6 +314,22 @@ pub fn table_power(aggressive: bool) -> ArtifactSpec {
     }
 }
 
+/// `table_backend_bounds`: the four baseline backends, ordered from the
+/// no-speculation lower bound to the perfect-disambiguation upper bound —
+/// the bracket every real backend's IPC must land inside.
+pub fn table_backend_bounds() -> ArtifactSpec {
+    ArtifactSpec {
+        artifact: "table_backend_bounds",
+        configs: vec![
+            named("nospec", SimConfig::baseline_nospec()),
+            named("lsq-48x32", SimConfig::baseline_lsq()),
+            named("sfc-mdt-enf", SimConfig::baseline_sfc_mdt(EnforceMode::All)),
+            named("oracle", SimConfig::baseline_oracle()),
+        ],
+        skip: &[],
+    }
+}
+
 /// `table_window_sweep`: windows 128–1024, fixed 48×32 LSQ vs SFC/MDT
 /// (window-major: `lsq@N` then `sfc-mdt@N` for each window size N).
 pub fn table_window_sweep() -> ArtifactSpec {
@@ -349,6 +365,7 @@ pub fn all_default() -> Vec<ArtifactSpec> {
         table_corruption(),
         table_filter(),
         table_power(false),
+        table_backend_bounds(),
         table_window_sweep(),
     ]
 }

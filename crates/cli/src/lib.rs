@@ -36,6 +36,31 @@ pub enum Command {
     Help,
 }
 
+/// Which memory-ordering backend `--backend` selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// The paper's SFC/MDT/StoreFIFO memory unit.
+    #[default]
+    SfcMdt,
+    /// The idealized associative load/store queue.
+    Lsq,
+    /// Perfect disambiguation (upper performance bound).
+    Oracle,
+    /// No load speculation (lower performance bound).
+    NoSpec,
+}
+
+impl BackendChoice {
+    /// All choices, in `compare` presentation order: lower bound first,
+    /// upper bound last.
+    pub const ALL: [BackendChoice; 4] = [
+        BackendChoice::NoSpec,
+        BackendChoice::Lsq,
+        BackendChoice::SfcMdt,
+        BackendChoice::Oracle,
+    ];
+}
+
 /// Options shared by `run` and `compare`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunArgs {
@@ -43,8 +68,8 @@ pub struct RunArgs {
     pub kernel: String,
     /// `baseline` (4-wide, 128-entry window) or `aggressive` (8-wide, 1024).
     pub aggressive: bool,
-    /// `lsq` or `sfc-mdt`.
-    pub lsq_backend: bool,
+    /// Memory-ordering backend.
+    pub backend: BackendChoice,
     /// Predictor mode for the SFC/MDT backend.
     pub mode: EnforceMode,
     /// LSQ capacity, e.g. `48x32`.
@@ -71,7 +96,7 @@ impl Default for RunArgs {
         RunArgs {
             kernel: String::new(),
             aggressive: false,
-            lsq_backend: false,
+            backend: BackendChoice::SfcMdt,
             mode: EnforceMode::All,
             lsq_size: (48, 32),
             scale: Scale::Small,
@@ -104,12 +129,13 @@ aim-sim — the SFC/MDT memory-disambiguation simulator (MICRO-38 reproduction)
 USAGE:
   aim-sim list                       list available kernels
   aim-sim run <kernel> [options]     simulate one kernel
-  aim-sim compare <kernel> [options] simulate under both backends
+  aim-sim compare <kernel> [options] simulate under all four backends
   aim-sim asm <file.s> [options]     assemble and simulate a source file
 
 OPTIONS:
   --machine baseline|aggressive   pipeline configuration      [baseline]
-  --backend sfc-mdt|lsq           memory-ordering machinery   [sfc-mdt]
+  --backend sfc-mdt|lsq|oracle|nospec
+                                  memory-ordering machinery   [sfc-mdt]
   --mode enf|not-enf|total        predictor enforcement       [enf]
   --lsq LxS                       LSQ capacity, e.g. 120x80   [48x32]
   --scale tiny|small|full         instruction budget          [small]
@@ -159,9 +185,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 }
             }
             "--backend" => {
-                run.lsq_backend = match value("--backend")?.as_str() {
-                    "sfc-mdt" => false,
-                    "lsq" => true,
+                run.backend = match value("--backend")?.as_str() {
+                    "sfc-mdt" => BackendChoice::SfcMdt,
+                    "lsq" => BackendChoice::Lsq,
+                    "oracle" => BackendChoice::Oracle,
+                    "nospec" => BackendChoice::NoSpec,
                     other => return Err(ParseError(format!("unknown backend `{other}`"))),
                 }
             }
@@ -227,22 +255,41 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
 
 /// Builds the [`SimConfig`] a [`RunArgs`] describes.
 pub fn build_config(args: &RunArgs) -> SimConfig {
-    let mut cfg = if args.lsq_backend {
-        let lsq = LsqConfig {
-            load_entries: args.lsq_size.0,
-            store_entries: args.lsq_size.1,
-        };
-        if args.aggressive {
-            SimConfig::aggressive_lsq(lsq)
-        } else {
-            let mut c = SimConfig::baseline_lsq();
-            c.backend = BackendConfig::Lsq(lsq);
-            c
+    let mut cfg = match args.backend {
+        BackendChoice::Lsq => {
+            let lsq = LsqConfig {
+                load_entries: args.lsq_size.0,
+                store_entries: args.lsq_size.1,
+            };
+            if args.aggressive {
+                SimConfig::aggressive_lsq(lsq)
+            } else {
+                let mut c = SimConfig::baseline_lsq();
+                c.backend = BackendConfig::Lsq(lsq);
+                c
+            }
         }
-    } else if args.aggressive {
-        SimConfig::aggressive_sfc_mdt(args.mode)
-    } else {
-        SimConfig::baseline_sfc_mdt(args.mode)
+        BackendChoice::SfcMdt => {
+            if args.aggressive {
+                SimConfig::aggressive_sfc_mdt(args.mode)
+            } else {
+                SimConfig::baseline_sfc_mdt(args.mode)
+            }
+        }
+        BackendChoice::Oracle => {
+            if args.aggressive {
+                SimConfig::aggressive_oracle()
+            } else {
+                SimConfig::baseline_oracle()
+            }
+        }
+        BackendChoice::NoSpec => {
+            if args.aggressive {
+                SimConfig::aggressive_nospec()
+            } else {
+                SimConfig::baseline_nospec()
+            }
+        }
     };
     if let BackendConfig::SfcMdt { sfc, mdt } = &mut cfg.backend {
         if args.untagged {
@@ -292,7 +339,7 @@ pub fn report(name: &str, backend: &str, stats: &SimStats) -> String {
         stats.flushes.anti_dep,
         stats.flushes.output_dep
     ));
-    if let Some(sfc) = stats.sfc {
+    if let Some(sfc) = stats.backend.sfc() {
         line(format!(
             "  SFC: conflicts {:>5}  corrupt replays {:>5}  partial/full flushes {}/{}",
             stats.replays.store_sfc_conflicts,
@@ -301,7 +348,7 @@ pub fn report(name: &str, backend: &str, stats: &SimStats) -> String {
             sfc.full_flushes
         ));
     }
-    if stats.mdt.is_some() {
+    if stats.backend.mdt().is_some() {
         line(format!(
             "  MDT: load conflicts {:>5}  store conflicts {:>5}  head bypasses {:>4}",
             stats.replays.load_mdt_conflicts,
@@ -315,7 +362,7 @@ pub fn report(name: &str, backend: &str, stats: &SimStats) -> String {
             ));
         }
     }
-    if let Some(lsq) = stats.lsq {
+    if let Some(lsq) = stats.backend.lsq() {
         line(format!(
             "  LSQ: SQ searches {:>7}  LQ searches {:>7}  peak {}x{}  dispatch stalls {}",
             lsq.sq_searches,
@@ -323,6 +370,18 @@ pub fn report(name: &str, backend: &str, stats: &SimStats) -> String {
             lsq.peak_lq,
             lsq.peak_sq,
             stats.dispatch_stalls.lq_full + stats.dispatch_stalls.sq_full
+        ));
+    }
+    if let Some(o) = stats.backend.oracle() {
+        line(format!(
+            "  oracle: full forwards {:>7}  partial {:>5}  order waits {:>7}",
+            o.full_forwards, o.partial_forwards, o.order_waits
+        ));
+    }
+    if let Some(n) = stats.backend.nospec() {
+        line(format!(
+            "  no-spec: order waits {:>7}  peak in-flight stores {}",
+            n.order_waits, n.peak_inflight_stores
         ));
     }
     let (l1i, l1d, l2) = stats.caches;
@@ -358,7 +417,7 @@ mod tests {
         };
         assert_eq!(args.kernel, "gzip");
         assert!(!args.aggressive);
-        assert!(!args.lsq_backend);
+        assert_eq!(args.backend, BackendChoice::SfcMdt);
         assert_eq!(args.mode, EnforceMode::All);
     }
 
@@ -384,7 +443,7 @@ mod tests {
             panic!("expected compare");
         };
         assert!(args.aggressive);
-        assert!(args.lsq_backend);
+        assert_eq!(args.backend, BackendChoice::Lsq);
         assert_eq!(args.mode, EnforceMode::TotalOrder);
         assert_eq!(args.lsq_size, (120, 80));
         assert_eq!(args.scale, Scale::Full);
@@ -469,7 +528,7 @@ mod tests {
             }
             _ => panic!("expected SFC/MDT backend"),
         }
-        args.lsq_backend = true;
+        args.backend = BackendChoice::Lsq;
         args.lsq_size = (7, 9);
         match build_config(&args).backend {
             BackendConfig::Lsq(l) => {
@@ -477,6 +536,27 @@ mod tests {
             }
             _ => panic!("expected LSQ backend"),
         }
+    }
+
+    #[test]
+    fn bounds_backends_parse_and_build() {
+        for (word, choice, expect) in [
+            ("oracle", BackendChoice::Oracle, BackendConfig::Oracle),
+            ("nospec", BackendChoice::NoSpec, BackendConfig::NoSpec),
+        ] {
+            let Command::Run(args) = parse(&["run", "gzip", "--backend", word]).unwrap() else {
+                panic!("expected run");
+            };
+            assert_eq!(args.backend, choice);
+            assert_eq!(build_config(&args).backend, expect);
+            let mut aggr = args.clone();
+            aggr.aggressive = true;
+            assert_eq!(build_config(&aggr).backend, expect);
+        }
+        assert!(parse(&["run", "x", "--backend", "psychic"])
+            .unwrap_err()
+            .0
+            .contains("unknown backend"));
     }
 
     #[test]

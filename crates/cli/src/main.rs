@@ -2,7 +2,7 @@
 
 use std::process::ExitCode;
 
-use aim_cli::{build_config, parse_args, report, Command, RunArgs, USAGE};
+use aim_cli::{build_config, parse_args, report, BackendChoice, Command, RunArgs, USAGE};
 use aim_pipeline::{pipeview, simulate_pipeview, simulate_traced};
 
 fn run_program(name: &str, program: &aim_isa::Program, args: &RunArgs) -> Result<(), String> {
@@ -36,23 +36,27 @@ fn run_one(args: &RunArgs) -> Result<(), String> {
     run_program(&args.kernel, &workload.program, args)
 }
 
-/// Runs the `compare` pair as a 1×2 matrix on the shared sweep runner, so
-/// both backends simulate concurrently when `--jobs`/`AIM_JOBS` allow.
-fn compare_parallel(lsq_args: &RunArgs, sfc_args: &RunArgs) -> Result<(), String> {
-    let workload = aim_workloads::by_name(&lsq_args.kernel, lsq_args.scale)
-        .ok_or_else(|| format!("unknown kernel `{}` (try `aim-sim list`)", lsq_args.kernel))?;
-    let prepared = vec![aim_bench::prepare(workload, lsq_args.scale)];
-    let configs = vec![
-        ("lsq".to_string(), build_config(lsq_args)),
-        ("sfc-mdt".to_string(), build_config(sfc_args)),
-    ];
-    let jobs = aim_bench::resolve_jobs(lsq_args.jobs);
+/// Runs the `compare` sweep as a 1×4 matrix on the shared sweep runner —
+/// one column per backend, bounds first and last — so all four simulate
+/// concurrently when `--jobs`/`AIM_JOBS` allow.
+fn compare_parallel(args: &RunArgs) -> Result<(), String> {
+    let workload = aim_workloads::by_name(&args.kernel, args.scale)
+        .ok_or_else(|| format!("unknown kernel `{}` (try `aim-sim list`)", args.kernel))?;
+    let prepared = vec![aim_bench::prepare(workload, args.scale)];
+    let configs: Vec<(String, aim_pipeline::SimConfig)> = BackendChoice::ALL
+        .iter()
+        .map(|&backend| {
+            let cfg = build_config(&RunArgs {
+                backend,
+                ..args.clone()
+            });
+            (cfg.backend.name(), cfg)
+        })
+        .collect();
+    let jobs = aim_bench::resolve_jobs(args.jobs);
     let matrix = aim_bench::run_matrix(&prepared, &configs, jobs);
-    for (c, (_, cfg)) in configs.iter().enumerate() {
-        print!(
-            "{}",
-            report(&lsq_args.kernel, &cfg.backend.name(), matrix.get(0, c))
-        );
+    for (c, (name, _)) in configs.iter().enumerate() {
+        print!("{}", report(&args.kernel, name, matrix.get(0, c)));
     }
     Ok(())
 }
@@ -89,16 +93,17 @@ fn main() -> ExitCode {
         Command::Run(args) => run_one(&args),
         Command::Asm(args) => run_asm_file(&args),
         Command::Compare(args) => {
-            let mut lsq_args = args.clone();
-            lsq_args.lsq_backend = true;
-            let mut sfc_args = args;
-            sfc_args.lsq_backend = false;
-            if lsq_args.trace == 0 && lsq_args.pipeview == 0 {
-                compare_parallel(&lsq_args, &sfc_args)
+            if args.trace == 0 && args.pipeview == 0 {
+                compare_parallel(&args)
             } else {
                 // Event traces and pipeview records only surface through the
                 // sequential single-run path.
-                run_one(&lsq_args).and_then(|()| run_one(&sfc_args))
+                BackendChoice::ALL.iter().try_for_each(|&backend| {
+                    run_one(&RunArgs {
+                        backend,
+                        ..args.clone()
+                    })
+                })
             }
         }
     };

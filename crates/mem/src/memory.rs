@@ -96,6 +96,25 @@ impl MainMemory {
     pub fn allocated_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Every non-zero byte as `(address, value)`, sorted by address.
+    ///
+    /// Because unmapped bytes read as zero, two memories with the same
+    /// non-zero byte set are architecturally indistinguishable — this is the
+    /// canonical form the cross-backend parity tests compare.
+    pub fn nonzero_bytes(&self) -> Vec<(u64, u8)> {
+        let mut out = Vec::new();
+        for (&page, bytes) in &self.pages {
+            let base = page << PAGE_SHIFT;
+            for (off, &b) in bytes.iter().enumerate() {
+                if b != 0 {
+                    out.push((base + off as u64, b));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
 }
 
 #[cfg(test)]

@@ -1,35 +1,10 @@
 //! Simulator configuration: the paper's Figure 4 in code.
 
-use aim_core::{MdtConfig, PartialMatchPolicy, SfcConfig};
-use aim_lsq::LsqConfig;
+use aim_backend::{BackendParams, LsqConfig, MdtConfig, PartialMatchPolicy, SfcConfig};
 use aim_mem::HierarchyConfig;
 use aim_predictor::{EnforceMode, PredictorConfig};
 
-/// Which memory-ordering machinery the pipeline uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BackendConfig {
-    /// The idealized load/store queue baseline.
-    Lsq(LsqConfig),
-    /// The paper's store forwarding cache + memory disambiguation table.
-    SfcMdt {
-        /// SFC geometry.
-        sfc: SfcConfig,
-        /// MDT geometry and true-dependence recovery policy.
-        mdt: MdtConfig,
-    },
-}
-
-impl BackendConfig {
-    /// Short human-readable name for reports.
-    pub fn name(&self) -> String {
-        match self {
-            BackendConfig::Lsq(c) => format!("lsq{}x{}", c.load_entries, c.store_entries),
-            BackendConfig::SfcMdt { sfc, mdt } => {
-                format!("sfc{}x{}/mdt{}x{}", sfc.sets, sfc.ways, mdt.sets, mdt.ways)
-            }
-        }
-    }
-}
+pub use aim_backend::BackendConfig;
 
 /// Recovery policy for output dependence violations (paper §2.4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -77,7 +52,8 @@ pub struct SimConfig {
     pub agu_latency: u64,
     /// Cache geometry and miss latencies.
     pub hierarchy: HierarchyConfig,
-    /// LSQ or SFC/MDT.
+    /// Which memory-ordering backend the machine instantiates (see
+    /// [`aim_backend::build`]).
     pub backend: BackendConfig,
     /// Producer-set predictor geometry and enforcement mode.
     pub dep_predictor: PredictorConfig,
@@ -95,7 +71,9 @@ pub struct SimConfig {
     /// Output-dependence recovery policy.
     pub output_dep_recovery: OutputDepRecovery,
     /// Whether replayed instructions sleep until an SFC/MDT entry is freed
-    /// (the stall-bit heuristic of §2.4.3).
+    /// (the stall-bit heuristic of §2.4.3). Only applies to backends that
+    /// emit free events (see
+    /// [`MemBackend::uses_stall_bits`](aim_backend::MemBackend::uses_stall_bits)).
     pub stall_bits: bool,
     /// Store FIFO capacity for the SFC/MDT backend (0 = unbounded; the paper
     /// does not size its FIFO, and the reorder buffer bounds it anyway).
@@ -171,6 +149,18 @@ impl SimConfig {
         }
     }
 
+    /// The backend-construction parameters this machine configuration
+    /// implies (the input to [`aim_backend::build`]).
+    pub fn backend_params(&self) -> BackendParams {
+        BackendParams {
+            config: self.backend,
+            store_fifo_entries: self.store_fifo_entries,
+            partial_match_policy: self.partial_match_policy,
+            sfc_store_extra_latency: self.sfc_store_extra_latency,
+            mdt_violation_extra_penalty: self.mdt_violation_extra_penalty,
+        }
+    }
+
     /// Convenience: baseline machine with the Figure 5 SFC/MDT geometry
     /// ("a 256 entry, 2-way associative store forwarding cache, an 8192
     /// entry, 2-way associative memory disambiguation table").
@@ -186,6 +176,24 @@ impl SimConfig {
     /// Convenience: baseline machine with the Figure 5 idealized 48×32 LSQ.
     pub fn baseline_lsq() -> SimConfig {
         let mut cfg = SimConfig::baseline(BackendConfig::Lsq(LsqConfig::baseline_48x32()));
+        cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
+        cfg
+    }
+
+    /// Convenience: baseline machine with perfect disambiguation — the
+    /// upper bound any real backend is bracketed by.
+    pub fn baseline_oracle() -> SimConfig {
+        let mut cfg = SimConfig::baseline(BackendConfig::Oracle);
+        // With no violations possible, the predictor would only add
+        // spurious serialization.
+        cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
+        cfg
+    }
+
+    /// Convenience: baseline machine with no load speculation — the lower
+    /// bound any real backend is bracketed by.
+    pub fn baseline_nospec() -> SimConfig {
+        let mut cfg = SimConfig::baseline(BackendConfig::NoSpec);
         cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
         cfg
     }
@@ -206,6 +214,20 @@ impl SimConfig {
     /// capacity.
     pub fn aggressive_lsq(lsq: LsqConfig) -> SimConfig {
         let mut cfg = SimConfig::aggressive(BackendConfig::Lsq(lsq));
+        cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
+        cfg
+    }
+
+    /// Convenience: aggressive machine with perfect disambiguation.
+    pub fn aggressive_oracle() -> SimConfig {
+        let mut cfg = SimConfig::aggressive(BackendConfig::Oracle);
+        cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
+        cfg
+    }
+
+    /// Convenience: aggressive machine with no load speculation.
+    pub fn aggressive_nospec() -> SimConfig {
+        let mut cfg = SimConfig::aggressive(BackendConfig::NoSpec);
         cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
         cfg
     }
@@ -252,15 +274,28 @@ mod tests {
     }
 
     #[test]
-    fn backend_names() {
+    fn backend_params_mirror_machine_knobs() {
+        let mut c = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+        c.store_fifo_entries = 8;
+        c.sfc_store_extra_latency = 2;
+        let p = c.backend_params();
+        assert_eq!(p.config, c.backend);
+        assert_eq!(p.store_fifo_entries, 8);
+        assert_eq!(p.sfc_store_extra_latency, 2);
+        assert_eq!(p.mdt_violation_extra_penalty, 1);
+    }
+
+    #[test]
+    fn bounds_configs_use_bounds_backends() {
+        assert_eq!(SimConfig::baseline_oracle().backend, BackendConfig::Oracle);
+        assert_eq!(SimConfig::baseline_nospec().backend, BackendConfig::NoSpec);
         assert_eq!(
-            BackendConfig::Lsq(LsqConfig::baseline_48x32()).name(),
-            "lsq48x32"
+            SimConfig::aggressive_oracle().backend,
+            BackendConfig::Oracle
         );
-        let b = BackendConfig::SfcMdt {
-            sfc: SfcConfig::baseline(),
-            mdt: MdtConfig::baseline(),
-        };
-        assert_eq!(b.name(), "sfc128x2/mdt4096x2");
+        assert_eq!(
+            SimConfig::aggressive_nospec().backend,
+            BackendConfig::NoSpec
+        );
     }
 }

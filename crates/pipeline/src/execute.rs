@@ -1,0 +1,384 @@
+//! Issue/execute stage: wake-up and select, functional evaluation, the
+//! memory-backend execute protocol, and completion-event draining.
+
+use std::cmp::Reverse;
+
+use aim_backend::{LoadOutcome, LoadRequest, MemKind, StoreOutcome, StoreRequest};
+use aim_isa::{ExecClass, Instr};
+use aim_types::{Addr, MemAccess, SeqNum, ViolationKind};
+
+use crate::config::OutputDepRecovery;
+use crate::machine::Machine;
+use crate::recover::PendingViolation;
+use crate::rob::InstrState;
+
+/// Outcome of attempting a memory access at issue.
+pub(crate) enum MemOutcome {
+    /// The access completed; value and added latency.
+    Done { value: u64, latency: u64 },
+    /// The access was dropped; the instruction replays.
+    Replay,
+}
+
+impl Machine<'_> {
+    pub(crate) fn issue(&mut self) {
+        let mut budget = self.config.issue_width;
+        let free_events = self.backend.free_event_count();
+        let head_seq = self.rob.head().map(|h| h.seq);
+        let mut to_issue = std::mem::take(&mut self.issue_scratch);
+        to_issue.clear();
+
+        for e in self.rob.iter() {
+            if budget == 0 {
+                break;
+            }
+            if e.state != InstrState::Waiting {
+                continue;
+            }
+            let at_head = Some(e.seq) == head_seq;
+            if let Some(snapshot) = e.stall_until_free_event {
+                if free_events <= snapshot && !at_head {
+                    continue;
+                }
+            }
+            if !e.srcs.iter().flatten().all(|&p| self.renamer.is_ready(p)) {
+                continue;
+            }
+            if let Some(tag) = e.dep_consumes {
+                if !self.tags.is_ready(tag) && !at_head {
+                    continue;
+                }
+            }
+            to_issue.push(e.seq);
+            budget -= 1;
+        }
+
+        for seq in to_issue.drain(..) {
+            self.start_execute(seq);
+        }
+        self.issue_scratch = to_issue;
+    }
+
+    fn src_values(&self, seq: SeqNum) -> (u64, u64) {
+        let e = self.rob.get(seq).expect("issuing instruction exists");
+        let a = e.srcs[0].map_or(0, |p| self.renamer.read(p));
+        let b = e.srcs[1].map_or(0, |p| self.renamer.read(p));
+        (a, b)
+    }
+
+    fn start_execute(&mut self, seq: SeqNum) {
+        self.stats.issued += 1;
+        if self.config.event_trace {
+            let (pc, instr) = {
+                let e = self.rob.get(seq).expect("issuing instruction exists");
+                (e.pc, e.instr)
+            };
+            self.log(|| format!("issue    {seq} pc={pc} `{instr}`"));
+        }
+        let (a, b) = self.src_values(seq);
+        let cycle = self.cycle;
+        let e = self.rob.get_mut(seq).expect("issuing instruction exists");
+        e.issued_cycle = cycle;
+        let pc = e.pc;
+        let instr = e.instr;
+
+        let mut result = 0u64;
+        let mut actual_next: Option<u64> = None;
+        let latency = match instr {
+            Instr::Alu { op, .. } => {
+                result = op.eval(a, b);
+                self.class_latency(instr.exec_class())
+            }
+            Instr::AluImm { op, imm, .. } => {
+                result = op.eval(a, imm as u64);
+                self.class_latency(instr.exec_class())
+            }
+            Instr::MovImm { imm, .. } => {
+                result = imm as u64;
+                self.config.alu_latency
+            }
+            Instr::Branch { cond, target, .. } => {
+                actual_next = Some(if cond.eval(a, b) { target } else { pc + 1 });
+                self.config.alu_latency
+            }
+            Instr::Jump { target } => {
+                actual_next = Some(target);
+                self.config.alu_latency
+            }
+            Instr::Jal { target, .. } => {
+                result = pc + 1;
+                actual_next = Some(target);
+                self.config.alu_latency
+            }
+            Instr::Jr { .. } => {
+                actual_next = Some(a);
+                self.config.alu_latency
+            }
+            Instr::Halt | Instr::Nop => self.config.alu_latency,
+            Instr::Load { offset, size, .. } => {
+                // srcs[0] = base register.
+                let raw = a.wrapping_add(offset as u64);
+                let addr = Addr(raw & !(size.bytes() - 1)); // align wrong-path garbage
+                let access = MemAccess::new(addr, size).expect("aligned by construction");
+                match self.exec_load(seq, pc, access) {
+                    MemOutcome::Done { value, latency } => {
+                        result = value;
+                        self.rob.get_mut(seq).expect("exists").mem = Some((access, value));
+                        self.config.agu_latency + latency
+                    }
+                    MemOutcome::Replay => return,
+                }
+            }
+            Instr::Store { offset, size, .. } => {
+                // srcs[0] = base, srcs[1] = data.
+                let raw = a.wrapping_add(offset as u64);
+                let addr = Addr(raw & !(size.bytes() - 1));
+                let access = MemAccess::new(addr, size).expect("aligned by construction");
+                match self.exec_store(seq, pc, access, b) {
+                    MemOutcome::Done { latency, .. } => {
+                        self.rob.get_mut(seq).expect("exists").mem = Some((access, b));
+                        self.config.agu_latency + latency
+                    }
+                    MemOutcome::Replay => return,
+                }
+            }
+        };
+
+        let e = self.rob.get_mut(seq).expect("issuing instruction exists");
+        e.state = InstrState::Executing;
+        e.result = result;
+        e.actual_next_pc = actual_next;
+        self.exec_events
+            .push(Reverse((self.cycle + latency.max(1), seq.0)));
+    }
+
+    fn class_latency(&self, class: ExecClass) -> u64 {
+        match class {
+            ExecClass::Mul => self.config.mul_latency,
+            _ => self.config.alu_latency,
+        }
+    }
+
+    fn replay(&mut self, seq: SeqNum) {
+        self.log(|| format!("replay   {seq} dropped by the memory unit"));
+        // Stall bits only help when the backend emits free events that will
+        // later clear them; on backends without them (which replay for
+        // ordering, not capacity), a stall bit would never clear and the
+        // instruction must retry every cycle instead.
+        let stall = self.config.stall_bits && self.backend.uses_stall_bits();
+        let free_events = self.backend.free_event_count();
+        let e = self.rob.get_mut(seq).expect("replaying instruction exists");
+        e.state = InstrState::Waiting;
+        e.replayed = true;
+        e.stall_until_free_event = stall.then_some(free_events);
+    }
+
+    /// Debug-build invariant: the store census and granule filter always
+    /// equal the sums of the per-entry flags in the ROB. A drift here means
+    /// a leak in the execute/retire/squash bookkeeping, which would silently
+    /// rot the §4 filter into either unsoundness (under-count) or inertness
+    /// (over-count).
+    pub(crate) fn debug_check_filter_census(&self) {
+        if !cfg!(debug_assertions) || !self.config.mdt_filter {
+            return;
+        }
+        let unexecuted = self.rob.iter().filter(|e| e.counted_unexecuted).count() as u64;
+        debug_assert_eq!(
+            self.unexecuted_stores, unexecuted,
+            "unexecuted-store census drifted from ROB contents"
+        );
+        let counted = self.rob.iter().filter(|e| e.filter_counted).count() as u64;
+        let filter_total: u64 = self.store_granule_filter.iter().map(|&c| c as u64).sum();
+        debug_assert_eq!(
+            filter_total, counted,
+            "granule-filter population drifted from ROB contents"
+        );
+    }
+
+    #[inline]
+    pub(crate) fn filter_bucket(&self, access: MemAccess) -> usize {
+        (access.addr().word_index() as usize) & (self.store_granule_filter.len() - 1)
+    }
+
+    /// §2.2 lockup avoidance: a replayed memory instruction at the head of
+    /// the ROB may execute without consulting the backend's conflict-prone
+    /// structures — all older instructions have retired, so committed memory
+    /// is current. Only meaningful for backends that can refuse execution on
+    /// structural conflicts.
+    fn head_bypasses(&self, seq: SeqNum) -> bool {
+        self.backend.supports_head_bypass()
+            && self.at_head(seq)
+            && self.rob.get(seq).is_some_and(|e| e.replayed)
+    }
+
+    fn exec_load(&mut self, seq: SeqNum, pc: u64, access: MemAccess) -> MemOutcome {
+        self.stats.load_executions += 1;
+        if self.head_bypasses(seq) {
+            self.stats.head_bypasses += 1;
+            let value = self.mem.read(access);
+            let latency = self.hierarchy.access_data(access.addr()).1;
+            self.rob.get_mut(seq).expect("exists").bypassed = true;
+            return MemOutcome::Done { value, latency };
+        }
+
+        let floor = self.rob.floor(SeqNum(self.next_seq));
+        let filtered = self.config.mdt_filter
+            && self.backend.supports_load_filter()
+            && self.unexecuted_stores == 0
+            && self.store_granule_filter[self.filter_bucket(access)] == 0;
+        if filtered {
+            self.stats.mdt_filtered_loads += 1;
+        }
+        let req = LoadRequest {
+            seq,
+            pc,
+            access,
+            floor,
+            filtered,
+        };
+
+        match self.backend.load_execute(&req, &self.mem) {
+            LoadOutcome::Done { value, forwarded } => {
+                let latency = if forwarded {
+                    self.stats.loads_forwarded += 1;
+                    // Forwarding takes the L1-hit time: the SFC (or the
+                    // idealized single-cycle store-queue bypass) is accessed
+                    // in parallel with the L1.
+                    let _ = self.hierarchy.access_data(access.addr());
+                    self.config.hierarchy.l1_hit_cycles
+                } else {
+                    self.hierarchy.access_data(access.addr()).1
+                };
+                MemOutcome::Done { value, latency }
+            }
+            LoadOutcome::Replay(cause) => {
+                self.stats.replays.count(MemKind::Load, cause);
+                self.replay(seq);
+                MemOutcome::Replay
+            }
+            LoadOutcome::Anti(v) => {
+                // Anti violation: the load itself is flushed; carry the
+                // recovery to the completion event.
+                self.queue_violation(
+                    seq,
+                    PendingViolation {
+                        kind: v.kind,
+                        producer_pc: v.producer_pc,
+                        consumer_pc: v.consumer_pc,
+                        squash_after: v.squash_after,
+                        corrupt_only: false,
+                    },
+                );
+                let e = self.rob.get_mut(seq).expect("exists");
+                e.state = InstrState::Executing;
+                self.exec_events
+                    .push(Reverse((self.cycle + self.config.agu_latency + 1, seq.0)));
+                MemOutcome::Replay // caller must not reschedule
+            }
+        }
+    }
+
+    fn exec_store(&mut self, seq: SeqNum, pc: u64, access: MemAccess, value: u64) -> MemOutcome {
+        self.stats.store_executions += 1;
+        let floor = self.rob.floor(SeqNum(self.next_seq));
+        let corrupt_on_output = self.config.output_dep_recovery == OutputDepRecovery::MarkCorrupt;
+        let bypass = self.head_bypasses(seq);
+        let req = StoreRequest {
+            seq,
+            pc,
+            access,
+            value,
+            floor,
+            bypass,
+        };
+
+        match self.backend.store_execute(&req, &self.mem) {
+            StoreOutcome::Replay(cause) => {
+                self.stats.replays.count(MemKind::Store, cause);
+                self.replay(seq);
+                MemOutcome::Replay
+            }
+            StoreOutcome::Done { latency, violations } => {
+                for v in violations {
+                    let corrupt_only = v.kind == ViolationKind::Output && corrupt_on_output;
+                    if corrupt_only {
+                        // §2.4.2 recovery must take effect *now*: the store's
+                        // own SFC write just cleared the corruption bits on
+                        // its bytes, and a load issuing before the store's
+                        // completion event would otherwise forward the stale
+                        // value with no flush to save it.
+                        self.backend.mark_corrupt(access);
+                        self.dep_pred
+                            .record_violation(v.producer_pc, v.consumer_pc, v.kind);
+                        self.stats.flushes.output_dep += 1;
+                        continue;
+                    }
+                    self.queue_violation(
+                        seq,
+                        PendingViolation {
+                            kind: v.kind,
+                            producer_pc: v.producer_pc,
+                            consumer_pc: v.consumer_pc,
+                            squash_after: v.squash_after,
+                            corrupt_only,
+                        },
+                    );
+                }
+                if bypass {
+                    self.stats.head_bypasses += 1;
+                    // Commit immediately: the store is non-speculative at the
+                    // head, and committing now closes the window in which a
+                    // younger load could read stale memory unchecked by the
+                    // skipped SFC.
+                    self.mem.write(access, value);
+                    self.rob.get_mut(seq).expect("exists").bypassed = true;
+                }
+                if self.config.mdt_filter {
+                    // The store has now (successfully) executed: it can never
+                    // re-check the MDT, and — unless it bypassed straight to
+                    // memory — its data is live in flight. The census flag is
+                    // only ever set for filter-capable backends, so no
+                    // capability check is needed here.
+                    let bucket = self.filter_bucket(access);
+                    let e = self.rob.get_mut(seq).expect("exists");
+                    if e.counted_unexecuted {
+                        e.counted_unexecuted = false;
+                        self.unexecuted_stores -= 1;
+                        if !bypass {
+                            e.filter_counted = true;
+                            self.store_granule_filter[bucket] += 1;
+                        }
+                    }
+                }
+                MemOutcome::Done { value, latency }
+            }
+        }
+    }
+
+    // --- Complete -------------------------------------------------------
+
+    pub(crate) fn complete(&mut self) {
+        while let Some(&Reverse((when, seq_raw))) = self.exec_events.peek() {
+            if when > self.cycle {
+                break;
+            }
+            self.exec_events.pop();
+            let seq = SeqNum(seq_raw);
+            self.complete_one(seq);
+        }
+    }
+
+    fn complete_one(&mut self, seq: SeqNum) {
+        let Some(e) = self.rob.get(seq) else {
+            let range = self.violation_range(seq);
+            self.pending_violations.drain(range);
+            return; // squashed while executing
+        };
+        if e.state != InstrState::Executing {
+            return;
+        }
+        let violations = self.take_violations(seq);
+        self.apply_completion(seq, &violations);
+        self.violation_scratch = violations;
+    }
+}

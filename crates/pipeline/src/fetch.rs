@@ -1,0 +1,116 @@
+//! Fetch stage: I-cache access, branch prediction, and the oracle boost
+//! that keeps the wrong-path rate at the paper's effective accuracy.
+
+use aim_isa::Instr;
+use aim_mem::MemLevel;
+
+use crate::machine::{Fetched, Machine};
+
+impl Machine<'_> {
+    pub(crate) fn fetch(&mut self) {
+        if self.fetch_halted
+            || self.cycle < self.fetch_stall_until
+            || self.fetch_buffer.len() >= self.config.width
+        {
+            return;
+        }
+
+        // Model the I-cache on the first access of the group: a miss costs
+        // the fill latency before any instruction is delivered.
+        let (level, latency) = self
+            .hierarchy
+            .access_instr(self.program.fetch_addr(self.fetch_pc));
+        if level != MemLevel::L1 {
+            self.fetch_stall_until = self.cycle + latency;
+            return;
+        }
+
+        let mut branches = 0usize;
+        for _ in 0..self.config.width {
+            let Some(&instr) = self.program.instr(self.fetch_pc) else {
+                // Wrong-path fetch ran off the instruction stream; wait for a
+                // redirect.
+                self.fetch_halted = true;
+                return;
+            };
+            if instr.is_control() {
+                if branches >= self.config.max_branches_per_cycle {
+                    break;
+                }
+                branches += 1;
+            }
+
+            let pc = self.fetch_pc;
+            // Fetch believes it is on the correct path when the trace record
+            // under the cursor matches the pc. A mismatch is legal: a branch
+            // fed by a mis-speculated value (whose ordering violation has not
+            // been detected yet) can steer a "correct-path" redirect to a
+            // wrong target. Such instructions are really wrong-path — the
+            // violation's flush will squash them before they can retire — so
+            // fetch degrades to off-path until the next recovery resyncs it.
+            let on_path = self.on_correct_path
+                && match self.trace_record(self.trace_cursor) {
+                    Some(rec) if rec.pc == pc => true,
+                    _ => {
+                        self.on_correct_path = false;
+                        false
+                    }
+                };
+            let trace_next = on_path.then(|| {
+                self.trace_record(self.trace_cursor)
+                    .expect("matched above")
+                    .next_pc
+            });
+
+            let history_snapshot = self.gshare.history();
+            let predicted_next_pc = match instr {
+                Instr::Jump { target } | Instr::Jal { target, .. } => target,
+                Instr::Jr { .. } => trace_next.unwrap_or(pc + 1),
+                Instr::Branch { target, .. } => {
+                    let pred_taken = self.gshare.predict(pc);
+                    let taken = match trace_next {
+                        Some(next) => {
+                            let actual_taken = next != pc + 1;
+                            if pred_taken == actual_taken || self.oracle.fixes_mispredict() {
+                                actual_taken
+                            } else {
+                                pred_taken
+                            }
+                        }
+                        None => pred_taken,
+                    };
+                    self.gshare.speculate(taken);
+                    if taken {
+                        target
+                    } else {
+                        pc + 1
+                    }
+                }
+                Instr::Halt => pc,
+                _ => pc + 1,
+            };
+
+            self.fetch_buffer.push_back(Fetched {
+                pc,
+                instr,
+                trace_index: on_path.then_some(self.trace_cursor),
+                predicted_next_pc,
+                history_snapshot,
+            });
+            self.stats.fetched += 1;
+
+            if on_path {
+                if Some(predicted_next_pc) == trace_next {
+                    self.trace_cursor += 1;
+                } else {
+                    self.on_correct_path = false;
+                }
+            }
+            self.fetch_pc = predicted_next_pc;
+            if matches!(instr, Instr::Halt) {
+                self.fetch_halted = true;
+                break;
+            }
+        }
+    }
+}

@@ -1,21 +1,22 @@
-//! The execution-driven out-of-order machine: cycle loop, recovery, and the
-//! pluggable memory-ordering backend.
+//! The machine driver: state, cycle loop, and run entry points. The stage
+//! implementations live in sibling modules ([`crate::fetch`] et al.); the
+//! memory-ordering machinery lives behind [`aim_backend::MemBackend`].
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
-use aim_core::{Mdt, PartialMatchPolicy, Sfc, SfcLoadResult};
-use aim_isa::{ExecClass, Instr, Program, Trace};
-use aim_lsq::Lsq;
-use aim_mem::{CacheHierarchy, MainMemory, MemLevel, StoreFifo};
+use aim_backend::MemBackend;
+use aim_isa::{Instr, Program, Reg, Trace};
+use aim_mem::{CacheHierarchy, MainMemory};
 use aim_predictor::{Gshare, OracleBoost, ProducerSetPredictor, TagScoreboard};
-use aim_types::{Addr, MemAccess, SeqNum, ViolationKind};
+use aim_types::SeqNum;
 
-use crate::config::{BackendConfig, OutputDepRecovery, SimConfig};
+use crate::config::SimConfig;
 use crate::pipeview::PipeRecord;
+use crate::recover::PendingViolation;
 use crate::rename::Renamer;
-use crate::rob::{InFlight, InstrState, Rob};
+use crate::rob::{InFlight, Rob};
 use crate::stats::SimStats;
 
 /// Errors terminating a simulation abnormally.
@@ -43,42 +44,26 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// The memory-ordering machinery in use.
-enum Backend {
-    Lsq(Lsq),
-    SfcMdt { sfc: Sfc, mdt: Mdt },
-}
-
-/// A pending memory-dependence violation, carried from execute to the
-/// completion event that applies recovery.
-#[derive(Debug, Clone, Copy)]
-struct PendingViolation {
-    kind: ViolationKind,
-    producer_pc: u64,
-    consumer_pc: u64,
-    squash_after: SeqNum,
-    /// Apply §2.4.2 corrupt-marking instead of a flush (output violations
-    /// under [`OutputDepRecovery::MarkCorrupt`]); those are applied at issue
-    /// and never reach the pending queue, hence the invariant assert below.
-    corrupt_only: bool,
-}
-
 /// An instruction staged between fetch and dispatch.
 #[derive(Debug, Clone, Copy)]
-struct Fetched {
-    pc: u64,
-    instr: Instr,
-    trace_index: Option<u64>,
-    predicted_next_pc: u64,
-    history_snapshot: u64,
+pub(crate) struct Fetched {
+    pub(crate) pc: u64,
+    pub(crate) instr: Instr,
+    pub(crate) trace_index: Option<u64>,
+    pub(crate) predicted_next_pc: u64,
+    pub(crate) history_snapshot: u64,
 }
 
-/// Outcome of attempting a memory access at issue.
-enum MemOutcome {
-    /// The access completed; value and added latency.
-    Done { value: u64, latency: u64 },
-    /// The access was dropped; the instruction replays.
-    Replay,
+/// The architectural end state of a run: the retired register file and the
+/// committed memory image. Every backend must produce the same
+/// [`FinalState`] for the same program — the cross-backend equivalence
+/// property the `prop_backend_parity` integration test asserts.
+#[derive(Debug)]
+pub struct FinalState {
+    /// Architectural registers `r0..r31` at halt.
+    pub regs: Vec<u64>,
+    /// Committed memory at halt.
+    pub mem: MainMemory,
 }
 
 /// The simulated out-of-order processor.
@@ -103,80 +88,73 @@ enum MemOutcome {
 /// assert_eq!(stats.retired, 2);
 /// ```
 pub struct Machine<'a> {
-    config: SimConfig,
-    program: &'a Program,
-    trace: &'a Trace,
+    pub(crate) config: SimConfig,
+    pub(crate) program: &'a Program,
+    pub(crate) trace: &'a Trace,
 
-    cycle: u64,
-    next_seq: u64,
-    halted: bool,
-    target_retired: u64,
+    pub(crate) cycle: u64,
+    pub(crate) next_seq: u64,
+    pub(crate) halted: bool,
+    pub(crate) target_retired: u64,
 
-    renamer: Renamer,
-    rob: Rob,
-    mem: MainMemory,
-    hierarchy: CacheHierarchy,
-    store_fifo: StoreFifo,
-    backend: Backend,
-    dep_pred: ProducerSetPredictor,
-    tags: TagScoreboard,
-    gshare: Gshare,
-    oracle: OracleBoost,
+    pub(crate) renamer: Renamer,
+    pub(crate) rob: Rob,
+    pub(crate) mem: MainMemory,
+    pub(crate) hierarchy: CacheHierarchy,
+    pub(crate) backend: Box<dyn MemBackend + Send>,
+    pub(crate) dep_pred: ProducerSetPredictor,
+    pub(crate) tags: TagScoreboard,
+    pub(crate) gshare: Gshare,
+    pub(crate) oracle: OracleBoost,
 
-    fetch_pc: u64,
-    on_correct_path: bool,
-    trace_cursor: u64,
-    fetch_stall_until: u64,
-    fetch_halted: bool,
-    fetch_buffer: VecDeque<Fetched>,
+    pub(crate) fetch_pc: u64,
+    pub(crate) on_correct_path: bool,
+    pub(crate) trace_cursor: u64,
+    pub(crate) fetch_stall_until: u64,
+    pub(crate) fetch_halted: bool,
+    pub(crate) fetch_buffer: VecDeque<Fetched>,
 
-    exec_events: BinaryHeap<Reverse<(u64, u64)>>,
+    pub(crate) exec_events: BinaryHeap<Reverse<(u64, u64)>>,
     /// Violations awaiting their raiser's completion event, kept sorted by
-    /// raising sequence number (see [`Machine::queue_violation`]) so lookup
+    /// raising sequence number (see `Machine::queue_violation`) so lookup
     /// and squash are range operations instead of whole-vector scans.
-    pending_violations: Vec<(SeqNum, PendingViolation)>,
+    pub(crate) pending_violations: Vec<(SeqNum, PendingViolation)>,
 
     /// Scratch buffers reused across cycles so the steady-state loop
     /// allocates nothing: issue's ready list, recovery's squash list, and
     /// completion's taken-violation list keep their capacity run-long.
-    issue_scratch: Vec<SeqNum>,
-    squash_scratch: Vec<InFlight>,
-    violation_scratch: Vec<PendingViolation>,
+    pub(crate) issue_scratch: Vec<SeqNum>,
+    pub(crate) squash_scratch: Vec<InFlight>,
+    pub(crate) violation_scratch: Vec<PendingViolation>,
 
     /// §4 MDT search filter: count of in-flight stores that have not yet
     /// (successfully) executed, and a counting filter over the granules of
     /// executed-but-unretired stores.
-    unexecuted_stores: u64,
+    pub(crate) unexecuted_stores: u64,
     /// Retired-instruction timelines for the pipeline viewer
     /// ([`SimConfig::pipeview`]), capped at [`PIPEVIEW_CAPACITY`].
-    pipe_records: Vec<PipeRecord>,
-    store_granule_filter: Vec<u32>,
+    pub(crate) pipe_records: Vec<PipeRecord>,
+    pub(crate) store_granule_filter: Vec<u32>,
 
-    stats: SimStats,
-    last_retire_cycle: u64,
+    pub(crate) stats: SimStats,
+    pub(crate) last_retire_cycle: u64,
     /// Event log (only populated when `config.event_trace` is set); bounded
     /// to the most recent [`TRACE_CAPACITY`] events.
-    events: VecDeque<String>,
+    pub(crate) events: VecDeque<String>,
 }
 
-/// Maximum events retained by the pipeline trace (a ring of the most recent).
 /// Maximum retired-instruction records kept by the pipeline viewer; the
 /// newest records win, so a long run shows its final window.
 pub const PIPEVIEW_CAPACITY: usize = 4096;
 
+/// Maximum events retained by the pipeline trace (a ring of the most recent).
 pub const TRACE_CAPACITY: usize = 65_536;
 
 impl<'a> Machine<'a> {
     /// Creates a machine over `program`, validated against `trace` (the
     /// golden architectural run of the same program).
     pub fn new(program: &'a Program, trace: &'a Trace, config: SimConfig) -> Machine<'a> {
-        let backend = match config.backend {
-            BackendConfig::Lsq(c) => Backend::Lsq(Lsq::new(c)),
-            BackendConfig::SfcMdt { sfc, mdt } => Backend::SfcMdt {
-                sfc: Sfc::new(sfc),
-                mdt: Mdt::new(mdt),
-            },
-        };
+        let backend = aim_backend::build(&config.backend_params());
         let target_retired = if config.max_instrs == 0 {
             trace.len() as u64
         } else {
@@ -187,7 +165,6 @@ impl<'a> Machine<'a> {
             rob: Rob::new(config.rob_entries),
             mem: program.build_memory(),
             hierarchy: CacheHierarchy::new(config.hierarchy),
-            store_fifo: StoreFifo::new(),
             backend,
             dep_pred: ProducerSetPredictor::with_config(config.dep_predictor),
             tags: TagScoreboard::new(),
@@ -225,7 +202,7 @@ impl<'a> Machine<'a> {
     /// The closure keeps formatting lazy: with `event_trace` off nothing is
     /// formatted or allocated, which
     /// [`HostPerf::event_strings_built`](crate::HostPerf) records.
-    fn log(&mut self, event: impl FnOnce() -> String) {
+    pub(crate) fn log(&mut self, event: impl FnOnce() -> String) {
         if self.config.event_trace {
             if self.events.len() == TRACE_CAPACITY {
                 self.events.pop_front();
@@ -274,6 +251,27 @@ impl<'a> Machine<'a> {
         Ok((self.stats, self.pipe_records))
     }
 
+    /// Like [`Machine::run`], but also returns the architectural end state
+    /// (retired register file and committed memory) for cross-backend
+    /// equivalence checks.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::run`].
+    pub fn run_final(mut self) -> Result<(SimStats, FinalState), SimError> {
+        self.run_loop()?;
+        let regs = (0..32)
+            .map(|i| self.renamer.read(self.renamer.lookup(Reg::new(i))))
+            .collect();
+        Ok((
+            self.stats,
+            FinalState {
+                regs,
+                mem: self.mem,
+            },
+        ))
+    }
+
     fn run_loop(&mut self) -> Result<(), SimError> {
         const DEADLOCK_CYCLES: u64 = 200_000;
         if self.target_retired == 0 {
@@ -310,1148 +308,18 @@ impl<'a> Machine<'a> {
         Ok(())
     }
 
-    fn finalize_stats(&mut self) {
-        self.stats.store_fifo_peak = self.store_fifo.peak_occupancy();
+    pub(crate) fn finalize_stats(&mut self) {
+        self.backend.stats_into(&mut self.stats.backend);
         self.stats.gshare = self.gshare.stats();
         self.stats.dep_predictor = self.dep_pred.stats();
         self.stats.caches = self.hierarchy.stats();
-        match &self.backend {
-            Backend::Lsq(l) => self.stats.lsq = Some(l.stats()),
-            Backend::SfcMdt { sfc, mdt } => {
-                self.stats.sfc = Some(sfc.stats());
-                self.stats.mdt = Some(mdt.stats());
-                self.stats.sfc_peak_occupancy = sfc.peak_occupancy();
-                self.stats.mdt_peak_occupancy = mdt.peak_occupancy();
-            }
-        }
     }
 
-    /// Cumulative count of SFC/MDT entry frees and reclamations — the event
-    /// stream that clears stall bits (§2.4.3: "the scheduler clears all stall
-    /// bits whenever the MDT or SFC evicts an entry").
-    fn free_event_count(&self) -> u64 {
-        match &self.backend {
-            Backend::Lsq(_) => 0,
-            Backend::SfcMdt { sfc, mdt } => {
-                let s = sfc.stats();
-                let m = mdt.stats();
-                s.frees + s.reclaims + m.frees + m.reclaims
-            }
-        }
-    }
-
-    // --- Fetch ---------------------------------------------------------
-
-    fn trace_record(&self, cursor: u64) -> Option<&aim_isa::TraceRecord> {
-        self.trace.get(cursor)
-    }
-
-    fn fetch(&mut self) {
-        if self.fetch_halted
-            || self.cycle < self.fetch_stall_until
-            || self.fetch_buffer.len() >= self.config.width
-        {
-            return;
-        }
-
-        // Model the I-cache on the first access of the group: a miss costs
-        // the fill latency before any instruction is delivered.
-        let (level, latency) = self
-            .hierarchy
-            .access_instr(self.program.fetch_addr(self.fetch_pc));
-        if level != MemLevel::L1 {
-            self.fetch_stall_until = self.cycle + latency;
-            return;
-        }
-
-        let mut branches = 0usize;
-        for _ in 0..self.config.width {
-            let Some(&instr) = self.program.instr(self.fetch_pc) else {
-                // Wrong-path fetch ran off the instruction stream; wait for a
-                // redirect.
-                self.fetch_halted = true;
-                return;
-            };
-            if instr.is_control() {
-                if branches >= self.config.max_branches_per_cycle {
-                    break;
-                }
-                branches += 1;
-            }
-
-            let pc = self.fetch_pc;
-            // Fetch believes it is on the correct path when the trace record
-            // under the cursor matches the pc. A mismatch is legal: a branch
-            // fed by a mis-speculated value (whose ordering violation has not
-            // been detected yet) can steer a "correct-path" redirect to a
-            // wrong target. Such instructions are really wrong-path — the
-            // violation's flush will squash them before they can retire — so
-            // fetch degrades to off-path until the next recovery resyncs it.
-            let on_path = self.on_correct_path
-                && match self.trace_record(self.trace_cursor) {
-                    Some(rec) if rec.pc == pc => true,
-                    _ => {
-                        self.on_correct_path = false;
-                        false
-                    }
-                };
-            let trace_next = on_path.then(|| {
-                self.trace_record(self.trace_cursor)
-                    .expect("matched above")
-                    .next_pc
-            });
-
-            let history_snapshot = self.gshare.history();
-            let predicted_next_pc = match instr {
-                Instr::Jump { target } | Instr::Jal { target, .. } => target,
-                Instr::Jr { .. } => trace_next.unwrap_or(pc + 1),
-                Instr::Branch { target, .. } => {
-                    let pred_taken = self.gshare.predict(pc);
-                    let taken = match trace_next {
-                        Some(next) => {
-                            let actual_taken = next != pc + 1;
-                            if pred_taken == actual_taken || self.oracle.fixes_mispredict() {
-                                actual_taken
-                            } else {
-                                pred_taken
-                            }
-                        }
-                        None => pred_taken,
-                    };
-                    self.gshare.speculate(taken);
-                    if taken {
-                        target
-                    } else {
-                        pc + 1
-                    }
-                }
-                Instr::Halt => pc,
-                _ => pc + 1,
-            };
-
-            self.fetch_buffer.push_back(Fetched {
-                pc,
-                instr,
-                trace_index: on_path.then_some(self.trace_cursor),
-                predicted_next_pc,
-                history_snapshot,
-            });
-            self.stats.fetched += 1;
-
-            if on_path {
-                if Some(predicted_next_pc) == trace_next {
-                    self.trace_cursor += 1;
-                } else {
-                    self.on_correct_path = false;
-                }
-            }
-            self.fetch_pc = predicted_next_pc;
-            if matches!(instr, Instr::Halt) {
-                self.fetch_halted = true;
-                break;
-            }
-        }
-    }
-
-    // --- Dispatch ------------------------------------------------------
-
-    fn dispatch(&mut self) {
-        for _ in 0..self.config.width {
-            let Some(front) = self.fetch_buffer.front().copied() else {
-                break;
-            };
-            if !self.rob.has_room() {
-                self.stats.dispatch_stalls.rob_full += 1;
-                break;
-            }
-            if front.instr.def().is_some() && self.renamer.free_count() == 0 {
-                self.stats.dispatch_stalls.no_phys_reg += 1;
-                break;
-            }
-            if let Backend::Lsq(lsq) = &self.backend {
-                if front.instr.is_load() && !lsq.can_dispatch_load() {
-                    self.stats.dispatch_stalls.lq_full += 1;
-                    break;
-                }
-                if front.instr.is_store() && !lsq.can_dispatch_store() {
-                    self.stats.dispatch_stalls.sq_full += 1;
-                    break;
-                }
-            }
-            if matches!(self.backend, Backend::SfcMdt { .. })
-                && front.instr.is_store()
-                && self.config.store_fifo_entries > 0
-                && self.store_fifo.len() >= self.config.store_fifo_entries
-            {
-                self.stats.dispatch_stalls.fifo_full += 1;
-                break;
-            }
-
-            self.fetch_buffer.pop_front();
-            let seq = SeqNum(self.next_seq);
-            self.next_seq += 1;
-
-            let mut entry = InFlight::new(seq, front.pc, front.instr);
-            entry.dispatched_cycle = self.cycle;
-            entry.trace_index = front.trace_index;
-            entry.predicted_next_pc = front.predicted_next_pc;
-            entry.history_snapshot = front.history_snapshot;
-            for (slot, src) in entry.srcs.iter_mut().zip(front.instr.uses()) {
-                *slot = src.map(|r| self.renamer.lookup(r));
-            }
-            if let Some(arch) = front.instr.def() {
-                entry.dest = Some(
-                    self.renamer
-                        .rename_dest(arch)
-                        .expect("free list checked above"),
-                );
-            }
-            if front.instr.is_load() || front.instr.is_store() {
-                let hints = self.dep_pred.on_dispatch(front.pc, &mut self.tags);
-                entry.dep_consumes = hints.consumes;
-                entry.dep_produces = hints.produces;
-            }
-
-            match &mut self.backend {
-                Backend::Lsq(lsq) => {
-                    if front.instr.is_load() {
-                        lsq.dispatch_load(seq, front.pc);
-                    } else if front.instr.is_store() {
-                        lsq.dispatch_store(seq, front.pc);
-                    }
-                }
-                Backend::SfcMdt { .. } => {
-                    if front.instr.is_store() {
-                        self.store_fifo.push(seq);
-                        if self.config.mdt_filter {
-                            self.unexecuted_stores += 1;
-                            entry.counted_unexecuted = true;
-                        }
-                    }
-                }
-            }
-
-            self.log(|| format!("dispatch {seq} pc={} `{}`", front.pc, front.instr));
-            self.rob.push(entry);
-            self.stats.dispatched += 1;
-        }
-    }
-
-    // --- Issue / execute ------------------------------------------------
-
-    fn issue(&mut self) {
-        let mut budget = self.config.issue_width;
-        let free_events = self.free_event_count();
-        let head_seq = self.rob.head().map(|h| h.seq);
-        let mut to_issue = std::mem::take(&mut self.issue_scratch);
-        to_issue.clear();
-
-        for e in self.rob.iter() {
-            if budget == 0 {
-                break;
-            }
-            if e.state != InstrState::Waiting {
-                continue;
-            }
-            let at_head = Some(e.seq) == head_seq;
-            if let Some(snapshot) = e.stall_until_free_event {
-                if free_events <= snapshot && !at_head {
-                    continue;
-                }
-            }
-            if !e.srcs.iter().flatten().all(|&p| self.renamer.is_ready(p)) {
-                continue;
-            }
-            if let Some(tag) = e.dep_consumes {
-                if !self.tags.is_ready(tag) && !at_head {
-                    continue;
-                }
-            }
-            to_issue.push(e.seq);
-            budget -= 1;
-        }
-
-        for seq in to_issue.drain(..) {
-            self.start_execute(seq);
-        }
-        self.issue_scratch = to_issue;
-    }
-
-    fn src_values(&self, seq: SeqNum) -> (u64, u64) {
-        let e = self.rob.get(seq).expect("issuing instruction exists");
-        let a = e.srcs[0].map_or(0, |p| self.renamer.read(p));
-        let b = e.srcs[1].map_or(0, |p| self.renamer.read(p));
-        (a, b)
-    }
-
-    fn start_execute(&mut self, seq: SeqNum) {
-        self.stats.issued += 1;
-        if self.config.event_trace {
-            let (pc, instr) = {
-                let e = self.rob.get(seq).expect("issuing instruction exists");
-                (e.pc, e.instr)
-            };
-            self.log(|| format!("issue    {seq} pc={pc} `{instr}`"));
-        }
-        let (a, b) = self.src_values(seq);
-        let cycle = self.cycle;
-        let e = self.rob.get_mut(seq).expect("issuing instruction exists");
-        e.issued_cycle = cycle;
-        let pc = e.pc;
-        let instr = e.instr;
-
-        let mut result = 0u64;
-        let mut actual_next: Option<u64> = None;
-        let latency = match instr {
-            Instr::Alu { op, .. } => {
-                result = op.eval(a, b);
-                self.class_latency(instr.exec_class())
-            }
-            Instr::AluImm { op, imm, .. } => {
-                result = op.eval(a, imm as u64);
-                self.class_latency(instr.exec_class())
-            }
-            Instr::MovImm { imm, .. } => {
-                result = imm as u64;
-                self.config.alu_latency
-            }
-            Instr::Branch { cond, target, .. } => {
-                actual_next = Some(if cond.eval(a, b) { target } else { pc + 1 });
-                self.config.alu_latency
-            }
-            Instr::Jump { target } => {
-                actual_next = Some(target);
-                self.config.alu_latency
-            }
-            Instr::Jal { target, .. } => {
-                result = pc + 1;
-                actual_next = Some(target);
-                self.config.alu_latency
-            }
-            Instr::Jr { .. } => {
-                actual_next = Some(a);
-                self.config.alu_latency
-            }
-            Instr::Halt | Instr::Nop => self.config.alu_latency,
-            Instr::Load { offset, size, .. } => {
-                // srcs[0] = base register.
-                let raw = a.wrapping_add(offset as u64);
-                let addr = Addr(raw & !(size.bytes() - 1)); // align wrong-path garbage
-                let access = MemAccess::new(addr, size).expect("aligned by construction");
-                match self.exec_load(seq, pc, access) {
-                    MemOutcome::Done { value, latency } => {
-                        result = value;
-                        self.rob.get_mut(seq).expect("exists").mem = Some((access, value));
-                        self.config.agu_latency + latency
-                    }
-                    MemOutcome::Replay => return,
-                }
-            }
-            Instr::Store { offset, size, .. } => {
-                // srcs[0] = base, srcs[1] = data.
-                let raw = a.wrapping_add(offset as u64);
-                let addr = Addr(raw & !(size.bytes() - 1));
-                let access = MemAccess::new(addr, size).expect("aligned by construction");
-                match self.exec_store(seq, pc, access, b) {
-                    MemOutcome::Done { latency, .. } => {
-                        self.rob.get_mut(seq).expect("exists").mem = Some((access, b));
-                        self.config.agu_latency + latency
-                    }
-                    MemOutcome::Replay => return,
-                }
-            }
-        };
-
-        let e = self.rob.get_mut(seq).expect("issuing instruction exists");
-        e.state = InstrState::Executing;
-        e.result = result;
-        e.actual_next_pc = actual_next;
-        self.exec_events
-            .push(Reverse((self.cycle + latency.max(1), seq.0)));
-    }
-
-    fn class_latency(&self, class: ExecClass) -> u64 {
-        match class {
-            ExecClass::Mul => self.config.mul_latency,
-            _ => self.config.alu_latency,
-        }
-    }
-
-    fn replay(&mut self, seq: SeqNum) {
-        self.log(|| format!("replay   {seq} dropped by the memory unit"));
-        let free_events = self.free_event_count();
-        let stall = self.config.stall_bits;
-        let e = self.rob.get_mut(seq).expect("replaying instruction exists");
-        e.state = InstrState::Waiting;
-        e.replayed = true;
-        e.stall_until_free_event = stall.then_some(free_events);
-    }
-
-    fn at_head(&self, seq: SeqNum) -> bool {
+    pub(crate) fn at_head(&self, seq: SeqNum) -> bool {
         self.rob.head().map(|h| h.seq) == Some(seq)
     }
 
-    /// Debug-build invariant: the store census and granule filter always
-    /// equal the sums of the per-entry flags in the ROB. A drift here means
-    /// a leak in the execute/retire/squash bookkeeping, which would silently
-    /// rot the §4 filter into either unsoundness (under-count) or inertness
-    /// (over-count).
-    fn debug_check_filter_census(&self) {
-        if !cfg!(debug_assertions) || !self.config.mdt_filter {
-            return;
-        }
-        let unexecuted = self.rob.iter().filter(|e| e.counted_unexecuted).count() as u64;
-        debug_assert_eq!(
-            self.unexecuted_stores, unexecuted,
-            "unexecuted-store census drifted from ROB contents"
-        );
-        let counted = self.rob.iter().filter(|e| e.filter_counted).count() as u64;
-        let filter_total: u64 = self.store_granule_filter.iter().map(|&c| c as u64).sum();
-        debug_assert_eq!(
-            filter_total, counted,
-            "granule-filter population drifted from ROB contents"
-        );
-    }
-
-    #[inline]
-    fn filter_bucket(&self, access: MemAccess) -> usize {
-        (access.addr().word_index() as usize) & (self.store_granule_filter.len() - 1)
-    }
-
-    fn exec_load(&mut self, seq: SeqNum, pc: u64, access: MemAccess) -> MemOutcome {
-        self.stats.load_executions += 1;
-        let floor = self.rob.floor(SeqNum(self.next_seq));
-        let bypass = self.at_head(seq)
-            && self.rob.get(seq).is_some_and(|e| e.replayed)
-            && matches!(self.backend, Backend::SfcMdt { .. });
-        let filtered = self.config.mdt_filter
-            && self.unexecuted_stores == 0
-            && self.store_granule_filter[self.filter_bucket(access)] == 0;
-        if filtered && matches!(self.backend, Backend::SfcMdt { .. }) && !bypass {
-            self.stats.mdt_filtered_loads += 1;
-        }
-
-        // Phase 1: consult the backend. Side effects on `self` beyond the
-        // backend structures are deferred to phase 2.
-        enum LoadPlan {
-            Value { value: u64, forwarded: bool },
-            ReplayMdtConflict,
-            ReplayCorrupt,
-            ReplayPartial,
-            Anti(PendingViolation),
-            Bypass,
-        }
-
-        let plan = match &mut self.backend {
-            Backend::Lsq(lsq) => {
-                let lv = lsq.load_execute(seq, access, &self.mem);
-                LoadPlan::Value {
-                    value: lv.value,
-                    forwarded: lv.forwarded_bytes == access.mask().count(),
-                }
-            }
-            Backend::SfcMdt { sfc, mdt } => {
-                if bypass {
-                    LoadPlan::Bypass
-                } else if filtered {
-                    // §4 search filter: no unexecuted store can later check
-                    // this load, and no executed-unretired store can alias
-                    // it — the MDT access is provably unnecessary. The SFC
-                    // lookup still runs (canceled-store lines reject
-                    // conservatively).
-                    match sfc.load_lookup(access, floor) {
-                        SfcLoadResult::Corrupt => LoadPlan::ReplayCorrupt,
-                        SfcLoadResult::Forward(value) => LoadPlan::Value {
-                            value,
-                            forwarded: true,
-                        },
-                        _ => LoadPlan::Value {
-                            value: self.mem.read(access),
-                            forwarded: false,
-                        },
-                    }
-                } else {
-                    match mdt.on_load_execute(seq, pc, access, floor) {
-                        Err(_) => LoadPlan::ReplayMdtConflict,
-                        Ok(Some(v)) => LoadPlan::Anti(PendingViolation {
-                            kind: v.kind,
-                            producer_pc: v.producer_pc,
-                            consumer_pc: v.consumer_pc,
-                            squash_after: v.squash_after,
-                            corrupt_only: false,
-                        }),
-                        Ok(None) => match sfc.load_lookup(access, floor) {
-                            SfcLoadResult::Corrupt => LoadPlan::ReplayCorrupt,
-                            SfcLoadResult::Forward(value) => LoadPlan::Value {
-                                value,
-                                forwarded: true,
-                            },
-                            SfcLoadResult::Miss => LoadPlan::Value {
-                                value: self.mem.read(access),
-                                forwarded: false,
-                            },
-                            SfcLoadResult::Partial { data, valid } => {
-                                if self.config.partial_match_policy == PartialMatchPolicy::Replay {
-                                    LoadPlan::ReplayPartial
-                                } else {
-                                    // Combine SFC bytes with memory bytes.
-                                    let word = access.word_addr();
-                                    let mut value = 0u64;
-                                    for (k, byte_idx) in access.mask().iter_bytes().enumerate() {
-                                        let byte = if valid.contains_byte(byte_idx) {
-                                            data[byte_idx as usize]
-                                        } else {
-                                            self.mem.read_byte(Addr(word.0 + byte_idx as u64))
-                                        };
-                                        value |= (byte as u64) << (8 * k);
-                                    }
-                                    LoadPlan::Value {
-                                        value,
-                                        forwarded: false,
-                                    }
-                                }
-                            }
-                        },
-                    }
-                }
-            }
-        };
-
-        // Phase 2: apply side effects.
-        match plan {
-            LoadPlan::Value { value, forwarded } => {
-                let latency = if forwarded {
-                    self.stats.loads_forwarded += 1;
-                    // Forwarding takes the L1-hit time: the SFC (or the
-                    // idealized single-cycle store-queue bypass) is accessed
-                    // in parallel with the L1.
-                    let _ = self.hierarchy.access_data(access.addr());
-                    self.config.hierarchy.l1_hit_cycles
-                } else {
-                    self.hierarchy.access_data(access.addr()).1
-                };
-                MemOutcome::Done { value, latency }
-            }
-            LoadPlan::Bypass => {
-                // §2.2: the head of the ROB may execute without accessing the
-                // MDT or the SFC; all older instructions have retired, so
-                // committed memory is current.
-                self.stats.head_bypasses += 1;
-                let value = self.mem.read(access);
-                let latency = self.hierarchy.access_data(access.addr()).1;
-                self.rob.get_mut(seq).expect("exists").bypassed = true;
-                MemOutcome::Done { value, latency }
-            }
-            LoadPlan::ReplayMdtConflict => {
-                self.stats.replays.load_mdt_conflicts += 1;
-                self.replay(seq);
-                MemOutcome::Replay
-            }
-            LoadPlan::ReplayCorrupt => {
-                self.stats.replays.load_corrupt += 1;
-                self.replay(seq);
-                MemOutcome::Replay
-            }
-            LoadPlan::ReplayPartial => {
-                self.stats.replays.load_partial += 1;
-                self.replay(seq);
-                MemOutcome::Replay
-            }
-            LoadPlan::Anti(v) => {
-                // Anti violation: the load itself is flushed; carry the
-                // recovery to the completion event.
-                self.queue_violation(seq, v);
-                let e = self.rob.get_mut(seq).expect("exists");
-                e.state = InstrState::Executing;
-                self.exec_events
-                    .push(Reverse((self.cycle + self.config.agu_latency + 1, seq.0)));
-                MemOutcome::Replay // caller must not reschedule
-            }
-        }
-    }
-
-    fn exec_store(&mut self, seq: SeqNum, pc: u64, access: MemAccess, value: u64) -> MemOutcome {
-        self.stats.store_executions += 1;
-        let floor = self.rob.floor(SeqNum(self.next_seq));
-        let corrupt_on_output = self.config.output_dep_recovery == OutputDepRecovery::MarkCorrupt;
-        let bypass = self.at_head(seq)
-            && self.rob.get(seq).is_some_and(|e| e.replayed)
-            && matches!(self.backend, Backend::SfcMdt { .. });
-
-        enum StorePlan {
-            Done {
-                violations: Vec<aim_core::Violation>,
-                bypassed: bool,
-            },
-            ReplayMdt,
-            ReplaySfc,
-        }
-
-        let plan = match &mut self.backend {
-            Backend::Lsq(lsq) => {
-                let violations = lsq
-                    .store_execute(seq, access, value, &self.mem)
-                    .map(|v| aim_core::Violation {
-                        kind: v.kind,
-                        producer_pc: v.producer_pc,
-                        consumer_pc: v.consumer_pc,
-                        squash_after: v.squash_after,
-                    })
-                    .into_iter()
-                    .collect();
-                StorePlan::Done {
-                    violations,
-                    bypassed: false,
-                }
-            }
-            Backend::SfcMdt { sfc, mdt } => {
-                if bypass {
-                    // §2.2: a store at the head "writes its value to the
-                    // store FIFO and retires" without the SFC. The MDT check
-                    // still runs when its entry exists — a younger load may
-                    // have executed with a stale value while this store was
-                    // being replayed. If the MDT cannot even allocate an
-                    // entry, no younger load or store to this granule has
-                    // executed, so skipping the check is safe.
-                    let violations = mdt
-                        .on_store_execute(seq, pc, access, floor)
-                        .unwrap_or_default();
-                    StorePlan::Done {
-                        violations,
-                        bypassed: true,
-                    }
-                } else {
-                    match mdt.on_store_execute(seq, pc, access, floor) {
-                        Err(_) => StorePlan::ReplayMdt,
-                        Ok(violations) => {
-                            if sfc.store_write(seq, access, value, floor).is_err() {
-                                // The MDT update stands; the violations will
-                                // be re-detected when the store re-executes.
-                                StorePlan::ReplaySfc
-                            } else {
-                                StorePlan::Done {
-                                    violations,
-                                    bypassed: false,
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        };
-
-        match plan {
-            StorePlan::ReplayMdt => {
-                self.stats.replays.store_mdt_conflicts += 1;
-                self.replay(seq);
-                MemOutcome::Replay
-            }
-            StorePlan::ReplaySfc => {
-                self.stats.replays.store_sfc_conflicts += 1;
-                self.replay(seq);
-                MemOutcome::Replay
-            }
-            StorePlan::Done {
-                violations,
-                bypassed,
-            } => {
-                for v in violations {
-                    let corrupt_only = v.kind == ViolationKind::Output && corrupt_on_output;
-                    if corrupt_only {
-                        // §2.4.2 recovery must take effect *now*: the store's
-                        // own SFC write just cleared the corruption bits on
-                        // its bytes, and a load issuing before the store's
-                        // completion event would otherwise forward the stale
-                        // value with no flush to save it.
-                        if let Backend::SfcMdt { sfc, .. } = &mut self.backend {
-                            sfc.corrupt_line(access);
-                        }
-                        self.dep_pred
-                            .record_violation(v.producer_pc, v.consumer_pc, v.kind);
-                        self.stats.flushes.output_dep += 1;
-                        continue;
-                    }
-                    self.queue_violation(
-                        seq,
-                        PendingViolation {
-                            kind: v.kind,
-                            producer_pc: v.producer_pc,
-                            consumer_pc: v.consumer_pc,
-                            squash_after: v.squash_after,
-                            corrupt_only,
-                        },
-                    );
-                }
-                let latency = match &self.backend {
-                    Backend::Lsq(_) => 1,
-                    Backend::SfcMdt { .. } => 1 + self.config.sfc_store_extra_latency,
-                };
-                if bypassed {
-                    self.stats.head_bypasses += 1;
-                    // Commit immediately: the store is non-speculative at the
-                    // head, and committing now closes the window in which a
-                    // younger load could read stale memory unchecked by the
-                    // skipped SFC.
-                    self.mem.write(access, value);
-                    self.rob.get_mut(seq).expect("exists").bypassed = true;
-                }
-                if matches!(self.backend, Backend::SfcMdt { .. }) {
-                    self.store_fifo.fill(seq, access, value);
-                    if self.config.mdt_filter {
-                        // The store has now (successfully) executed: it can
-                        // never re-check the MDT, and — unless it bypassed
-                        // straight to memory — its data is live in flight.
-                        let bucket = self.filter_bucket(access);
-                        let e = self.rob.get_mut(seq).expect("exists");
-                        if e.counted_unexecuted {
-                            e.counted_unexecuted = false;
-                            if !bypassed {
-                                e.filter_counted = true;
-                            }
-                            self.unexecuted_stores -= 1;
-                            if !bypassed {
-                                self.store_granule_filter[bucket] += 1;
-                            }
-                        }
-                    }
-                }
-                MemOutcome::Done { value, latency }
-            }
-        }
-    }
-
-    // --- Complete -------------------------------------------------------
-
-    fn complete(&mut self) {
-        while let Some(&Reverse((when, seq_raw))) = self.exec_events.peek() {
-            if when > self.cycle {
-                break;
-            }
-            self.exec_events.pop();
-            let seq = SeqNum(seq_raw);
-            self.complete_one(seq);
-        }
-    }
-
-    /// Records a violation to apply when the raising instruction (`seq`)
-    /// completes, preserving the sorted-by-raiser invariant of
-    /// `pending_violations`. Completion events arrive out of sequence order,
-    /// so this is an ordered insert, not a push.
-    fn queue_violation(&mut self, seq: SeqNum, v: PendingViolation) {
-        let at = self
-            .pending_violations
-            .partition_point(|(s, _)| *s <= seq);
-        self.pending_violations.insert(at, (seq, v));
-    }
-
-    /// The index range of violations raised by `seq` (contiguous, because
-    /// the vector is sorted by raiser).
-    fn violation_range(&self, seq: SeqNum) -> std::ops::Range<usize> {
-        let start = self.pending_violations.partition_point(|(s, _)| *s < seq);
-        let end = self.pending_violations.partition_point(|(s, _)| *s <= seq);
-        start..end
-    }
-
-    fn take_violations(&mut self, seq: SeqNum) -> Vec<PendingViolation> {
-        let range = self.violation_range(seq);
-        let mut taken = std::mem::take(&mut self.violation_scratch);
-        taken.clear();
-        taken.extend(self.pending_violations.drain(range).map(|(_, v)| v));
-        taken
-    }
-
-    fn complete_one(&mut self, seq: SeqNum) {
-        let Some(e) = self.rob.get(seq) else {
-            let range = self.violation_range(seq);
-            self.pending_violations.drain(range);
-            return; // squashed while executing
-        };
-        if e.state != InstrState::Executing {
-            return;
-        }
-        let violations = self.take_violations(seq);
-        self.apply_completion(seq, &violations);
-        self.violation_scratch = violations;
-    }
-
-    fn apply_completion(&mut self, seq: SeqNum, violations: &[PendingViolation]) {
-        // An anti violation squashes the violating load itself; nothing else
-        // about the instruction completes.
-        if let Some(v) = violations
-            .iter()
-            .find(|v| v.kind == ViolationKind::Anti)
-            .copied()
-        {
-            self.train_predictor(&v);
-            self.stats.flushes.anti_dep += 1;
-            self.recover_to(
-                v.squash_after,
-                self.config.mispredict_penalty + self.config.mdt_violation_extra_penalty,
-            );
-            return;
-        }
-
-        // Normal completion: broadcast the result.
-        let cycle = self.cycle;
-        let e = self.rob.get_mut(seq).expect("checked above");
-        e.state = InstrState::Completed;
-        e.completed_cycle = cycle;
-        if self.config.event_trace {
-            let (pc, result) = {
-                let e = self.rob.get(seq).expect("checked above");
-                (e.pc, e.result)
-            };
-            self.log(|| format!("complete {seq} pc={pc} result={result:#x}"));
-        }
-        let e = self.rob.get_mut(seq).expect("checked above");
-        let dest = e.dest;
-        let result = e.result;
-        let produces = e.dep_produces;
-        let instr = e.instr;
-        let predicted_next = e.predicted_next_pc;
-        let actual_next = e.actual_next_pc;
-
-        if let Some(d) = dest {
-            self.renamer.write(d.new_phys, result);
-        }
-        if let Some(tag) = produces {
-            self.tags.mark_ready(tag);
-        }
-
-        // Control resolution.
-        if instr.is_control() {
-            let actual = actual_next.expect("control instructions resolve a target");
-            if actual != predicted_next {
-                self.stats.flushes.branch += 1;
-                self.recover_control(seq, actual);
-                return;
-            }
-        }
-
-        // Memory-ordering violations raised by this (surviving) instruction.
-        let mut flush_point: Option<SeqNum> = None;
-        let mut penalty = self.config.mispredict_penalty;
-        for v in violations {
-            self.train_predictor(v);
-            match v.kind {
-                ViolationKind::True => self.stats.flushes.true_dep += 1,
-                ViolationKind::Output => {
-                    debug_assert!(!v.corrupt_only, "corrupt-only recovery applies at issue");
-                    self.stats.flushes.output_dep += 1;
-                }
-                ViolationKind::Anti => unreachable!("handled above"),
-            }
-            if matches!(self.backend, Backend::SfcMdt { .. }) {
-                penalty = self.config.mispredict_penalty + self.config.mdt_violation_extra_penalty;
-            }
-            flush_point = Some(flush_point.map_or(v.squash_after, |f| f.min(v.squash_after)));
-        }
-        if let Some(point) = flush_point {
-            self.recover_to(point, penalty);
-        }
-    }
-
-    fn train_predictor(&mut self, v: &PendingViolation) {
-        self.dep_pred
-            .record_violation(v.producer_pc, v.consumer_pc, v.kind);
-    }
-
-    // --- Recovery --------------------------------------------------------
-
-    /// Recovery for a resolved control misprediction: flush after the branch
-    /// and steer fetch to the computed target.
-    fn recover_control(&mut self, branch_seq: SeqNum, actual_next: u64) {
-        let e = self.rob.get(branch_seq).expect("branch in flight");
-        let resume_cursor = e.trace_index.map(|t| t + 1);
-        // Rebuild the speculative history: everything after this branch is
-        // gone, and the branch itself resolves to its actual direction.
-        let snapshot = e.history_snapshot;
-        let is_cond = e.instr.is_cond_branch();
-        let taken = actual_next != e.pc + 1;
-        self.gshare.restore_history(snapshot);
-        if is_cond {
-            self.gshare.speculate(taken);
-        }
-        self.squash_and_redirect(
-            branch_seq,
-            actual_next,
-            resume_cursor,
-            self.config.mispredict_penalty,
-        );
-    }
-
-    /// Recovery for memory-ordering violations: flush everything after
-    /// `survivor` and refetch the same (speculative) path from the first
-    /// squashed instruction — taken from the ROB, or failing that the fetch
-    /// buffer. If nothing younger exists anywhere, fetch is already
-    /// consistent and only the penalty applies.
-    fn recover_to(&mut self, survivor: SeqNum, penalty: u64) {
-        let resume = self
-            .rob
-            .first_after(survivor)
-            .map(|f| (f.pc, f.trace_index, f.history_snapshot))
-            .or_else(|| {
-                self.fetch_buffer
-                    .front()
-                    .map(|f| (f.pc, f.trace_index, f.history_snapshot))
-            });
-        match resume {
-            Some((pc, cursor, history)) => {
-                self.gshare.restore_history(history);
-                self.squash_and_redirect(survivor, pc, cursor, penalty);
-            }
-            None => {
-                // The violating instruction is the youngest anywhere; there
-                // is nothing to squash and fetch needs no redirect.
-                self.fetch_stall_until = self.fetch_stall_until.max(self.cycle + penalty);
-            }
-        }
-    }
-
-    fn squash_and_redirect(
-        &mut self,
-        survivor: SeqNum,
-        resume_pc: u64,
-        resume_cursor: Option<u64>,
-        penalty: u64,
-    ) {
-        self.log(|| {
-            format!(
-                "recover  squash seq>{} resume pc={resume_pc} (+{penalty} cycles)",
-                survivor.0
-            )
-        });
-        let mut squashed = std::mem::take(&mut self.squash_scratch);
-        self.rob.squash_after_into(survivor, &mut squashed);
-        // Pending violations are keyed by the raising instruction's sequence
-        // number and the vector is sorted by it; every squashed instruction
-        // is younger than `survivor`, so one truncate drops them all.
-        let keep = self
-            .pending_violations
-            .partition_point(|(s, _)| *s <= survivor);
-        self.pending_violations.truncate(keep);
-        for e in &squashed {
-            if let Some(d) = e.dest {
-                self.renamer.undo(d);
-            }
-            if let Some(tag) = e.dep_produces {
-                // A squashed producer's dependence no longer applies.
-                self.tags.mark_ready(tag);
-            }
-            if e.counted_unexecuted {
-                self.unexecuted_stores -= 1;
-            }
-            if e.filter_counted {
-                let (access, _) = e.mem.expect("filter-counted stores executed");
-                let bucket = self.filter_bucket(access);
-                self.store_granule_filter[bucket] -= 1;
-            }
-            self.stats.squashed += 1;
-        }
-        // Fetched-but-undispatched instructions are discarded without being
-        // counted as squashed (they never entered the window); the
-        // fetched-vs-dispatched gap in the statistics accounts for them.
-        self.fetch_buffer.clear();
-
-        match &mut self.backend {
-            Backend::Lsq(lsq) => lsq.squash_after(survivor),
-            Backend::SfcMdt { sfc, .. } => {
-                self.store_fifo.squash_after(survivor);
-                // "When a full pipeline flush occurs the memory unit simply
-                // flushes the SFC ... when a partial pipeline flush occurs
-                // the memory unit cannot flush the SFC, because the pipeline
-                // still contains completed stores that were not flushed and
-                // have not been retired" (§2.3).
-                // A store writes the SFC when it executes; any surviving
-                // store that has begun executing may have live SFC data
-                // (bypassed stores skip the SFC and commit directly).
-                let surviving_completed_store = self.rob.iter().any(|e| {
-                    e.instr.is_store()
-                        && !e.bypassed
-                        && matches!(e.state, InstrState::Executing | InstrState::Completed)
-                });
-                if surviving_completed_store {
-                    sfc.on_partial_flush(survivor, SeqNum(self.next_seq.saturating_sub(1)));
-                } else {
-                    sfc.on_full_flush();
-                }
-                // The MDT intentionally ignores flushes (§2.2).
-            }
-        }
-
-        self.fetch_pc = resume_pc;
-        self.on_correct_path = resume_cursor.is_some();
-        if let Some(c) = resume_cursor {
-            self.trace_cursor = c;
-        }
-        self.fetch_halted = false;
-        self.fetch_stall_until = self.fetch_stall_until.max(self.cycle + penalty);
-        squashed.clear();
-        self.squash_scratch = squashed;
-        self.debug_check_filter_census();
-    }
-
-    // --- Retire -----------------------------------------------------------
-
-    fn retire(&mut self) -> Result<(), SimError> {
-        for _ in 0..self.config.width {
-            let Some(head) = self.rob.head() else { break };
-            if head.state != InstrState::Completed {
-                break;
-            }
-            let e = self.rob.pop_head().expect("head checked");
-            self.log(|| format!("retire   {} pc={} `{}`", e.seq, e.pc, e.instr));
-            self.validate(&e)?;
-            if self.config.pipeview {
-                if self.pipe_records.len() == PIPEVIEW_CAPACITY {
-                    self.pipe_records.remove(0);
-                }
-                self.pipe_records.push(PipeRecord {
-                    seq: e.seq.0,
-                    pc: e.pc,
-                    instr: e.instr.to_string(),
-                    dispatched: e.dispatched_cycle,
-                    issued: e.issued_cycle,
-                    completed: e.completed_cycle,
-                    retired: self.cycle,
-                    replayed: e.replayed,
-                    bypassed: e.bypassed,
-                });
-            }
-
-            if let Some(d) = e.dest {
-                self.renamer.retire(d);
-            }
-
-            if let Instr::Branch { .. } = e.instr {
-                let actual_taken = e.actual_next_pc.expect("resolved") != e.pc + 1;
-                let predicted_taken = e.predicted_next_pc != e.pc + 1;
-                self.gshare
-                    .update(e.pc, actual_taken, predicted_taken, e.history_snapshot);
-                self.stats.branches_retired += 1;
-                if actual_taken != predicted_taken {
-                    self.stats.branch_mispredicts += 1;
-                }
-            }
-
-            if e.instr.is_store() {
-                let (access, value) = e.mem.expect("completed store has an access");
-                self.mem.write(access, value);
-                let _ = self.hierarchy.access_data(access.addr());
-                match &mut self.backend {
-                    Backend::Lsq(lsq) => {
-                        let _ = lsq.store_retire(e.seq);
-                    }
-                    Backend::SfcMdt { sfc, mdt } => {
-                        self.store_fifo
-                            .pop_retired(e.seq)
-                            .expect("retiring store is the FIFO head");
-                        sfc.on_store_retire(e.seq, access);
-                        mdt.on_store_retire(e.seq, access);
-                        if e.filter_counted {
-                            let bucket = (access.addr().word_index() as usize)
-                                & (self.store_granule_filter.len() - 1);
-                            self.store_granule_filter[bucket] -= 1;
-                        }
-                    }
-                }
-                self.stats.retired_stores += 1;
-            } else if e.instr.is_load() {
-                let (access, _) = e.mem.expect("completed load has an access");
-                match &mut self.backend {
-                    Backend::Lsq(lsq) => lsq.load_retire(e.seq),
-                    Backend::SfcMdt { mdt, .. } => {
-                        mdt.on_load_retire(e.seq, access);
-                    }
-                }
-                self.stats.retired_loads += 1;
-            }
-
-            self.stats.retired += 1;
-            self.last_retire_cycle = self.cycle;
-
-            if matches!(e.instr, Instr::Halt) || self.stats.retired >= self.target_retired {
-                self.halted = true;
-                self.stats.cycles = self.cycle;
-                self.finalize_stats();
-                break;
-            }
-        }
-        Ok(())
-    }
-
-    fn validate(&self, e: &InFlight) -> Result<(), SimError> {
-        let Some(t) = e.trace_index else {
-            return Err(SimError::Validation(format!(
-                "wrong-path instruction retired: seq {} pc {} `{}`",
-                e.seq, e.pc, e.instr
-            )));
-        };
-        if t != self.stats.retired {
-            return Err(SimError::Validation(format!(
-                "retirement order diverged: trace index {} at retirement {}",
-                t, self.stats.retired
-            )));
-        }
-        let rec = self
-            .trace
-            .get(t)
-            .ok_or_else(|| SimError::Validation(format!("trace index {t} out of range")))?;
-        if rec.pc != e.pc {
-            return Err(SimError::Validation(format!(
-                "pc mismatch at trace {t}: expected {}, retired {}",
-                rec.pc, e.pc
-            )));
-        }
-        if let Some((reg, expect)) = rec.reg_write {
-            if e.result != expect {
-                return Err(SimError::Validation(format!(
-                    "wrong result at pc {} (trace {t}): {} should be {:#x}, got {:#x} \
-                     [instr `{}`]",
-                    e.pc, reg, expect, e.result, e.instr
-                )));
-            }
-        }
-        if let Some((acc, expect)) = rec.mem_load {
-            let (got_acc, got_val) = e.mem.ok_or_else(|| {
-                SimError::Validation(format!("load at pc {} retired without executing", e.pc))
-            })?;
-            if got_acc != acc || got_val != expect {
-                return Err(SimError::Validation(format!(
-                    "wrong load at pc {} (trace {t}): expected {acc}={expect:#x}, \
-                     got {got_acc}={got_val:#x}",
-                    e.pc
-                )));
-            }
-        }
-        if let Some((acc, expect)) = rec.mem_store {
-            let (got_acc, got_val) = e.mem.ok_or_else(|| {
-                SimError::Validation(format!("store at pc {} retired without executing", e.pc))
-            })?;
-            let bytes = acc.size().bytes();
-            let mask = if bytes == 8 {
-                u64::MAX
-            } else {
-                (1u64 << (8 * bytes)) - 1
-            };
-            if got_acc != acc || (got_val & mask) != expect {
-                return Err(SimError::Validation(format!(
-                    "wrong store at pc {} (trace {t}): expected {acc}={expect:#x}, \
-                     got {got_acc}={:#x}",
-                    e.pc,
-                    got_val & mask
-                )));
-            }
-        }
-        if e.instr.is_control() {
-            let actual = e.actual_next_pc.expect("resolved control");
-            if actual != rec.next_pc {
-                return Err(SimError::Validation(format!(
-                    "wrong branch outcome at pc {} (trace {t}): expected next {}, got {}",
-                    e.pc, rec.next_pc, actual
-                )));
-            }
-        }
-        Ok(())
+    pub(crate) fn trace_record(&self, cursor: u64) -> Option<&aim_isa::TraceRecord> {
+        self.trace.get(cursor)
     }
 }

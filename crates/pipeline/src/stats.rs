@@ -1,7 +1,6 @@
 //! Aggregate simulation statistics.
 
-use aim_core::{MdtStats, SfcStats};
-use aim_lsq::LsqStats;
+use aim_backend::{BackendStats, DispatchStall, MemKind, ReplayCause};
 use aim_mem::CacheStats;
 use aim_predictor::{GshareStats, PredictorStats};
 use aim_types::percent;
@@ -21,7 +20,21 @@ pub struct DispatchStalls {
     pub fifo_full: u64,
 }
 
-/// Why memory instructions were dropped and replayed (SFC/MDT backend).
+impl DispatchStalls {
+    /// Records one backend-reported dispatch stall against exactly one
+    /// counter. This is the single point where backend stall causes map to
+    /// statistics — dispatch must call it once per stalled cycle, never per
+    /// queued instruction behind the stall.
+    pub fn record(&mut self, stall: DispatchStall) {
+        match stall {
+            DispatchStall::LoadQueueFull => self.lq_full += 1,
+            DispatchStall::StoreQueueFull => self.sq_full += 1,
+            DispatchStall::StoreFifoFull => self.fifo_full += 1,
+        }
+    }
+}
+
+/// Why memory instructions were dropped and replayed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReplayCounts {
     /// Loads replayed on MDT set conflicts.
@@ -34,6 +47,8 @@ pub struct ReplayCounts {
     pub load_corrupt: u64,
     /// Loads replayed on SFC partial matches (replay policy only).
     pub load_partial: u64,
+    /// Loads replayed waiting for older stores (oracle/no-spec backends).
+    pub order_waits: u64,
 }
 
 impl ReplayCounts {
@@ -44,6 +59,19 @@ impl ReplayCounts {
             + self.store_sfc_conflicts
             + self.load_corrupt
             + self.load_partial
+            + self.order_waits
+    }
+
+    /// Records one backend-reported replay against exactly one counter.
+    pub fn count(&mut self, kind: MemKind, cause: ReplayCause) {
+        match (kind, cause) {
+            (MemKind::Load, ReplayCause::MdtConflict) => self.load_mdt_conflicts += 1,
+            (MemKind::Store, ReplayCause::MdtConflict) => self.store_mdt_conflicts += 1,
+            (_, ReplayCause::SfcConflict) => self.store_sfc_conflicts += 1,
+            (_, ReplayCause::Corrupt) => self.load_corrupt += 1,
+            (_, ReplayCause::Partial) => self.load_partial += 1,
+            (_, ReplayCause::OrderWait) => self.order_waits += 1,
+        }
     }
 }
 
@@ -127,18 +155,10 @@ pub struct SimStats {
     pub branches_retired: u64,
     /// Conditional branch mispredicts (effective, after oracle).
     pub branch_mispredicts: u64,
-    /// Peak store-FIFO occupancy.
-    pub store_fifo_peak: usize,
-    /// Peak SFC line occupancy (SFC/MDT backend).
-    pub sfc_peak_occupancy: usize,
-    /// Peak MDT entry occupancy (SFC/MDT backend).
-    pub mdt_peak_occupancy: usize,
-    /// SFC counters (SFC/MDT backend).
-    pub sfc: Option<SfcStats>,
-    /// MDT counters (SFC/MDT backend).
-    pub mdt: Option<MdtStats>,
-    /// LSQ counters (LSQ backend).
-    pub lsq: Option<LsqStats>,
+    /// Counters from whichever memory-ordering backend ran — exactly one
+    /// variant is populated, so reports never carry the other backends'
+    /// fields as misleading nulls.
+    pub backend: BackendStats,
     /// Gshare accuracy.
     pub gshare: GshareStats,
     /// Producer-set predictor counters.
@@ -258,5 +278,41 @@ mod tests {
         assert_eq!(s.mdt_conflict_rate(), 16.0);
         assert_eq!(s.flushes.total(), 7);
         assert_eq!(s.replays.total(), 86);
+    }
+
+    #[test]
+    fn dispatch_stall_record_increments_exactly_one_field() {
+        // Regression for the once-duplicated load/store stall accounting:
+        // each recorded stall must bump exactly one counter by exactly one.
+        let cases = [
+            (DispatchStall::LoadQueueFull, [1u64, 0, 0]),
+            (DispatchStall::StoreQueueFull, [0, 1, 0]),
+            (DispatchStall::StoreFifoFull, [0, 0, 1]),
+        ];
+        for (stall, expect) in cases {
+            let mut d = DispatchStalls::default();
+            d.record(stall);
+            assert_eq!([d.lq_full, d.sq_full, d.fifo_full], expect, "{stall:?}");
+            assert_eq!(d.rob_full, 0);
+            assert_eq!(d.no_phys_reg, 0);
+        }
+    }
+
+    #[test]
+    fn replay_count_maps_kind_and_cause() {
+        let mut r = ReplayCounts::default();
+        r.count(MemKind::Load, ReplayCause::MdtConflict);
+        r.count(MemKind::Store, ReplayCause::MdtConflict);
+        r.count(MemKind::Store, ReplayCause::SfcConflict);
+        r.count(MemKind::Load, ReplayCause::Corrupt);
+        r.count(MemKind::Load, ReplayCause::Partial);
+        r.count(MemKind::Load, ReplayCause::OrderWait);
+        assert_eq!(r.load_mdt_conflicts, 1);
+        assert_eq!(r.store_mdt_conflicts, 1);
+        assert_eq!(r.store_sfc_conflicts, 1);
+        assert_eq!(r.load_corrupt, 1);
+        assert_eq!(r.load_partial, 1);
+        assert_eq!(r.order_waits, 1);
+        assert_eq!(r.total(), 6);
     }
 }

@@ -1,0 +1,60 @@
+//! Cross-backend architectural equivalence: every memory backend — the
+//! idealized LSQ, the paper's SFC/MDT, and the oracle / no-spec bounds —
+//! must retire the *same architectural state* (register file and committed
+//! memory image) as the in-order interpreter, on randomly generated
+//! store/load-heavy programs. The backends differ only in timing.
+//!
+//! Additionally, the oracle backend must never mis-speculate: perfect
+//! disambiguation means zero memory-ordering flushes, always.
+
+use aim_isa::{Interpreter, Reg};
+use aim_pipeline::{Machine, SimConfig};
+use aim_predictor::EnforceMode;
+use aim_workloads::stress::random_program;
+use proptest::prelude::*;
+
+/// The four baseline backends, labelled for failure messages.
+fn backend_configs() -> Vec<(&'static str, SimConfig)> {
+    vec![
+        ("lsq", SimConfig::baseline_lsq()),
+        ("sfc-mdt", SimConfig::baseline_sfc_mdt(EnforceMode::All)),
+        ("oracle", SimConfig::baseline_oracle()),
+        ("nospec", SimConfig::baseline_nospec()),
+    ]
+}
+
+proptest! {
+    // Each case runs one interpreter pass plus four full simulations.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn all_backends_retire_the_interpreter_state(seed in any::<u64>()) {
+        let program = random_program(seed, 20, 20);
+        let mut interp = Interpreter::new(&program);
+        let trace = interp.run(500_000).unwrap();
+        prop_assert!(trace.halted());
+        let want_regs: Vec<u64> = (0..32).map(|i| interp.reg(Reg::new(i))).collect();
+        let want_mem = interp.memory().nonzero_bytes();
+
+        for (name, cfg) in backend_configs() {
+            let (stats, fin) = Machine::new(&program, &trace, cfg)
+                .run_final()
+                .map_err(|e| TestCaseError::fail(format!("{name}: {e}")))?;
+            prop_assert_eq!(stats.retired, trace.len() as u64, "{} retired short", name);
+            prop_assert_eq!(&fin.regs, &want_regs, "{} register file diverged", name);
+            prop_assert_eq!(
+                fin.mem.nonzero_bytes(),
+                want_mem.clone(),
+                "{} memory image diverged",
+                name
+            );
+            if name == "oracle" {
+                prop_assert_eq!(
+                    stats.flushes.memory(),
+                    0,
+                    "perfect disambiguation mis-speculated"
+                );
+            }
+        }
+    }
+}

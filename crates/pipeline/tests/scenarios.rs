@@ -53,7 +53,7 @@ fn wrong_path_stores_corrupt_but_never_leak() {
     let mut cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
     cfg.oracle_fix_probability = 0.0; // raw gshare: plenty of wrong paths
     let stats = run(&program, &cfg);
-    let sfc = stats.sfc.expect("SFC backend");
+    let sfc = *stats.backend.sfc().expect("SFC backend");
     assert!(stats.branch_mispredicts > 50, "need real mispredicts");
     assert!(sfc.partial_flushes > 0, "mispredicts with in-flight stores");
     assert!(
@@ -207,7 +207,8 @@ fn bounded_store_fifo_stalls_dispatch() {
         stats.dispatch_stalls.fifo_full > 0,
         "a 2-entry FIFO must stall dispatch"
     );
-    assert!(stats.store_fifo_peak <= 2, "FIFO bound must hold");
+    let aim = stats.backend.aim().expect("SFC/MDT backend");
+    assert!(aim.store_fifo_peak <= 2, "FIFO bound must hold");
     // And the unbounded run is at least as fast.
     cfg.store_fifo_entries = 0;
     let free = run(&w.program, &cfg);
@@ -400,7 +401,7 @@ fn aggressive_true_dep_recovery_squashes_less() {
     let c = run(&program, &conservative);
     let a = run(&program, &aggressive);
     assert!(c.flushes.true_dep > 10, "need recurring true violations");
-    let mdt_stats = a.mdt.expect("SFC/MDT backend");
+    let mdt_stats = *a.backend.mdt().expect("SFC/MDT backend");
     assert!(
         mdt_stats.aggressive_recoveries > 0,
         "single-load recovery should engage"

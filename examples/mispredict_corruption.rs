@@ -40,7 +40,7 @@ fn main() {
         let mut cfg = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
         cfg.oracle_fix_probability = fix_probability;
         let stats = simulate_with_trace(&w.program, &trace, &cfg).expect("validated");
-        let sfc = stats.sfc.expect("SFC backend");
+        let sfc = *stats.backend.sfc().expect("SFC backend");
         println!(
             "{:<26} | {:>7.3} {:>10} {:>10} {:>10} {:>9.2}%",
             name,

@@ -3,10 +3,20 @@
 #
 #   scripts/tier1.sh
 #
-# Builds the workspace in release mode, runs the full test suite, and holds
-# the tree to a warning-free clippy bar (all targets, -D warnings).
+# Builds the workspace in release mode, runs the full test suite (workspace
+# pass plus a per-crate pass, so each crate's tests also run against its own
+# feature/dependency resolution), holds the tree to a warning-free clippy
+# bar (all targets, -D warnings), and requires the rendered API docs of every
+# first-party crate to build without rustdoc warnings.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# First-party packages (vendored stand-ins under vendor/ are exempt from the
+# doc and per-crate bars; they are exercised transitively).
+AIM_PACKAGES=(
+  aim-types aim-isa aim-mem aim-predictor aim-lsq aim-core aim-backend
+  aim-pipeline aim-workloads aim-bench aim-cli aim-integration aim-examples
+)
 
 echo "== tier1: cargo build --release =="
 cargo build --release
@@ -14,7 +24,16 @@ cargo build --release
 echo "== tier1: cargo test -q =="
 cargo test -q
 
+for pkg in "${AIM_PACKAGES[@]}"; do
+  echo "== tier1: cargo test -q -p ${pkg} =="
+  cargo test -q -p "${pkg}"
+done
+
 echo "== tier1: cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
+
+echo "== tier1: cargo doc --no-deps (rustdoc warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+  "${AIM_PACKAGES[@]/#/--package=}"
 
 echo "== tier1: OK =="
