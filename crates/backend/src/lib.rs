@@ -6,10 +6,13 @@
 //! [`MemBackend`] trait, and the pipeline drives whichever one
 //! [`build`] hands it — without knowing which it got.
 //!
-//! Four backends ship today:
+//! Five backends ship today:
 //!
 //! * [`LsqBackend`] — the idealized CAM-based load/store queue of §3
 //!   (wrapping [`aim_lsq::Lsq`]);
+//! * [`FilteredLsqBackend`] — the same queue behind an address-indexed
+//!   store-presence filter: loads the filter proves alias-free skip the CAM
+//!   search entirely;
 //! * [`AimBackend`] — the paper's store forwarding cache + memory
 //!   disambiguation table + store FIFO (wrapping [`aim_core::Sfc`],
 //!   [`aim_core::Mdt`] and [`aim_mem::StoreFifo`]);
@@ -24,7 +27,9 @@
 //!
 //! The call contract the pipeline honors (and new backends may rely on) is
 //! documented on [`MemBackend`]; `DESIGN.md` § "Backend contract" walks
-//! through it with the per-cycle stage ordering.
+//! through it with the per-cycle stage ordering, and the [`conformance`]
+//! module turns that contract into a reusable scripted-trace test harness
+//! every backend (current and future) must pass.
 //!
 //! # Examples
 //!
@@ -43,11 +48,14 @@ use aim_mem::MainMemory;
 use aim_types::{MemAccess, SeqNum};
 
 mod aim;
+pub mod conformance;
+mod filtered;
 mod lsq;
 mod nospec;
 mod oracle;
 
 pub use crate::aim::{AimBackend, AimStats};
+pub use crate::filtered::{FilterConfig, FilterStats, FilteredLsqBackend, FilteredStats};
 pub use crate::lsq::LsqBackend;
 pub use crate::nospec::{NoSpecBackend, NoSpecStats};
 pub use crate::oracle::{OracleBackend, OracleStats};
@@ -180,6 +188,8 @@ pub enum BackendStats {
     None,
     /// Idealized load/store queue counters.
     Lsq(LsqStats),
+    /// Filtered-LSQ counters (CAM activity plus the store-presence filter).
+    Filtered(FilteredStats),
     /// SFC/MDT/StoreFIFO counters.
     Aim(AimStats),
     /// Oracle-backend counters.
@@ -189,12 +199,13 @@ pub enum BackendStats {
 }
 
 impl BackendStats {
-    /// Short tag naming the backend family ("lsq", "aim", "oracle",
-    /// "nospec", or "none").
+    /// Short tag naming the backend family ("lsq", "filtered", "aim",
+    /// "oracle", "nospec", or "none").
     pub fn family(&self) -> &'static str {
         match self {
             BackendStats::None => "none",
             BackendStats::Lsq(_) => "lsq",
+            BackendStats::Filtered(_) => "filtered",
             BackendStats::Aim(_) => "aim",
             BackendStats::Oracle(_) => "oracle",
             BackendStats::NoSpec(_) => "nospec",
@@ -205,6 +216,14 @@ impl BackendStats {
     pub fn lsq(&self) -> Option<&LsqStats> {
         match self {
             BackendStats::Lsq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Filtered-LSQ counters, when the filtered backend ran.
+    pub fn filtered(&self) -> Option<&FilteredStats> {
+        match self {
+            BackendStats::Filtered(s) => Some(s),
             _ => None,
         }
     }
@@ -249,6 +268,13 @@ impl BackendStats {
 pub enum BackendConfig {
     /// The idealized load/store queue baseline.
     Lsq(LsqConfig),
+    /// The load/store queue behind an address-indexed store-presence filter.
+    FilteredLsq {
+        /// Queue capacities.
+        lsq: LsqConfig,
+        /// Filter geometry.
+        filter: FilterConfig,
+    },
     /// The paper's store forwarding cache + memory disambiguation table.
     SfcMdt {
         /// SFC geometry.
@@ -268,6 +294,10 @@ impl BackendConfig {
     pub fn name(&self) -> String {
         match self {
             BackendConfig::Lsq(c) => format!("lsq{}x{}", c.load_entries, c.store_entries),
+            BackendConfig::FilteredLsq { lsq, filter } => format!(
+                "flsq{}x{}/filt{}x{}",
+                lsq.load_entries, lsq.store_entries, filter.sets, filter.ways
+            ),
             BackendConfig::SfcMdt { sfc, mdt } => {
                 format!("sfc{}x{}/mdt{}x{}", sfc.sets, sfc.ways, mdt.sets, mdt.ways)
             }
@@ -311,6 +341,9 @@ impl BackendParams {
 pub fn build(params: &BackendParams) -> Box<dyn MemBackend + Send> {
     match params.config {
         BackendConfig::Lsq(c) => Box::new(LsqBackend::new(aim_lsq::Lsq::new(c))),
+        BackendConfig::FilteredLsq { lsq, filter } => {
+            Box::new(FilteredLsqBackend::new(aim_lsq::Lsq::new(lsq), filter))
+        }
         BackendConfig::SfcMdt { sfc, mdt } => Box::new(AimBackend::new(
             Sfc::new(sfc),
             Mdt::new(mdt),
@@ -492,6 +525,14 @@ mod tests {
             BackendConfig::Lsq(LsqConfig::baseline_48x32()).name(),
             "lsq48x32"
         );
+        assert_eq!(
+            BackendConfig::FilteredLsq {
+                lsq: LsqConfig::baseline_48x32(),
+                filter: FilterConfig::baseline(),
+            }
+            .name(),
+            "flsq48x32/filt256x2"
+        );
         let b = BackendConfig::SfcMdt {
             sfc: SfcConfig::baseline(),
             mdt: MdtConfig::baseline(),
@@ -505,6 +546,10 @@ mod tests {
     fn build_constructs_every_family() {
         for config in [
             BackendConfig::Lsq(LsqConfig::baseline_48x32()),
+            BackendConfig::FilteredLsq {
+                lsq: LsqConfig::baseline_48x32(),
+                filter: FilterConfig::baseline(),
+            },
             BackendConfig::SfcMdt {
                 sfc: SfcConfig::baseline(),
                 mdt: MdtConfig::baseline(),
@@ -525,7 +570,11 @@ mod tests {
         assert!(s.lsq().is_some());
         assert!(s.aim().is_none() && s.sfc().is_none() && s.mdt().is_none());
         assert!(s.oracle().is_none() && s.nospec().is_none());
+        assert!(s.filtered().is_none());
         assert_eq!(s.family(), "lsq");
+        let f = BackendStats::Filtered(FilteredStats::default());
+        assert!(f.filtered().is_some() && f.lsq().is_none());
+        assert_eq!(f.family(), "filtered");
         assert_eq!(BackendStats::default().family(), "none");
     }
 

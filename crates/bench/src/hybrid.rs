@@ -1,0 +1,168 @@
+//! The `table_hybrid` machine-readable report (`BENCH_hybrid.json`).
+//!
+//! `table_hybrid` places the filtered LSQ — the §4 hybrid of an
+//! address-indexed membership filter and the associative store queue —
+//! inside the `table_backend_bounds` bracket, next to the MDT search
+//! filter it borrows its idea from. This module renders that comparison
+//! in a stable JSON schema (`aim-hybrid-report/v1`) so the acceptance
+//! checks (filter rate vs the §4 MDT filter, IPC inside the
+//! no-spec → oracle bracket) can be asserted by scripts, not eyeballs.
+//!
+//! ```json
+//! {
+//!   "schema": "aim-hybrid-report/v1",
+//!   "artifact": "table_hybrid",
+//!   "rows": [
+//!     {
+//!       "workload": "gzip", "suite": "int", "lsq_ipc": 1.8,
+//!       "nospec_norm": 0.9, "filtered_norm": 1.0, "sfc_mdt_norm": 0.99,
+//!       "oracle_norm": 1.01, "gap_closed": 95.0,
+//!       "filtered_loads": 180, "searched_loads": 20, "filter_rate": 0.9,
+//!       "false_positive_hits": 3, "saturation_fallbacks": 0,
+//!       "mdt_filter_rate": 0.85
+//!     }
+//!   ]
+//! }
+//! ```
+
+use crate::sweep::{json_escape, json_number};
+
+/// One workload's row of the hybrid comparison.
+#[derive(Debug, Clone)]
+pub struct HybridRow {
+    /// Workload name.
+    pub workload: String,
+    /// Suite membership (`int` or `fp`).
+    pub suite: String,
+    /// Absolute IPC of the plain 48×32 LSQ (the normalization base).
+    pub lsq_ipc: f64,
+    /// No-speculation IPC, normalized to `lsq_ipc`.
+    pub nospec_norm: f64,
+    /// Filtered-LSQ IPC, normalized to `lsq_ipc`.
+    pub filtered_norm: f64,
+    /// SFC/MDT (with the §4 MDT search filter) IPC, normalized.
+    pub sfc_mdt_norm: f64,
+    /// Oracle IPC, normalized.
+    pub oracle_norm: f64,
+    /// Percent of the no-spec → oracle gap the filtered LSQ closes.
+    pub gap_closed: f64,
+    /// Load lookups that skipped the SQ CAM entirely.
+    pub filtered_loads: u64,
+    /// Load lookups that paid the associative search.
+    pub searched_loads: u64,
+    /// `filtered_loads / (filtered_loads + searched_loads)`.
+    pub filter_rate: f64,
+    /// Filter hits whose CAM search then forwarded nothing.
+    pub false_positive_hits: u64,
+    /// Stores tracked conservatively after counter saturation.
+    pub saturation_fallbacks: u64,
+    /// The §4 MDT filter's skip fraction on the same workload
+    /// (`mdt_filtered_loads / (mdt_filtered_loads + load_checks)`).
+    pub mdt_filter_rate: f64,
+}
+
+/// The full hybrid comparison, one row per workload.
+#[derive(Debug, Clone)]
+pub struct HybridReport {
+    /// The producing binary (`table_hybrid`).
+    pub artifact: String,
+    /// Per-workload rows, registry order.
+    pub rows: Vec<HybridRow>,
+}
+
+impl HybridReport {
+    /// Renders the report as `aim-hybrid-report/v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.rows.len() * 320);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"aim-hybrid-report/v1\",\n");
+        out.push_str(&format!(
+            "  \"artifact\": \"{}\",\n",
+            json_escape(&self.artifact)
+        ));
+        out.push_str("  \"rows\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"suite\": \"{}\", \"lsq_ipc\": {}, \
+                 \"nospec_norm\": {}, \"filtered_norm\": {}, \"sfc_mdt_norm\": {}, \
+                 \"oracle_norm\": {}, \"gap_closed\": {}, \"filtered_loads\": {}, \
+                 \"searched_loads\": {}, \"filter_rate\": {}, \
+                 \"false_positive_hits\": {}, \"saturation_fallbacks\": {}, \
+                 \"mdt_filter_rate\": {}}}",
+                json_escape(&r.workload),
+                json_escape(&r.suite),
+                json_number(r.lsq_ipc),
+                json_number(r.nospec_norm),
+                json_number(r.filtered_norm),
+                json_number(r.sfc_mdt_norm),
+                json_number(r.oracle_norm),
+                json_number(r.gap_closed),
+                r.filtered_loads,
+                r.searched_loads,
+                json_number(r.filter_rate),
+                r.false_positive_hits,
+                r.saturation_fallbacks,
+                json_number(r.mdt_filter_rate),
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Writes the report to the default location — `$AIM_HYBRID_JSON` if
+    /// set, else `BENCH_hybrid.json` in the working directory — and
+    /// returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_default(&self) -> std::io::Result<String> {
+        let path =
+            std::env::var("AIM_HYBRID_JSON").unwrap_or_else(|_| "BENCH_hybrid.json".to_string());
+        self.write(&path)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_json_renders_schema_and_balances() {
+        let report = HybridReport {
+            artifact: "table_hybrid".to_string(),
+            rows: vec![HybridRow {
+                workload: "gzip".to_string(),
+                suite: "int".to_string(),
+                lsq_ipc: 1.75,
+                nospec_norm: 0.9,
+                filtered_norm: 1.0,
+                sfc_mdt_norm: 0.99,
+                oracle_norm: 1.01,
+                gap_closed: 95.0,
+                filtered_loads: 180,
+                searched_loads: 20,
+                filter_rate: 0.9,
+                false_positive_hits: 3,
+                saturation_fallbacks: 0,
+                mdt_filter_rate: 0.85,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"aim-hybrid-report/v1\""));
+        assert!(json.contains("\"filtered_loads\": 180"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -13,6 +13,7 @@
 //! | `table_assoc_sweep` | §3.2 bzip2/mcf set-conflict + associativity-16 study |
 //! | `table_corruption` | §3.2 SFC corruption-rate study |
 //! | `table_filter` | §4 MDT search-filter study |
+//! | `table_hybrid` | §4 filtered-LSQ hybrid vs the backend bounds |
 //! | `table_power` | §5 activity/power proxy counts |
 //! | `table_window_sweep` | §3.3 instruction-window scaling |
 //! | `calibrate` | IPC sanity check of the two backends |
@@ -31,10 +32,12 @@ use aim_isa::{Interpreter, Program, Trace};
 use aim_pipeline::{simulate_with_trace, SimConfig, SimStats};
 use aim_workloads::{Scale, Suite, Workload};
 
+mod hybrid;
 mod matrix;
 pub mod specs;
 mod sweep;
 
+pub use hybrid::{HybridReport, HybridRow};
 pub use matrix::{run_matrix, run_matrix_timed, Matrix};
 pub use sweep::{SweepReport, SweepRow};
 

@@ -330,6 +330,26 @@ pub fn table_backend_bounds() -> ArtifactSpec {
     }
 }
 
+/// `table_hybrid`: the filtered LSQ (membership filter in front of the
+/// associative store queue) against the plain LSQ, the §4-filtered
+/// SFC/MDT, and the two bounds — all on the baseline machine, so the
+/// hybrid lands inside the `table_backend_bounds` bracket.
+pub fn table_hybrid() -> ArtifactSpec {
+    let mut sfc_filtered = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    sfc_filtered.mdt_filter = true;
+    ArtifactSpec {
+        artifact: "table_hybrid",
+        configs: vec![
+            named("nospec", SimConfig::baseline_nospec()),
+            named("lsq-48x32", SimConfig::baseline_lsq()),
+            named("filtered-lsq", SimConfig::baseline_filtered_lsq()),
+            named("sfc-mdt-filt", sfc_filtered),
+            named("oracle", SimConfig::baseline_oracle()),
+        ],
+        skip: &[],
+    }
+}
+
 /// `table_window_sweep`: windows 128–1024, fixed 48×32 LSQ vs SFC/MDT
 /// (window-major: `lsq@N` then `sfc-mdt@N` for each window size N).
 pub fn table_window_sweep() -> ArtifactSpec {
@@ -366,6 +386,7 @@ pub fn all_default() -> Vec<ArtifactSpec> {
         table_filter(),
         table_power(false),
         table_backend_bounds(),
+        table_hybrid(),
         table_window_sweep(),
     ]
 }

@@ -174,7 +174,7 @@ impl SweepReport {
 }
 
 /// JSON numbers may not be NaN/infinite; degenerate rates render as 0.
-fn json_number(x: f64) -> String {
+pub(crate) fn json_number(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.6}")
     } else {
@@ -182,7 +182,7 @@ fn json_number(x: f64) -> String {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -7,10 +7,14 @@ use aim_pipeline::{simulate_traced, simulate_with_trace, SimConfig};
 use aim_predictor::EnforceMode;
 use aim_workloads::Scale;
 
-/// A broad config set covering all four backends and both machine classes.
+/// A broad config set covering all five backends and both machine classes.
 fn determinism_configs() -> Vec<(String, SimConfig)> {
     let mut configs = specs::fig5_baseline().configs;
     configs.extend(specs::table_violations().configs);
+    configs.push((
+        "filtered-lsq".to_string(),
+        SimConfig::baseline_filtered_lsq(),
+    ));
     configs.push(("oracle".to_string(), SimConfig::baseline_oracle()));
     configs.push(("nospec".to_string(), SimConfig::baseline_nospec()));
     configs
@@ -40,7 +44,7 @@ fn parallel_matrix_is_byte_identical_to_serial() {
 #[test]
 fn every_artifact_spec_simulates_at_tiny() {
     let all = specs::all_default();
-    assert_eq!(all.len(), 12, "one spec per experiment binary");
+    assert_eq!(all.len(), 13, "one spec per experiment binary");
     let jobs = aim_bench::resolve_jobs(0);
     for spec in &all {
         let workloads = spec.workloads(Scale::Tiny);

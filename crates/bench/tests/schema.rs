@@ -1,0 +1,151 @@
+//! Golden-file schema tests: the machine-readable reports downstream
+//! tooling parses (`BENCH_sweep.json`, `BENCH_hybrid.json`) must keep a
+//! byte-stable serialization for a fixed input. Any field added, removed,
+//! renamed, or reordered shows up here as a golden-file diff — update the
+//! golden **deliberately**, alongside the schema version string, never as
+//! a drive-by.
+
+use aim_bench::{HybridReport, HybridRow, SweepReport, SweepRow};
+
+/// A fixed, fully populated sweep report.
+fn golden_sweep() -> SweepReport {
+    SweepReport {
+        artifact: "golden".to_string(),
+        jobs: 2,
+        wall_seconds: 1.5,
+        rows: vec![
+            SweepRow {
+                workload: "gzip".to_string(),
+                config: "lsq-48x32".to_string(),
+                sim_cycles: 1000,
+                retired: 2000,
+                host_seconds: 0.25,
+                kcycles_per_sec: 4.0,
+                retired_mips: 0.008,
+            },
+            SweepRow {
+                workload: "mcf".to_string(),
+                config: "filtered-lsq".to_string(),
+                sim_cycles: 3000,
+                retired: 4000,
+                host_seconds: 0.5,
+                kcycles_per_sec: 6.0,
+                retired_mips: 0.008,
+            },
+        ],
+    }
+}
+
+/// A fixed, fully populated hybrid report.
+fn golden_hybrid() -> HybridReport {
+    HybridReport {
+        artifact: "table_hybrid".to_string(),
+        rows: vec![
+            HybridRow {
+                workload: "gzip".to_string(),
+                suite: "int".to_string(),
+                lsq_ipc: 1.75,
+                nospec_norm: 0.9,
+                filtered_norm: 1.0,
+                sfc_mdt_norm: 0.99,
+                oracle_norm: 1.01,
+                gap_closed: 90.909091,
+                filtered_loads: 180,
+                searched_loads: 20,
+                filter_rate: 0.9,
+                false_positive_hits: 3,
+                saturation_fallbacks: 0,
+                mdt_filter_rate: 0.85,
+            },
+            HybridRow {
+                workload: "swim".to_string(),
+                suite: "fp".to_string(),
+                lsq_ipc: 2.0,
+                nospec_norm: 0.8,
+                filtered_norm: 0.99,
+                sfc_mdt_norm: 0.98,
+                oracle_norm: 1.0,
+                gap_closed: 95.0,
+                filtered_loads: 500,
+                searched_loads: 100,
+                filter_rate: 0.833333,
+                false_positive_hits: 12,
+                saturation_fallbacks: 1,
+                mdt_filter_rate: 0.7,
+            },
+        ],
+    }
+}
+
+#[test]
+fn sweep_report_serialization_is_golden() {
+    let got = golden_sweep().to_json();
+    let want = include_str!("golden/sweep.golden.json");
+    assert_eq!(
+        got, want,
+        "aim-bench-sweep/v1 serialization drifted; if intentional, update \
+         tests/golden/sweep.golden.json and bump the schema version"
+    );
+}
+
+#[test]
+fn hybrid_report_serialization_is_golden() {
+    let got = golden_hybrid().to_json();
+    let want = include_str!("golden/hybrid.golden.json");
+    assert_eq!(
+        got, want,
+        "aim-hybrid-report/v1 serialization drifted; if intentional, update \
+         tests/golden/hybrid.golden.json and bump the schema version"
+    );
+}
+
+#[test]
+fn reports_keep_their_stable_field_sets() {
+    // Belt-and-braces over the byte comparison: every schema field name is
+    // present exactly once per row, so a rename cannot hide behind a
+    // formatting-only golden refresh.
+    let sweep = golden_sweep().to_json();
+    for field in [
+        "\"schema\"",
+        "\"artifact\"",
+        "\"jobs\"",
+        "\"wall_seconds\"",
+        "\"rows\"",
+    ] {
+        assert_eq!(sweep.matches(field).count(), 1, "sweep field {field}");
+    }
+    for field in [
+        "\"workload\"",
+        "\"config\"",
+        "\"sim_cycles\"",
+        "\"retired\"",
+        "\"host_seconds\"",
+        "\"kcycles_per_sec\"",
+        "\"retired_mips\"",
+    ] {
+        assert_eq!(sweep.matches(field).count(), 2, "sweep row field {field}");
+    }
+
+    let hybrid = golden_hybrid().to_json();
+    for field in ["\"schema\"", "\"artifact\"", "\"rows\""] {
+        assert_eq!(hybrid.matches(field).count(), 1, "hybrid field {field}");
+    }
+    for field in [
+        "\"workload\"",
+        "\"suite\"",
+        "\"lsq_ipc\"",
+        "\"nospec_norm\"",
+        "\"filtered_norm\"",
+        "\"sfc_mdt_norm\"",
+        "\"oracle_norm\"",
+        "\"gap_closed\"",
+        "\"filtered_loads\"",
+        "\"searched_loads\"",
+        "\"filter_rate\"",
+        "\"false_positive_hits\"",
+        "\"saturation_fallbacks\"",
+        "\"mdt_filter_rate\"",
+    ] {
+        assert_eq!(hybrid.matches(field).count(), 2, "hybrid row field {field}");
+    }
+}

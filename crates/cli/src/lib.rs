@@ -28,7 +28,7 @@ pub enum Command {
     List,
     /// Run one kernel under one configuration.
     Run(RunArgs),
-    /// Run one kernel under the LSQ and the SFC/MDT and print both.
+    /// Run one kernel under every backend and print each report.
     Compare(RunArgs),
     /// Assemble and run a `.s` source file (the kernel field is the path).
     Asm(RunArgs),
@@ -44,6 +44,8 @@ pub enum BackendChoice {
     SfcMdt,
     /// The idealized associative load/store queue.
     Lsq,
+    /// The LSQ behind an MDT-style membership filter (hybrid).
+    Filtered,
     /// Perfect disambiguation (upper performance bound).
     Oracle,
     /// No load speculation (lower performance bound).
@@ -53,9 +55,10 @@ pub enum BackendChoice {
 impl BackendChoice {
     /// All choices, in `compare` presentation order: lower bound first,
     /// upper bound last.
-    pub const ALL: [BackendChoice; 4] = [
+    pub const ALL: [BackendChoice; 5] = [
         BackendChoice::NoSpec,
         BackendChoice::Lsq,
+        BackendChoice::Filtered,
         BackendChoice::SfcMdt,
         BackendChoice::Oracle,
     ];
@@ -129,12 +132,12 @@ aim-sim — the SFC/MDT memory-disambiguation simulator (MICRO-38 reproduction)
 USAGE:
   aim-sim list                       list available kernels
   aim-sim run <kernel> [options]     simulate one kernel
-  aim-sim compare <kernel> [options] simulate under all four backends
+  aim-sim compare <kernel> [options] simulate under all five backends
   aim-sim asm <file.s> [options]     assemble and simulate a source file
 
 OPTIONS:
   --machine baseline|aggressive   pipeline configuration      [baseline]
-  --backend sfc-mdt|lsq|oracle|nospec
+  --backend sfc-mdt|lsq|filtered|oracle|nospec
                                   memory-ordering machinery   [sfc-mdt]
   --mode enf|not-enf|total        predictor enforcement       [enf]
   --lsq LxS                       LSQ capacity, e.g. 120x80   [48x32]
@@ -188,6 +191,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 run.backend = match value("--backend")?.as_str() {
                     "sfc-mdt" => BackendChoice::SfcMdt,
                     "lsq" => BackendChoice::Lsq,
+                    "filtered" => BackendChoice::Filtered,
                     "oracle" => BackendChoice::Oracle,
                     "nospec" => BackendChoice::NoSpec,
                     other => return Err(ParseError(format!("unknown backend `{other}`"))),
@@ -268,6 +272,21 @@ pub fn build_config(args: &RunArgs) -> SimConfig {
                 c.backend = BackendConfig::Lsq(lsq);
                 c
             }
+        }
+        BackendChoice::Filtered => {
+            let lsq = LsqConfig {
+                load_entries: args.lsq_size.0,
+                store_entries: args.lsq_size.1,
+            };
+            let mut c = if args.aggressive {
+                SimConfig::aggressive_filtered_lsq(lsq)
+            } else {
+                SimConfig::baseline_filtered_lsq()
+            };
+            if let BackendConfig::FilteredLsq { lsq: l, .. } = &mut c.backend {
+                *l = lsq;
+            }
+            c
         }
         BackendChoice::SfcMdt => {
             if args.aggressive {
@@ -370,6 +389,26 @@ pub fn report(name: &str, backend: &str, stats: &SimStats) -> String {
             lsq.peak_lq,
             lsq.peak_sq,
             stats.dispatch_stalls.lq_full + stats.dispatch_stalls.sq_full
+        ));
+    }
+    if let Some(f) = stats.backend.filtered() {
+        line(format!(
+            "  LSQ: SQ searches {:>7}  LQ searches {:>7}  peak {}x{}  dispatch stalls {}",
+            f.lsq.sq_searches,
+            f.lsq.lq_searches,
+            f.lsq.peak_lq,
+            f.lsq.peak_sq,
+            stats.dispatch_stalls.lq_full + stats.dispatch_stalls.sq_full
+        ));
+        line(format!(
+            "  filter: {:>7} loads skipped the CAM ({:.2}%)  false hits {:>5}  saturations {:>4}",
+            f.filter.filtered_loads,
+            aim_types::percent(
+                f.filter.filtered_loads,
+                f.filter.filtered_loads + f.filter.searched_loads
+            ),
+            f.filter.false_positive_hits,
+            f.filter.saturation_fallbacks
         ));
     }
     if let Some(o) = stats.backend.oracle() {
@@ -536,6 +575,30 @@ mod tests {
             }
             _ => panic!("expected LSQ backend"),
         }
+    }
+
+    #[test]
+    fn filtered_backend_parses_and_builds() {
+        let Command::Run(args) =
+            parse(&["run", "gzip", "--backend", "filtered", "--lsq", "24x16"]).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(args.backend, BackendChoice::Filtered);
+        match build_config(&args).backend {
+            BackendConfig::FilteredLsq { lsq, .. } => {
+                assert_eq!((lsq.load_entries, lsq.store_entries), (24, 16));
+            }
+            other => panic!("expected filtered LSQ backend, got {other:?}"),
+        }
+        let mut aggr = args.clone();
+        aggr.aggressive = true;
+        assert!(matches!(
+            build_config(&aggr).backend,
+            BackendConfig::FilteredLsq { lsq, .. }
+                if (lsq.load_entries, lsq.store_entries) == (24, 16)
+        ));
+        assert_eq!(BackendChoice::ALL.len(), 5);
     }
 
     #[test]

@@ -285,6 +285,7 @@ impl Lsq {
         mem: &MainMemory,
     ) -> LsqLoadValue {
         self.stats.sq_searches += 1;
+        self.stats.sq_entries_compared += self.stores.len() as u64;
         let (value, forwarded) = self.resolve(seq, access, mem);
         if forwarded > 0 {
             if forwarded == access.mask().count() {
@@ -303,6 +304,43 @@ impl Lsq {
         LsqLoadValue {
             value,
             forwarded_bytes: forwarded,
+        }
+    }
+
+    /// A load executes *without* searching the store queue: the caller's
+    /// pre-filter (e.g. the filtered backend's store-presence counters)
+    /// proved no executed in-flight store can supply any of its bytes, so
+    /// the value comes from committed memory alone and no CAM comparator
+    /// fires. The load-queue entry is still recorded — disambiguation
+    /// against *unexecuted* older stores happens later, in
+    /// [`store_execute`](Lsq::store_execute)'s load-queue search, which is
+    /// why skipping the store-queue search here is safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` was never dispatched (simulator invariant).
+    pub fn load_execute_unsearched(
+        &mut self,
+        seq: SeqNum,
+        access: MemAccess,
+        mem: &MainMemory,
+    ) -> LsqLoadValue {
+        let word = access.word_addr();
+        let mut value = 0u64;
+        for (k, byte_idx) in access.mask().iter_bytes().enumerate() {
+            let b = mem.read_byte(Addr(word.0 + byte_idx as u64));
+            value |= (b as u64) << (8 * k);
+        }
+        let entry = self
+            .loads
+            .iter_mut()
+            .find(|l| l.seq == seq)
+            .expect("load executed without dispatch");
+        entry.access = Some(access);
+        entry.value = value;
+        LsqLoadValue {
+            value,
+            forwarded_bytes: 0,
         }
     }
 
@@ -617,7 +655,37 @@ mod tests {
         q.load_execute(SeqNum(2), d(0x100), &mem);
         assert_eq!(q.stats().sq_searches, 1);
         assert_eq!(q.stats().lq_searches, 1);
+        assert_eq!(q.stats().sq_entries_compared, 1);
         assert_eq!(q.stats().peak_lq, 1);
         assert_eq!(q.stats().peak_sq, 1);
+    }
+
+    #[test]
+    fn unsearched_load_reads_memory_and_fires_no_comparators() {
+        let mut q = lsq();
+        let mut mem = MainMemory::new();
+        mem.write(d(0x108), 0x5A5A);
+        q.dispatch_store(SeqNum(1), 0x10);
+        q.dispatch_load(SeqNum(2), 0x14);
+        q.store_execute(SeqNum(1), d(0x100), 7, &mem);
+        let v = q.load_execute_unsearched(SeqNum(2), d(0x108), &mem);
+        assert_eq!(v.value, 0x5A5A);
+        assert_eq!(v.forwarded_bytes, 0);
+        assert_eq!(q.stats().sq_searches, 0);
+        assert_eq!(q.stats().sq_entries_compared, 0);
+    }
+
+    #[test]
+    fn unsearched_load_is_still_seen_by_store_disambiguation() {
+        // The unsearched path must leave the load visible to the safety-net
+        // load-queue search an older store performs when it finally executes.
+        let mut q = lsq();
+        let mem = MainMemory::new();
+        q.dispatch_store(SeqNum(1), 0x10);
+        q.dispatch_load(SeqNum(2), 0x14);
+        q.load_execute_unsearched(SeqNum(2), d(0x100), &mem); // reads 0
+        let v = q.store_execute(SeqNum(1), d(0x100), 9, &mem).unwrap();
+        assert_eq!(v.kind, ViolationKind::True);
+        assert_eq!(v.squash_after, SeqNum(1));
     }
 }

@@ -1,6 +1,6 @@
 //! Simulator configuration: the paper's Figure 4 in code.
 
-use aim_backend::{BackendParams, LsqConfig, MdtConfig, PartialMatchPolicy, SfcConfig};
+use aim_backend::{BackendParams, FilterConfig, LsqConfig, MdtConfig, PartialMatchPolicy, SfcConfig};
 use aim_mem::HierarchyConfig;
 use aim_predictor::{EnforceMode, PredictorConfig};
 
@@ -180,6 +180,19 @@ impl SimConfig {
         cfg
     }
 
+    /// Convenience: baseline machine with the 48×32 LSQ behind an
+    /// MDT-style membership filter (the hybrid of §2.2's address-indexed
+    /// lookup and the associative store queue): loads whose word has no
+    /// in-flight store skip the CAM search entirely.
+    pub fn baseline_filtered_lsq() -> SimConfig {
+        let mut cfg = SimConfig::baseline(BackendConfig::FilteredLsq {
+            lsq: LsqConfig::baseline_48x32(),
+            filter: FilterConfig::baseline(),
+        });
+        cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
+        cfg
+    }
+
     /// Convenience: baseline machine with perfect disambiguation — the
     /// upper bound any real backend is bracketed by.
     pub fn baseline_oracle() -> SimConfig {
@@ -214,6 +227,17 @@ impl SimConfig {
     /// capacity.
     pub fn aggressive_lsq(lsq: LsqConfig) -> SimConfig {
         let mut cfg = SimConfig::aggressive(BackendConfig::Lsq(lsq));
+        cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
+        cfg
+    }
+
+    /// Convenience: aggressive machine with a filtered LSQ of the given
+    /// capacity.
+    pub fn aggressive_filtered_lsq(lsq: LsqConfig) -> SimConfig {
+        let mut cfg = SimConfig::aggressive(BackendConfig::FilteredLsq {
+            lsq,
+            filter: FilterConfig::baseline(),
+        });
         cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
         cfg
     }

@@ -29,6 +29,14 @@ for pkg in "${AIM_PACKAGES[@]}"; do
   cargo test -q -p "${pkg}"
 done
 
+# The backend-conformance suite is the contract every MemBackend implements;
+# run it by name so a test-filtering regression cannot silently drop it.
+echo "== tier1: cargo test -p aim-backend --test conformance =="
+cargo test -q -p aim-backend --test conformance
+
+echo "== tier1: EXPERIMENTS.md carries the backend gap-closed table =="
+grep -q '| backend | int gap closed | fp gap closed |' EXPERIMENTS.md
+
 echo "== tier1: cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
