@@ -29,8 +29,8 @@ pub struct AimStats {
 /// a FIFO, forward through the [`Sfc`], and are disambiguated by the
 /// [`Mdt`].
 pub struct AimBackend {
-    sfc: Sfc,
-    mdt: Mdt,
+    pub(crate) sfc: Sfc,
+    pub(crate) mdt: Mdt,
     store_fifo: StoreFifo,
     /// Store FIFO capacity (0 = unbounded).
     fifo_capacity: usize,
@@ -57,6 +57,44 @@ impl AimBackend {
             partial_match_policy,
             store_extra_latency,
             violation_extra_penalty,
+        }
+    }
+
+    /// The §2.3 SFC probe a clean load pays: forward, miss to memory, or
+    /// combine/replay on a partial match. Shared with the PCAX backend,
+    /// whose unknown/vetoed loads take exactly this path.
+    pub(crate) fn sfc_probe(&mut self, req: &LoadRequest, mem: &MainMemory) -> LoadOutcome {
+        match self.sfc.load_lookup(req.access, req.floor) {
+            SfcLoadResult::Corrupt => LoadOutcome::Replay(ReplayCause::Corrupt),
+            SfcLoadResult::Forward(value) => LoadOutcome::Done {
+                value,
+                forwarded: true,
+            },
+            SfcLoadResult::Miss => LoadOutcome::Done {
+                value: mem.read(req.access),
+                forwarded: false,
+            },
+            SfcLoadResult::Partial { data, valid } => {
+                if self.partial_match_policy == PartialMatchPolicy::Replay {
+                    LoadOutcome::Replay(ReplayCause::Partial)
+                } else {
+                    // Combine SFC bytes with memory bytes.
+                    let word = req.access.word_addr();
+                    let mut value = 0u64;
+                    for (k, byte_idx) in req.access.mask().iter_bytes().enumerate() {
+                        let byte = if valid.contains_byte(byte_idx) {
+                            data[byte_idx as usize]
+                        } else {
+                            mem.read_byte(Addr(word.0 + byte_idx as u64))
+                        };
+                        value |= (byte as u64) << (8 * k);
+                    }
+                    LoadOutcome::Done {
+                        value,
+                        forwarded: false,
+                    }
+                }
+            }
         }
     }
 }
@@ -99,38 +137,7 @@ impl MemBackend for AimBackend {
         match self.mdt.on_load_execute(req.seq, req.pc, req.access, req.floor) {
             Err(_) => LoadOutcome::Replay(ReplayCause::MdtConflict),
             Ok(Some(v)) => LoadOutcome::Anti(v),
-            Ok(None) => match self.sfc.load_lookup(req.access, req.floor) {
-                SfcLoadResult::Corrupt => LoadOutcome::Replay(ReplayCause::Corrupt),
-                SfcLoadResult::Forward(value) => LoadOutcome::Done {
-                    value,
-                    forwarded: true,
-                },
-                SfcLoadResult::Miss => LoadOutcome::Done {
-                    value: mem.read(req.access),
-                    forwarded: false,
-                },
-                SfcLoadResult::Partial { data, valid } => {
-                    if self.partial_match_policy == PartialMatchPolicy::Replay {
-                        LoadOutcome::Replay(ReplayCause::Partial)
-                    } else {
-                        // Combine SFC bytes with memory bytes.
-                        let word = req.access.word_addr();
-                        let mut value = 0u64;
-                        for (k, byte_idx) in req.access.mask().iter_bytes().enumerate() {
-                            let byte = if valid.contains_byte(byte_idx) {
-                                data[byte_idx as usize]
-                            } else {
-                                mem.read_byte(Addr(word.0 + byte_idx as u64))
-                            };
-                            value |= (byte as u64) << (8 * k);
-                        }
-                        LoadOutcome::Done {
-                            value,
-                            forwarded: false,
-                        }
-                    }
-                }
-            },
+            Ok(None) => self.sfc_probe(req, mem),
         }
     }
 

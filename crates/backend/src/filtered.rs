@@ -32,6 +32,7 @@
 
 use std::collections::VecDeque;
 
+use aim_core::{SetHash, TableGeometry};
 use aim_lsq::{Lsq, LsqStats};
 use aim_mem::MainMemory;
 use aim_types::{MemAccess, SeqNum};
@@ -75,6 +76,17 @@ impl FilterConfig {
             sets: 1,
             ways: store_entries.max(1),
             max_count: u32::MAX,
+        }
+    }
+
+    /// The filter's shape as the shared [`TableGeometry`] (word index → set
+    /// via the paper's low-bits hash; the flat `sets` / `ways` fields stay
+    /// public for per-experiment mutation).
+    pub fn geometry(&self) -> TableGeometry {
+        TableGeometry {
+            sets: self.sets,
+            ways: self.ways,
+            hash: SetHash::LowBits,
         }
     }
 }
@@ -177,9 +189,8 @@ impl FilteredLsqBackend {
 
     fn set_and_tag(&self, access: MemAccess) -> (usize, u64) {
         let word_index = access.addr().word_index();
-        let set = (word_index as usize) & (self.config.sets - 1);
-        let tag = word_index >> self.config.sets.trailing_zeros();
-        (set, tag)
+        let geom = self.config.geometry();
+        (geom.index(word_index), geom.tag(word_index))
     }
 
     /// Whether an executed in-flight store *may* cover `access`'s word.

@@ -6,7 +6,7 @@
 //! [`MemBackend`] trait, and the pipeline drives whichever one
 //! [`build`] hands it — without knowing which it got.
 //!
-//! Five backends ship today:
+//! Six backends ship today:
 //!
 //! * [`LsqBackend`] — the idealized CAM-based load/store queue of §3
 //!   (wrapping [`aim_lsq::Lsq`]);
@@ -16,6 +16,10 @@
 //! * [`AimBackend`] — the paper's store forwarding cache + memory
 //!   disambiguation table + store FIFO (wrapping [`aim_core::Sfc`],
 //!   [`aim_core::Mdt`] and [`aim_mem::StoreFifo`]);
+//! * [`PcaxBackend`] — the SFC/MDT trio behind a PC-indexed classification
+//!   table: predicted no-alias loads skip the SFC probe (MDT-verified),
+//!   predicted-forward loads wait for their producer store, and unknown
+//!   loads take the full path;
 //! * [`OracleBackend`] — perfect disambiguation: a load waits for exactly
 //!   the older stores that overlap it (addresses known in advance), so no
 //!   ordering violation ever occurs. The *upper* performance bound.
@@ -48,17 +52,21 @@ use aim_mem::MainMemory;
 use aim_types::{MemAccess, SeqNum};
 
 mod aim;
+mod choice;
 pub mod conformance;
 mod filtered;
 mod lsq;
 mod nospec;
 mod oracle;
+mod pcax;
 
 pub use crate::aim::{AimBackend, AimStats};
+pub use crate::choice::{BackendChoice, UnknownBackend};
 pub use crate::filtered::{FilterConfig, FilterStats, FilteredLsqBackend, FilteredStats};
 pub use crate::lsq::LsqBackend;
 pub use crate::nospec::{NoSpecBackend, NoSpecStats};
 pub use crate::oracle::{OracleBackend, OracleStats};
+pub use crate::pcax::{PcaxBackend, PcaxConfig, PcaxPredStats, PcaxStats};
 
 // The violation, policy and geometry types backends speak are defined next
 // to the structures that raise them; re-exported so the pipeline needs only
@@ -192,6 +200,9 @@ pub enum BackendStats {
     Filtered(FilteredStats),
     /// SFC/MDT/StoreFIFO counters.
     Aim(AimStats),
+    /// PCAX counters (the wrapped SFC/MDT machinery plus the prediction
+    /// table's own).
+    Pcax(PcaxStats),
     /// Oracle-backend counters.
     Oracle(OracleStats),
     /// No-speculation-backend counters.
@@ -200,13 +211,14 @@ pub enum BackendStats {
 
 impl BackendStats {
     /// Short tag naming the backend family ("lsq", "filtered", "aim",
-    /// "oracle", "nospec", or "none").
+    /// "pcax", "oracle", "nospec", or "none").
     pub fn family(&self) -> &'static str {
         match self {
             BackendStats::None => "none",
             BackendStats::Lsq(_) => "lsq",
             BackendStats::Filtered(_) => "filtered",
             BackendStats::Aim(_) => "aim",
+            BackendStats::Pcax(_) => "pcax",
             BackendStats::Oracle(_) => "oracle",
             BackendStats::NoSpec(_) => "nospec",
         }
@@ -236,14 +248,30 @@ impl BackendStats {
         }
     }
 
-    /// SFC counters, when the AIM backend ran.
-    pub fn sfc(&self) -> Option<&SfcStats> {
-        self.aim().map(|a| &a.sfc)
+    /// PCAX counters, when the PCAX backend ran.
+    pub fn pcax(&self) -> Option<&PcaxStats> {
+        match self {
+            BackendStats::Pcax(s) => Some(s),
+            _ => None,
+        }
     }
 
-    /// MDT counters, when the AIM backend ran.
+    /// SFC counters, for either backend carrying an SFC (AIM or PCAX).
+    pub fn sfc(&self) -> Option<&SfcStats> {
+        match self {
+            BackendStats::Aim(a) => Some(&a.sfc),
+            BackendStats::Pcax(p) => Some(&p.aim.sfc),
+            _ => None,
+        }
+    }
+
+    /// MDT counters, for either backend carrying an MDT (AIM or PCAX).
     pub fn mdt(&self) -> Option<&MdtStats> {
-        self.aim().map(|a| &a.mdt)
+        match self {
+            BackendStats::Aim(a) => Some(&a.mdt),
+            BackendStats::Pcax(p) => Some(&p.aim.mdt),
+            _ => None,
+        }
     }
 
     /// Oracle counters, when the oracle backend ran.
@@ -282,6 +310,15 @@ pub enum BackendConfig {
         /// MDT geometry and true-dependence recovery policy.
         mdt: MdtConfig,
     },
+    /// The SFC/MDT machinery behind a PC-indexed classification table.
+    Pcax {
+        /// SFC geometry.
+        sfc: SfcConfig,
+        /// MDT geometry and true-dependence recovery policy.
+        mdt: MdtConfig,
+        /// Classification-table geometry.
+        pcax: PcaxConfig,
+    },
     /// Perfect disambiguation (upper performance bound).
     Oracle,
     /// No speculation: loads wait for all older stores to retire (lower
@@ -301,6 +338,10 @@ impl BackendConfig {
             BackendConfig::SfcMdt { sfc, mdt } => {
                 format!("sfc{}x{}/mdt{}x{}", sfc.sets, sfc.ways, mdt.sets, mdt.ways)
             }
+            BackendConfig::Pcax { sfc, mdt, pcax } => format!(
+                "pcax{}x{}/sfc{}x{}/mdt{}x{}",
+                pcax.table.sets, pcax.table.ways, sfc.sets, sfc.ways, mdt.sets, mdt.ways
+            ),
             BackendConfig::Oracle => "oracle".to_string(),
             BackendConfig::NoSpec => "nospec".to_string(),
         }
@@ -351,6 +392,17 @@ pub fn build(params: &BackendParams) -> Box<dyn MemBackend + Send> {
             params.partial_match_policy,
             params.sfc_store_extra_latency,
             params.mdt_violation_extra_penalty,
+        )),
+        BackendConfig::Pcax { sfc, mdt, pcax } => Box::new(PcaxBackend::new(
+            AimBackend::new(
+                Sfc::new(sfc),
+                Mdt::new(mdt),
+                params.store_fifo_entries,
+                params.partial_match_policy,
+                params.sfc_store_extra_latency,
+                params.mdt_violation_extra_penalty,
+            ),
+            pcax,
         )),
         BackendConfig::Oracle => Box::new(OracleBackend::new()),
         BackendConfig::NoSpec => Box::new(NoSpecBackend::new()),
@@ -538,6 +590,12 @@ mod tests {
             mdt: MdtConfig::baseline(),
         };
         assert_eq!(b.name(), "sfc128x2/mdt4096x2");
+        let p = BackendConfig::Pcax {
+            sfc: SfcConfig::baseline(),
+            mdt: MdtConfig::baseline(),
+            pcax: PcaxConfig::baseline(),
+        };
+        assert_eq!(p.name(), "pcax1024x2/sfc128x2/mdt4096x2");
         assert_eq!(BackendConfig::Oracle.name(), "oracle");
         assert_eq!(BackendConfig::NoSpec.name(), "nospec");
     }
@@ -553,6 +611,11 @@ mod tests {
             BackendConfig::SfcMdt {
                 sfc: SfcConfig::baseline(),
                 mdt: MdtConfig::baseline(),
+            },
+            BackendConfig::Pcax {
+                sfc: SfcConfig::baseline(),
+                mdt: MdtConfig::baseline(),
+                pcax: PcaxConfig::baseline(),
             },
             BackendConfig::Oracle,
             BackendConfig::NoSpec,
@@ -570,11 +633,19 @@ mod tests {
         assert!(s.lsq().is_some());
         assert!(s.aim().is_none() && s.sfc().is_none() && s.mdt().is_none());
         assert!(s.oracle().is_none() && s.nospec().is_none());
-        assert!(s.filtered().is_none());
+        assert!(s.filtered().is_none() && s.pcax().is_none());
         assert_eq!(s.family(), "lsq");
         let f = BackendStats::Filtered(FilteredStats::default());
         assert!(f.filtered().is_some() && f.lsq().is_none());
         assert_eq!(f.family(), "filtered");
+        // sfc()/mdt() cover both SFC-carrying families; aim() stays
+        // exclusive to the plain AIM backend.
+        let p = BackendStats::Pcax(PcaxStats::default());
+        assert!(p.pcax().is_some() && p.aim().is_none());
+        assert!(p.sfc().is_some() && p.mdt().is_some());
+        assert_eq!(p.family(), "pcax");
+        let a = BackendStats::Aim(AimStats::default());
+        assert!(a.sfc().is_some() && a.mdt().is_some() && a.pcax().is_none());
         assert_eq!(BackendStats::default().family(), "none");
     }
 

@@ -3,7 +3,7 @@
 //! (`aim_backend::conformance`), instead of re-deriving correctness with
 //! per-backend ad-hoc tests.
 //!
-//! Covered here, for all five backends:
+//! Covered here, for all six backends:
 //! * random out-of-order schedules with injected squashes
 //!   (architectural equivalence with the in-order reference);
 //! * sub-word byte-masked forwarding across overlapping accesses;
@@ -18,12 +18,12 @@
 use aim_backend::conformance::{check_contract, run_script, Script, ScriptOp};
 use aim_backend::{
     build, BackendConfig, BackendParams, BackendStats, FilterConfig, LsqConfig, MdtConfig, MemKind,
-    SfcConfig,
+    PcaxConfig, SfcConfig,
 };
 use aim_types::{AccessSize, Addr, MemAccess};
 use proptest::prelude::*;
 
-/// The five backend families, with their default geometries.
+/// The six backend families, with their default geometries.
 fn all_backend_params() -> Vec<(&'static str, BackendParams)> {
     vec![
         (
@@ -42,6 +42,14 @@ fn all_backend_params() -> Vec<(&'static str, BackendParams)> {
             BackendParams::new(BackendConfig::SfcMdt {
                 sfc: SfcConfig::baseline(),
                 mdt: MdtConfig::baseline(),
+            }),
+        ),
+        (
+            "pcax",
+            BackendParams::new(BackendConfig::Pcax {
+                sfc: SfcConfig::baseline(),
+                mdt: MdtConfig::baseline(),
+                pcax: PcaxConfig::baseline(),
             }),
         ),
         ("oracle", BackendParams::new(BackendConfig::Oracle)),

@@ -8,7 +8,7 @@ use std::hint::black_box;
 
 use aim_isa::Interpreter;
 use aim_lsq::LsqConfig;
-use aim_pipeline::{simulate_with_trace, SimConfig};
+use aim_pipeline::{BackendChoice, MachineClass, simulate_with_trace, SimConfig};
 use aim_predictor::EnforceMode;
 use aim_workloads::{by_name, Scale};
 
@@ -17,18 +17,18 @@ fn pipeline_throughput(c: &mut Criterion) {
     group.sample_size(10);
 
     let configs: Vec<(&str, SimConfig)> = vec![
-        ("baseline_lsq", SimConfig::baseline_lsq()),
+        ("baseline_lsq", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build()),
         (
             "baseline_sfc_mdt",
-            SimConfig::baseline_sfc_mdt(EnforceMode::All),
+            SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build(),
         ),
         (
             "aggressive_lsq",
-            SimConfig::aggressive_lsq(LsqConfig::aggressive_120x80()),
+            SimConfig::machine(MachineClass::Aggressive).backend(BackendChoice::Lsq).lsq(LsqConfig::aggressive_120x80()).build(),
         ),
         (
             "aggressive_sfc_mdt",
-            SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder),
+            SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build(),
         ),
     ];
 

@@ -3,7 +3,7 @@
 //! the table can never drift from what the simulator actually models.
 
 use aim_bench::{jobs_from_args, run_matrix_timed, specs, SweepReport};
-use aim_pipeline::{BackendConfig, SimConfig};
+use aim_pipeline::{MachineClass, BackendConfig, SimConfig};
 use aim_predictor::EnforceMode;
 use aim_workloads::Scale;
 
@@ -12,8 +12,8 @@ fn row(parameter: &str, baseline: String, aggressive: String) {
 }
 
 fn main() {
-    let b = SimConfig::baseline_sfc_mdt(EnforceMode::All);
-    let a = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let b = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
+    let a = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build();
 
     println!("Figure 4 — simulator parameters");
     aim_bench::rule(100);

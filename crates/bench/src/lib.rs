@@ -14,6 +14,7 @@
 //! | `table_corruption` | §3.2 SFC corruption-rate study |
 //! | `table_filter` | §4 MDT search-filter study |
 //! | `table_hybrid` | §4 filtered-LSQ hybrid vs the backend bounds |
+//! | `table_pcax` | PC-indexed classification backend vs the backend bounds |
 //! | `table_power` | §5 activity/power proxy counts |
 //! | `table_window_sweep` | §3.3 instruction-window scaling |
 //! | `calibrate` | IPC sanity check of the two backends |
@@ -34,11 +35,13 @@ use aim_workloads::{Scale, Suite, Workload};
 
 mod hybrid;
 mod matrix;
+mod pcax;
 pub mod specs;
 mod sweep;
 
 pub use hybrid::{HybridReport, HybridRow};
 pub use matrix::{run_matrix, run_matrix_timed, Matrix};
+pub use pcax::{PcaxReport, PcaxRow};
 pub use sweep::{SweepReport, SweepRow};
 
 /// A workload with its golden trace precomputed (reused across configs).
@@ -214,13 +217,14 @@ pub fn rule(width: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aim_pipeline::MachineClass;
     use aim_predictor::EnforceMode;
 
     #[test]
     fn prepare_and_run_smoke() {
         let w = aim_workloads::by_name("crafty", Scale::Tiny).unwrap();
         let p = prepare(w, Scale::Tiny);
-        let stats = run(&p, &SimConfig::baseline_sfc_mdt(EnforceMode::All));
+        let stats = run(&p, &SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build());
         assert!(stats.retired > 1_000);
     }
 

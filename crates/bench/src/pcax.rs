@@ -1,0 +1,170 @@
+//! The `table_pcax` machine-readable report (`BENCH_pcax.json`).
+//!
+//! `table_pcax` places the PC-indexed classification backend (PCAX) inside
+//! the `table_backend_bounds` bracket, next to the plain SFC/MDT it wraps.
+//! This module renders that comparison in a stable JSON schema
+//! (`aim-pcax-report/v1`) so the acceptance checks (IPC inside the
+//! no-spec → oracle bracket, prediction coverage and accuracy) can be
+//! asserted by scripts, not eyeballs.
+//!
+//! ```json
+//! {
+//!   "schema": "aim-pcax-report/v1",
+//!   "artifact": "table_pcax",
+//!   "rows": [
+//!     {
+//!       "workload": "gzip", "suite": "int", "lsq_ipc": 1.8,
+//!       "nospec_norm": 0.9, "pcax_norm": 1.0, "sfc_mdt_norm": 0.99,
+//!       "oracle_norm": 1.01, "gap_closed": 95.0,
+//!       "loads_no_alias": 120, "loads_forward": 40, "loads_unknown": 40,
+//!       "coverage": 0.8, "accuracy": 0.95,
+//!       "sfc_probes_skipped": 118, "forward_wait_replays": 7
+//!     }
+//!   ]
+//! }
+//! ```
+
+use crate::sweep::{json_escape, json_number};
+
+/// One workload's row of the PCAX comparison.
+#[derive(Debug, Clone)]
+pub struct PcaxRow {
+    /// Workload name.
+    pub workload: String,
+    /// Suite membership (`int` or `fp`).
+    pub suite: String,
+    /// Absolute IPC of the plain 48×32 LSQ (the normalization base).
+    pub lsq_ipc: f64,
+    /// No-speculation IPC, normalized to `lsq_ipc`.
+    pub nospec_norm: f64,
+    /// PCAX IPC, normalized to `lsq_ipc`.
+    pub pcax_norm: f64,
+    /// Plain SFC/MDT IPC, normalized.
+    pub sfc_mdt_norm: f64,
+    /// Oracle IPC, normalized.
+    pub oracle_norm: f64,
+    /// Percent of the no-spec → oracle gap PCAX closes.
+    pub gap_closed: f64,
+    /// Loads dispatched under a no-alias prediction.
+    pub loads_no_alias: u64,
+    /// Loads dispatched under a predicted-forward prediction.
+    pub loads_forward: u64,
+    /// Loads dispatched unclassified (full SFC + MDT path).
+    pub loads_unknown: u64,
+    /// Fraction of classified loads carrying a prediction.
+    pub coverage: f64,
+    /// Fraction of resolved predictions that were correct.
+    pub accuracy: f64,
+    /// SFC probes the no-alias prediction skipped outright.
+    pub sfc_probes_skipped: u64,
+    /// Replays spent waiting on a predicted producer store.
+    pub forward_wait_replays: u64,
+}
+
+/// The full PCAX comparison, one row per workload.
+#[derive(Debug, Clone)]
+pub struct PcaxReport {
+    /// The producing binary (`table_pcax`).
+    pub artifact: String,
+    /// Per-workload rows, registry order.
+    pub rows: Vec<PcaxRow>,
+}
+
+impl PcaxReport {
+    /// Renders the report as `aim-pcax-report/v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.rows.len() * 360);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"aim-pcax-report/v1\",\n");
+        out.push_str(&format!(
+            "  \"artifact\": \"{}\",\n",
+            json_escape(&self.artifact)
+        ));
+        out.push_str("  \"rows\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"suite\": \"{}\", \"lsq_ipc\": {}, \
+                 \"nospec_norm\": {}, \"pcax_norm\": {}, \"sfc_mdt_norm\": {}, \
+                 \"oracle_norm\": {}, \"gap_closed\": {}, \"loads_no_alias\": {}, \
+                 \"loads_forward\": {}, \"loads_unknown\": {}, \"coverage\": {}, \
+                 \"accuracy\": {}, \"sfc_probes_skipped\": {}, \
+                 \"forward_wait_replays\": {}}}",
+                json_escape(&r.workload),
+                json_escape(&r.suite),
+                json_number(r.lsq_ipc),
+                json_number(r.nospec_norm),
+                json_number(r.pcax_norm),
+                json_number(r.sfc_mdt_norm),
+                json_number(r.oracle_norm),
+                json_number(r.gap_closed),
+                r.loads_no_alias,
+                r.loads_forward,
+                r.loads_unknown,
+                json_number(r.coverage),
+                json_number(r.accuracy),
+                r.sfc_probes_skipped,
+                r.forward_wait_replays,
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Writes the report to the default location — `$AIM_PCAX_JSON` if
+    /// set, else `BENCH_pcax.json` in the working directory — and returns
+    /// the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_default(&self) -> std::io::Result<String> {
+        let path = std::env::var("AIM_PCAX_JSON").unwrap_or_else(|_| "BENCH_pcax.json".to_string());
+        self.write(&path)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcax_json_renders_schema_and_balances() {
+        let report = PcaxReport {
+            artifact: "table_pcax".to_string(),
+            rows: vec![PcaxRow {
+                workload: "gzip".to_string(),
+                suite: "int".to_string(),
+                lsq_ipc: 1.75,
+                nospec_norm: 0.9,
+                pcax_norm: 1.0,
+                sfc_mdt_norm: 0.99,
+                oracle_norm: 1.01,
+                gap_closed: 95.0,
+                loads_no_alias: 120,
+                loads_forward: 40,
+                loads_unknown: 40,
+                coverage: 0.8,
+                accuracy: 0.95,
+                sfc_probes_skipped: 118,
+                forward_wait_replays: 7,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"aim-pcax-report/v1\""));
+        assert!(json.contains("\"loads_no_alias\": 120"));
+        assert!(json.contains("\"sfc_probes_skipped\": 118"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -10,7 +10,7 @@
 use crate::Prepared;
 use aim_core::{CorruptionPolicy, MdtConfig, MdtTagging, SetHash, TrueDepRecovery};
 use aim_lsq::LsqConfig;
-use aim_pipeline::{BackendConfig, OutputDepRecovery, SimConfig};
+use aim_pipeline::{BackendChoice, MachineClass, BackendConfig, OutputDepRecovery, SimConfig};
 use aim_predictor::EnforceMode;
 use aim_workloads::Scale;
 
@@ -73,13 +73,13 @@ fn with_sfc_mdt(mut cfg: SimConfig, f: impl FnOnce(&mut aim_core::SfcConfig, &mu
 pub fn calibrate(aggressive: bool) -> ArtifactSpec {
     let configs = if aggressive {
         vec![
-            named("lsq-120x80", SimConfig::aggressive_lsq(LsqConfig::aggressive_120x80())),
-            named("sfc-mdt-enf", SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder)),
+            named("lsq-120x80", SimConfig::machine(MachineClass::Aggressive).backend(BackendChoice::Lsq).lsq(LsqConfig::aggressive_120x80()).build()),
+            named("sfc-mdt-enf", SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build()),
         ]
     } else {
         vec![
-            named("lsq-48x32", SimConfig::baseline_lsq()),
-            named("sfc-mdt-enf", SimConfig::baseline_sfc_mdt(EnforceMode::All)),
+            named("lsq-48x32", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build()),
+            named("sfc-mdt-enf", SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build()),
         ]
     };
     ArtifactSpec {
@@ -95,8 +95,8 @@ pub fn fig4_boot() -> ArtifactSpec {
     ArtifactSpec {
         artifact: "fig4_config",
         configs: vec![
-            named("baseline-enf", SimConfig::baseline_sfc_mdt(EnforceMode::All)),
-            named("aggressive-enf", SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder)),
+            named("baseline-enf", SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build()),
+            named("aggressive-enf", SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build()),
         ],
         skip: &[],
     }
@@ -107,9 +107,9 @@ pub fn fig5_baseline() -> ArtifactSpec {
     ArtifactSpec {
         artifact: "fig5_baseline",
         configs: vec![
-            named("lsq-48x32", SimConfig::baseline_lsq()),
-            named("sfc-mdt-enf", SimConfig::baseline_sfc_mdt(EnforceMode::All)),
-            named("sfc-mdt-not-enf", SimConfig::baseline_sfc_mdt(EnforceMode::TrueOnly)),
+            named("lsq-48x32", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build()),
+            named("sfc-mdt-enf", SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build()),
+            named("sfc-mdt-not-enf", SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::TrueOnly).build()),
         ],
         skip: &[],
     }
@@ -121,10 +121,10 @@ pub fn fig6_aggressive() -> ArtifactSpec {
     ArtifactSpec {
         artifact: "fig6_aggressive",
         configs: vec![
-            named("lsq-120x80", SimConfig::aggressive_lsq(LsqConfig::aggressive_120x80())),
-            named("lsq-256x256", SimConfig::aggressive_lsq(LsqConfig::aggressive_256x256())),
-            named("lsq-48x32", SimConfig::aggressive_lsq(LsqConfig::baseline_48x32())),
-            named("sfc-mdt-enf", SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder)),
+            named("lsq-120x80", SimConfig::machine(MachineClass::Aggressive).backend(BackendChoice::Lsq).lsq(LsqConfig::aggressive_120x80()).build()),
+            named("lsq-256x256", SimConfig::machine(MachineClass::Aggressive).backend(BackendChoice::Lsq).lsq(LsqConfig::aggressive_256x256()).build()),
+            named("lsq-48x32", SimConfig::machine(MachineClass::Aggressive).backend(BackendChoice::Lsq).lsq(LsqConfig::baseline_48x32()).build()),
+            named("sfc-mdt-enf", SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build()),
         ],
         skip: FIG6_EXCLUDED,
     }
@@ -135,10 +135,10 @@ pub fn table_violations() -> ArtifactSpec {
     ArtifactSpec {
         artifact: "table_violations",
         configs: vec![
-            named("base-not-enf", SimConfig::baseline_sfc_mdt(EnforceMode::TrueOnly)),
-            named("base-enf", SimConfig::baseline_sfc_mdt(EnforceMode::All)),
-            named("aggr-not-enf", SimConfig::aggressive_sfc_mdt(EnforceMode::TrueOnly)),
-            named("aggr-enf", SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder)),
+            named("base-not-enf", SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::TrueOnly).build()),
+            named("base-enf", SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build()),
+            named("aggr-not-enf", SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TrueOnly).build()),
+            named("aggr-enf", SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build()),
         ],
         skip: &[],
     }
@@ -146,7 +146,7 @@ pub fn table_violations() -> ArtifactSpec {
 
 /// `table_violations --policies`: the §2.4 recovery-policy ablation.
 pub fn violation_policies() -> ArtifactSpec {
-    let default = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let default = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build();
     let td = with_sfc_mdt(default.clone(), |_, mdt| {
         mdt.true_dep_recovery = TrueDepRecovery::SingleLoadAggressive;
     });
@@ -168,9 +168,9 @@ pub fn table_enf_effect() -> ArtifactSpec {
     ArtifactSpec {
         artifact: "table_enf_effect",
         configs: vec![
-            named("not-enf", SimConfig::aggressive_sfc_mdt(EnforceMode::TrueOnly)),
-            named("enf-pairwise", SimConfig::aggressive_sfc_mdt(EnforceMode::All)),
-            named("enf-total", SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder)),
+            named("not-enf", SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TrueOnly).build()),
+            named("enf-pairwise", SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::All).build()),
+            named("enf-total", SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build()),
         ],
         skip: FIG6_EXCLUDED,
     }
@@ -178,7 +178,7 @@ pub fn table_enf_effect() -> ArtifactSpec {
 
 /// `table_assoc_sweep`: the 2-way aggressive geometry vs 16 ways.
 pub fn table_assoc_sweep() -> ArtifactSpec {
-    let base = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let base = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build();
     let assoc16 = with_sfc_mdt(base.clone(), |sfc, mdt| {
         sfc.ways = 16;
         mdt.ways = 16;
@@ -192,7 +192,7 @@ pub fn table_assoc_sweep() -> ArtifactSpec {
 
 /// `table_assoc_sweep --hash`: low-bits vs XOR-folded set index.
 pub fn assoc_hash() -> ArtifactSpec {
-    let base = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let base = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build();
     let xor = with_sfc_mdt(base.clone(), |sfc, mdt| {
         sfc.hash = SetHash::XorFold;
         mdt.hash = SetHash::XorFold;
@@ -206,7 +206,7 @@ pub fn assoc_hash() -> ArtifactSpec {
 
 /// `table_assoc_sweep --untagged`: tagged vs untagged MDT.
 pub fn assoc_untagged() -> ArtifactSpec {
-    let base = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let base = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build();
     let untagged = with_sfc_mdt(base.clone(), |_, mdt| {
         mdt.tagging = MdtTagging::Untagged;
     });
@@ -219,7 +219,7 @@ pub fn assoc_untagged() -> ArtifactSpec {
 
 /// `table_assoc_sweep --granularity`: the §2.2 granularity sweep.
 pub fn assoc_granularity() -> ArtifactSpec {
-    let base = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let base = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build();
     let configs = [8u64, 16, 32, 64]
         .iter()
         .map(|&g| {
@@ -238,14 +238,14 @@ pub fn assoc_granularity() -> ArtifactSpec {
 pub fn table_corruption() -> ArtifactSpec {
     ArtifactSpec {
         artifact: "table_corruption",
-        configs: vec![named("aggr-enf", SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder))],
+        configs: vec![named("aggr-enf", SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build())],
         skip: FIG6_EXCLUDED,
     }
 }
 
 /// `table_corruption --endpoints`: corruption masks vs flush endpoints.
 pub fn corruption_endpoints() -> ArtifactSpec {
-    let base = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let base = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build();
     let endpoints = with_sfc_mdt(base.clone(), |sfc, _| {
         sfc.corruption = CorruptionPolicy::FlushEndpoints { capacity: 16 };
     });
@@ -259,7 +259,7 @@ pub fn corruption_endpoints() -> ArtifactSpec {
 /// `table_corruption --partial`: combine-with-cache vs replay on partial
 /// SFC matches.
 pub fn corruption_partial() -> ArtifactSpec {
-    let base = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let base = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build();
     let mut replay = base.clone();
     replay.partial_match_policy = aim_core::PartialMatchPolicy::Replay;
     ArtifactSpec {
@@ -277,7 +277,7 @@ pub fn table_filter() -> ArtifactSpec {
     for &(sets, ways) in geometries {
         for filter in [false, true] {
             let mut cfg = with_sfc_mdt(
-                SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder),
+                SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build(),
                 |_, mdt| *mdt = MdtConfig { sets, ways, ..*mdt },
             );
             cfg.mdt_filter = filter;
@@ -298,13 +298,13 @@ pub fn table_filter() -> ArtifactSpec {
 pub fn table_power(aggressive: bool) -> ArtifactSpec {
     let configs = if aggressive {
         vec![
-            named("lsq-120x80", SimConfig::aggressive_lsq(LsqConfig::aggressive_120x80())),
-            named("sfc-mdt-enf", SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder)),
+            named("lsq-120x80", SimConfig::machine(MachineClass::Aggressive).backend(BackendChoice::Lsq).lsq(LsqConfig::aggressive_120x80()).build()),
+            named("sfc-mdt-enf", SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build()),
         ]
     } else {
         vec![
-            named("lsq-48x32", SimConfig::baseline_lsq()),
-            named("sfc-mdt-enf", SimConfig::baseline_sfc_mdt(EnforceMode::All)),
+            named("lsq-48x32", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build()),
+            named("sfc-mdt-enf", SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build()),
         ]
     };
     ArtifactSpec {
@@ -321,10 +321,10 @@ pub fn table_backend_bounds() -> ArtifactSpec {
     ArtifactSpec {
         artifact: "table_backend_bounds",
         configs: vec![
-            named("nospec", SimConfig::baseline_nospec()),
-            named("lsq-48x32", SimConfig::baseline_lsq()),
-            named("sfc-mdt-enf", SimConfig::baseline_sfc_mdt(EnforceMode::All)),
-            named("oracle", SimConfig::baseline_oracle()),
+            named("nospec", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::NoSpec).build()),
+            named("lsq-48x32", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build()),
+            named("sfc-mdt-enf", SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build()),
+            named("oracle", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Oracle).build()),
         ],
         skip: &[],
     }
@@ -335,16 +335,36 @@ pub fn table_backend_bounds() -> ArtifactSpec {
 /// SFC/MDT, and the two bounds — all on the baseline machine, so the
 /// hybrid lands inside the `table_backend_bounds` bracket.
 pub fn table_hybrid() -> ArtifactSpec {
-    let mut sfc_filtered = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let mut sfc_filtered = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
     sfc_filtered.mdt_filter = true;
     ArtifactSpec {
         artifact: "table_hybrid",
         configs: vec![
-            named("nospec", SimConfig::baseline_nospec()),
-            named("lsq-48x32", SimConfig::baseline_lsq()),
-            named("filtered-lsq", SimConfig::baseline_filtered_lsq()),
+            named("nospec", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::NoSpec).build()),
+            named("lsq-48x32", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build()),
+            named("filtered-lsq", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Filtered).build()),
             named("sfc-mdt-filt", sfc_filtered),
-            named("oracle", SimConfig::baseline_oracle()),
+            named("oracle", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Oracle).build()),
+        ],
+        skip: &[],
+    }
+}
+
+/// `table_pcax`: the PC-indexed classification backend against the plain
+/// SFC/MDT it wraps, the 48×32 LSQ reference, and the two bounds — all on
+/// the baseline machine, bracketing pcax between `nospec` and the best of
+/// `oracle` / LSQ / SFC-MDT. Both SFC/MDT-family columns run their shared
+/// builder default (`EnforceMode::All`, the paper's baseline ENF), so the
+/// pair isolates the classification layer itself.
+pub fn table_pcax() -> ArtifactSpec {
+    ArtifactSpec {
+        artifact: "table_pcax",
+        configs: vec![
+            named(BackendChoice::NoSpec.token(), SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::NoSpec).build()),
+            named("lsq-48x32", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build()),
+            named(BackendChoice::SfcMdt.token(), SimConfig::machine(MachineClass::Baseline).build()),
+            named(BackendChoice::Pcax.token(), SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Pcax).build()),
+            named(BackendChoice::Oracle.token(), SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Oracle).build()),
         ],
         skip: &[],
     }
@@ -355,10 +375,10 @@ pub fn table_hybrid() -> ArtifactSpec {
 pub fn table_window_sweep() -> ArtifactSpec {
     let mut configs = Vec::new();
     for window in [128usize, 256, 512, 1024] {
-        let mut lsq = SimConfig::aggressive_lsq(LsqConfig::baseline_48x32());
+        let mut lsq = SimConfig::machine(MachineClass::Aggressive).backend(BackendChoice::Lsq).lsq(LsqConfig::baseline_48x32()).build();
         lsq.rob_entries = window;
         lsq.phys_regs = window + 64;
-        let mut sfc = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+        let mut sfc = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build();
         sfc.rob_entries = window;
         sfc.phys_regs = window + 64;
         configs.push((format!("lsq-48x32@w{window}"), lsq));
@@ -387,6 +407,7 @@ pub fn all_default() -> Vec<ArtifactSpec> {
         table_power(false),
         table_backend_bounds(),
         table_hybrid(),
+        table_pcax(),
         table_window_sweep(),
     ]
 }

@@ -3,20 +3,24 @@
 //! allocation-free (no event-string) untraced hot path.
 
 use aim_bench::{prepare_all, run_matrix, run_matrix_timed, specs, SweepReport};
-use aim_pipeline::{simulate_traced, simulate_with_trace, SimConfig};
+use aim_pipeline::{BackendChoice, MachineClass, simulate_traced, simulate_with_trace, SimConfig};
 use aim_predictor::EnforceMode;
 use aim_workloads::Scale;
 
-/// A broad config set covering all five backends and both machine classes.
+/// A broad config set covering all six backends and both machine classes.
 fn determinism_configs() -> Vec<(String, SimConfig)> {
     let mut configs = specs::fig5_baseline().configs;
     configs.extend(specs::table_violations().configs);
     configs.push((
         "filtered-lsq".to_string(),
-        SimConfig::baseline_filtered_lsq(),
+        SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Filtered).build(),
     ));
-    configs.push(("oracle".to_string(), SimConfig::baseline_oracle()));
-    configs.push(("nospec".to_string(), SimConfig::baseline_nospec()));
+    configs.push((
+        "pcax".to_string(),
+        SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Pcax).build(),
+    ));
+    configs.push(("oracle".to_string(), SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Oracle).build()));
+    configs.push(("nospec".to_string(), SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::NoSpec).build()));
     configs
 }
 
@@ -44,7 +48,7 @@ fn parallel_matrix_is_byte_identical_to_serial() {
 #[test]
 fn every_artifact_spec_simulates_at_tiny() {
     let all = specs::all_default();
-    assert_eq!(all.len(), 13, "one spec per experiment binary");
+    assert_eq!(all.len(), 14, "one spec per experiment binary");
     let jobs = aim_bench::resolve_jobs(0);
     for spec in &all {
         let workloads = spec.workloads(Scale::Tiny);
@@ -88,7 +92,7 @@ fn untraced_run_builds_no_event_strings() {
         aim_workloads::by_name("gzip", Scale::Tiny).unwrap(),
         Scale::Tiny,
     );
-    let cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
     let stats = simulate_with_trace(&p.program, &p.trace, &cfg).unwrap();
     assert_eq!(
         stats.host.event_strings_built, 0,

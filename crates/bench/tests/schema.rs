@@ -1,11 +1,11 @@
 //! Golden-file schema tests: the machine-readable reports downstream
-//! tooling parses (`BENCH_sweep.json`, `BENCH_hybrid.json`) must keep a
-//! byte-stable serialization for a fixed input. Any field added, removed,
-//! renamed, or reordered shows up here as a golden-file diff — update the
-//! golden **deliberately**, alongside the schema version string, never as
-//! a drive-by.
+//! tooling parses (`BENCH_sweep.json`, `BENCH_hybrid.json`,
+//! `BENCH_pcax.json`) must keep a byte-stable serialization for a fixed
+//! input. Any field added, removed, renamed, or reordered shows up here as
+//! a golden-file diff — update the golden **deliberately**, alongside the
+//! schema version string, never as a drive-by.
 
-use aim_bench::{HybridReport, HybridRow, SweepReport, SweepRow};
+use aim_bench::{HybridReport, HybridRow, PcaxReport, PcaxRow, SweepReport, SweepRow};
 
 /// A fixed, fully populated sweep report.
 fn golden_sweep() -> SweepReport {
@@ -77,6 +77,49 @@ fn golden_hybrid() -> HybridReport {
     }
 }
 
+/// A fixed, fully populated pcax report.
+fn golden_pcax() -> PcaxReport {
+    PcaxReport {
+        artifact: "table_pcax".to_string(),
+        rows: vec![
+            PcaxRow {
+                workload: "gzip".to_string(),
+                suite: "int".to_string(),
+                lsq_ipc: 1.75,
+                nospec_norm: 0.9,
+                pcax_norm: 1.0,
+                sfc_mdt_norm: 0.99,
+                oracle_norm: 1.01,
+                gap_closed: 90.909091,
+                loads_no_alias: 120,
+                loads_forward: 40,
+                loads_unknown: 40,
+                coverage: 0.8,
+                accuracy: 0.95,
+                sfc_probes_skipped: 118,
+                forward_wait_replays: 7,
+            },
+            PcaxRow {
+                workload: "swim".to_string(),
+                suite: "fp".to_string(),
+                lsq_ipc: 2.0,
+                nospec_norm: 0.8,
+                pcax_norm: 0.99,
+                sfc_mdt_norm: 0.98,
+                oracle_norm: 1.0,
+                gap_closed: 95.0,
+                loads_no_alias: 500,
+                loads_forward: 100,
+                loads_unknown: 60,
+                coverage: 0.9090909090909091,
+                accuracy: 0.875,
+                sfc_probes_skipped: 480,
+                forward_wait_replays: 22,
+            },
+        ],
+    }
+}
+
 #[test]
 fn sweep_report_serialization_is_golden() {
     let got = golden_sweep().to_json();
@@ -96,6 +139,17 @@ fn hybrid_report_serialization_is_golden() {
         got, want,
         "aim-hybrid-report/v1 serialization drifted; if intentional, update \
          tests/golden/hybrid.golden.json and bump the schema version"
+    );
+}
+
+#[test]
+fn pcax_report_serialization_is_golden() {
+    let got = golden_pcax().to_json();
+    let want = include_str!("golden/pcax.golden.json");
+    assert_eq!(
+        got, want,
+        "aim-pcax-report/v1 serialization drifted; if intentional, update \
+         tests/golden/pcax.golden.json and bump the schema version"
     );
 }
 
@@ -147,5 +201,29 @@ fn reports_keep_their_stable_field_sets() {
         "\"mdt_filter_rate\"",
     ] {
         assert_eq!(hybrid.matches(field).count(), 2, "hybrid row field {field}");
+    }
+
+    let pcax = golden_pcax().to_json();
+    for field in ["\"schema\"", "\"artifact\"", "\"rows\""] {
+        assert_eq!(pcax.matches(field).count(), 1, "pcax field {field}");
+    }
+    for field in [
+        "\"workload\"",
+        "\"suite\"",
+        "\"lsq_ipc\"",
+        "\"nospec_norm\"",
+        "\"pcax_norm\"",
+        "\"sfc_mdt_norm\"",
+        "\"oracle_norm\"",
+        "\"gap_closed\"",
+        "\"loads_no_alias\"",
+        "\"loads_forward\"",
+        "\"loads_unknown\"",
+        "\"coverage\"",
+        "\"accuracy\"",
+        "\"sfc_probes_skipped\"",
+        "\"forward_wait_replays\"",
+    ] {
+        assert_eq!(pcax.matches(field).count(), 2, "pcax row field {field}");
     }
 }

@@ -17,7 +17,9 @@ use std::fmt;
 
 use aim_core::{CorruptionPolicy, MdtTagging};
 use aim_lsq::LsqConfig;
-use aim_pipeline::{BackendConfig, SimConfig, SimStats};
+use aim_pipeline::{MachineClass, SimConfig, SimStats};
+
+pub use aim_pipeline::{BackendChoice, BackendConfig};
 use aim_predictor::EnforceMode;
 use aim_workloads::Scale;
 
@@ -34,34 +36,6 @@ pub enum Command {
     Asm(RunArgs),
     /// Print usage.
     Help,
-}
-
-/// Which memory-ordering backend `--backend` selects.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum BackendChoice {
-    /// The paper's SFC/MDT/StoreFIFO memory unit.
-    #[default]
-    SfcMdt,
-    /// The idealized associative load/store queue.
-    Lsq,
-    /// The LSQ behind an MDT-style membership filter (hybrid).
-    Filtered,
-    /// Perfect disambiguation (upper performance bound).
-    Oracle,
-    /// No load speculation (lower performance bound).
-    NoSpec,
-}
-
-impl BackendChoice {
-    /// All choices, in `compare` presentation order: lower bound first,
-    /// upper bound last.
-    pub const ALL: [BackendChoice; 5] = [
-        BackendChoice::NoSpec,
-        BackendChoice::Lsq,
-        BackendChoice::Filtered,
-        BackendChoice::SfcMdt,
-        BackendChoice::Oracle,
-    ];
 }
 
 /// Options shared by `run` and `compare`.
@@ -132,12 +106,12 @@ aim-sim — the SFC/MDT memory-disambiguation simulator (MICRO-38 reproduction)
 USAGE:
   aim-sim list                       list available kernels
   aim-sim run <kernel> [options]     simulate one kernel
-  aim-sim compare <kernel> [options] simulate under all five backends
+  aim-sim compare <kernel> [options] simulate under all six backends
   aim-sim asm <file.s> [options]     assemble and simulate a source file
 
 OPTIONS:
   --machine baseline|aggressive   pipeline configuration      [baseline]
-  --backend sfc-mdt|lsq|filtered|oracle|nospec
+  --backend sfc-mdt|lsq|filtered|pcax|oracle|nospec
                                   memory-ordering machinery   [sfc-mdt]
   --mode enf|not-enf|total        predictor enforcement       [enf]
   --lsq LxS                       LSQ capacity, e.g. 120x80   [48x32]
@@ -188,14 +162,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 }
             }
             "--backend" => {
-                run.backend = match value("--backend")?.as_str() {
-                    "sfc-mdt" => BackendChoice::SfcMdt,
-                    "lsq" => BackendChoice::Lsq,
-                    "filtered" => BackendChoice::Filtered,
-                    "oracle" => BackendChoice::Oracle,
-                    "nospec" => BackendChoice::NoSpec,
-                    other => return Err(ParseError(format!("unknown backend `{other}`"))),
-                }
+                // The shared BackendChoice FromStr is the single source of
+                // truth for the token vocabulary.
+                run.backend = value("--backend")?
+                    .parse()
+                    .map_err(|e: aim_pipeline::UnknownBackend| ParseError(e.to_string()))?;
             }
             "--mode" => {
                 run.mode = match value("--mode")?.as_str() {
@@ -259,57 +230,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
 
 /// Builds the [`SimConfig`] a [`RunArgs`] describes.
 pub fn build_config(args: &RunArgs) -> SimConfig {
-    let mut cfg = match args.backend {
-        BackendChoice::Lsq => {
-            let lsq = LsqConfig {
-                load_entries: args.lsq_size.0,
-                store_entries: args.lsq_size.1,
-            };
-            if args.aggressive {
-                SimConfig::aggressive_lsq(lsq)
-            } else {
-                let mut c = SimConfig::baseline_lsq();
-                c.backend = BackendConfig::Lsq(lsq);
-                c
-            }
-        }
-        BackendChoice::Filtered => {
-            let lsq = LsqConfig {
-                load_entries: args.lsq_size.0,
-                store_entries: args.lsq_size.1,
-            };
-            let mut c = if args.aggressive {
-                SimConfig::aggressive_filtered_lsq(lsq)
-            } else {
-                SimConfig::baseline_filtered_lsq()
-            };
-            if let BackendConfig::FilteredLsq { lsq: l, .. } = &mut c.backend {
-                *l = lsq;
-            }
-            c
-        }
-        BackendChoice::SfcMdt => {
-            if args.aggressive {
-                SimConfig::aggressive_sfc_mdt(args.mode)
-            } else {
-                SimConfig::baseline_sfc_mdt(args.mode)
-            }
-        }
-        BackendChoice::Oracle => {
-            if args.aggressive {
-                SimConfig::aggressive_oracle()
-            } else {
-                SimConfig::baseline_oracle()
-            }
-        }
-        BackendChoice::NoSpec => {
-            if args.aggressive {
-                SimConfig::aggressive_nospec()
-            } else {
-                SimConfig::baseline_nospec()
-            }
-        }
+    let class = if args.aggressive {
+        MachineClass::Aggressive
+    } else {
+        MachineClass::Baseline
     };
+    let mut builder = SimConfig::machine(class).backend(args.backend).lsq(LsqConfig {
+        load_entries: args.lsq_size.0,
+        store_entries: args.lsq_size.1,
+    });
+    if args.backend == BackendChoice::SfcMdt || args.backend == BackendChoice::Pcax {
+        // --mode only steers the SFC/MDT-family predictor (pcax wraps the
+        // SFC/MDT); every other backend keeps its TrueOnly default.
+        builder = builder.mode(args.mode);
+    }
+    let mut cfg = builder.build();
     if let BackendConfig::SfcMdt { sfc, mdt } = &mut cfg.backend {
         if args.untagged {
             mdt.tagging = MdtTagging::Untagged;
@@ -409,6 +344,21 @@ pub fn report(name: &str, backend: &str, stats: &SimStats) -> String {
             ),
             f.filter.false_positive_hits,
             f.filter.saturation_fallbacks
+        ));
+    }
+    if let Some(p) = stats.backend.pcax() {
+        let pr = &p.pred;
+        line(format!(
+            "  pcax: no-alias {:>7}  forward {:>6}  unknown {:>7}  coverage {:.2}%  accuracy {:.2}%",
+            pr.loads_no_alias,
+            pr.loads_forward,
+            pr.loads_unknown,
+            100.0 * pr.coverage(),
+            100.0 * pr.accuracy()
+        ));
+        line(format!(
+            "  pcax: SFC probes skipped {:>7}  vetoes {:>5}  wait replays {:>6}  trainings {:>5}",
+            pr.sfc_probes_skipped, pr.no_alias_vetoed, pr.forward_wait_replays, pr.violation_trainings
         ));
     }
     if let Some(o) = stats.backend.oracle() {
@@ -598,7 +548,25 @@ mod tests {
             BackendConfig::FilteredLsq { lsq, .. }
                 if (lsq.load_entries, lsq.store_entries) == (24, 16)
         ));
-        assert_eq!(BackendChoice::ALL.len(), 5);
+        assert_eq!(BackendChoice::ALL.len(), 6);
+    }
+
+    #[test]
+    fn pcax_backend_parses_and_builds() {
+        let Command::Run(args) = parse(&["run", "gzip", "--backend", "pcax"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(args.backend, BackendChoice::Pcax);
+        match build_config(&args).backend {
+            BackendConfig::Pcax { pcax, .. } => assert_eq!(pcax.table.sets, 1024),
+            other => panic!("expected PCAX backend, got {other:?}"),
+        }
+        let mut aggr = args;
+        aggr.aggressive = true;
+        assert!(matches!(
+            build_config(&aggr).backend,
+            BackendConfig::Pcax { mdt, .. } if mdt.sets == 8192
+        ));
     }
 
     #[test]

@@ -36,8 +36,8 @@ fn run_one(args: &RunArgs) -> Result<(), String> {
     run_program(&args.kernel, &workload.program, args)
 }
 
-/// Runs the `compare` sweep as a 1×5 matrix on the shared sweep runner —
-/// one column per backend, bounds first and last — so all five simulate
+/// Runs the `compare` sweep as a 1×6 matrix on the shared sweep runner —
+/// one column per backend, bounds first and last — so all six simulate
 /// concurrently when `--jobs`/`AIM_JOBS` allow.
 fn compare_parallel(args: &RunArgs) -> Result<(), String> {
     let workload = aim_workloads::by_name(&args.kernel, args.scale)

@@ -1,0 +1,135 @@
+//! Shared set-associative table geometry.
+//!
+//! The SFC, the MDT, the filtered-LSQ membership filter, and the PC-indexed
+//! PCAX tables are all set-associative arrays indexed by a hashed key. This
+//! module factors their common shape — number of sets, ways per set, and the
+//! set-index hash — into one reusable type so each new table does not grow
+//! its own private copy of the same three knobs.
+
+use crate::hash::SetHash;
+
+/// The shape of a set-associative table: `sets × ways`, indexed by `hash`.
+///
+/// `sets` must be a power of two (the hashes mask with `sets - 1`) and both
+/// dimensions must be non-zero; [`TableGeometry::validate`] checks this and
+/// the structures embedding a geometry call it at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableGeometry {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Ways (entries) per set.
+    pub ways: usize,
+    /// How a key selects a set.
+    pub hash: SetHash,
+}
+
+impl TableGeometry {
+    /// A direct-mapped table of `entries` sets × 1 way with the paper's
+    /// low-bits hash — the shape of the producer-set PT/CT tables.
+    pub fn direct(entries: usize) -> TableGeometry {
+        TableGeometry {
+            sets: entries,
+            ways: 1,
+            hash: SetHash::LowBits,
+        }
+    }
+
+    /// Total entry capacity (`sets * ways`).
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Maps a key (granule, word or PC) to its set index.
+    #[inline]
+    pub fn index(&self, key: u64) -> usize {
+        self.hash.index(key, self.sets)
+    }
+
+    /// The tag that, together with the set index, uniquely identifies `key`
+    /// under the low-bits hash: the key bits above the index.
+    #[inline]
+    pub fn tag(&self, key: u64) -> u64 {
+        key >> self.sets.trailing_zeros()
+    }
+
+    /// Panics unless the geometry is well-formed (power-of-two sets,
+    /// non-zero dimensions).
+    pub fn validate(&self, what: &str) {
+        assert!(
+            self.sets.is_power_of_two() && self.sets > 0,
+            "{what}: sets must be a non-zero power of two, got {}",
+            self.sets
+        );
+        assert!(self.ways > 0, "{what}: ways must be non-zero");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_geometry_is_one_way_low_bits() {
+        let g = TableGeometry::direct(1024);
+        assert_eq!(g.sets, 1024);
+        assert_eq!(g.ways, 1);
+        assert_eq!(g.entries(), 1024);
+        assert_eq!(g.index(0x1234), 0x234);
+    }
+
+    #[test]
+    fn index_respects_the_hash() {
+        let low = TableGeometry {
+            sets: 256,
+            ways: 2,
+            hash: SetHash::LowBits,
+        };
+        let fold = TableGeometry {
+            sets: 256,
+            ways: 2,
+            hash: SetHash::XorFold,
+        };
+        assert_eq!(low.index(0x1234), SetHash::LowBits.index(0x1234, 256));
+        assert_eq!(fold.index(0x1234), SetHash::XorFold.index(0x1234, 256));
+    }
+
+    #[test]
+    fn tag_and_index_reconstruct_the_key_under_low_bits() {
+        let g = TableGeometry::direct(256);
+        let key = 0xdead_beefu64;
+        assert_eq!((g.tag(key) << 8) | g.index(key) as u64, key);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_shapes() {
+        TableGeometry::direct(1).validate("t");
+        TableGeometry {
+            sets: 4096,
+            ways: 16,
+            hash: SetHash::XorFold,
+        }
+        .validate("t");
+    }
+
+    #[test]
+    #[should_panic(expected = "sets must be a non-zero power of two")]
+    fn validate_rejects_non_power_of_two_sets() {
+        TableGeometry {
+            sets: 3,
+            ways: 1,
+            hash: SetHash::LowBits,
+        }
+        .validate("t");
+    }
+
+    #[test]
+    #[should_panic(expected = "ways must be non-zero")]
+    fn validate_rejects_zero_ways() {
+        TableGeometry {
+            sets: 4,
+            ways: 0,
+            hash: SetHash::LowBits,
+        }
+        .validate("t");
+    }
+}

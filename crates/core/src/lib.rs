@@ -44,10 +44,12 @@
 //! assert_eq!(sfc.load_lookup(acc, floor), SfcLoadResult::Forward(0xabcd));
 //! ```
 
+mod geometry;
 mod hash;
 mod mdt;
 mod sfc;
 
+pub use geometry::TableGeometry;
 pub use hash::SetHash;
 pub use mdt::{Mdt, MdtConfig, MdtStats, MdtTagging, TrueDepRecovery, Violation};
 pub use sfc::{CorruptionPolicy, Sfc, SfcConfig, SfcLoadResult, SfcStats};

@@ -2,7 +2,7 @@
 
 use aim_types::{MemAccess, SeqNum, ViolationKind};
 
-use crate::{SetHash, StructuralConflict};
+use crate::{SetHash, StructuralConflict, TableGeometry};
 
 /// Recovery policy for true dependence violations (paper §2.4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -80,6 +80,17 @@ impl MdtConfig {
             sets: 8192,
             ways: 2,
             ..MdtConfig::baseline()
+        }
+    }
+
+    /// The MDT's shape as a shared [`TableGeometry`] (the flat `sets` /
+    /// `ways` / `hash` fields stay public for per-experiment mutation; this
+    /// view is what the table indexes through).
+    pub fn geometry(&self) -> TableGeometry {
+        TableGeometry {
+            sets: self.sets,
+            ways: self.ways,
+            hash: self.hash,
         }
     }
 }
@@ -242,7 +253,7 @@ impl Mdt {
 
     #[inline]
     fn set_of(&self, granule: u64) -> usize {
-        self.config.hash.index(granule, self.config.sets)
+        self.config.geometry().index(granule)
     }
 
     fn is_stale(entry: &MdtEntry, floor: SeqNum) -> bool {
@@ -428,6 +439,33 @@ impl Mdt {
             }
         }
         Ok(violations)
+    }
+
+    /// Read-only probe: has an **older, still in-flight** store already
+    /// executed to the granule this access touches?
+    ///
+    /// This is the safety check behind a PC-indexed "no-alias" prediction:
+    /// a load that skips the SFC probe would silently read stale memory if
+    /// an older store had already executed to its granule — and because the
+    /// store executed *first*, the MDT's late-store true-dependence check
+    /// would never fire to catch it. Every executed-but-unretired store has
+    /// a live record here (execution sets `store_seq`; only its own in-order
+    /// retirement clears it; stale reclaim requires the whole entry to be
+    /// older than `floor`), so a `false` answer proves the skip is safe.
+    /// Squashed stores may leave stale records behind; those only make the
+    /// probe conservatively answer `true`.
+    ///
+    /// The probe bumps no counters and allocates nothing — a miss (no
+    /// matching entry) is simply `false`.
+    pub fn executed_older_store(&self, seq: SeqNum, access: MemAccess, floor: SeqNum) -> bool {
+        let untagged = self.config.tagging == MdtTagging::Untagged;
+        let granule = self.granule_of(access);
+        let set_idx = self.set_of(granule);
+        self.sets[set_idx]
+            .iter()
+            .flatten()
+            .filter(|e| untagged || e.granule == granule)
+            .any(|e| e.store_seq.is_some_and(|ss| ss >= floor && ss < seq))
     }
 
     fn entry_mut(&mut self, granule: u64) -> Option<&mut MdtEntry> {
@@ -776,6 +814,43 @@ mod tests {
             .on_store_execute(SeqNum(3), 0x48, acc(0x10), FLOOR)
             .unwrap();
         assert_eq!(v[0].kind, ViolationKind::Output);
+    }
+
+    #[test]
+    fn executed_older_store_probe_sees_in_flight_stores() {
+        let mut m = mdt();
+        assert!(!m.executed_older_store(SeqNum(5), acc(0x100), FLOOR));
+        m.on_store_execute(SeqNum(3), 0x10, acc(0x100), FLOOR)
+            .unwrap();
+        // Older executed store to the same granule: probe fires.
+        assert!(m.executed_older_store(SeqNum(5), acc(0x100), FLOOR));
+        // ...but not against younger loads' seq, other granules, or once the
+        // store has slipped below the in-flight floor.
+        assert!(!m.executed_older_store(SeqNum(2), acc(0x100), FLOOR));
+        assert!(!m.executed_older_store(SeqNum(5), acc(0x108), FLOOR));
+        assert!(!m.executed_older_store(SeqNum(5), acc(0x100), SeqNum(4)));
+        let checks = m.stats().load_checks + m.stats().store_checks;
+        assert_eq!(checks, 1, "the probe is stats-transparent");
+    }
+
+    #[test]
+    fn executed_older_store_probe_clears_at_retire() {
+        let mut m = mdt();
+        m.on_store_execute(SeqNum(3), 0x10, acc(0x100), FLOOR)
+            .unwrap();
+        m.on_store_retire(SeqNum(3), acc(0x100));
+        assert!(!m.executed_older_store(SeqNum(5), acc(0x100), FLOOR));
+    }
+
+    #[test]
+    fn executed_older_store_probe_is_conservative_when_untagged() {
+        let mut cfg = MdtConfig::baseline();
+        cfg.sets = 2;
+        cfg.tagging = MdtTagging::Untagged;
+        let mut m = Mdt::new(cfg);
+        m.on_store_execute(SeqNum(3), 0x10, acc(0x0), FLOOR).unwrap();
+        // A different granule in the same set shares the untagged entry.
+        assert!(m.executed_older_store(SeqNum(5), acc(0x10), FLOOR));
     }
 
     #[test]

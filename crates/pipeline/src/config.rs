@@ -1,10 +1,12 @@
 //! Simulator configuration: the paper's Figure 4 in code.
 
-use aim_backend::{BackendParams, FilterConfig, LsqConfig, MdtConfig, PartialMatchPolicy, SfcConfig};
+use aim_backend::{
+    BackendParams, FilterConfig, LsqConfig, MdtConfig, PartialMatchPolicy, PcaxConfig, SfcConfig,
+};
 use aim_mem::HierarchyConfig;
 use aim_predictor::{EnforceMode, PredictorConfig};
 
-pub use aim_backend::BackendConfig;
+pub use aim_backend::{BackendChoice, BackendConfig};
 
 /// Recovery policy for output dependence violations (paper §2.4.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -20,7 +22,9 @@ pub enum OutputDepRecovery {
 }
 
 /// Full machine configuration. [`SimConfig::baseline`] and
-/// [`SimConfig::aggressive`] reproduce the two columns of Figure 4.
+/// [`SimConfig::aggressive`] reproduce the two columns of Figure 4;
+/// [`SimConfig::machine`] starts a [`MachineBuilder`] that picks the
+/// class-appropriate geometry for any [`BackendChoice`].
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Instructions fetched, dispatched and retired per cycle.
@@ -161,98 +165,132 @@ impl SimConfig {
         }
     }
 
-    /// Convenience: baseline machine with the Figure 5 SFC/MDT geometry
-    /// ("a 256 entry, 2-way associative store forwarding cache, an 8192
-    /// entry, 2-way associative memory disambiguation table").
-    pub fn baseline_sfc_mdt(mode: EnforceMode) -> SimConfig {
-        let mut cfg = SimConfig::baseline(BackendConfig::SfcMdt {
-            sfc: SfcConfig::baseline(),
-            mdt: MdtConfig::baseline(),
+    /// Starts a [`MachineBuilder`] for the given Figure 4 machine class:
+    ///
+    /// ```
+    /// use aim_pipeline::{BackendChoice, MachineClass, SimConfig};
+    ///
+    /// let cfg = SimConfig::machine(MachineClass::Baseline)
+    ///     .backend(BackendChoice::SfcMdt)
+    ///     .build();
+    /// assert_eq!(cfg.width, 4);
+    /// ```
+    pub fn machine(class: MachineClass) -> MachineBuilder {
+        MachineBuilder {
+            class,
+            backend: BackendChoice::default(),
+            mode: None,
+            lsq: None,
+            filter: None,
+            pcax: None,
+        }
+    }
+}
+
+/// Which Figure 4 machine column a configuration starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineClass {
+    /// The 4-wide, 128-entry-ROB machine (Figure 4, left column).
+    Baseline,
+    /// The 8-wide, 1024-entry-ROB machine (Figure 4, right column).
+    Aggressive,
+}
+
+/// Builds a [`SimConfig`] from a machine class and a [`BackendChoice`],
+/// filling in the class-appropriate structure geometries (Figure 5's
+/// baseline SFC/MDT vs Figure 6's aggressive ones, the 48×32 LSQ) and the
+/// backend-appropriate predictor enforcement mode.
+///
+/// Defaults every knob sensibly; override only what an experiment varies:
+/// [`backend`](MachineBuilder::backend) picks the family,
+/// [`mode`](MachineBuilder::mode) the enforcement mode,
+/// [`lsq`](MachineBuilder::lsq) / [`filter`](MachineBuilder::filter) /
+/// [`pcax`](MachineBuilder::pcax) the structure geometries.
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    class: MachineClass,
+    backend: BackendChoice,
+    mode: Option<EnforceMode>,
+    lsq: Option<LsqConfig>,
+    filter: Option<FilterConfig>,
+    pcax: Option<PcaxConfig>,
+}
+
+impl MachineBuilder {
+    /// Selects the backend family (default: [`BackendChoice::SfcMdt`]).
+    pub fn backend(mut self, backend: BackendChoice) -> MachineBuilder {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the producer-set enforcement mode. Default: the SFC/MDT
+    /// and PCAX backends use the paper's evaluated modes
+    /// ([`EnforceMode::All`] baseline, [`EnforceMode::TotalOrder`]
+    /// aggressive, §3.2) — PCAX's memory unit *is* the SFC/MDT, which
+    /// suffers the §3.1 anti/output flush storms without enforcement;
+    /// every other backend uses [`EnforceMode::TrueOnly`] — for the bounds
+    /// backends the predictor would only add spurious serialization, and
+    /// the LSQ / filtered backends order true dependences themselves.
+    pub fn mode(mut self, mode: EnforceMode) -> MachineBuilder {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Overrides the LSQ capacities (LSQ and filtered-LSQ backends;
+    /// default: the Figure 5 48×32 queue).
+    pub fn lsq(mut self, lsq: LsqConfig) -> MachineBuilder {
+        self.lsq = Some(lsq);
+        self
+    }
+
+    /// Overrides the store-presence filter geometry (filtered-LSQ backend).
+    pub fn filter(mut self, filter: FilterConfig) -> MachineBuilder {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// Overrides the PCAX classification-table geometry (PCAX backend).
+    pub fn pcax(mut self, pcax: PcaxConfig) -> MachineBuilder {
+        self.pcax = Some(pcax);
+        self
+    }
+
+    /// Produces the [`SimConfig`].
+    pub fn build(self) -> SimConfig {
+        let aggressive = self.class == MachineClass::Aggressive;
+        // Figure 5's baseline geometries vs Figure 6's aggressive ones.
+        let (sfc, mdt) = if aggressive {
+            (SfcConfig::aggressive(), MdtConfig::aggressive())
+        } else {
+            (SfcConfig::baseline(), MdtConfig::baseline())
+        };
+        let lsq = self.lsq.unwrap_or(LsqConfig::baseline_48x32());
+        let backend = match self.backend {
+            BackendChoice::NoSpec => BackendConfig::NoSpec,
+            BackendChoice::Lsq => BackendConfig::Lsq(lsq),
+            BackendChoice::Filtered => BackendConfig::FilteredLsq {
+                lsq,
+                filter: self.filter.unwrap_or(FilterConfig::baseline()),
+            },
+            BackendChoice::SfcMdt => BackendConfig::SfcMdt { sfc, mdt },
+            BackendChoice::Pcax => BackendConfig::Pcax {
+                sfc,
+                mdt,
+                pcax: self.pcax.unwrap_or(PcaxConfig::baseline()),
+            },
+            BackendChoice::Oracle => BackendConfig::Oracle,
+        };
+        let mode = self.mode.unwrap_or(match self.backend {
+            BackendChoice::SfcMdt | BackendChoice::Pcax if aggressive => EnforceMode::TotalOrder,
+            BackendChoice::SfcMdt | BackendChoice::Pcax => EnforceMode::All,
+            _ => EnforceMode::TrueOnly,
         });
+        let mut cfg = if aggressive {
+            SimConfig::aggressive(backend)
+        } else {
+            SimConfig::baseline(backend)
+        };
         cfg.dep_predictor = PredictorConfig::figure4(mode);
-        cfg
-    }
-
-    /// Convenience: baseline machine with the Figure 5 idealized 48×32 LSQ.
-    pub fn baseline_lsq() -> SimConfig {
-        let mut cfg = SimConfig::baseline(BackendConfig::Lsq(LsqConfig::baseline_48x32()));
-        cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
-        cfg
-    }
-
-    /// Convenience: baseline machine with the 48×32 LSQ behind an
-    /// MDT-style membership filter (the hybrid of §2.2's address-indexed
-    /// lookup and the associative store queue): loads whose word has no
-    /// in-flight store skip the CAM search entirely.
-    pub fn baseline_filtered_lsq() -> SimConfig {
-        let mut cfg = SimConfig::baseline(BackendConfig::FilteredLsq {
-            lsq: LsqConfig::baseline_48x32(),
-            filter: FilterConfig::baseline(),
-        });
-        cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
-        cfg
-    }
-
-    /// Convenience: baseline machine with perfect disambiguation — the
-    /// upper bound any real backend is bracketed by.
-    pub fn baseline_oracle() -> SimConfig {
-        let mut cfg = SimConfig::baseline(BackendConfig::Oracle);
-        // With no violations possible, the predictor would only add
-        // spurious serialization.
-        cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
-        cfg
-    }
-
-    /// Convenience: baseline machine with no load speculation — the lower
-    /// bound any real backend is bracketed by.
-    pub fn baseline_nospec() -> SimConfig {
-        let mut cfg = SimConfig::baseline(BackendConfig::NoSpec);
-        cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
-        cfg
-    }
-
-    /// Convenience: aggressive machine with the Figure 6 SFC/MDT geometry
-    /// ("a 1K entry, 2-way associative SFC, a 16K entry, 2-way associative
-    /// MDT").
-    pub fn aggressive_sfc_mdt(mode: EnforceMode) -> SimConfig {
-        let mut cfg = SimConfig::aggressive(BackendConfig::SfcMdt {
-            sfc: SfcConfig::aggressive(),
-            mdt: MdtConfig::aggressive(),
-        });
-        cfg.dep_predictor = PredictorConfig::figure4(mode);
-        cfg
-    }
-
-    /// Convenience: aggressive machine with an idealized LSQ of the given
-    /// capacity.
-    pub fn aggressive_lsq(lsq: LsqConfig) -> SimConfig {
-        let mut cfg = SimConfig::aggressive(BackendConfig::Lsq(lsq));
-        cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
-        cfg
-    }
-
-    /// Convenience: aggressive machine with a filtered LSQ of the given
-    /// capacity.
-    pub fn aggressive_filtered_lsq(lsq: LsqConfig) -> SimConfig {
-        let mut cfg = SimConfig::aggressive(BackendConfig::FilteredLsq {
-            lsq,
-            filter: FilterConfig::baseline(),
-        });
-        cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
-        cfg
-    }
-
-    /// Convenience: aggressive machine with perfect disambiguation.
-    pub fn aggressive_oracle() -> SimConfig {
-        let mut cfg = SimConfig::aggressive(BackendConfig::Oracle);
-        cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
-        cfg
-    }
-
-    /// Convenience: aggressive machine with no load speculation.
-    pub fn aggressive_nospec() -> SimConfig {
-        let mut cfg = SimConfig::aggressive(BackendConfig::NoSpec);
-        cfg.dep_predictor = PredictorConfig::figure4(EnforceMode::TrueOnly);
         cfg
     }
 }
@@ -263,7 +301,9 @@ mod tests {
 
     #[test]
     fn baseline_matches_figure4() {
-        let c = SimConfig::baseline_lsq();
+        let c = SimConfig::machine(MachineClass::Baseline)
+            .backend(BackendChoice::Lsq)
+            .build();
         assert_eq!(c.width, 4);
         assert_eq!(c.max_branches_per_cycle, 1);
         assert_eq!(c.rob_entries, 128);
@@ -281,7 +321,7 @@ mod tests {
 
     #[test]
     fn aggressive_matches_figure4() {
-        let c = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+        let c = SimConfig::machine(MachineClass::Aggressive).build();
         assert_eq!(c.width, 8);
         assert_eq!(c.max_branches_per_cycle, 8);
         assert_eq!(c.rob_entries, 1024);
@@ -294,12 +334,15 @@ mod tests {
             }
             _ => panic!("expected SFC/MDT backend"),
         }
+        // §3.2: the aggressive ENF default is a total order per producer set.
         assert_eq!(c.dep_predictor.mode, EnforceMode::TotalOrder);
     }
 
     #[test]
     fn backend_params_mirror_machine_knobs() {
-        let mut c = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+        let mut c = SimConfig::machine(MachineClass::Baseline)
+            .mode(EnforceMode::All)
+            .build();
         c.store_fifo_entries = 8;
         c.sfc_store_extra_latency = 2;
         let p = c.backend_params();
@@ -310,16 +353,71 @@ mod tests {
     }
 
     #[test]
-    fn bounds_configs_use_bounds_backends() {
-        assert_eq!(SimConfig::baseline_oracle().backend, BackendConfig::Oracle);
-        assert_eq!(SimConfig::baseline_nospec().backend, BackendConfig::NoSpec);
-        assert_eq!(
-            SimConfig::aggressive_oracle().backend,
-            BackendConfig::Oracle
-        );
-        assert_eq!(
-            SimConfig::aggressive_nospec().backend,
-            BackendConfig::NoSpec
-        );
+    fn builder_covers_every_backend_choice() {
+        for class in [MachineClass::Baseline, MachineClass::Aggressive] {
+            for choice in BackendChoice::ALL {
+                let c = SimConfig::machine(class).backend(choice).build();
+                let expected = match choice {
+                    BackendChoice::NoSpec => "nospec",
+                    BackendChoice::Lsq => "lsq",
+                    BackendChoice::Filtered => "flsq",
+                    BackendChoice::SfcMdt => "sfc",
+                    BackendChoice::Pcax => "pcax",
+                    BackendChoice::Oracle => "oracle",
+                };
+                assert!(
+                    c.backend.name().starts_with(expected),
+                    "{choice}: {}",
+                    c.backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mode_defaults_follow_backend_and_class() {
+        let base = SimConfig::machine(MachineClass::Baseline).build();
+        assert_eq!(base.dep_predictor.mode, EnforceMode::All);
+        let agg = SimConfig::machine(MachineClass::Aggressive).build();
+        assert_eq!(agg.dep_predictor.mode, EnforceMode::TotalOrder);
+        // PCAX wraps the SFC/MDT, so it inherits the same evaluated modes.
+        let pcax = SimConfig::machine(MachineClass::Baseline)
+            .backend(BackendChoice::Pcax)
+            .build();
+        assert_eq!(pcax.dep_predictor.mode, EnforceMode::All);
+        let pcax_agg = SimConfig::machine(MachineClass::Aggressive)
+            .backend(BackendChoice::Pcax)
+            .build();
+        assert_eq!(pcax_agg.dep_predictor.mode, EnforceMode::TotalOrder);
+        for choice in [
+            BackendChoice::NoSpec,
+            BackendChoice::Lsq,
+            BackendChoice::Filtered,
+            BackendChoice::Oracle,
+        ] {
+            let c = SimConfig::machine(MachineClass::Baseline)
+                .backend(choice)
+                .build();
+            assert_eq!(c.dep_predictor.mode, EnforceMode::TrueOnly, "{choice}");
+        }
+        let forced = SimConfig::machine(MachineClass::Aggressive)
+            .mode(EnforceMode::All)
+            .build();
+        assert_eq!(forced.dep_predictor.mode, EnforceMode::All);
+    }
+
+    #[test]
+    fn pcax_gets_class_appropriate_sfc_mdt() {
+        let c = SimConfig::machine(MachineClass::Aggressive)
+            .backend(BackendChoice::Pcax)
+            .build();
+        match c.backend {
+            BackendConfig::Pcax { sfc, mdt, pcax } => {
+                assert_eq!(sfc.sets, 512);
+                assert_eq!(mdt.sets, 8192);
+                assert_eq!(pcax.table.sets, 1024);
+            }
+            _ => panic!("expected PCAX backend"),
+        }
     }
 }

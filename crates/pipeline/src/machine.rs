@@ -75,7 +75,7 @@ pub struct FinalState {
 ///
 /// ```
 /// use aim_isa::{Assembler, Interpreter, Reg};
-/// use aim_pipeline::{Machine, SimConfig};
+/// use aim_pipeline::{BackendChoice, Machine, MachineClass, SimConfig};
 ///
 /// let mut asm = Assembler::new();
 /// asm.movi(Reg::new(1), 42);
@@ -83,7 +83,7 @@ pub struct FinalState {
 /// let program = asm.assemble().unwrap();
 /// let trace = Interpreter::new(&program).run(100).unwrap();
 ///
-/// let machine = Machine::new(&program, &trace, SimConfig::baseline_lsq());
+/// let machine = Machine::new(&program, &trace, SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build());
 /// let stats = machine.run().unwrap();
 /// assert_eq!(stats.retired, 2);
 /// ```

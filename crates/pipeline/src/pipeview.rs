@@ -7,7 +7,7 @@
 //!
 //! ```
 //! use aim_isa::{Assembler, Reg};
-//! use aim_pipeline::{pipeview, simulate_pipeview, SimConfig};
+//! use aim_pipeline::{pipeview, simulate_pipeview, MachineClass, SimConfig};
 //! use aim_predictor::EnforceMode;
 //!
 //! let mut asm = Assembler::new();
@@ -20,7 +20,7 @@
 //! asm.bne(Reg::new(1), Reg::ZERO, "loop");
 //! asm.halt();
 //!
-//! let mut cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+//! let mut cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
 //! cfg.pipeview = true;
 //! let (_, records) = simulate_pipeview(&asm.assemble().unwrap(), &cfg).unwrap();
 //! println!("{}", pipeview::render(&records, 60));

@@ -1,6 +1,7 @@
 //! Cross-backend architectural equivalence: every memory backend — the
-//! idealized LSQ, the filtered LSQ, the paper's SFC/MDT, and the oracle /
-//! no-spec bounds — must retire the *same architectural state* (register
+//! idealized LSQ, the filtered LSQ, the paper's SFC/MDT, the PC-indexed
+//! PCAX, and the oracle / no-spec bounds — must retire the *same
+//! architectural state* (register
 //! file and committed memory image) as the in-order interpreter, on
 //! randomly generated store/load-heavy programs. The backends differ only
 //! in timing.
@@ -15,20 +16,23 @@
 //! re-runs every recorded seed).
 
 use aim_isa::{Interpreter, Reg};
-use aim_pipeline::{Machine, SimConfig};
-use aim_predictor::EnforceMode;
+use aim_pipeline::{BackendChoice, MachineClass, Machine, SimConfig};
 use aim_workloads::stress::random_program;
 use proptest::prelude::*;
 
-/// The five baseline backends, labelled for failure messages.
+/// All six baseline backends, labelled for failure messages. The builder
+/// picks each family's evaluated predictor mode (EnforceMode::All for the
+/// SFC/MDT and PCAX, TrueOnly elsewhere).
 fn backend_configs() -> Vec<(&'static str, SimConfig)> {
-    vec![
-        ("lsq", SimConfig::baseline_lsq()),
-        ("filtered", SimConfig::baseline_filtered_lsq()),
-        ("sfc-mdt", SimConfig::baseline_sfc_mdt(EnforceMode::All)),
-        ("oracle", SimConfig::baseline_oracle()),
-        ("nospec", SimConfig::baseline_nospec()),
-    ]
+    BackendChoice::ALL
+        .into_iter()
+        .map(|choice| {
+            (
+                choice.token(),
+                SimConfig::machine(MachineClass::Baseline).backend(choice).build(),
+            )
+        })
+        .collect()
 }
 
 /// One parity check: every backend retires the interpreter's architectural
@@ -65,7 +69,7 @@ fn check_parity(seed: u64) -> Result<(), TestCaseError> {
 }
 
 proptest! {
-    // Each case runs one interpreter pass plus five full simulations.
+    // Each case runs one interpreter pass plus six full simulations.
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     #[test]

@@ -1,7 +1,7 @@
 //! Targeted machine-behaviour scenarios on hand-built programs.
 
 use aim_isa::{Assembler, Interpreter, Reg};
-use aim_pipeline::{simulate, simulate_with_trace, BackendConfig, SimConfig, SimStats};
+use aim_pipeline::{BackendChoice, MachineClass, simulate, simulate_with_trace, BackendConfig, SimConfig, SimStats};
 use aim_predictor::EnforceMode;
 
 fn r(i: u8) -> Reg {
@@ -50,7 +50,7 @@ fn wrong_path_stores_corrupt_but_never_leak() {
     asm.halt();
     let program = asm.assemble().unwrap();
 
-    let mut cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let mut cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
     cfg.oracle_fix_probability = 0.0; // raw gshare: plenty of wrong paths
     let stats = run(&program, &cfg);
     let sfc = *stats.backend.sfc().expect("SFC backend");
@@ -83,7 +83,7 @@ fn head_bypass_rescues_a_tiny_sfc() {
     asm.halt();
     let program = asm.assemble().unwrap();
 
-    let mut cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let mut cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
     if let BackendConfig::SfcMdt { sfc, .. } = &mut cfg.backend {
         sfc.sets = 1;
         sfc.ways = 1;
@@ -114,7 +114,7 @@ fn forwarding_carries_a_memory_chain() {
     asm.halt();
     let program = asm.assemble().unwrap();
 
-    let stats = run(&program, &SimConfig::baseline_sfc_mdt(EnforceMode::All));
+    let stats = run(&program, &SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build());
     assert!(
         stats.loads_forwarded > 400,
         "the RMW chain must forward ({} forwards)",
@@ -130,9 +130,9 @@ fn simulations_terminate() {
     let w = aim_workloads::by_name("twolf", aim_workloads::Scale::Tiny).unwrap();
     let trace = Interpreter::new(&w.program).run(1_000_000).unwrap();
     for cfg in [
-        SimConfig::baseline_lsq(),
-        SimConfig::baseline_sfc_mdt(EnforceMode::All),
-        SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder),
+        SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build(),
+        SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build(),
+        SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build(),
     ] {
         let stats = simulate_with_trace(&w.program, &trace, &cfg).expect("no deadlock");
         assert_eq!(stats.retired, trace.len() as u64);
@@ -165,7 +165,7 @@ fn branch_torture_validates() {
     asm.halt();
     let program = asm.assemble().unwrap();
 
-    let mut cfg = SimConfig::aggressive_sfc_mdt(EnforceMode::All);
+    let mut cfg = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::All).build();
     cfg.oracle_fix_probability = 0.0;
     let stats = run(&program, &cfg);
     assert!(
@@ -178,7 +178,7 @@ fn branch_torture_validates() {
 #[test]
 fn stats_are_internally_consistent() {
     let w = aim_workloads::by_name("gcc", aim_workloads::Scale::Tiny).unwrap();
-    let stats = run(&w.program, &SimConfig::baseline_sfc_mdt(EnforceMode::All));
+    let stats = run(&w.program, &SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build());
     assert!(stats.fetched >= stats.dispatched);
     assert!(stats.dispatched >= stats.retired);
     assert!(stats.issued >= stats.retired);
@@ -200,7 +200,7 @@ fn stats_are_internally_consistent() {
 #[test]
 fn bounded_store_fifo_stalls_dispatch() {
     let w = aim_workloads::by_name("apsi", aim_workloads::Scale::Tiny).unwrap();
-    let mut cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let mut cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
     cfg.store_fifo_entries = 2;
     let stats = run(&w.program, &cfg);
     assert!(
@@ -243,7 +243,7 @@ fn coarse_granularity_causes_spurious_violations() {
     asm.halt();
     let program = asm.assemble().unwrap();
 
-    let fine = SimConfig::baseline_sfc_mdt(EnforceMode::TrueOnly);
+    let fine = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::TrueOnly).build();
     let mut coarse = fine.clone();
     if let BackendConfig::SfcMdt { mdt, .. } = &mut coarse.backend {
         mdt.granularity = 64;
@@ -264,7 +264,7 @@ fn coarse_granularity_causes_spurious_violations() {
 #[test]
 fn flush_endpoints_reduce_corrupt_replays() {
     let w = aim_workloads::by_name("vpr_route", aim_workloads::Scale::Small).unwrap();
-    let bits = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let bits = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build();
     let mut endpoints = bits.clone();
     if let BackendConfig::SfcMdt { sfc, .. } = &mut endpoints.backend {
         sfc.corruption = aim_core::CorruptionPolicy::FlushEndpoints { capacity: 16 };
@@ -284,7 +284,7 @@ fn flush_endpoints_reduce_corrupt_replays() {
 #[test]
 fn xor_fold_hash_fixes_mcf() {
     let w = aim_workloads::by_name("mcf", aim_workloads::Scale::Small).unwrap();
-    let low = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let low = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build();
     let mut xor = low.clone();
     if let BackendConfig::SfcMdt { sfc, mdt } = &mut xor.backend {
         sfc.hash = aim_core::SetHash::XorFold;
@@ -306,7 +306,7 @@ fn xor_fold_hash_fixes_mcf() {
 #[test]
 fn pipeview_records_are_stage_monotone() {
     let w = aim_workloads::by_name("gzip", aim_workloads::Scale::Tiny).unwrap();
-    let mut cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let mut cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
     cfg.pipeview = true;
     let (stats, records) = aim_pipeline::simulate_pipeview(&w.program, &cfg).expect("validated");
     assert_eq!(
@@ -334,7 +334,7 @@ fn pipeview_records_are_stage_monotone() {
 #[test]
 fn search_filter_rescues_a_starved_mdt() {
     let w = aim_workloads::by_name("gcc", aim_workloads::Scale::Small).unwrap();
-    let mut base = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let mut base = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build();
     if let BackendConfig::SfcMdt { mdt, .. } = &mut base.backend {
         mdt.sets = 16;
         mdt.ways = 1;
@@ -390,7 +390,7 @@ fn aggressive_true_dep_recovery_squashes_less() {
     asm.halt();
     let program = asm.assemble().unwrap();
 
-    let mut conservative = SimConfig::baseline_sfc_mdt(EnforceMode::TrueOnly);
+    let mut conservative = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::TrueOnly).build();
     // Clear the predictor on every dispatch — training never sticks, so the
     // race recurs each iteration and the recovery policies differentiate.
     conservative.dep_predictor.clear_interval = 1;

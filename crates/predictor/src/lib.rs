@@ -35,10 +35,12 @@
 //! ```
 
 mod branch;
+mod pc_table;
 mod producer_set;
 mod tags;
 
 pub use branch::{Gshare, GshareStats, OracleBoost};
+pub use pc_table::PcTable;
 pub use producer_set::{
     DepHints, EnforceMode, PredictorConfig, PredictorStats, ProducerSetPredictor,
 };

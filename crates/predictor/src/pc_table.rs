@@ -1,0 +1,244 @@
+//! A generic PC-indexed set-associative table.
+//!
+//! The producer-set predictor's PT and CT (paper §2.1) and the PCAX-style
+//! classification table are all the same structure: a small array indexed by
+//! (hashed) instruction PC. This module factors that structure out behind the
+//! shared [`TableGeometry`] so every PC-indexed table uses one
+//! implementation:
+//!
+//! * [`PcTable::direct`] — the paper's shape: direct-mapped, **untagged**
+//!   (all PCs hashing to one slot share it), exactly
+//!   `index = pc & (entries - 1)`.
+//! * [`PcTable::tagged`] — set-associative with full-key tags and a
+//!   round-robin victim cursor per set, for predictors that cannot afford
+//!   PC aliasing (a wrong no-alias classification costs a pipeline flush).
+
+use aim_core::TableGeometry;
+
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    key: u64,
+    value: T,
+}
+
+/// A PC-indexed table of `T`, either untagged direct-mapped or tagged
+/// set-associative (see the module docs).
+#[derive(Debug, Clone)]
+pub struct PcTable<T> {
+    geom: TableGeometry,
+    tagged: bool,
+    /// Set-major storage: `slots[set * ways + way]`.
+    slots: Vec<Option<Slot<T>>>,
+    /// Per-set round-robin victim cursor (tagged mode only).
+    victim: Vec<usize>,
+}
+
+impl<T> PcTable<T> {
+    /// An untagged direct-mapped table of `entries` slots — the producer-set
+    /// PT/CT shape. `entries` must be a nonzero power of two.
+    pub fn direct(entries: usize) -> PcTable<T> {
+        PcTable::with_geometry(TableGeometry::direct(entries), false)
+    }
+
+    /// A tagged set-associative table.
+    pub fn tagged(geom: TableGeometry) -> PcTable<T> {
+        PcTable::with_geometry(geom, true)
+    }
+
+    fn with_geometry(geom: TableGeometry, tagged: bool) -> PcTable<T> {
+        geom.validate("PcTable");
+        assert!(
+            tagged || geom.ways == 1,
+            "PcTable: untagged tables are direct-mapped (ways = 1)"
+        );
+        let mut slots = Vec::new();
+        slots.resize_with(geom.entries(), || None);
+        PcTable {
+            geom,
+            tagged,
+            slots,
+            victim: vec![0; geom.sets],
+        }
+    }
+
+    /// The table's shape.
+    pub fn geometry(&self) -> TableGeometry {
+        self.geom
+    }
+
+    #[inline]
+    fn set_range(&self, key: u64) -> std::ops::Range<usize> {
+        let set = self.geom.index(key);
+        set * self.geom.ways..(set + 1) * self.geom.ways
+    }
+
+    #[inline]
+    fn matches(&self, slot: &Slot<T>, key: u64) -> bool {
+        // Untagged slots are shared by every key hashing to them.
+        !self.tagged || slot.key == key
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: u64) -> Option<&T> {
+        self.slots[self.set_range(key)]
+            .iter()
+            .flatten()
+            .find(|s| self.matches(s, key))
+            .map(|s| &s.value)
+    }
+
+    /// Looks up `key` mutably.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
+        let range = self.set_range(key);
+        let tagged = self.tagged;
+        self.slots[range]
+            .iter_mut()
+            .flatten()
+            .find(|s| !tagged || s.key == key)
+            .map(|s| &mut s.value)
+    }
+
+    /// Inserts (or overwrites) `key`'s entry. Tagged mode fills a free way
+    /// first and then evicts round-robin; untagged mode overwrites the
+    /// shared slot.
+    pub fn insert(&mut self, key: u64, value: T) {
+        let range = self.set_range(key);
+        let base = range.start;
+        let tagged = self.tagged;
+        // Hit: overwrite in place.
+        if let Some(slot) = self.slots[range.clone()]
+            .iter_mut()
+            .flatten()
+            .find(|s| !tagged || s.key == key)
+        {
+            *slot = Slot { key, value };
+            return;
+        }
+        // Free way, else untagged shared slot (ways = 1, slot 0 occupied is
+        // already handled above), else round-robin victim.
+        let way = match self.slots[range].iter().position(Option::is_none) {
+            Some(w) => w,
+            None => {
+                let set = self.geom.index(key);
+                let w = self.victim[set];
+                self.victim[set] = (w + 1) % self.geom.ways;
+                w
+            }
+        };
+        self.slots[base + way] = Some(Slot { key, value });
+    }
+
+    /// Removes `key`'s entry, returning its value.
+    pub fn remove(&mut self, key: u64) -> Option<T> {
+        let range = self.set_range(key);
+        let tagged = self.tagged;
+        for slot in &mut self.slots[range] {
+            if slot.as_ref().is_some_and(|s| !tagged || s.key == key) {
+                return slot.take().map(|s| s.value);
+            }
+        }
+        None
+    }
+
+    /// Empties the table (cyclic clearing / reset).
+    pub fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.victim.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim_core::SetHash;
+
+    #[test]
+    fn direct_table_aliases_like_a_masked_index() {
+        let mut t: PcTable<u32> = PcTable::direct(16);
+        t.insert(0x10, 7);
+        // 0x10 and 0x20 share index 0 in a 16-entry direct table.
+        assert_eq!(t.get(0x20), Some(&7));
+        t.insert(0x20, 9);
+        assert_eq!(t.get(0x10), Some(&9), "untagged slots are shared");
+    }
+
+    #[test]
+    fn tagged_table_separates_aliasing_keys() {
+        let geom = TableGeometry {
+            sets: 16,
+            ways: 2,
+            hash: SetHash::LowBits,
+        };
+        let mut t: PcTable<u32> = PcTable::tagged(geom);
+        t.insert(0x10, 7);
+        t.insert(0x20, 9); // same set, different tag
+        assert_eq!(t.get(0x10), Some(&7));
+        assert_eq!(t.get(0x20), Some(&9));
+        assert_eq!(t.get(0x30), None);
+    }
+
+    #[test]
+    fn tagged_table_evicts_round_robin_when_full() {
+        let geom = TableGeometry {
+            sets: 1,
+            ways: 2,
+            hash: SetHash::LowBits,
+        };
+        let mut t: PcTable<u32> = PcTable::tagged(geom);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        t.insert(3, 30); // evicts key 1 (way 0)
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.get(2), Some(&20));
+        assert_eq!(t.get(3), Some(&30));
+        t.insert(4, 40); // evicts key 2 (way 1)
+        assert_eq!(t.get(2), None);
+        assert_eq!(t.get(3), Some(&30));
+    }
+
+    #[test]
+    fn insert_overwrites_a_hit_in_place() {
+        let geom = TableGeometry {
+            sets: 1,
+            ways: 2,
+            hash: SetHash::LowBits,
+        };
+        let mut t: PcTable<u32> = PcTable::tagged(geom);
+        t.insert(1, 10);
+        t.insert(2, 20);
+        t.insert(1, 11);
+        assert_eq!(t.get(1), Some(&11));
+        assert_eq!(t.get(2), Some(&20), "overwrite must not evict");
+    }
+
+    #[test]
+    fn get_mut_and_remove_round_trip() {
+        let mut t: PcTable<u32> = PcTable::direct(8);
+        t.insert(3, 1);
+        *t.get_mut(3).unwrap() += 5;
+        assert_eq!(t.remove(3), Some(6));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.remove(3), None);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut t: PcTable<u32> = PcTable::direct(8);
+        t.insert(1, 1);
+        t.insert(2, 2);
+        t.clear();
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.get(2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "untagged tables are direct-mapped")]
+    fn untagged_multi_way_is_rejected() {
+        let geom = TableGeometry {
+            sets: 8,
+            ways: 2,
+            hash: SetHash::LowBits,
+        };
+        PcTable::<u32>::with_geometry(geom, false);
+    }
+}

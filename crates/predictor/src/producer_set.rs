@@ -2,6 +2,7 @@
 
 use aim_types::ViolationKind;
 
+use crate::pc_table::PcTable;
 use crate::tags::{DepTag, TagScoreboard};
 
 /// Which predicted dependences the predictor enforces.
@@ -115,9 +116,13 @@ pub struct PredictorStats {
 #[derive(Debug, Clone)]
 pub struct ProducerSetPredictor {
     config: PredictorConfig,
-    pt: Vec<Option<u32>>,
-    ct: Vec<Option<u32>>,
-    lfpt: Vec<Option<DepTag>>,
+    /// Producer table: untagged direct-mapped [`PcTable`] over
+    /// `table_entries` PCs (Figure 4's shape).
+    pt: PcTable<u32>,
+    /// Consumer table, same shape as the PT.
+    ct: PcTable<u32>,
+    /// Last-fetched producer table, indexed by producer-set id.
+    lfpt: PcTable<DepTag>,
     next_set: u32,
     dispatches_since_clear: u64,
     stats: PredictorStats,
@@ -141,9 +146,9 @@ impl ProducerSetPredictor {
         assert!(config.max_sets > 0);
         ProducerSetPredictor {
             config,
-            pt: vec![None; config.table_entries],
-            ct: vec![None; config.table_entries],
-            lfpt: vec![None; config.lfpt_entries],
+            pt: PcTable::direct(config.table_entries),
+            ct: PcTable::direct(config.table_entries),
+            lfpt: PcTable::direct(config.lfpt_entries),
             next_set: 0,
             dispatches_since_clear: 0,
             stats: PredictorStats::default(),
@@ -160,16 +165,6 @@ impl ProducerSetPredictor {
         self.stats
     }
 
-    #[inline]
-    fn pc_index(&self, pc: u64) -> usize {
-        (pc as usize) & (self.config.table_entries - 1)
-    }
-
-    #[inline]
-    fn lfpt_index(&self, set: u32) -> usize {
-        (set as usize) & (self.config.lfpt_entries - 1)
-    }
-
     /// Looks up the dispatching load/store at `pc` and assigns dependence
     /// tags: the CT is read first (consuming the set's last-fetched
     /// producer's tag), then the PT makes this instruction the set's new
@@ -179,26 +174,23 @@ impl ProducerSetPredictor {
             self.dispatches_since_clear += 1;
             if self.dispatches_since_clear >= self.config.clear_interval {
                 self.dispatches_since_clear = 0;
-                self.pt.fill(None);
-                self.ct.fill(None);
-                self.lfpt.fill(None);
+                self.pt.clear();
+                self.ct.clear();
+                self.lfpt.clear();
                 self.stats.clears += 1;
             }
         }
-        let idx = self.pc_index(pc);
         let mut hints = DepHints::default();
 
-        if let Some(set) = self.ct[idx] {
-            let lfpt_idx = self.lfpt_index(set);
-            if let Some(tag) = self.lfpt[lfpt_idx] {
+        if let Some(&set) = self.ct.get(pc) {
+            if let Some(&tag) = self.lfpt.get(u64::from(set)) {
                 hints.consumes = Some(tag);
                 self.stats.consumers_dispatched += 1;
             }
         }
-        if let Some(set) = self.pt[idx] {
+        if let Some(&set) = self.pt.get(pc) {
             let tag = tags.alloc();
-            let lfpt_idx = self.lfpt_index(set);
-            self.lfpt[lfpt_idx] = Some(tag);
+            self.lfpt.insert(u64::from(set), tag);
             hints.produces = Some(tag);
             self.stats.producers_dispatched += 1;
         }
@@ -225,11 +217,9 @@ impl ProducerSetPredictor {
         }
         self.stats.arcs_inserted += 1;
 
-        let p_idx = self.pc_index(producer_pc);
-        let c_idx = self.pc_index(consumer_pc);
         // Store-set merging rules: join the existing set if exactly one side
         // has one; merge to the smaller id if both do; allocate otherwise.
-        let set = match (self.pt[p_idx], self.ct[c_idx]) {
+        let set = match (self.pt.get(producer_pc).copied(), self.ct.get(consumer_pc).copied()) {
             (Some(a), Some(b)) => {
                 if a != b {
                     self.stats.merges += 1;
@@ -240,22 +230,22 @@ impl ProducerSetPredictor {
             (None, Some(b)) => b,
             (None, None) => self.alloc_set(),
         };
-        self.pt[p_idx] = Some(set);
-        self.ct[c_idx] = Some(set);
+        self.pt.insert(producer_pc, set);
+        self.ct.insert(consumer_pc, set);
 
         if self.config.mode == EnforceMode::TotalOrder {
             // Both instructions become producer *and* consumer, serializing
             // the whole set (§3.2).
-            self.ct[p_idx] = Some(set);
-            self.pt[c_idx] = Some(set);
+            self.ct.insert(producer_pc, set);
+            self.pt.insert(consumer_pc, set);
         }
     }
 
     /// Clears all training state (used between benchmark runs).
     pub fn reset(&mut self) {
-        self.pt.fill(None);
-        self.ct.fill(None);
-        self.lfpt.fill(None);
+        self.pt.clear();
+        self.ct.clear();
+        self.lfpt.clear();
         self.next_set = 0;
         self.dispatches_since_clear = 0;
         self.stats = PredictorStats::default();

@@ -11,7 +11,7 @@
 //! ```
 
 use aim_isa::{Assembler, Reg};
-use aim_pipeline::{simulate, SimConfig};
+use aim_pipeline::{MachineClass, simulate, SimConfig};
 use aim_predictor::EnforceMode;
 
 fn main() {
@@ -56,7 +56,7 @@ fn main() {
         ("ENF (pairwise producer→consumer)", EnforceMode::All),
         ("ENF (total order in set)", EnforceMode::TotalOrder),
     ] {
-        let cfg = SimConfig::aggressive_sfc_mdt(mode);
+        let cfg = SimConfig::machine(MachineClass::Aggressive).mode(mode).build();
         let stats = simulate(&program, &cfg).expect("validated");
         println!(
             "{:<34} | {:>7.3} {:>9} {:>9} {:>9}",

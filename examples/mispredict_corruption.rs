@@ -12,7 +12,7 @@
 //! ```
 
 use aim_isa::Interpreter;
-use aim_pipeline::{simulate_with_trace, SimConfig};
+use aim_pipeline::{MachineClass, simulate_with_trace, SimConfig};
 use aim_predictor::EnforceMode;
 use aim_workloads::{by_name, Scale};
 
@@ -37,7 +37,7 @@ fn main() {
         ("paper's 80% fix-up", 0.8),
         ("raw gshare (0% fix-up)", 0.0),
     ] {
-        let mut cfg = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+        let mut cfg = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build();
         cfg.oracle_fix_probability = fix_probability;
         let stats = simulate_with_trace(&w.program, &trace, &cfg).expect("validated");
         let sfc = *stats.backend.sfc().expect("SFC backend");

@@ -11,7 +11,7 @@
 //! ```
 
 use aim_isa::Interpreter;
-use aim_pipeline::{simulate_with_trace, BackendConfig, SimConfig};
+use aim_pipeline::{MachineClass, simulate_with_trace, BackendConfig, SimConfig};
 use aim_predictor::EnforceMode;
 use aim_workloads::{by_name, Scale};
 
@@ -39,7 +39,7 @@ fn main() {
         (8192, 4),
         (8192, 16), // the paper's associativity experiment
     ] {
-        let mut cfg = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+        let mut cfg = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build();
         if let BackendConfig::SfcMdt { mdt, .. } = &mut cfg.backend {
             mdt.sets = sets;
             mdt.ways = ways;

@@ -6,7 +6,7 @@
 //! ```
 
 use aim_isa::{Assembler, Interpreter, Reg};
-use aim_pipeline::{simulate, SimConfig};
+use aim_pipeline::{BackendChoice, MachineClass, simulate, SimConfig};
 use aim_predictor::EnforceMode;
 
 fn main() {
@@ -51,10 +51,10 @@ fn main() {
 
     // The same program on the 4-wide out-of-order machine, both backends.
     for (name, cfg) in [
-        ("idealized 48x32 LSQ", SimConfig::baseline_lsq()),
+        ("idealized 48x32 LSQ", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build()),
         (
             "SFC/MDT + producer-set predictor (ENF)",
-            SimConfig::baseline_sfc_mdt(EnforceMode::All),
+            SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build(),
         ),
     ] {
         let stats = simulate(&program, &cfg).expect("validated against the trace");

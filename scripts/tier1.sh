@@ -37,6 +37,13 @@ cargo test -q -p aim-backend --test conformance
 echo "== tier1: EXPERIMENTS.md carries the backend gap-closed table =="
 grep -q '| backend | int gap closed | fp gap closed |' EXPERIMENTS.md
 
+# The PCAX table is an acceptance gate: the run asserts pcax stays inside
+# the no-spec..oracle bracket and must print its acceptance line.
+echo "== tier1: table_pcax acceptance (tiny scale) =="
+AIM_PCAX_JSON="$(mktemp)" AIM_SWEEP_JSON="$(mktemp)" \
+  cargo run --release -q -p aim-bench --bin table_pcax -- --scale tiny \
+  | grep -q 'acceptance: pcax inside the bracket'
+
 echo "== tier1: cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 

@@ -7,7 +7,7 @@
 
 use aim_isa::Interpreter;
 use aim_lsq::LsqConfig;
-use aim_pipeline::{simulate_with_trace, SimConfig, SimStats};
+use aim_pipeline::{BackendChoice, MachineClass, simulate_with_trace, SimConfig, SimStats};
 use aim_predictor::EnforceMode;
 use aim_workloads::{all, by_name, Scale};
 
@@ -21,7 +21,7 @@ fn run(name: &str, program: &aim_isa::Program, cfg: &SimConfig) -> SimStats {
 
 #[test]
 fn every_kernel_validates_under_baseline_lsq() {
-    let cfg = SimConfig::baseline_lsq();
+    let cfg = SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build();
     for w in all(Scale::Tiny) {
         let stats = run(w.name, &w.program, &cfg);
         assert!(
@@ -36,7 +36,7 @@ fn every_kernel_validates_under_baseline_lsq() {
 
 #[test]
 fn every_kernel_validates_under_baseline_sfc_mdt_enf() {
-    let cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
     for w in all(Scale::Tiny) {
         let stats = run(w.name, &w.program, &cfg);
         assert!(
@@ -50,7 +50,7 @@ fn every_kernel_validates_under_baseline_sfc_mdt_enf() {
 
 #[test]
 fn every_kernel_validates_under_baseline_sfc_mdt_not_enf() {
-    let cfg = SimConfig::baseline_sfc_mdt(EnforceMode::TrueOnly);
+    let cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::TrueOnly).build();
     for w in all(Scale::Tiny) {
         let stats = run(w.name, &w.program, &cfg);
         assert!(
@@ -65,9 +65,9 @@ fn every_kernel_validates_under_baseline_sfc_mdt_not_enf() {
 #[test]
 fn every_kernel_validates_under_aggressive_machines() {
     let configs = [
-        SimConfig::aggressive_lsq(LsqConfig::aggressive_120x80()),
-        SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder),
-        SimConfig::aggressive_sfc_mdt(EnforceMode::TrueOnly),
+        SimConfig::machine(MachineClass::Aggressive).backend(BackendChoice::Lsq).lsq(LsqConfig::aggressive_120x80()).build(),
+        SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build(),
+        SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TrueOnly).build(),
     ];
     for w in all(Scale::Tiny) {
         for cfg in &configs {
@@ -91,7 +91,7 @@ fn sfc_forwards_on_rmw_kernels() {
     let stats = run(
         "vpr_route",
         &w.program,
-        &SimConfig::baseline_sfc_mdt(EnforceMode::All),
+        &SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build(),
     );
     assert!(
         stats.loads_forwarded > 50,
@@ -103,7 +103,7 @@ fn sfc_forwards_on_rmw_kernels() {
         let stats = run(
             name,
             &w.program,
-            &SimConfig::baseline_sfc_mdt(EnforceMode::All),
+            &SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build(),
         );
         assert!(
             stats.loads_forwarded > 3,
@@ -121,12 +121,12 @@ fn violations_occur_and_enf_reduces_them() {
     let not_enf = run(
         "twolf",
         &w.program,
-        &SimConfig::baseline_sfc_mdt(EnforceMode::TrueOnly),
+        &SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::TrueOnly).build(),
     );
     let enf = run(
         "twolf",
         &w.program,
-        &SimConfig::baseline_sfc_mdt(EnforceMode::All),
+        &SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build(),
     );
     assert!(
         not_enf.flushes.memory() > 0,
@@ -148,7 +148,7 @@ fn lsq_capacity_stalls_appear_on_streaming_fp() {
     let stats = run(
         "swim",
         &w.program,
-        &SimConfig::aggressive_lsq(LsqConfig::baseline_48x32()),
+        &SimConfig::machine(MachineClass::Aggressive).backend(BackendChoice::Lsq).lsq(LsqConfig::baseline_48x32()).build(),
     );
     assert!(
         stats.dispatch_stalls.lq_full + stats.dispatch_stalls.sq_full > 0,
@@ -159,7 +159,7 @@ fn lsq_capacity_stalls_appear_on_streaming_fp() {
 #[test]
 fn identical_runs_are_deterministic() {
     let w = by_name("gcc", Scale::Tiny).unwrap();
-    let cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
     let a = run("gcc", &w.program, &cfg);
     let b = run("gcc", &w.program, &cfg);
     assert_eq!(a.cycles, b.cycles);
@@ -183,8 +183,8 @@ fn shipped_assembly_programs_validate() {
         let program =
             aim_isa::parse_program(&source).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         for cfg in [
-            SimConfig::baseline_lsq(),
-            SimConfig::baseline_sfc_mdt(EnforceMode::All),
+            SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build(),
+            SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build(),
         ] {
             let stats = run(&path.display().to_string(), &program, &cfg);
             assert!(stats.retired > 1_000, "{}", path.display());

@@ -3,7 +3,7 @@
 //! mis-simulation.
 
 use aim_isa::{Assembler, Interpreter, Reg};
-use aim_pipeline::{simulate, simulate_pipeview, simulate_traced, SimConfig, SimError};
+use aim_pipeline::{BackendChoice, MachineClass, simulate, simulate_pipeview, simulate_traced, SimConfig, SimError};
 use aim_predictor::EnforceMode;
 
 fn r(i: u8) -> Reg {
@@ -22,8 +22,8 @@ fn misaligned_access_is_a_program_error() {
 
     assert!(Interpreter::new(&program).run(100).is_err());
     for cfg in [
-        SimConfig::baseline_lsq(),
-        SimConfig::baseline_sfc_mdt(EnforceMode::All),
+        SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build(),
+        SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build(),
     ] {
         match simulate(&program, &cfg) {
             Err(SimError::Program(msg)) => {
@@ -48,7 +48,7 @@ fn pc_out_of_range_is_a_program_error() {
     let program = asm.assemble().unwrap();
 
     assert!(Interpreter::new(&program).run(100).is_err());
-    match simulate(&program, &SimConfig::baseline_sfc_mdt(EnforceMode::All)) {
+    match simulate(&program, &SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build()) {
         Err(SimError::Program(_)) => {}
         other => panic!("expected a program error, got {other:?}"),
     }
@@ -62,7 +62,7 @@ fn all_entry_points_propagate_program_errors() {
     asm.sw(r(1), r(1), 0);
     asm.halt();
     let program = asm.assemble().unwrap();
-    let cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
 
     assert!(matches!(
         simulate_traced(&program, &cfg),
@@ -85,7 +85,7 @@ fn empty_program_retires_nothing() {
     if let Ok(t) = trace {
         assert_eq!(t.len(), 0);
     }
-    let _ = simulate(&program, &SimConfig::baseline_lsq());
+    let _ = simulate(&program, &SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build());
 }
 
 /// `max_instrs` truncates a long-running program cleanly: the machine
@@ -100,7 +100,7 @@ fn instruction_budget_truncates_cleanly() {
     asm.halt();
     let program = asm.assemble().unwrap();
 
-    let mut cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let mut cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
     cfg.max_instrs = 5_000;
     let stats = simulate(&program, &cfg).expect("budgeted run validates");
     assert_eq!(stats.retired, 5_000);

@@ -7,7 +7,7 @@
 
 use aim_isa::Interpreter;
 use aim_lsq::LsqConfig;
-use aim_pipeline::{simulate_with_trace, BackendConfig, SimConfig, SimStats};
+use aim_pipeline::{BackendChoice, MachineClass, simulate_with_trace, BackendConfig, SimConfig, SimStats};
 use aim_predictor::EnforceMode;
 use aim_workloads::{by_name, Scale};
 
@@ -21,7 +21,7 @@ fn run(name: &str, cfg: &SimConfig) -> SimStats {
 fn bzip2_thrashes_the_sfc_and_assoc16_fixes_it() {
     // Paper §3.2: >50% of bzip2's stores replay on SFC set conflicts; with
     // 16 ways, ~0%.
-    let base = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let base = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build();
     let stats = run("bzip2", &base);
     assert!(
         stats.sfc_conflict_rate() > 50.0,
@@ -44,7 +44,7 @@ fn bzip2_thrashes_the_sfc_and_assoc16_fixes_it() {
 #[test]
 fn mcf_thrashes_the_mdt_and_assoc16_fixes_it() {
     // Paper §3.2: >16% of mcf's loads replay on MDT set conflicts.
-    let base = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let base = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build();
     let stats = run("mcf", &base);
     assert!(
         stats.mdt_conflict_rate() > 16.0,
@@ -69,7 +69,7 @@ fn mcf_thrashes_the_mdt_and_assoc16_fixes_it() {
 fn corruption_outliers_are_the_papers_trio() {
     // Paper §3.2: vpr_route, ammp, equake suffer high SFC-corruption replay
     // rates; well-behaved kernels do not.
-    let cfg = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let cfg = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build();
     for name in ["vpr_route", "equake", "ammp"] {
         let s = run(name, &cfg);
         assert!(
@@ -91,8 +91,8 @@ fn corruption_outliers_are_the_papers_trio() {
 #[test]
 fn fp_collapses_without_enforcement_on_the_wide_machine() {
     // Paper §3.2: NOT-ENF loses badly on specfp at the 1024-entry window.
-    let not_enf = SimConfig::aggressive_sfc_mdt(EnforceMode::TrueOnly);
-    let enf = SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder);
+    let not_enf = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TrueOnly).build();
+    let enf = SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build();
     for name in ["apsi", "art", "mgrid"] {
         let slow = run(name, &not_enf);
         let fast = run(name, &enf);
@@ -113,8 +113,8 @@ fn fp_collapses_without_enforcement_on_the_wide_machine() {
 fn small_lsq_throttles_streaming_fp() {
     // Paper Figure 6: the 48x32 LSQ trails badly on fp; the SFC/MDT does
     // not have the capacity limit.
-    let small_lsq = SimConfig::aggressive_lsq(LsqConfig::baseline_48x32());
-    let reference = SimConfig::aggressive_lsq(LsqConfig::aggressive_120x80());
+    let small_lsq = SimConfig::machine(MachineClass::Aggressive).backend(BackendChoice::Lsq).lsq(LsqConfig::baseline_48x32()).build();
+    let reference = SimConfig::machine(MachineClass::Aggressive).backend(BackendChoice::Lsq).lsq(LsqConfig::aggressive_120x80()).build();
     for name in ["swim", "apsi"] {
         let small = run(name, &small_lsq);
         let full = run(name, &reference);
@@ -132,8 +132,8 @@ fn small_lsq_throttles_streaming_fp() {
 fn baseline_enf_matches_the_idealized_lsq() {
     // Paper §3.1: within ~1% on the 4-wide machine (allow a little slack at
     // the Small scale).
-    let lsq = SimConfig::baseline_lsq();
-    let enf = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let lsq = SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build();
+    let enf = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
     for name in ["crafty", "vortex", "parser", "mgrid"] {
         let a = run(name, &lsq);
         let b = run(name, &enf);

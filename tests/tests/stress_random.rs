@@ -7,7 +7,7 @@
 
 use aim_isa::Interpreter;
 use aim_lsq::LsqConfig;
-use aim_pipeline::{simulate_with_trace, SimConfig};
+use aim_pipeline::{BackendChoice, MachineClass, simulate_with_trace, SimConfig};
 use aim_predictor::EnforceMode;
 use aim_workloads::stress::random_program;
 
@@ -24,21 +24,21 @@ fn check(seed: u64, cfg: &SimConfig) {
 #[test]
 fn random_programs_validate_under_lsq() {
     for seed in 0..40 {
-        check(seed, &SimConfig::baseline_lsq());
+        check(seed, &SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build());
     }
 }
 
 #[test]
 fn random_programs_validate_under_sfc_mdt_enf() {
     for seed in 0..40 {
-        check(seed, &SimConfig::baseline_sfc_mdt(EnforceMode::All));
+        check(seed, &SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build());
     }
 }
 
 #[test]
 fn random_programs_validate_under_sfc_mdt_not_enf() {
     for seed in 40..80 {
-        check(seed, &SimConfig::baseline_sfc_mdt(EnforceMode::TrueOnly));
+        check(seed, &SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::TrueOnly).build());
     }
 }
 
@@ -47,11 +47,11 @@ fn random_programs_validate_under_aggressive_machines() {
     for seed in 80..100 {
         check(
             seed,
-            &SimConfig::aggressive_sfc_mdt(EnforceMode::TotalOrder),
+            &SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build(),
         );
         check(
             seed,
-            &SimConfig::aggressive_lsq(LsqConfig::aggressive_120x80()),
+            &SimConfig::machine(MachineClass::Aggressive).backend(BackendChoice::Lsq).lsq(LsqConfig::aggressive_120x80()).build(),
         );
     }
 }
@@ -60,7 +60,7 @@ fn random_programs_validate_under_aggressive_machines() {
 fn tiny_structures_still_validate() {
     // Thrash-everything configuration: one-way, two-set SFC and MDT force
     // constant conflicts, replays, head bypasses and stale reclamation.
-    let mut cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let mut cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
     if let aim_pipeline::BackendConfig::SfcMdt { sfc, mdt } = &mut cfg.backend {
         sfc.sets = 2;
         sfc.ways = 1;
@@ -74,7 +74,7 @@ fn tiny_structures_still_validate() {
 
 #[test]
 fn replay_partial_match_policy_validates() {
-    let mut cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let mut cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
     cfg.partial_match_policy = aim_core::PartialMatchPolicy::Replay;
     for seed in 120..140 {
         check(seed, &cfg);
@@ -83,7 +83,7 @@ fn replay_partial_match_policy_validates() {
 
 #[test]
 fn alternative_recovery_policies_validate() {
-    let mut cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let mut cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
     cfg.output_dep_recovery = aim_pipeline::OutputDepRecovery::MarkCorrupt;
     if let aim_pipeline::BackendConfig::SfcMdt { mdt, .. } = &mut cfg.backend {
         mdt.true_dep_recovery = aim_core::TrueDepRecovery::SingleLoadAggressive;
@@ -95,7 +95,7 @@ fn alternative_recovery_policies_validate() {
 
 #[test]
 fn no_stall_bits_validates() {
-    let mut cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let mut cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
     cfg.stall_bits = false;
     if let aim_pipeline::BackendConfig::SfcMdt { sfc, mdt } = &mut cfg.backend {
         sfc.sets = 4;
@@ -113,7 +113,7 @@ fn search_filter_validates() {
     // The §4 MDT search filter skips provably-unnecessary MDT accesses; a
     // tiny MDT plus the filter stresses both the skip predicate and the
     // census/filter bookkeeping across squashes, replays and head bypasses.
-    let mut cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let mut cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
     cfg.mdt_filter = true;
     if let aim_pipeline::BackendConfig::SfcMdt { mdt, .. } = &mut cfg.backend {
         mdt.sets = 4;
@@ -126,7 +126,7 @@ fn search_filter_validates() {
 
 #[test]
 fn perfect_branch_oracle_validates() {
-    let mut cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let mut cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
     cfg.oracle_fix_probability = 1.0;
     for seed in 185..195 {
         check(seed, &cfg);
@@ -137,7 +137,7 @@ fn perfect_branch_oracle_validates() {
 fn no_branch_oracle_validates() {
     // Maximum wrong-path execution: every gshare mispredict goes down the
     // wrong path, maximizing SFC corruption traffic.
-    let mut cfg = SimConfig::baseline_sfc_mdt(EnforceMode::All);
+    let mut cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
     cfg.oracle_fix_probability = 0.0;
     for seed in 195..215 {
         check(seed, &cfg);
