@@ -66,14 +66,14 @@ pub use crate::filtered::{FilterConfig, FilterStats, FilteredLsqBackend, Filtere
 pub use crate::lsq::LsqBackend;
 pub use crate::nospec::{NoSpecBackend, NoSpecStats};
 pub use crate::oracle::{OracleBackend, OracleStats};
-pub use crate::pcax::{PcaxBackend, PcaxConfig, PcaxPredStats, PcaxStats};
+pub use crate::pcax::{PcaxBackend, PcaxConfig, PcaxPredStats, PcaxStats, MAX_CONF};
 
 // The violation, policy and geometry types backends speak are defined next
 // to the structures that raise them; re-exported so the pipeline needs only
 // this crate to configure and talk to a backend.
 pub use aim_core::{
     CorruptionPolicy, MdtConfig, MdtStats, MdtTagging, PartialMatchPolicy, SetHash, SfcConfig,
-    SfcStats, TrueDepRecovery, Violation,
+    SfcStats, TableGeometry, TrueDepRecovery, Violation,
 };
 pub use aim_lsq::{LsqConfig, LsqStats};
 

@@ -43,24 +43,27 @@ use crate::{
 };
 
 /// Saturation ceiling for prediction confidence counters.
-const MAX_CONF: u8 = 3;
-/// A no-alias entry must reach this confidence before loads skip the SFC.
-const NO_ALIAS_ACT: u8 = 2;
-/// A forward entry acts from this confidence on (violations install at 2).
-const FORWARD_ACT: u8 = 1;
+pub const MAX_CONF: u8 = 3;
 /// Confidence installed by a true-dependence violation.
 const FORWARD_INSTALL: u8 = 2;
 
-/// Geometry of the PCAX classification table.
+/// Geometry and confidence thresholds of the PCAX classification table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PcaxConfig {
     /// Shape of the tagged PC-indexed table.
     pub table: TableGeometry,
+    /// A no-alias entry must reach this confidence before loads skip the
+    /// SFC probe (1..=[`MAX_CONF`]; higher is more conservative).
+    pub no_alias_act: u8,
+    /// A forward entry acts from this confidence on (violations install at
+    /// 2; 1..=[`MAX_CONF`]).
+    pub forward_act: u8,
 }
 
 impl PcaxConfig {
-    /// Default geometry: 1024 sets × 2 ways — 2K static loads tracked, a
-    /// fraction of the producer-set predictor's 16K-entry PT/CT.
+    /// Default geometry and thresholds: 1024 sets × 2 ways — 2K static
+    /// loads tracked, a fraction of the producer-set predictor's 16K-entry
+    /// PT/CT — acting on no-alias confidence 2 and forward confidence 1.
     pub fn baseline() -> PcaxConfig {
         PcaxConfig {
             table: TableGeometry {
@@ -68,6 +71,33 @@ impl PcaxConfig {
                 ways: 2,
                 hash: aim_core::SetHash::LowBits,
             },
+            no_alias_act: 2,
+            forward_act: 1,
+        }
+    }
+
+    /// The baseline thresholds over a different table shape — the form
+    /// every geometry sweep point takes.
+    pub fn with_table(table: TableGeometry) -> PcaxConfig {
+        PcaxConfig {
+            table,
+            ..PcaxConfig::baseline()
+        }
+    }
+
+    /// Panics unless the table shape and thresholds are well-formed
+    /// (thresholds in 1..=[`MAX_CONF`]: a zero threshold would act on
+    /// evicted entries, one above the ceiling would never act).
+    pub fn validate(&self) {
+        self.table.validate("pcax table");
+        for (name, t) in [
+            ("no_alias_act", self.no_alias_act),
+            ("forward_act", self.forward_act),
+        ] {
+            assert!(
+                (1..=MAX_CONF).contains(&t),
+                "pcax {name} must be in 1..={MAX_CONF}, got {t}"
+            );
         }
     }
 }
@@ -144,14 +174,14 @@ pub struct PcaxStats {
 enum PredEntry {
     /// This load never aliases an in-flight store.
     NoAlias {
-        /// Saturating confidence (acts at [`NO_ALIAS_ACT`]).
+        /// Saturating confidence (acts at [`PcaxConfig::no_alias_act`]).
         conf: u8,
     },
     /// This load receives its value from the store at `store_pc`.
     Forward {
         /// The predicted producer store's PC.
         store_pc: u64,
-        /// Saturating confidence (acts at [`FORWARD_ACT`]).
+        /// Saturating confidence (acts at [`PcaxConfig::forward_act`]).
         conf: u8,
     },
 }
@@ -189,6 +219,7 @@ struct InflightStore {
 /// their producer, unknown loads take the full paper path.
 pub struct PcaxBackend {
     inner: AimBackend,
+    config: PcaxConfig,
     table: PcTable<PredEntry>,
     /// Dispatched, unretired loads in program order.
     loads: VecDeque<InflightLoad>,
@@ -199,10 +230,16 @@ pub struct PcaxBackend {
 
 impl PcaxBackend {
     /// Wraps a constructed [`AimBackend`] with a classification table of the
-    /// given geometry.
+    /// given geometry and thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`PcaxConfig::validate`].
     pub fn new(inner: AimBackend, config: PcaxConfig) -> PcaxBackend {
+        config.validate();
         PcaxBackend {
             inner,
+            config,
             table: PcTable::tagged(config.table),
             loads: VecDeque::new(),
             stores: VecDeque::new(),
@@ -212,11 +249,11 @@ impl PcaxBackend {
 
     fn classify(&mut self, pc: u64) -> PredClass {
         match self.table.get(pc) {
-            Some(PredEntry::NoAlias { conf }) if *conf >= NO_ALIAS_ACT => {
+            Some(PredEntry::NoAlias { conf }) if *conf >= self.config.no_alias_act => {
                 self.stats.loads_no_alias += 1;
                 PredClass::NoAlias
             }
-            Some(PredEntry::Forward { store_pc, conf }) if *conf >= FORWARD_ACT => {
+            Some(PredEntry::Forward { store_pc, conf }) if *conf >= self.config.forward_act => {
                 self.stats.loads_forward += 1;
                 PredClass::Forward(*store_pc)
             }
@@ -701,6 +738,89 @@ mod tests {
         b.store_execute(&store_req(1, 0x50, d(0x100), 7), &mem);
         b.retire_store(SeqNum(1), d(0x100));
         assert!(b.loads.is_empty() && b.stores.is_empty());
+    }
+
+    #[test]
+    fn raising_the_acting_threshold_delays_the_skip() {
+        // With no_alias_act = 3, two clean retires (confidence 2) are no
+        // longer enough: the third instance still takes the unknown path,
+        // and only the fourth acts.
+        let mut b = PcaxBackend::new(
+            backend().inner,
+            PcaxConfig {
+                no_alias_act: 3,
+                ..PcaxConfig::baseline()
+            },
+        );
+        let mem = MainMemory::new();
+        let mut seq = train_no_alias(&mut b, 0x10, 1);
+        b.dispatch(MemKind::Load, SeqNum(seq), 0x10, None);
+        b.load_execute(&load_req(seq, 0x10, d(0x900)), &mem);
+        b.retire_load(SeqNum(seq), d(0x900));
+        seq += 1;
+        assert_eq!(stats(&b).pred.loads_no_alias, 0);
+        b.dispatch(MemKind::Load, SeqNum(seq), 0x10, None);
+        assert_eq!(stats(&b).pred.loads_no_alias, 1);
+    }
+
+    #[test]
+    fn raising_the_forward_threshold_ignores_fresh_installs() {
+        // Violations install forward entries at confidence 2; with
+        // forward_act = 3 the next dynamic instance does not wait.
+        let mut b = PcaxBackend::new(
+            backend().inner,
+            PcaxConfig {
+                forward_act: 3,
+                ..PcaxConfig::baseline()
+            },
+        );
+        let mem = MainMemory::new();
+        b.dispatch(MemKind::Store, SeqNum(1), 0x50, None);
+        b.dispatch(MemKind::Load, SeqNum(2), 0x20, None);
+        b.load_execute(&load_req(2, 0x20, d(0x100)), &mem);
+        b.store_execute(&store_req(1, 0x50, d(0x100), 7), &mem);
+        b.squash_after(SeqNum(1), SeqNum(2), &|| true);
+        b.flush();
+        b.dispatch(MemKind::Store, SeqNum(11), 0x50, None);
+        b.dispatch(MemKind::Load, SeqNum(12), 0x20, None);
+        let out = b.load_execute(&load_req(12, 0x20, d(0x100)), &mem);
+        assert!(!matches!(out, LoadOutcome::Replay(ReplayCause::OrderWait)));
+        assert_eq!(stats(&b).pred.loads_forward, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pcax no_alias_act must be in 1..=3")]
+    fn zero_acting_threshold_is_rejected() {
+        PcaxConfig {
+            no_alias_act: 0,
+            ..PcaxConfig::baseline()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "pcax forward_act must be in 1..=3")]
+    fn oversized_forward_threshold_is_rejected() {
+        PcaxBackend::new(
+            backend().inner,
+            PcaxConfig {
+                forward_act: MAX_CONF + 1,
+                ..PcaxConfig::baseline()
+            },
+        );
+    }
+
+    #[test]
+    fn with_table_keeps_baseline_thresholds() {
+        let g = TableGeometry {
+            sets: 16,
+            ways: 1,
+            hash: aim_core::SetHash::LowBits,
+        };
+        let c = PcaxConfig::with_table(g);
+        assert_eq!(c.table, g);
+        assert_eq!(c.no_alias_act, PcaxConfig::baseline().no_alias_act);
+        assert_eq!(c.forward_act, PcaxConfig::baseline().forward_act);
     }
 
     #[test]

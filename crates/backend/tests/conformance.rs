@@ -17,9 +17,10 @@
 
 use aim_backend::conformance::{check_contract, run_script, Script, ScriptOp};
 use aim_backend::{
-    build, BackendConfig, BackendParams, BackendStats, FilterConfig, LsqConfig, MdtConfig, MemKind,
-    PcaxConfig, SfcConfig,
+    build, BackendConfig, BackendParams, BackendStats, FilterConfig, FilteredLsqBackend, LsqConfig,
+    MdtConfig, MemKind, PcaxConfig, SetHash, SfcConfig, TableGeometry,
 };
+use aim_lsq::Lsq;
 use aim_types::{AccessSize, Addr, MemAccess};
 use proptest::prelude::*;
 
@@ -55,6 +56,40 @@ fn all_backend_params() -> Vec<(&'static str, BackendParams)> {
         ("oracle", BackendParams::new(BackendConfig::Oracle)),
         ("nospec", BackendParams::new(BackendConfig::NoSpec)),
     ]
+}
+
+/// The geometry-variant params the sweep subsystem exercises: a tiny
+/// (4×1) and a large (4096×4) table for the two geometry-configurable
+/// speculative backends, pcax and filtered.
+fn geometry_backend_params() -> Vec<(String, BackendParams)> {
+    let mut out = Vec::new();
+    for (sets, ways) in [(4usize, 1usize), (4096, 4)] {
+        let table = TableGeometry {
+            sets,
+            ways,
+            hash: SetHash::LowBits,
+        };
+        out.push((
+            format!("pcax@{}", table.label()),
+            BackendParams::new(BackendConfig::Pcax {
+                sfc: SfcConfig::baseline(),
+                mdt: MdtConfig::baseline(),
+                pcax: PcaxConfig::with_table(table),
+            }),
+        ));
+        out.push((
+            format!("filtered@{}", table.label()),
+            BackendParams::new(BackendConfig::FilteredLsq {
+                lsq: LsqConfig::baseline_48x32(),
+                filter: FilterConfig {
+                    sets,
+                    ways,
+                    max_count: FilterConfig::baseline().max_count,
+                },
+            }),
+        ));
+    }
+    out
 }
 
 fn acc(addr: u64, size: AccessSize) -> MemAccess {
@@ -93,6 +128,22 @@ fn random_schedules_conform_on_every_backend() {
     for seed in 0..24u64 {
         let script = Script::random(seed, 24, 4);
         conform_all(&script);
+    }
+}
+
+/// Satellite: the contract suite holds off the default geometry too —
+/// shrinking a table to 4×1 (maximal aliasing and conflict pressure) or
+/// growing it to 4096×4 must never break architectural equivalence.
+#[test]
+fn non_default_geometries_conform() {
+    for seed in 0..16u64 {
+        let script = Script::random(seed, 24, 4);
+        for (name, params) in geometry_backend_params() {
+            let mut backend = build(&params);
+            if let Err(e) = check_contract(backend.as_mut(), &script) {
+                panic!("{name}: {e}");
+            }
+        }
     }
 }
 
@@ -211,6 +262,45 @@ fn capacity_pressure_preserves_retire_order() {
             filter: FilterConfig::baseline(),
         }));
         check_contract(filtered.as_mut(), &script).unwrap();
+    }
+}
+
+/// Satellite regression: the direct `FilteredLsqBackend::new` constructor
+/// and the `build(&BackendParams)` path must configure the identical
+/// machine — same filter geometry, same wrapped LSQ — proven by identical
+/// `BackendStats::Filtered` (and outcomes) on scripted traces, at the
+/// baseline geometry and a deliberately non-default one.
+#[test]
+fn constructor_and_builder_filtered_paths_are_identical() {
+    let non_default = FilterConfig {
+        sets: 8,
+        ways: 1,
+        max_count: 2,
+    };
+    for filter in [FilterConfig::baseline(), non_default] {
+        for seed in [3u64, 17, 40] {
+            let script = Script::random(seed, 32, 4);
+            let lsq_cfg = LsqConfig::baseline_48x32();
+
+            let mut direct = FilteredLsqBackend::new(Lsq::new(lsq_cfg), filter);
+            let direct_out = run_script(&mut direct, &script).unwrap();
+
+            let mut built = build(&BackendParams::new(BackendConfig::FilteredLsq {
+                lsq: lsq_cfg,
+                filter,
+            }));
+            let built_out = run_script(built.as_mut(), &script).unwrap();
+
+            assert_eq!(
+                direct_out.stats, built_out.stats,
+                "filter {}x{}@c{} seed {seed}: stats diverged between paths",
+                filter.sets, filter.ways, filter.max_count
+            );
+            assert!(matches!(built_out.stats, BackendStats::Filtered(_)));
+            assert_eq!(direct_out.load_values, built_out.load_values);
+            assert_eq!(direct_out.violations, built_out.violations);
+            assert_eq!(direct_out.replays, built_out.replays);
+        }
     }
 }
 

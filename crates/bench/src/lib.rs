@@ -13,8 +13,10 @@
 //! | `table_assoc_sweep` | §3.2 bzip2/mcf set-conflict + associativity-16 study |
 //! | `table_corruption` | §3.2 SFC corruption-rate study |
 //! | `table_filter` | §4 MDT search-filter study |
+//! | `table_filter_sweep` | filter sets/ways/counter-width knee (à la §5 sizing) |
 //! | `table_hybrid` | §4 filtered-LSQ hybrid vs the backend bounds |
 //! | `table_pcax` | PC-indexed classification backend vs the backend bounds |
+//! | `table_pcax_sweep` | PCAX table sets/ways/threshold knee (à la §5 sizing) |
 //! | `table_power` | §5 activity/power proxy counts |
 //! | `table_window_sweep` | §3.3 instruction-window scaling |
 //! | `calibrate` | IPC sanity check of the two backends |
@@ -33,12 +35,17 @@ use aim_isa::{Interpreter, Program, Trace};
 use aim_pipeline::{simulate_with_trace, SimConfig, SimStats};
 use aim_workloads::{Scale, Suite, Workload};
 
+mod geometry_sweep;
 mod hybrid;
 mod matrix;
 mod pcax;
 pub mod specs;
 mod sweep;
 
+pub use geometry_sweep::{
+    find_knee, grid_tiny_from_args, FilterSweepReport, FilterSweepRow, GeometryGrid, Knee,
+    KneePoint, PcaxSweepReport, PcaxSweepRow,
+};
 pub use hybrid::{HybridReport, HybridRow};
 pub use matrix::{run_matrix, run_matrix_timed, Matrix};
 pub use pcax::{PcaxReport, PcaxRow};

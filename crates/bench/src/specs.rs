@@ -7,10 +7,13 @@
 //! truth for *what* each artifact simulates. The binaries remain in charge
 //! of presentation (tables, normalization, CSV).
 
-use crate::Prepared;
+use crate::{GeometryGrid, Prepared};
 use aim_core::{CorruptionPolicy, MdtConfig, MdtTagging, SetHash, TrueDepRecovery};
 use aim_lsq::LsqConfig;
-use aim_pipeline::{BackendChoice, MachineClass, BackendConfig, OutputDepRecovery, SimConfig};
+use aim_pipeline::{
+    BackendChoice, BackendConfig, FilterConfig, MachineClass, OutputDepRecovery, PcaxConfig,
+    SimConfig,
+};
 use aim_predictor::EnforceMode;
 use aim_workloads::Scale;
 
@@ -370,6 +373,109 @@ pub fn table_pcax() -> ArtifactSpec {
     }
 }
 
+/// The `table_pcax_sweep` grid: PC-table sets/ways × the no-alias acting
+/// threshold. The tiny variant is the CI-sized 2×2 grid at the baseline
+/// threshold only.
+pub fn pcax_sweep_grid(tiny: bool) -> GeometryGrid {
+    let baseline = PcaxConfig::baseline();
+    if tiny {
+        GeometryGrid {
+            sets: vec![16, 256],
+            ways: vec![1, 2],
+            knobs: vec![u32::from(baseline.no_alias_act)],
+            baseline_knob: u32::from(baseline.no_alias_act),
+            hash: SetHash::LowBits,
+        }
+    } else {
+        GeometryGrid {
+            sets: vec![16, 64, 256, 1024],
+            ways: vec![1, 2],
+            knobs: vec![1, 2, 3],
+            baseline_knob: u32::from(baseline.no_alias_act),
+            hash: SetHash::LowBits,
+        }
+    }
+}
+
+/// `table_pcax_sweep`: the four bracket configs followed by one PCAX
+/// config per grid point (`setsxways@t<threshold>`), all on the baseline
+/// machine so every point lands inside the `table_backend_bounds` bracket.
+pub fn table_pcax_sweep(grid: &GeometryGrid) -> ArtifactSpec {
+    let mut configs = vec![
+        named("nospec", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::NoSpec).build()),
+        named("lsq-48x32", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build()),
+        named("sfc-mdt", SimConfig::machine(MachineClass::Baseline).build()),
+        named("oracle", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Oracle).build()),
+    ];
+    for (table, threshold) in grid.points() {
+        let pcax = PcaxConfig {
+            table,
+            no_alias_act: u8::try_from(threshold).expect("threshold fits the confidence width"),
+            ..PcaxConfig::baseline()
+        };
+        configs.push((
+            format!("{}@t{threshold}", table.label()),
+            SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Pcax).pcax(pcax).build(),
+        ));
+    }
+    ArtifactSpec {
+        artifact: "table_pcax_sweep",
+        configs,
+        skip: &[],
+    }
+}
+
+/// The `table_filter_sweep` grid: filter sets/ways × the counter
+/// saturation point. The tiny variant is the CI-sized 2×2 grid at the
+/// baseline counter width only.
+pub fn filter_sweep_grid(tiny: bool) -> GeometryGrid {
+    let baseline = FilterConfig::baseline();
+    if tiny {
+        GeometryGrid {
+            sets: vec![16, 256],
+            ways: vec![1, 2],
+            knobs: vec![baseline.max_count],
+            baseline_knob: baseline.max_count,
+            hash: SetHash::LowBits,
+        }
+    } else {
+        GeometryGrid {
+            sets: vec![16, 64, 256, 1024],
+            ways: vec![1, 2],
+            knobs: vec![1, 3, 15],
+            baseline_knob: baseline.max_count,
+            hash: SetHash::LowBits,
+        }
+    }
+}
+
+/// `table_filter_sweep`: the three bracket configs followed by one
+/// filtered-LSQ config per grid point (`setsxways@c<max_count>`), all on
+/// the baseline machine.
+pub fn table_filter_sweep(grid: &GeometryGrid) -> ArtifactSpec {
+    let mut configs = vec![
+        named("nospec", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::NoSpec).build()),
+        named("lsq-48x32", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build()),
+        named("oracle", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Oracle).build()),
+    ];
+    for (table, max_count) in grid.points() {
+        let filter = FilterConfig {
+            sets: table.sets,
+            ways: table.ways,
+            max_count,
+        };
+        configs.push((
+            format!("{}@c{max_count}", table.label()),
+            SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Filtered).filter(filter).build(),
+        ));
+    }
+    ArtifactSpec {
+        artifact: "table_filter_sweep",
+        configs,
+        skip: &[],
+    }
+}
+
 /// `table_window_sweep`: windows 128–1024, fixed 48×32 LSQ vs SFC/MDT
 /// (window-major: `lsq@N` then `sfc-mdt@N` for each window size N).
 pub fn table_window_sweep() -> ArtifactSpec {
@@ -404,10 +510,12 @@ pub fn all_default() -> Vec<ArtifactSpec> {
         table_assoc_sweep(),
         table_corruption(),
         table_filter(),
+        table_filter_sweep(&filter_sweep_grid(true)),
         table_power(false),
         table_backend_bounds(),
         table_hybrid(),
         table_pcax(),
+        table_pcax_sweep(&pcax_sweep_grid(true)),
         table_window_sweep(),
     ]
 }

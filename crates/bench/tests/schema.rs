@@ -1,11 +1,15 @@
 //! Golden-file schema tests: the machine-readable reports downstream
 //! tooling parses (`BENCH_sweep.json`, `BENCH_hybrid.json`,
-//! `BENCH_pcax.json`) must keep a byte-stable serialization for a fixed
-//! input. Any field added, removed, renamed, or reordered shows up here as
-//! a golden-file diff — update the golden **deliberately**, alongside the
-//! schema version string, never as a drive-by.
+//! `BENCH_pcax.json`, `BENCH_pcax_sweep.json`, `BENCH_filter_sweep.json`)
+//! must keep a byte-stable serialization for a fixed input. Any field
+//! added, removed, renamed, or reordered shows up here as a golden-file
+//! diff — update the golden **deliberately**, alongside the schema version
+//! string, never as a drive-by.
 
-use aim_bench::{HybridReport, HybridRow, PcaxReport, PcaxRow, SweepReport, SweepRow};
+use aim_bench::{
+    FilterSweepReport, FilterSweepRow, HybridReport, HybridRow, PcaxReport, PcaxRow,
+    PcaxSweepReport, PcaxSweepRow, SweepReport, SweepRow,
+};
 
 /// A fixed, fully populated sweep report.
 fn golden_sweep() -> SweepReport {
@@ -120,6 +124,76 @@ fn golden_pcax() -> PcaxReport {
     }
 }
 
+/// A fixed, fully populated pcax geometry-sweep report.
+fn golden_pcax_sweep() -> PcaxSweepReport {
+    PcaxSweepReport {
+        artifact: "table_pcax_sweep".to_string(),
+        baseline: "1024x2@t2".to_string(),
+        knee: "64x1@t2".to_string(),
+        rows: vec![
+            PcaxSweepRow {
+                point: "64x1@t2".to_string(),
+                sets: 64,
+                ways: 1,
+                threshold: 2,
+                entries: 64,
+                ipc_norm: 1.01,
+                gap_closed: 97.5,
+                coverage: 0.912345,
+                accuracy: 0.987654,
+                sfc_probes_skipped: 12345,
+            },
+            PcaxSweepRow {
+                point: "1024x2@t2".to_string(),
+                sets: 1024,
+                ways: 2,
+                threshold: 2,
+                entries: 2048,
+                ipc_norm: 1.015,
+                gap_closed: 98.8,
+                coverage: 0.99,
+                accuracy: 0.995,
+                sfc_probes_skipped: 13000,
+            },
+        ],
+    }
+}
+
+/// A fixed, fully populated filter geometry-sweep report.
+fn golden_filter_sweep() -> FilterSweepReport {
+    FilterSweepReport {
+        artifact: "table_filter_sweep".to_string(),
+        baseline: "256x2@c15".to_string(),
+        knee: "64x1@c15".to_string(),
+        rows: vec![
+            FilterSweepRow {
+                point: "64x1@c15".to_string(),
+                sets: 64,
+                ways: 1,
+                max_count: 15,
+                entries: 64,
+                ipc_norm: 1.0,
+                gap_closed: 42.0,
+                filter_rate: 0.871234,
+                false_positive_hits: 55,
+                saturation_fallbacks: 3,
+            },
+            FilterSweepRow {
+                point: "256x2@c15".to_string(),
+                sets: 256,
+                ways: 2,
+                max_count: 15,
+                entries: 512,
+                ipc_norm: 1.0,
+                gap_closed: 43.0,
+                filter_rate: 0.92,
+                false_positive_hits: 4,
+                saturation_fallbacks: 0,
+            },
+        ],
+    }
+}
+
 #[test]
 fn sweep_report_serialization_is_golden() {
     let got = golden_sweep().to_json();
@@ -150,6 +224,28 @@ fn pcax_report_serialization_is_golden() {
         got, want,
         "aim-pcax-report/v1 serialization drifted; if intentional, update \
          tests/golden/pcax.golden.json and bump the schema version"
+    );
+}
+
+#[test]
+fn pcax_sweep_report_serialization_is_golden() {
+    let got = golden_pcax_sweep().to_json();
+    let want = include_str!("golden/pcax_sweep.golden.json");
+    assert_eq!(
+        got, want,
+        "aim-pcax-sweep/v1 serialization drifted; if intentional, update \
+         tests/golden/pcax_sweep.golden.json and bump the schema version"
+    );
+}
+
+#[test]
+fn filter_sweep_report_serialization_is_golden() {
+    let got = golden_filter_sweep().to_json();
+    let want = include_str!("golden/filter_sweep.golden.json");
+    assert_eq!(
+        got, want,
+        "aim-filter-sweep/v1 serialization drifted; if intentional, update \
+         tests/golden/filter_sweep.golden.json and bump the schema version"
     );
 }
 
@@ -225,5 +321,59 @@ fn reports_keep_their_stable_field_sets() {
         "\"forward_wait_replays\"",
     ] {
         assert_eq!(pcax.matches(field).count(), 2, "pcax row field {field}");
+    }
+
+    let pcax_sweep = golden_pcax_sweep().to_json();
+    for field in ["\"schema\"", "\"artifact\"", "\"baseline\"", "\"knee\"", "\"rows\""] {
+        assert_eq!(
+            pcax_sweep.matches(field).count(),
+            1,
+            "pcax sweep field {field}"
+        );
+    }
+    for field in [
+        "\"point\"",
+        "\"sets\"",
+        "\"ways\"",
+        "\"threshold\"",
+        "\"entries\"",
+        "\"ipc_norm\"",
+        "\"gap_closed\"",
+        "\"coverage\"",
+        "\"accuracy\"",
+        "\"sfc_probes_skipped\"",
+    ] {
+        assert_eq!(
+            pcax_sweep.matches(field).count(),
+            2,
+            "pcax sweep row field {field}"
+        );
+    }
+
+    let filter_sweep = golden_filter_sweep().to_json();
+    for field in ["\"schema\"", "\"artifact\"", "\"baseline\"", "\"knee\"", "\"rows\""] {
+        assert_eq!(
+            filter_sweep.matches(field).count(),
+            1,
+            "filter sweep field {field}"
+        );
+    }
+    for field in [
+        "\"point\"",
+        "\"sets\"",
+        "\"ways\"",
+        "\"max_count\"",
+        "\"entries\"",
+        "\"ipc_norm\"",
+        "\"gap_closed\"",
+        "\"filter_rate\"",
+        "\"false_positive_hits\"",
+        "\"saturation_fallbacks\"",
+    ] {
+        assert_eq!(
+            filter_sweep.matches(field).count(),
+            2,
+            "filter sweep row field {field}"
+        );
     }
 }

@@ -15,9 +15,9 @@
 
 use std::fmt;
 
-use aim_core::{CorruptionPolicy, MdtTagging};
+use aim_core::{CorruptionPolicy, MdtTagging, SetHash, TableGeometry};
 use aim_lsq::LsqConfig;
-use aim_pipeline::{MachineClass, SimConfig, SimStats};
+use aim_pipeline::{FilterConfig, MachineClass, PcaxConfig, SimConfig, SimStats};
 
 pub use aim_pipeline::{BackendChoice, BackendConfig};
 use aim_predictor::EnforceMode;
@@ -59,6 +59,14 @@ pub struct RunArgs {
     pub endpoints: bool,
     /// Enable the §4 MDT search filter.
     pub filter: bool,
+    /// PCAX prediction-table geometry override, `sets x ways`.
+    pub pcax_table: Option<(usize, usize)>,
+    /// PCAX no-alias acting-threshold override (1..=3).
+    pub pcax_act: Option<u8>,
+    /// Filtered-LSQ filter geometry override, `sets x ways`.
+    pub filt_table: Option<(usize, usize)>,
+    /// Filtered-LSQ counter saturation override.
+    pub filt_count: Option<u32>,
     /// Print the last N pipeline events after the run.
     pub trace: usize,
     /// Render the last N retired instructions as pipeline timelines.
@@ -80,6 +88,10 @@ impl Default for RunArgs {
             untagged: false,
             endpoints: false,
             filter: false,
+            pcax_table: None,
+            pcax_act: None,
+            filt_table: None,
+            filt_count: None,
             trace: 0,
             pipeview: 0,
             jobs: 0,
@@ -119,6 +131,10 @@ OPTIONS:
   --untagged                      untagged MDT variant (§2.2)
   --endpoints                     flush-endpoint SFC variant (§3.2)
   --filter                        MDT search filter (§4 future work)
+  --pcax SxW                      PCAX table geometry, e.g. 256x1   [1024x2]
+  --pcax-act N                    PCAX no-alias acting threshold 1..=3  [2]
+  --filt SxW                      filtered-LSQ filter geometry      [256x2]
+  --filt-count N                  filter counter saturation point      [15]
   --trace N                       print the last N pipeline events
   --pipeview N                    draw stage timelines for the last N retirements
   --jobs N                        worker threads for compare sweeps [AIM_JOBS/auto]
@@ -199,6 +215,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             "--untagged" => run.untagged = true,
             "--endpoints" => run.endpoints = true,
             "--filter" => run.filter = true,
+            "--pcax" => run.pcax_table = Some(parse_geometry("--pcax", &value("--pcax")?)?),
+            "--pcax-act" => {
+                let v = value("--pcax-act")?;
+                run.pcax_act = Some(
+                    v.parse()
+                        .map_err(|_| ParseError(format!("bad pcax threshold `{v}`")))?,
+                );
+            }
+            "--filt" => run.filt_table = Some(parse_geometry("--filt", &value("--filt")?)?),
+            "--filt-count" => {
+                let v = value("--filt-count")?;
+                run.filt_count = Some(
+                    v.parse()
+                        .map_err(|_| ParseError(format!("bad filter count `{v}`")))?,
+                );
+            }
             "--pipeview" => {
                 let v = value("--pipeview")?;
                 run.pipeview = v
@@ -228,6 +260,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
     })
 }
 
+/// Parses a `SETSxWAYS` table geometry, e.g. `256x1`.
+fn parse_geometry(flag: &str, v: &str) -> Result<(usize, usize), ParseError> {
+    let (s, w) = v
+        .split_once('x')
+        .ok_or_else(|| ParseError(format!("{flag} wants SETSxWAYS, got `{v}`")))?;
+    Ok((
+        s.parse()
+            .map_err(|_| ParseError(format!("bad set count `{s}`")))?,
+        w.parse()
+            .map_err(|_| ParseError(format!("bad way count `{w}`")))?,
+    ))
+}
+
 /// Builds the [`SimConfig`] a [`RunArgs`] describes.
 pub fn build_config(args: &RunArgs) -> SimConfig {
     let class = if args.aggressive {
@@ -243,6 +288,28 @@ pub fn build_config(args: &RunArgs) -> SimConfig {
         // --mode only steers the SFC/MDT-family predictor (pcax wraps the
         // SFC/MDT); every other backend keeps its TrueOnly default.
         builder = builder.mode(args.mode);
+    }
+    if args.pcax_table.is_some() || args.pcax_act.is_some() {
+        let baseline = PcaxConfig::baseline();
+        let table = args.pcax_table.map_or(baseline.table, |(sets, ways)| TableGeometry {
+            sets,
+            ways,
+            hash: SetHash::LowBits,
+        });
+        builder = builder.pcax(PcaxConfig {
+            table,
+            no_alias_act: args.pcax_act.unwrap_or(baseline.no_alias_act),
+            ..baseline
+        });
+    }
+    if args.filt_table.is_some() || args.filt_count.is_some() {
+        let baseline = FilterConfig::baseline();
+        let (sets, ways) = args.filt_table.unwrap_or((baseline.sets, baseline.ways));
+        builder = builder.filter(FilterConfig {
+            sets,
+            ways,
+            max_count: args.filt_count.unwrap_or(baseline.max_count),
+        });
     }
     let mut cfg = builder.build();
     if let BackendConfig::SfcMdt { sfc, mdt } = &mut cfg.backend {
@@ -567,6 +634,75 @@ mod tests {
             build_config(&aggr).backend,
             BackendConfig::Pcax { mdt, .. } if mdt.sets == 8192
         ));
+    }
+
+    #[test]
+    fn pcax_geometry_knobs_parse_and_build() {
+        let Command::Run(args) = parse(&[
+            "run", "gzip", "--backend", "pcax", "--pcax", "64x1", "--pcax-act", "3",
+        ])
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(args.pcax_table, Some((64, 1)));
+        assert_eq!(args.pcax_act, Some(3));
+        match build_config(&args).backend {
+            BackendConfig::Pcax { pcax, .. } => {
+                assert_eq!((pcax.table.sets, pcax.table.ways), (64, 1));
+                assert_eq!(pcax.no_alias_act, 3);
+                assert_eq!(pcax.forward_act, PcaxConfig::baseline().forward_act);
+            }
+            other => panic!("expected PCAX backend, got {other:?}"),
+        }
+        // One knob alone keeps the other at baseline.
+        let Command::Run(solo) = parse(&["run", "gzip", "--backend", "pcax", "--pcax-act", "1"])
+            .unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert!(matches!(
+            build_config(&solo).backend,
+            BackendConfig::Pcax { pcax, .. }
+                if pcax.table == PcaxConfig::baseline().table && pcax.no_alias_act == 1
+        ));
+        assert!(parse(&["run", "x", "--pcax", "64"])
+            .unwrap_err()
+            .0
+            .contains("SETSxWAYS"));
+        assert!(parse(&["run", "x", "--pcax-act", "often"])
+            .unwrap_err()
+            .0
+            .contains("bad pcax threshold"));
+    }
+
+    #[test]
+    fn filter_geometry_knobs_parse_and_build() {
+        let Command::Run(args) = parse(&[
+            "run", "gzip", "--backend", "filtered", "--filt", "16x1", "--filt-count", "3",
+        ])
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(args.filt_table, Some((16, 1)));
+        assert_eq!(args.filt_count, Some(3));
+        match build_config(&args).backend {
+            BackendConfig::FilteredLsq { filter, .. } => {
+                assert_eq!((filter.sets, filter.ways, filter.max_count), (16, 1, 3));
+            }
+            other => panic!("expected filtered LSQ backend, got {other:?}"),
+        }
+        // Without the knobs the builder default stays the baseline filter.
+        let Command::Run(plain) = parse(&["run", "gzip", "--backend", "filtered"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(matches!(
+            build_config(&plain).backend,
+            BackendConfig::FilteredLsq { filter, .. } if filter == FilterConfig::baseline()
+        ));
+        assert!(parse(&["run", "x", "--filt-count", "lots"])
+            .unwrap_err()
+            .0
+            .contains("bad filter count"));
     }
 
     #[test]

@@ -39,6 +39,38 @@ impl TableGeometry {
         self.sets * self.ways
     }
 
+    /// The geometry's conventional short name, `setsxways` (e.g. `1024x2`),
+    /// as used in config names and sweep-report rows.
+    pub fn label(&self) -> String {
+        format!("{}x{}", self.sets, self.ways)
+    }
+
+    /// The cartesian sets × ways grid over `hash`, sets-major (every way
+    /// count for the first set count, then the next) — the iteration order
+    /// every geometry sweep shares, so report rows line up across
+    /// artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any resulting geometry is malformed (non-power-of-two
+    /// sets, zero ways): a sweep over an invalid point would die mid-run
+    /// with a worse message.
+    pub fn grid(sets: &[usize], ways: &[usize], hash: SetHash) -> Vec<TableGeometry> {
+        let mut out = Vec::with_capacity(sets.len() * ways.len());
+        for &s in sets {
+            for &w in ways {
+                let g = TableGeometry {
+                    sets: s,
+                    ways: w,
+                    hash,
+                };
+                g.validate("grid point");
+                out.push(g);
+            }
+        }
+        out
+    }
+
     /// Maps a key (granule, word or PC) to its set index.
     #[inline]
     pub fn index(&self, key: u64) -> usize {
@@ -120,6 +152,22 @@ mod tests {
             hash: SetHash::LowBits,
         }
         .validate("t");
+    }
+
+    #[test]
+    fn grid_is_sets_major_and_labelled() {
+        let grid = TableGeometry::grid(&[16, 64], &[1, 2], SetHash::LowBits);
+        let labels: Vec<String> = grid.iter().map(TableGeometry::label).collect();
+        assert_eq!(labels, ["16x1", "16x2", "64x1", "64x2"]);
+        assert_eq!(grid[1].entries(), 32);
+        assert!(grid.iter().all(|g| g.hash == SetHash::LowBits));
+        assert!(TableGeometry::grid(&[], &[1], SetHash::XorFold).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sets must be a non-zero power of two")]
+    fn grid_rejects_malformed_points() {
+        TableGeometry::grid(&[16, 3], &[1], SetHash::LowBits);
     }
 
     #[test]

@@ -44,6 +44,23 @@ AIM_PCAX_JSON="$(mktemp)" AIM_SWEEP_JSON="$(mktemp)" \
   cargo run --release -q -p aim-bench --bin table_pcax -- --scale tiny \
   | grep -q 'acceptance: pcax inside the bracket'
 
+# The geometry sweeps are acceptance gates too: each run asserts every
+# swept point stays inside the no-spec..oracle bracket and must locate and
+# print a knee. The tiny grid is the reduced 2x2 CI matrix.
+echo "== tier1: table_pcax_sweep acceptance (tiny scale, tiny grid) =="
+PCAX_SWEEP_OUT="$(AIM_PCAX_SWEEP_JSON="$(mktemp)" AIM_SWEEP_JSON="$(mktemp)" \
+  cargo run --release -q -p aim-bench --bin table_pcax_sweep -- --scale tiny --grid tiny)"
+grep -q 'knee: ' <<<"$PCAX_SWEEP_OUT"
+grep -q 'acceptance: every swept pcax geometry inside the no-spec..oracle bracket, knee located' \
+  <<<"$PCAX_SWEEP_OUT"
+
+echo "== tier1: table_filter_sweep acceptance (tiny scale, tiny grid) =="
+FILTER_SWEEP_OUT="$(AIM_FILTER_SWEEP_JSON="$(mktemp)" AIM_SWEEP_JSON="$(mktemp)" \
+  cargo run --release -q -p aim-bench --bin table_filter_sweep -- --scale tiny --grid tiny)"
+grep -q 'knee: ' <<<"$FILTER_SWEEP_OUT"
+grep -q 'acceptance: every swept filter geometry inside the no-spec..oracle bracket, knee located' \
+  <<<"$FILTER_SWEEP_OUT"
+
 echo "== tier1: cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
