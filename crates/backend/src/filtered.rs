@@ -32,7 +32,7 @@
 
 use std::collections::VecDeque;
 
-use aim_core::{SetHash, TableGeometry};
+use aim_core::{SetHash, SetTable, TableGeometry};
 use aim_lsq::{Lsq, LsqStats};
 use aim_mem::MainMemory;
 use aim_types::{MemAccess, SeqNum};
@@ -118,22 +118,103 @@ pub struct FilteredStats {
     pub filter: FilterStats,
 }
 
-/// One tagged counter: `count` in-flight executed stores to words whose
-/// index has this tag in this set.
-#[derive(Debug, Clone, Copy, Default)]
-struct FilterEntry {
-    tag: u64,
-    count: u32,
-}
-
 /// Where an executed store was counted, so retirement/squash can undo it
 /// exactly.
-#[derive(Debug, Clone, Copy)]
-enum FilterSlot {
-    /// A precise per-word counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterSlot {
+    /// A precise per-word counter (flat `set * ways + way` slot index).
     Way(usize),
     /// The set's conservative overflow count.
     Overflow(usize),
+}
+
+/// The store-presence counting filter itself: a [`SetTable`] of word-index
+/// keys whose payload column is a saturating in-flight-store count, plus a
+/// per-set conservative overflow count for stores the table cannot hold
+/// precisely. A way is occupied exactly while its count is nonzero, so the
+/// alias probe is one branchless table probe plus one overflow-word test.
+///
+/// Extracted from [`FilteredLsqBackend`] so microbenchmarks can drive the
+/// probe/insert/remove loop directly.
+#[derive(Debug, Clone)]
+pub struct StoreFilter {
+    config: FilterConfig,
+    /// Word-index keys + occupancy bit-words; occupied ⟺ `counts > 0`.
+    table: SetTable,
+    /// Per-slot in-flight store count, indexed by the table's flat slot.
+    counts: Vec<u32>,
+    /// Per-set count of stores the table could not hold precisely.
+    overflow: Vec<u32>,
+}
+
+impl StoreFilter {
+    /// Creates an empty filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.sets` is not a power of two or `config.ways` /
+    /// `config.max_count` is zero.
+    pub fn new(config: FilterConfig) -> StoreFilter {
+        assert!(config.max_count > 0, "filter counters must hold at least 1");
+        StoreFilter {
+            config,
+            table: SetTable::new(config.geometry()),
+            counts: vec![0; config.sets * config.ways],
+            overflow: vec![0; config.sets],
+        }
+    }
+
+    /// The filter geometry.
+    pub fn config(&self) -> FilterConfig {
+        self.config
+    }
+
+    /// Whether an executed in-flight store *may* cover the 8-byte word with
+    /// this index. Never returns false when one does (no false negatives).
+    pub fn may_alias(&self, word_index: u64) -> bool {
+        let set = self.table.set_of(word_index);
+        self.overflow[set] > 0 || self.table.probe(set, word_index) != 0
+    }
+
+    /// Counts an executed store to a word, returning where it landed.
+    /// [`FilterSlot::Overflow`] means the set or counter was full and the
+    /// whole set went conservative.
+    pub fn insert(&mut self, word_index: u64) -> FilterSlot {
+        let set = self.table.set_of(word_index);
+        if let Some(way) = self.table.first_match(set, word_index) {
+            let slot = self.table.slot(set, way);
+            if self.counts[slot] < self.config.max_count {
+                self.counts[slot] += 1;
+                return FilterSlot::Way(slot);
+            }
+            // Counter saturated: fall through to the overflow count.
+        } else if let Some(way) = self.table.first_free(set) {
+            self.table.occupy(set, way, word_index);
+            let slot = self.table.slot(set, way);
+            self.counts[slot] = 1;
+            return FilterSlot::Way(slot);
+        }
+        self.overflow[set] += 1;
+        FilterSlot::Overflow(set)
+    }
+
+    /// Undoes one [`StoreFilter::insert`].
+    pub fn remove(&mut self, slot: FilterSlot) {
+        match slot {
+            FilterSlot::Way(idx) => {
+                debug_assert!(self.counts[idx] > 0, "filter counter underflow");
+                self.counts[idx] -= 1;
+                if self.counts[idx] == 0 {
+                    let ways = self.config.ways;
+                    self.table.vacate(idx / ways, idx % ways);
+                }
+            }
+            FilterSlot::Overflow(set) => {
+                debug_assert!(self.overflow[set] > 0, "filter overflow underflow");
+                self.overflow[set] -= 1;
+            }
+        }
+    }
 }
 
 /// A dispatched store the filter is tracking. `slot` is `None` until the
@@ -148,11 +229,7 @@ struct TrackedStore {
 /// that miss the filter skip the CAM search.
 pub struct FilteredLsqBackend {
     lsq: Lsq,
-    config: FilterConfig,
-    /// `sets × ways` tagged counters, set-major.
-    entries: Vec<FilterEntry>,
-    /// Per-set count of stores the table could not hold precisely.
-    overflow: Vec<u32>,
+    filter: StoreFilter,
     /// Dispatched, unretired stores in program order.
     stores: VecDeque<TrackedStore>,
     stats: FilterStats,
@@ -166,17 +243,9 @@ impl FilteredLsqBackend {
     /// Panics if `filter.sets` is not a power of two or `filter.ways` /
     /// `filter.max_count` is zero.
     pub fn new(lsq: Lsq, filter: FilterConfig) -> FilteredLsqBackend {
-        assert!(
-            filter.sets.is_power_of_two(),
-            "filter sets must be a power of two"
-        );
-        assert!(filter.ways > 0, "filter needs at least one way");
-        assert!(filter.max_count > 0, "filter counters must hold at least 1");
         FilteredLsqBackend {
             lsq,
-            config: filter,
-            entries: vec![FilterEntry::default(); filter.sets * filter.ways],
-            overflow: vec![0; filter.sets],
+            filter: StoreFilter::new(filter),
             stores: VecDeque::new(),
             stats: FilterStats::default(),
         }
@@ -184,66 +253,7 @@ impl FilteredLsqBackend {
 
     /// The filter geometry.
     pub fn filter_config(&self) -> FilterConfig {
-        self.config
-    }
-
-    fn set_and_tag(&self, access: MemAccess) -> (usize, u64) {
-        let word_index = access.addr().word_index();
-        let geom = self.config.geometry();
-        (geom.index(word_index), geom.tag(word_index))
-    }
-
-    /// Whether an executed in-flight store *may* cover `access`'s word.
-    /// Never returns false when one does (no false negatives).
-    fn may_alias(&self, access: MemAccess) -> bool {
-        let (set, tag) = self.set_and_tag(access);
-        self.overflow[set] > 0
-            || self.entries[set * self.config.ways..(set + 1) * self.config.ways]
-                .iter()
-                .any(|e| e.count > 0 && e.tag == tag)
-    }
-
-    /// Counts an executed store, returning where it landed.
-    fn filter_insert(&mut self, access: MemAccess) -> FilterSlot {
-        let (set, tag) = self.set_and_tag(access);
-        let base = set * self.config.ways;
-        let mut free: Option<usize> = None;
-        for way in 0..self.config.ways {
-            let e = &mut self.entries[base + way];
-            if e.count > 0 && e.tag == tag {
-                if e.count < self.config.max_count {
-                    e.count += 1;
-                    return FilterSlot::Way(base + way);
-                }
-                // Counter saturated: fall through to the overflow count.
-                free = None;
-                break;
-            }
-            if e.count == 0 && free.is_none() {
-                free = Some(base + way);
-            }
-        }
-        if let Some(idx) = free {
-            self.entries[idx] = FilterEntry { tag, count: 1 };
-            return FilterSlot::Way(idx);
-        }
-        self.overflow[set] += 1;
-        self.stats.saturation_fallbacks += 1;
-        FilterSlot::Overflow(set)
-    }
-
-    /// Undoes one [`filter_insert`](FilteredLsqBackend::filter_insert).
-    fn filter_remove(&mut self, slot: FilterSlot) {
-        match slot {
-            FilterSlot::Way(idx) => {
-                debug_assert!(self.entries[idx].count > 0, "filter counter underflow");
-                self.entries[idx].count -= 1;
-            }
-            FilterSlot::Overflow(set) => {
-                debug_assert!(self.overflow[set] > 0, "filter overflow underflow");
-                self.overflow[set] -= 1;
-            }
-        }
+        self.filter.config()
     }
 
     /// Drops tracked stores younger than `survivor`, uncounting any that had
@@ -252,7 +262,7 @@ impl FilteredLsqBackend {
         while matches!(self.stores.back(), Some(t) if t.seq > survivor) {
             let t = self.stores.pop_back().expect("checked non-empty");
             if let Some(slot) = t.slot {
-                self.filter_remove(slot);
+                self.filter.remove(slot);
             }
         }
         self.lsq.squash_after(survivor);
@@ -279,7 +289,7 @@ impl MemBackend for FilteredLsqBackend {
     }
 
     fn load_execute(&mut self, req: &LoadRequest, mem: &MainMemory) -> LoadOutcome {
-        if self.may_alias(req.access) {
+        if self.filter.may_alias(req.access.addr().word_index()) {
             self.stats.searched_loads += 1;
             let lv = self.lsq.load_execute(req.seq, req.access, mem);
             if lv.forwarded_bytes == 0 {
@@ -300,7 +310,10 @@ impl MemBackend for FilteredLsqBackend {
     }
 
     fn store_execute(&mut self, req: &StoreRequest, mem: &MainMemory) -> StoreOutcome {
-        let slot = self.filter_insert(req.access);
+        let slot = self.filter.insert(req.access.addr().word_index());
+        if matches!(slot, FilterSlot::Overflow(_)) {
+            self.stats.saturation_fallbacks += 1;
+        }
         let tracked = self
             .stores
             .iter_mut()
@@ -333,7 +346,7 @@ impl MemBackend for FilteredLsqBackend {
         let t = self.stores.pop_front().expect("store retire on empty filter");
         assert_eq!(t.seq, seq, "store retirement out of order");
         let slot = t.slot.expect("retiring store never executed");
-        self.filter_remove(slot);
+        self.filter.remove(slot);
         let _ = self.lsq.store_retire(seq);
     }
 

@@ -62,7 +62,9 @@ mod pcax;
 
 pub use crate::aim::{AimBackend, AimStats};
 pub use crate::choice::{BackendChoice, UnknownBackend};
-pub use crate::filtered::{FilterConfig, FilterStats, FilteredLsqBackend, FilteredStats};
+pub use crate::filtered::{
+    FilterConfig, FilterSlot, FilterStats, FilteredLsqBackend, FilteredStats, StoreFilter,
+};
 pub use crate::lsq::LsqBackend;
 pub use crate::nospec::{NoSpecBackend, NoSpecStats};
 pub use crate::oracle::{OracleBackend, OracleStats};

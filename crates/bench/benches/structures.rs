@@ -8,10 +8,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use aim_core::{Mdt, MdtConfig, Sfc, SfcConfig};
+use aim_core::{Mdt, MdtConfig, SetHash, Sfc, SfcConfig, TableGeometry};
 use aim_lsq::{Lsq, LsqConfig};
 use aim_mem::MainMemory;
-use aim_predictor::{EnforceMode, ProducerSetPredictor, TagScoreboard, ViolationKind};
+use aim_pipeline::{FilterConfig, StoreFilter};
+use aim_predictor::{EnforceMode, PcTable, ProducerSetPredictor, TagScoreboard, ViolationKind};
 use aim_types::{AccessSize, Addr, MemAccess, SeqNum};
 
 fn acc(addr: u64) -> MemAccess {
@@ -121,12 +122,79 @@ fn sfc_store_write(c: &mut Criterion) {
     });
 }
 
+/// Counting-filter membership probe at the PR-5 knee geometry (16 sets ×
+/// 1 way, 4-bit counters): one occupancy-word test plus a branchless key
+/// compare against the flat `SetTable` backing. Hit and miss cost the same
+/// by construction; both are measured to show it.
+fn filter_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_probe_16x1c15");
+    let mut filter = StoreFilter::new(FilterConfig {
+        sets: 16,
+        ways: 1,
+        max_count: 15,
+    });
+    // Fill most sets so probes exercise occupied occupancy words.
+    for word in 0..12u64 {
+        filter.insert(word);
+    }
+    let mut hit_word = 0u64;
+    group.bench_function(BenchmarkId::from_parameter("hit"), |b| {
+        b.iter(|| {
+            hit_word = (hit_word + 1) % 12;
+            black_box(filter.may_alias(hit_word))
+        })
+    });
+    let mut miss_word = 0u64;
+    group.bench_function(BenchmarkId::from_parameter("miss"), |b| {
+        b.iter(|| {
+            // Same sets as the resident words, different (aliasing) keys.
+            miss_word = (miss_word + 16) & 0xfff;
+            black_box(filter.may_alias(0x1000 + miss_word))
+        })
+    });
+    group.finish();
+}
+
+/// PCAX classification-table probe at the PR-5 knee geometry (64 sets ×
+/// 1 way, tagged): set index + tag compare on the flat table, then the
+/// payload-column read.
+fn pcax_table_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pcax_table_probe_64x1");
+    let geom = TableGeometry {
+        sets: 64,
+        ways: 1,
+        hash: SetHash::LowBits,
+    };
+    let mut table: PcTable<u8> = PcTable::tagged(geom);
+    for pc in 0..48u64 {
+        table.insert(pc, (pc & 3) as u8);
+    }
+    let mut hit_pc = 0u64;
+    group.bench_function(BenchmarkId::from_parameter("hit"), |b| {
+        b.iter(|| {
+            hit_pc = (hit_pc + 1) % 48;
+            black_box(table.get(hit_pc))
+        })
+    });
+    let mut miss_pc = 0u64;
+    group.bench_function(BenchmarkId::from_parameter("miss"), |b| {
+        b.iter(|| {
+            // Aliases resident sets with tags that never match.
+            miss_pc = (miss_pc + 64) & 0xfff;
+            black_box(table.get(0x10_000 + miss_pc))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     structures,
     lsq_search_scaling,
     sfc_lookup_scaling,
     mdt_check_scaling,
     predictor_dispatch,
-    sfc_store_write
+    sfc_store_write,
+    filter_probe,
+    pcax_table_probe
 );
 criterion_main!(structures);

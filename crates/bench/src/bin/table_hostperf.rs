@@ -1,0 +1,113 @@
+//! Host-throughput tracking matrix: simulated kcycles/s and MIPS per
+//! backend × machine class, plus the differential stats fingerprint.
+//!
+//! This is the perf-trajectory artifact: `BENCH_hostperf.json`
+//! (`aim-hostperf-report/v1`) records how fast the *host* simulates each
+//! backend, aggregated over every kernel, so simulator-performance work
+//! (e.g. the data-oriented SoA table rewrite) can be measured
+//! backend-by-backend across commits rather than by anecdote.
+//!
+//! The report's `stats_fingerprint` hashes every cell's host-independent
+//! `SimStats`, making the binary double as a behaviour gate: any change to
+//! any architectural statistic on any (kernel, backend) pair changes the
+//! fingerprint. With `--check`, the matrix is replayed on a single worker
+//! and the run fails unless both fingerprints agree (the jobs=N ≡ jobs=1
+//! determinism property); `scripts/tier1.sh` greps the resulting
+//! `hostperf: ACCEPT` acceptance line.
+
+use aim_bench::{
+    csv_path_from_args, has_flag, jobs_from_args, rule, run_matrix, run_matrix_timed,
+    scale_from_args, scale_token, specs, stats_fingerprint, CsvTable, HostperfReport,
+};
+
+fn main() {
+    let scale = scale_from_args();
+    let jobs = jobs_from_args();
+    let spec = specs::table_hostperf();
+    let prepared = spec.workloads(scale);
+    let (matrix, wall) = run_matrix_timed(&prepared, &spec.configs, jobs);
+    let report = HostperfReport::from_matrix(scale, jobs, wall, &spec.configs, &matrix);
+
+    println!(
+        "Host throughput — {} kernels at --scale {}, all backends on both machine classes",
+        prepared.len(),
+        scale_token(scale)
+    );
+    rule(78);
+    println!(
+        "{:<18} {:>10} | {:>12} {:>10} | {:>12} {:>8}",
+        "config", "machine", "sim kcycles", "retired k", "kcycles/s", "MIPS"
+    );
+    rule(78);
+    let mut csv = CsvTable::new(&[
+        "config",
+        "machine",
+        "backend",
+        "sim_cycles",
+        "retired",
+        "host_seconds",
+        "kcycles_per_sec",
+        "retired_mips",
+    ]);
+    for row in &report.rows {
+        println!(
+            "{:<18} {:>10} | {:>12} {:>10} | {:>12.1} {:>8.3}",
+            row.config,
+            row.machine,
+            row.sim_cycles / 1000,
+            row.retired / 1000,
+            row.kcycles_per_sec,
+            row.retired_mips,
+        );
+        csv.row(&[
+            row.config.clone(),
+            row.machine.clone(),
+            row.backend.clone(),
+            row.sim_cycles.to_string(),
+            row.retired.to_string(),
+            format!("{:.6}", row.host_seconds),
+            format!("{:.1}", row.kcycles_per_sec),
+            format!("{:.3}", row.retired_mips),
+        ]);
+    }
+    rule(78);
+    if let Some(path) = csv_path_from_args() {
+        csv.write(&path).expect("write csv");
+        println!("wrote {path}");
+    }
+
+    match report.write_default() {
+        Ok(path) => println!(
+            "hostperf: {} cells in {:.2}s on {} job(s) — {path}",
+            prepared.len() * spec.configs.len(),
+            report.wall_seconds,
+            report.jobs
+        ),
+        Err(e) => eprintln!("hostperf report not written: {e}"),
+    }
+
+    // Differential gate: with --check, replay the matrix serially and
+    // require the architectural-stats fingerprint to be bit-identical.
+    let verdict = if has_flag("--check") {
+        let serial = run_matrix(&prepared, &spec.configs, 1);
+        let replay = stats_fingerprint(&serial);
+        if replay == report.stats_fingerprint {
+            "ACCEPT"
+        } else {
+            println!(
+                "hostperf: REJECT — jobs={} fingerprint {:#018x} != jobs=1 fingerprint {replay:#018x}",
+                report.jobs, report.stats_fingerprint
+            );
+            std::process::exit(1);
+        }
+    } else {
+        "ACCEPT"
+    };
+    println!(
+        "hostperf: {verdict} fingerprint={:#018x} scale={} configs={} kernels={}",
+        report.stats_fingerprint,
+        scale_token(scale),
+        spec.configs.len(),
+        prepared.len()
+    );
+}

@@ -36,6 +36,7 @@ use aim_pipeline::{simulate_with_trace, SimConfig, SimStats};
 use aim_workloads::{Scale, Suite, Workload};
 
 mod geometry_sweep;
+mod hostperf;
 mod hybrid;
 mod matrix;
 mod pcax;
@@ -46,6 +47,7 @@ pub use geometry_sweep::{
     find_knee, grid_tiny_from_args, FilterSweepReport, FilterSweepRow, GeometryGrid, Knee,
     KneePoint, PcaxSweepReport, PcaxSweepRow,
 };
+pub use hostperf::{scale_token, stats_fingerprint, HostperfReport, HostperfRow};
 pub use hybrid::{HybridReport, HybridRow};
 pub use matrix::{run_matrix, run_matrix_timed, Matrix};
 pub use pcax::{PcaxReport, PcaxRow};

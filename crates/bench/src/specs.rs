@@ -476,6 +476,31 @@ pub fn table_filter_sweep(grid: &GeometryGrid) -> ArtifactSpec {
     }
 }
 
+/// `table_hostperf`: every backend on both machine classes — the
+/// host-throughput tracking matrix behind `BENCH_hostperf.json`. Config
+/// names carry the `base-`/`aggr-` machine-class prefix the report's
+/// aggregation keys on.
+pub fn table_hostperf() -> ArtifactSpec {
+    ArtifactSpec {
+        artifact: "table_hostperf",
+        configs: vec![
+            named("base-nospec", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::NoSpec).build()),
+            named("base-lsq-48x32", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Lsq).build()),
+            named("base-sfc-mdt-enf", SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build()),
+            named("base-filtered-lsq", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Filtered).build()),
+            named("base-pcax", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Pcax).build()),
+            named("base-oracle", SimConfig::machine(MachineClass::Baseline).backend(BackendChoice::Oracle).build()),
+            named("aggr-nospec", SimConfig::machine(MachineClass::Aggressive).backend(BackendChoice::NoSpec).build()),
+            named("aggr-lsq-120x80", SimConfig::machine(MachineClass::Aggressive).backend(BackendChoice::Lsq).lsq(LsqConfig::aggressive_120x80()).build()),
+            named("aggr-sfc-mdt-enf", SimConfig::machine(MachineClass::Aggressive).mode(EnforceMode::TotalOrder).build()),
+            named("aggr-filtered-lsq", SimConfig::machine(MachineClass::Aggressive).backend(BackendChoice::Filtered).build()),
+            named("aggr-pcax", SimConfig::machine(MachineClass::Aggressive).backend(BackendChoice::Pcax).build()),
+            named("aggr-oracle", SimConfig::machine(MachineClass::Aggressive).backend(BackendChoice::Oracle).build()),
+        ],
+        skip: &[],
+    }
+}
+
 /// `table_window_sweep`: windows 128–1024, fixed 48×32 LSQ vs SFC/MDT
 /// (window-major: `lsq@N` then `sfc-mdt@N` for each window size N).
 pub fn table_window_sweep() -> ArtifactSpec {
@@ -513,6 +538,7 @@ pub fn all_default() -> Vec<ArtifactSpec> {
         table_filter_sweep(&filter_sweep_grid(true)),
         table_power(false),
         table_backend_bounds(),
+        table_hostperf(),
         table_hybrid(),
         table_pcax(),
         table_pcax_sweep(&pcax_sweep_grid(true)),

@@ -1,15 +1,16 @@
 //! Golden-file schema tests: the machine-readable reports downstream
 //! tooling parses (`BENCH_sweep.json`, `BENCH_hybrid.json`,
-//! `BENCH_pcax.json`, `BENCH_pcax_sweep.json`, `BENCH_filter_sweep.json`)
-//! must keep a byte-stable serialization for a fixed input. Any field
-//! added, removed, renamed, or reordered shows up here as a golden-file
-//! diff — update the golden **deliberately**, alongside the schema version
-//! string, never as a drive-by.
+//! `BENCH_pcax.json`, `BENCH_pcax_sweep.json`, `BENCH_filter_sweep.json`,
+//! `BENCH_hostperf.json`) must keep a byte-stable serialization for a
+//! fixed input. Any field added, removed, renamed, or reordered shows up
+//! here as a golden-file diff — update the golden **deliberately**,
+//! alongside the schema version string, never as a drive-by.
 
 use aim_bench::{
-    FilterSweepReport, FilterSweepRow, HybridReport, HybridRow, PcaxReport, PcaxRow,
-    PcaxSweepReport, PcaxSweepRow, SweepReport, SweepRow,
+    FilterSweepReport, FilterSweepRow, HostperfReport, HostperfRow, HybridReport, HybridRow,
+    PcaxReport, PcaxRow, PcaxSweepReport, PcaxSweepRow, SweepReport, SweepRow,
 };
+use aim_workloads::Scale;
 
 /// A fixed, fully populated sweep report.
 fn golden_sweep() -> SweepReport {
@@ -194,6 +195,38 @@ fn golden_filter_sweep() -> FilterSweepReport {
     }
 }
 
+/// A fixed, fully populated host-throughput report.
+fn golden_hostperf() -> HostperfReport {
+    HostperfReport {
+        scale: Scale::Tiny,
+        jobs: 2,
+        wall_seconds: 1.5,
+        stats_fingerprint: 0xa49a_d310_4b1c_2d9a,
+        rows: vec![
+            HostperfRow {
+                config: "base-sfc-mdt-enf".to_string(),
+                machine: "baseline".to_string(),
+                backend: "sfc-mdt-enf".to_string(),
+                sim_cycles: 123456,
+                retired: 654321,
+                host_seconds: 0.25,
+                kcycles_per_sec: 493.824,
+                retired_mips: 2.617284,
+            },
+            HostperfRow {
+                config: "aggr-pcax".to_string(),
+                machine: "aggressive".to_string(),
+                backend: "pcax".to_string(),
+                sim_cycles: 98765,
+                retired: 654321,
+                host_seconds: 0.5,
+                kcycles_per_sec: 197.53,
+                retired_mips: 1.308642,
+            },
+        ],
+    }
+}
+
 #[test]
 fn sweep_report_serialization_is_golden() {
     let got = golden_sweep().to_json();
@@ -246,6 +279,17 @@ fn filter_sweep_report_serialization_is_golden() {
         got, want,
         "aim-filter-sweep/v1 serialization drifted; if intentional, update \
          tests/golden/filter_sweep.golden.json and bump the schema version"
+    );
+}
+
+#[test]
+fn hostperf_report_serialization_is_golden() {
+    let got = golden_hostperf().to_json();
+    let want = include_str!("golden/hostperf.golden.json");
+    assert_eq!(
+        got, want,
+        "aim-hostperf-report/v1 serialization drifted; if intentional, update \
+         tests/golden/hostperf.golden.json and bump the schema version"
     );
 }
 
@@ -374,6 +418,35 @@ fn reports_keep_their_stable_field_sets() {
             filter_sweep.matches(field).count(),
             2,
             "filter sweep row field {field}"
+        );
+    }
+
+    let hostperf = golden_hostperf().to_json();
+    for field in [
+        "\"schema\"",
+        "\"artifact\"",
+        "\"scale\"",
+        "\"jobs\"",
+        "\"wall_seconds\"",
+        "\"stats_fingerprint\"",
+        "\"rows\"",
+    ] {
+        assert_eq!(hostperf.matches(field).count(), 1, "hostperf field {field}");
+    }
+    for field in [
+        "\"config\"",
+        "\"machine\"",
+        "\"backend\"",
+        "\"sim_cycles\"",
+        "\"retired\"",
+        "\"host_seconds\"",
+        "\"kcycles_per_sec\"",
+        "\"retired_mips\"",
+    ] {
+        assert_eq!(
+            hostperf.matches(field).count(),
+            2,
+            "hostperf row field {field}"
         );
     }
 }

@@ -13,7 +13,7 @@
 //!   detects **true, anti and output** dependence violations via a technique
 //!   similar to basic timestamp ordering;
 //! * a store FIFO for in-order retirement (provided by
-//!   [`aim_mem::StoreFifo`]).
+//!   `aim_mem::StoreFifo`).
 //!
 //! Because the SFC does not rename multiple in-flight stores to one address,
 //! anti and output violations — which an LSQ never suffers — become possible;
@@ -47,11 +47,13 @@
 mod geometry;
 mod hash;
 mod mdt;
+mod set_table;
 mod sfc;
 
 pub use geometry::TableGeometry;
 pub use hash::SetHash;
 pub use mdt::{Mdt, MdtConfig, MdtStats, MdtTagging, TrueDepRecovery, Violation};
+pub use set_table::SetTable;
 pub use sfc::{CorruptionPolicy, Sfc, SfcConfig, SfcLoadResult, SfcStats};
 
 use core::fmt;

@@ -2,7 +2,7 @@
 
 use aim_types::{MemAccess, SeqNum, ViolationKind};
 
-use crate::{SetHash, StructuralConflict, TableGeometry};
+use crate::{SetHash, SetTable, StructuralConflict, TableGeometry};
 
 /// Recovery policy for true dependence violations (paper §2.4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -146,19 +146,11 @@ impl MdtStats {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct MdtEntry {
-    /// Granule number (`addr / granularity`); the set index is derived from
-    /// its low bits, the rest is the tag.
-    granule: u64,
-    load_seq: Option<SeqNum>,
-    store_seq: Option<SeqNum>,
-    load_pc: u64,
-    store_pc: u64,
-    /// Loads completed but not yet retired (see
-    /// [`TrueDepRecovery::SingleLoadAggressive`]).
-    loads_completed: u32,
-}
+/// Sentinel for "no sequence number recorded" in the SoA columns (the
+/// dense stand-in for `Option<SeqNum>`). Real sequence numbers start at 1
+/// and never reach `u64::MAX`; every comparison checks the sentinel
+/// explicitly rather than relying on its ordering.
+const NO_SEQ: u64 = u64::MAX;
 
 /// The memory disambiguation table: "an address-indexed, cache-like structure
 /// that replaces the conventional load queue and its associative search
@@ -197,10 +189,18 @@ struct MdtEntry {
 #[derive(Debug, Clone)]
 pub struct Mdt {
     config: MdtConfig,
-    sets: Vec<Vec<Option<MdtEntry>>>,
+    /// Granule keys + per-set occupancy bit-words.
+    table: SetTable,
+    /// SoA payload columns, indexed by the table's flat slot. Sequence
+    /// numbers use the [`NO_SEQ`] sentinel for "invalid".
+    load_seq: Vec<u64>,
+    store_seq: Vec<u64>,
+    load_pc: Vec<u64>,
+    store_pc: Vec<u64>,
+    /// Loads completed but not yet retired per entry (see
+    /// [`TrueDepRecovery::SingleLoadAggressive`]).
+    loads_completed: Vec<u32>,
     stats: MdtStats,
-    occupancy: usize,
-    peak_occupancy: usize,
 }
 
 impl Mdt {
@@ -211,18 +211,21 @@ impl Mdt {
     /// Panics if `sets` or `granularity` is not a nonzero power of two, if
     /// `granularity < 8`, or if `ways == 0`.
     pub fn new(mut config: MdtConfig) -> Mdt {
-        assert!(config.sets.is_power_of_two() && config.sets > 0);
-        assert!(config.ways > 0);
         assert!(config.granularity.is_power_of_two() && config.granularity >= 8);
         if config.tagging == MdtTagging::Untagged {
             config.ways = 1; // untagged entries are direct-mapped
         }
+        let table = SetTable::new(config.geometry());
+        let entries = config.sets * config.ways;
         Mdt {
             config,
-            sets: vec![vec![None; config.ways]; config.sets],
+            table,
+            load_seq: vec![NO_SEQ; entries],
+            store_seq: vec![NO_SEQ; entries],
+            load_pc: vec![0; entries],
+            store_pc: vec![0; entries],
+            loads_completed: vec![0; entries],
             stats: MdtStats::default(),
-            occupancy: 0,
-            peak_occupancy: 0,
         }
     }
 
@@ -238,12 +241,12 @@ impl Mdt {
 
     /// Entries currently allocated.
     pub fn occupancy(&self) -> usize {
-        self.occupancy
+        self.table.occupancy()
     }
 
     /// Highest occupancy observed.
     pub fn peak_occupancy(&self) -> usize {
-        self.peak_occupancy
+        self.table.peak_occupancy()
     }
 
     #[inline]
@@ -252,73 +255,60 @@ impl Mdt {
     }
 
     #[inline]
-    fn set_of(&self, granule: u64) -> usize {
-        self.config.geometry().index(granule)
+    fn is_stale(&self, slot: usize, floor: SeqNum) -> bool {
+        let ls = self.load_seq[slot];
+        let ss = self.store_seq[slot];
+        (ls == NO_SEQ || ls < floor.0) && (ss == NO_SEQ || ss < floor.0)
     }
 
-    fn is_stale(entry: &MdtEntry, floor: SeqNum) -> bool {
-        entry.load_seq.is_none_or(|s| s < floor) && entry.store_seq.is_none_or(|s| s < floor)
-    }
-
-    /// Finds the way holding `granule`, or allocates one (empty way first,
-    /// then any stale way). `Err` is a set conflict.
-    fn find_or_alloc(
-        &mut self,
-        granule: u64,
-        floor: SeqNum,
-    ) -> Result<(usize, usize), StructuralConflict> {
-        let untagged = self.config.tagging == MdtTagging::Untagged;
-        let set_idx = self.set_of(granule);
-        let set = &mut self.sets[set_idx];
-
-        let mut free_way = None;
-        let mut stale_way = None;
-        let mut hit_way = None;
-        for (i, way) in set.iter().enumerate() {
-            match way {
-                // Untagged entries are shared by every aliasing granule.
-                Some(e) if untagged || e.granule == granule => {
-                    hit_way = Some(i);
-                    break;
-                }
-                Some(e) if stale_way.is_none() && Self::is_stale(e, floor) => {
-                    stale_way = Some(i);
-                }
-                Some(_) => {}
-                None if free_way.is_none() => free_way = Some(i),
-                None => {}
-            }
-        }
-
-        let way = if let Some(i) = hit_way {
-            i
+    /// The way holding `granule`, if any. Untagged entries are shared by
+    /// every aliasing granule, so any occupied way of the set matches.
+    #[inline]
+    fn find(&self, set: usize, granule: u64) -> Option<usize> {
+        if self.config.tagging == MdtTagging::Untagged {
+            let occ = self.table.occ_word(set);
+            (occ != 0).then(|| occ.trailing_zeros() as usize)
         } else {
-            let i = match (free_way, stale_way) {
-                (Some(i), _) => {
-                    self.occupancy += 1;
-                    self.peak_occupancy = self.peak_occupancy.max(self.occupancy);
-                    i
-                }
-                (None, Some(i)) => {
-                    self.stats.reclaims += 1;
-                    i
-                }
-                (None, None) => {
-                    self.stats.conflicts += 1;
-                    return Err(StructuralConflict);
-                }
-            };
-            set[i] = Some(MdtEntry {
-                granule,
-                load_seq: None,
-                store_seq: None,
-                load_pc: 0,
-                store_pc: 0,
-                loads_completed: 0,
-            });
-            i
-        };
-        Ok((set_idx, way))
+            self.table.first_match(set, granule)
+        }
+    }
+
+    /// Resets a slot's payload columns to the empty-entry state.
+    #[inline]
+    fn reset_slot(&mut self, slot: usize) {
+        self.load_seq[slot] = NO_SEQ;
+        self.store_seq[slot] = NO_SEQ;
+        self.load_pc[slot] = 0;
+        self.store_pc[slot] = 0;
+        self.loads_completed[slot] = 0;
+    }
+
+    /// Finds the slot holding `granule`, or allocates one (empty way first,
+    /// then any stale way). `Err` is a set conflict.
+    fn find_or_alloc(&mut self, granule: u64, floor: SeqNum) -> Result<usize, StructuralConflict> {
+        let set = self.table.set_of(granule);
+        if let Some(way) = self.find(set, granule) {
+            return Ok(self.table.slot(set, way));
+        }
+        if let Some(way) = self.table.first_free(set) {
+            self.table.occupy(set, way, granule);
+            let slot = self.table.slot(set, way);
+            self.reset_slot(slot);
+            return Ok(slot);
+        }
+        // Every way is occupied by another granule: reclaim the first stale
+        // one in place.
+        if let Some(way) =
+            (0..self.table.ways()).find(|&w| self.is_stale(self.table.slot(set, w), floor))
+        {
+            self.stats.reclaims += 1;
+            self.table.replace(set, way, granule);
+            let slot = self.table.slot(set, way);
+            self.reset_slot(slot);
+            return Ok(slot);
+        }
+        self.stats.conflicts += 1;
+        Err(StructuralConflict)
     }
 
     /// A load at `pc` with sequence number `seq` executes an access.
@@ -340,28 +330,27 @@ impl Mdt {
     ) -> Result<Option<Violation>, StructuralConflict> {
         self.stats.load_checks += 1;
         let granule = self.granule_of(access);
-        let (set_idx, way) = self.find_or_alloc(granule, floor)?;
-        let entry = self.sets[set_idx][way].as_mut().expect("entry ensured");
+        let slot = self.find_or_alloc(granule, floor)?;
 
-        if let Some(store_seq) = entry.store_seq {
-            if seq < store_seq {
-                // A later store already completed: the load (and everything
-                // after it) must be flushed and re-executed.
-                self.stats.anti_violations += 1;
-                return Ok(Some(Violation {
-                    kind: ViolationKind::Anti,
-                    producer_pc: pc,
-                    consumer_pc: entry.store_pc,
-                    squash_after: SeqNum(seq.0.saturating_sub(1)),
-                }));
-            }
+        let ss = self.store_seq[slot];
+        if ss != NO_SEQ && seq.0 < ss {
+            // A later store already completed: the load (and everything
+            // after it) must be flushed and re-executed.
+            self.stats.anti_violations += 1;
+            return Ok(Some(Violation {
+                kind: ViolationKind::Anti,
+                producer_pc: pc,
+                consumer_pc: self.store_pc[slot],
+                squash_after: SeqNum(seq.0.saturating_sub(1)),
+            }));
         }
 
-        if entry.load_seq.is_none_or(|ls| seq > ls) {
-            entry.load_seq = Some(seq);
-            entry.load_pc = pc;
+        let ls = self.load_seq[slot];
+        if ls == NO_SEQ || seq.0 > ls {
+            self.load_seq[slot] = seq.0;
+            self.load_pc[slot] = pc;
         }
-        entry.loads_completed += 1;
+        self.loads_completed[slot] += 1;
         Ok(None)
     }
 
@@ -385,47 +374,43 @@ impl Mdt {
         self.stats.store_checks += 1;
         let granule = self.granule_of(access);
         let recovery = self.config.true_dep_recovery;
-        let (set_idx, way) = self.find_or_alloc(granule, floor)?;
-        let entry = self.sets[set_idx][way].as_mut().expect("entry ensured");
+        let slot = self.find_or_alloc(granule, floor)?;
         let mut violations = Vec::new();
 
-        match entry.store_seq {
-            Some(ss) if seq < ss => {
-                // Output violation: this (earlier) store completed after a
-                // later store already wrote the SFC.
-                violations.push(Violation {
-                    kind: ViolationKind::Output,
-                    producer_pc: pc,
-                    consumer_pc: entry.store_pc,
-                    squash_after: seq,
-                });
-            }
-            _ => {
-                entry.store_seq = Some(seq);
-                entry.store_pc = pc;
-            }
+        let ss = self.store_seq[slot];
+        if ss != NO_SEQ && seq.0 < ss {
+            // Output violation: this (earlier) store completed after a
+            // later store already wrote the SFC.
+            violations.push(Violation {
+                kind: ViolationKind::Output,
+                producer_pc: pc,
+                consumer_pc: self.store_pc[slot],
+                squash_after: seq,
+            });
+        } else {
+            self.store_seq[slot] = seq.0;
+            self.store_pc[slot] = pc;
         }
 
         let mut aggressive = false;
-        if let Some(ls) = entry.load_seq {
-            if seq < ls {
-                // True violation: a later load already executed and read a
-                // stale value.
-                let squash_after = if recovery == TrueDepRecovery::SingleLoadAggressive
-                    && entry.loads_completed == 1
-                {
-                    aggressive = true;
-                    SeqNum(ls.0.saturating_sub(1))
-                } else {
-                    seq
-                };
-                violations.push(Violation {
-                    kind: ViolationKind::True,
-                    producer_pc: pc,
-                    consumer_pc: entry.load_pc,
-                    squash_after,
-                });
-            }
+        let ls = self.load_seq[slot];
+        if ls != NO_SEQ && seq.0 < ls {
+            // True violation: a later load already executed and read a
+            // stale value.
+            let squash_after = if recovery == TrueDepRecovery::SingleLoadAggressive
+                && self.loads_completed[slot] == 1
+            {
+                aggressive = true;
+                SeqNum(ls.saturating_sub(1))
+            } else {
+                seq
+            };
+            violations.push(Violation {
+                kind: ViolationKind::True,
+                producer_pc: pc,
+                consumer_pc: self.load_pc[slot],
+                squash_after,
+            });
         }
 
         if aggressive {
@@ -458,41 +443,24 @@ impl Mdt {
     /// The probe bumps no counters and allocates nothing — a miss (no
     /// matching entry) is simply `false`.
     pub fn executed_older_store(&self, seq: SeqNum, access: MemAccess, floor: SeqNum) -> bool {
-        let untagged = self.config.tagging == MdtTagging::Untagged;
         let granule = self.granule_of(access);
-        let set_idx = self.set_of(granule);
-        self.sets[set_idx]
-            .iter()
-            .flatten()
-            .filter(|e| untagged || e.granule == granule)
-            .any(|e| e.store_seq.is_some_and(|ss| ss >= floor && ss < seq))
-    }
-
-    fn entry_mut(&mut self, granule: u64) -> Option<&mut MdtEntry> {
-        let untagged = self.config.tagging == MdtTagging::Untagged;
-        let set_idx = self.set_of(granule);
-        self.sets[set_idx]
-            .iter_mut()
-            .flatten()
-            .find(|e| untagged || e.granule == granule)
-    }
-
-    fn maybe_free(&mut self, granule: u64) -> bool {
-        let untagged = self.config.tagging == MdtTagging::Untagged;
-        let set_idx = self.set_of(granule);
-        let set = &mut self.sets[set_idx];
-        for way in set.iter_mut() {
-            if let Some(e) = way {
-                if (untagged || e.granule == granule)
-                    && e.load_seq.is_none()
-                    && e.store_seq.is_none()
-                {
-                    *way = None;
-                    self.occupancy -= 1;
-                    self.stats.frees += 1;
-                    return true;
-                }
+        let set = self.table.set_of(granule);
+        match self.find(set, granule) {
+            Some(way) => {
+                let ss = self.store_seq[self.table.slot(set, way)];
+                ss != NO_SEQ && ss >= floor.0 && ss < seq.0
             }
+            None => false,
+        }
+    }
+
+    /// Frees the slot if both its sequence numbers are invalid.
+    fn maybe_free(&mut self, set: usize, way: usize) -> bool {
+        let slot = self.table.slot(set, way);
+        if self.load_seq[slot] == NO_SEQ && self.store_seq[slot] == NO_SEQ {
+            self.table.vacate(set, way);
+            self.stats.frees += 1;
+            return true;
         }
         false
     }
@@ -518,11 +486,13 @@ impl Mdt {
             return false;
         }
         let granule = self.granule_of(access);
-        if let Some(entry) = self.entry_mut(granule) {
-            entry.loads_completed = entry.loads_completed.saturating_sub(1);
-            if entry.load_seq == Some(seq) {
-                entry.load_seq = None;
-                return self.maybe_free(granule);
+        let set = self.table.set_of(granule);
+        if let Some(way) = self.find(set, granule) {
+            let slot = self.table.slot(set, way);
+            self.loads_completed[slot] = self.loads_completed[slot].saturating_sub(1);
+            if self.load_seq[slot] == seq.0 {
+                self.load_seq[slot] = NO_SEQ;
+                return self.maybe_free(set, way);
             }
         }
         false
@@ -534,10 +504,12 @@ impl Mdt {
             return false;
         }
         let granule = self.granule_of(access);
-        if let Some(entry) = self.entry_mut(granule) {
-            if entry.store_seq == Some(seq) {
-                entry.store_seq = None;
-                return self.maybe_free(granule);
+        let set = self.table.set_of(granule);
+        if let Some(way) = self.find(set, granule) {
+            let slot = self.table.slot(set, way);
+            if self.store_seq[slot] == seq.0 {
+                self.store_seq[slot] = NO_SEQ;
+                return self.maybe_free(set, way);
             }
         }
         false

@@ -2,7 +2,7 @@
 
 use aim_types::{ByteMask, MemAccess, SeqNum};
 
-use crate::{SetHash, StructuralConflict};
+use crate::{SetHash, SetTable, StructuralConflict, TableGeometry};
 
 /// How the SFC guards against forwarding data from canceled stores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -114,20 +114,16 @@ pub struct SfcStats {
     pub full_flushes: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct SfcLine {
-    /// Word index (`addr / 8`); set index derives from its low bits.
-    word: u64,
-    data: [u8; 8],
-    valid: ByteMask,
-    corrupt: ByteMask,
-    /// Upper bound on the newest *surviving* store that wrote this line.
-    /// Partial flushes clamp it to the flush survivor, so it stays a safe
-    /// over-approximation when writers are canceled.
-    live_writer: SeqNum,
-    /// Per-byte writer sequence numbers (0 = never written); used only by
-    /// [`CorruptionPolicy::FlushEndpoints`].
-    writers: [u64; 8],
+/// Expands a byte mask to a 64-bit lane mask: bit `i` set ⇒ byte lane `i`
+/// all-ones. Branchless, so masked data merges stay straight-line code.
+#[inline]
+fn lane_mask(mask: ByteMask) -> u64 {
+    let bits = u64::from(mask.bits());
+    let mut m = 0u64;
+    for i in 0..8 {
+        m |= 0u64.wrapping_sub((bits >> i) & 1) & (0xFF << (8 * i));
+    }
+    m
 }
 
 /// The store forwarding cache: "an address-indexed, cache-like structure that
@@ -180,12 +176,24 @@ struct SfcLine {
 #[derive(Debug, Clone)]
 pub struct Sfc {
     config: SfcConfig,
-    sets: Vec<Vec<Option<SfcLine>>>,
-    /// Canceled-sequence ranges, inclusive (FlushEndpoints mode only).
+    /// Line addresses (word indices) + per-set occupancy bit-words.
+    table: SetTable,
+    /// SoA payload columns, indexed by the table's flat slot.
+    data: Vec<u64>,
+    valid: Vec<ByteMask>,
+    corrupt: Vec<ByteMask>,
+    /// Upper bound on the newest *surviving* store that wrote each line.
+    /// Partial flushes clamp it to the flush survivor, so it stays a safe
+    /// over-approximation when writers are canceled.
+    live_writer: Vec<SeqNum>,
+    /// Per-byte writer sequence numbers (0 = never written), 8 per slot;
+    /// used only by [`CorruptionPolicy::FlushEndpoints`].
+    writers: Vec<u64>,
+    /// Canceled-sequence ranges, inclusive (FlushEndpoints mode only);
+    /// sorted by start, disjoint, and non-adjacent (coalesced on insert),
+    /// so membership is one binary search.
     flush_ranges: Vec<(u64, u64)>,
     stats: SfcStats,
-    occupancy: usize,
-    peak_occupancy: usize,
 }
 
 impl Sfc {
@@ -195,23 +203,60 @@ impl Sfc {
     ///
     /// Panics if `sets` is not a nonzero power of two or `ways == 0`.
     pub fn new(config: SfcConfig) -> Sfc {
-        assert!(config.sets.is_power_of_two() && config.sets > 0);
-        assert!(config.ways > 0);
+        let table = SetTable::new(TableGeometry {
+            sets: config.sets,
+            ways: config.ways,
+            hash: config.hash,
+        });
+        let entries = config.sets * config.ways;
         Sfc {
             config,
-            sets: vec![vec![None; config.ways]; config.sets],
+            table,
+            data: vec![0; entries],
+            valid: vec![ByteMask::EMPTY; entries],
+            corrupt: vec![ByteMask::EMPTY; entries],
+            live_writer: vec![SeqNum::ZERO; entries],
+            writers: vec![0; entries * 8],
             flush_ranges: Vec::new(),
             stats: SfcStats::default(),
-            occupancy: 0,
-            peak_occupancy: 0,
         }
     }
 
-    /// Whether `seq` falls inside a recorded canceled range.
+    /// Whether `seq` falls inside a recorded canceled range (one binary
+    /// search over the sorted, disjoint ranges).
     fn is_canceled(&self, seq: u64) -> bool {
-        self.flush_ranges
-            .iter()
-            .any(|&(lo, hi)| lo <= seq && seq <= hi)
+        let i = self.flush_ranges.partition_point(|&(lo, _)| lo <= seq);
+        i > 0 && self.flush_ranges[i - 1].1 >= seq
+    }
+
+    /// Records the canceled range `[lo, hi]`, keeping `flush_ranges` sorted
+    /// and coalescing any overlapping or adjacent ranges, then enforces the
+    /// capacity bound by merging the two lowest ranges into their convex
+    /// hull (conservative: the union only grows).
+    fn record_flush_range(&mut self, lo: u64, hi: u64, capacity: usize) {
+        let start = self.flush_ranges.partition_point(|&(l, _)| l < lo);
+        // The span [a, b) of existing ranges touching [lo, hi]: at most the
+        // one range just before `start` (ranges before it are disjoint and
+        // non-adjacent, so only the nearest can reach lo), plus every range
+        // from `start` whose own start falls inside or adjacent to `hi`.
+        let mut a = start;
+        if a > 0 && self.flush_ranges[a - 1].1.saturating_add(1) >= lo {
+            a -= 1;
+        }
+        let mut b = start;
+        while b < self.flush_ranges.len() && self.flush_ranges[b].0 <= hi.saturating_add(1) {
+            b += 1;
+        }
+        let mut merged = (lo, hi);
+        if a < b {
+            merged.0 = merged.0.min(self.flush_ranges[a].0);
+            merged.1 = merged.1.max(self.flush_ranges[b - 1].1);
+        }
+        self.flush_ranges.splice(a..b, std::iter::once(merged));
+        while self.flush_ranges.len() > capacity.max(1) {
+            let (_, hi2) = self.flush_ranges.remove(1);
+            self.flush_ranges[0].1 = self.flush_ranges[0].1.max(hi2);
+        }
     }
 
     /// The configured geometry.
@@ -226,32 +271,33 @@ impl Sfc {
 
     /// Lines currently allocated.
     pub fn occupancy(&self) -> usize {
-        self.occupancy
+        self.table.occupancy()
     }
 
     /// Highest occupancy observed.
     pub fn peak_occupancy(&self) -> usize {
-        self.peak_occupancy
+        self.table.peak_occupancy()
     }
 
+    /// Resets a slot's payload columns to the empty-line state.
     #[inline]
-    fn set_of(&self, word: u64) -> usize {
-        self.config.hash.index(word, self.config.sets)
+    fn reset_slot(&mut self, slot: usize) {
+        self.data[slot] = 0;
+        self.valid[slot] = ByteMask::EMPTY;
+        self.corrupt[slot] = ByteMask::EMPTY;
+        self.live_writer[slot] = SeqNum::ZERO;
+        self.writers[slot * 8..slot * 8 + 8].fill(0);
     }
 
     /// Reclaims the line for `word` if its newest possible writer is older
     /// than the retirement floor (writer retired — data committed — or was
     /// canceled — bytes corrupt).
     fn reclaim_if_stale(&mut self, word: u64, floor: SeqNum) {
-        let set_idx = self.set_of(word);
-        for way in self.sets[set_idx].iter_mut() {
-            if let Some(line) = way {
-                if line.word == word && line.live_writer < floor {
-                    *way = None;
-                    self.occupancy -= 1;
-                    self.stats.reclaims += 1;
-                    return;
-                }
+        let set = self.table.set_of(word);
+        if let Some(way) = self.table.first_match(set, word) {
+            if self.live_writer[self.table.slot(set, way)] < floor {
+                self.table.vacate(set, way);
+                self.stats.reclaims += 1;
             }
         }
     }
@@ -275,56 +321,40 @@ impl Sfc {
     ) -> Result<(), StructuralConflict> {
         let word = access.addr().word_index();
         self.reclaim_if_stale(word, floor);
-        let set_idx = self.set_of(word);
+        let set = self.table.set_of(word);
 
-        let mut target = None;
-        let mut free_way = None;
-        let mut stale_way = None;
-        for (i, way) in self.sets[set_idx].iter().enumerate() {
-            match way {
-                Some(line) if line.word == word => {
-                    target = Some(i);
-                    break;
-                }
-                Some(line) if stale_way.is_none() && line.live_writer < floor => {
-                    stale_way = Some(i);
-                }
-                Some(_) => {}
-                None if free_way.is_none() => free_way = Some(i),
-                None => {}
-            }
-        }
-
-        let way = match (target, free_way, stale_way) {
-            (Some(i), _, _) => i,
-            (None, Some(i), _) => {
-                self.occupancy += 1;
-                self.peak_occupancy = self.peak_occupancy.max(self.occupancy);
-                self.sets[set_idx][i] = Some(SfcLine::empty(word));
-                i
-            }
-            (None, None, Some(i)) => {
-                self.stats.reclaims += 1;
-                self.sets[set_idx][i] = Some(SfcLine::empty(word));
-                i
-            }
-            (None, None, None) => {
-                self.stats.store_conflicts += 1;
-                return Err(StructuralConflict);
-            }
+        let slot = if let Some(way) = self.table.first_match(set, word) {
+            self.table.slot(set, way)
+        } else if let Some(way) = self.table.first_free(set) {
+            self.table.occupy(set, way, word);
+            let slot = self.table.slot(set, way);
+            self.reset_slot(slot);
+            slot
+        } else if let Some(way) = (0..self.table.ways())
+            .find(|&w| self.live_writer[self.table.slot(set, w)] < floor)
+        {
+            // Every way is occupied: reclaim the first stale one in place.
+            self.stats.reclaims += 1;
+            self.table.replace(set, way, word);
+            let slot = self.table.slot(set, way);
+            self.reset_slot(slot);
+            slot
+        } else {
+            self.stats.store_conflicts += 1;
+            return Err(StructuralConflict);
         };
 
-        let line = self.sets[set_idx][way].as_mut().expect("line ensured");
         let mask = access.mask();
         let base = access.addr().offset_in_word();
+        let lanes = lane_mask(mask);
+        self.data[slot] = (self.data[slot] & !lanes) | ((value << (8 * base)) & lanes);
         for (k, byte_idx) in mask.iter_bytes().enumerate() {
             debug_assert_eq!(byte_idx, base + k as u32);
-            line.data[byte_idx as usize] = (value >> (8 * k)) as u8;
-            line.writers[byte_idx as usize] = seq.0;
+            self.writers[slot * 8 + byte_idx as usize] = seq.0;
         }
-        line.valid = line.valid | mask;
-        line.corrupt = line.corrupt & !mask;
-        line.live_writer = line.live_writer.max(seq);
+        self.valid[slot] = self.valid[slot] | mask;
+        self.corrupt[slot] = self.corrupt[slot] & !mask;
+        self.live_writer[slot] = self.live_writer[slot].max(seq);
         self.stats.store_writes += 1;
         Ok(())
     }
@@ -335,13 +365,14 @@ impl Sfc {
         self.stats.load_lookups += 1;
         let word = access.addr().word_index();
         self.reclaim_if_stale(word, floor);
-        let set_idx = self.set_of(word);
-        let Some(line) = self.sets[set_idx].iter().flatten().find(|l| l.word == word) else {
+        let set = self.table.set_of(word);
+        let Some(way) = self.table.first_match(set, word) else {
             return SfcLoadResult::Miss;
         };
+        let slot = self.table.slot(set, way);
 
         let needed = access.mask();
-        if needed.intersects(line.corrupt) {
+        if needed.intersects(self.corrupt[slot]) {
             self.stats.corrupt_rejections += 1;
             return SfcLoadResult::Corrupt;
         }
@@ -350,20 +381,22 @@ impl Sfc {
             CorruptionPolicy::FlushEndpoints { .. }
         ) {
             // A needed byte written by a canceled store cannot forward.
-            let canceled = needed
-                .iter_bytes()
-                .any(|i| line.valid.contains_byte(i) && self.is_canceled(line.writers[i as usize]));
+            let canceled = needed.iter_bytes().any(|i| {
+                self.valid[slot].contains_byte(i)
+                    && self.is_canceled(self.writers[slot * 8 + i as usize])
+            });
             if canceled {
                 self.stats.corrupt_rejections += 1;
                 return SfcLoadResult::Corrupt;
             }
         }
-        let valid_needed = needed & line.valid;
+        let valid_needed = needed & self.valid[slot];
         if valid_needed == needed {
             let base = access.addr().offset_in_word();
-            let mut v = 0u64;
-            for k in 0..access.size().bytes() as u32 {
-                v |= (line.data[(base + k) as usize] as u64) << (8 * k);
+            let len = access.size().bytes() as u32;
+            let mut v = self.data[slot] >> (8 * base);
+            if len < 8 {
+                v &= (1u64 << (8 * len)) - 1;
             }
             self.stats.forwards += 1;
             SfcLoadResult::Forward(v)
@@ -372,7 +405,7 @@ impl Sfc {
         } else {
             self.stats.partial_matches += 1;
             SfcLoadResult::Partial {
-                data: line.data,
+                data: self.data[slot].to_le_bytes(),
                 valid: valid_needed,
             }
         }
@@ -385,18 +418,12 @@ impl Sfc {
     /// bits, §2.4.3).
     pub fn on_store_retire(&mut self, seq: SeqNum, access: MemAccess) -> bool {
         let word = access.addr().word_index();
-        let set_idx = self.set_of(word);
-        for way in self.sets[set_idx].iter_mut() {
-            if let Some(line) = way {
-                if line.word == word {
-                    if line.live_writer <= seq {
-                        *way = None;
-                        self.occupancy -= 1;
-                        self.stats.frees += 1;
-                        return true;
-                    }
-                    return false;
-                }
+        let set = self.table.set_of(word);
+        if let Some(way) = self.table.first_match(set, word) {
+            if self.live_writer[self.table.slot(set, way)] <= seq {
+                self.table.vacate(set, way);
+                self.stats.frees += 1;
+                return true;
             }
         }
         false
@@ -418,28 +445,19 @@ impl Sfc {
         self.stats.partial_flushes += 1;
         match self.config.corruption {
             CorruptionPolicy::CorruptBits => {
-                for set in &mut self.sets {
-                    for line in set.iter_mut().flatten() {
-                        line.corrupt = line.corrupt | line.valid;
-                        line.live_writer = line.live_writer.min(survivor);
-                    }
+                // Occupancy-word-guided sweep: only live slots are visited,
+                // so the flush costs O(occupancy), not O(sets × ways).
+                for slot in self.table.occupied_slots() {
+                    self.corrupt[slot] = self.corrupt[slot] | self.valid[slot];
+                    self.live_writer[slot] = self.live_writer[slot].min(survivor);
                 }
             }
             CorruptionPolicy::FlushEndpoints { capacity } => {
                 if youngest > survivor {
-                    self.flush_ranges.push((survivor.0 + 1, youngest.0));
-                    while self.flush_ranges.len() > capacity.max(1) {
-                        // Merge the two oldest ranges into their convex hull:
-                        // conservative (covers surviving seqs between them).
-                        let (lo1, hi1) = self.flush_ranges.remove(0);
-                        let (lo2, hi2) = self.flush_ranges.remove(0);
-                        self.flush_ranges.insert(0, (lo1.min(lo2), hi1.max(hi2)));
-                    }
+                    self.record_flush_range(survivor.0 + 1, youngest.0, capacity);
                 }
-                for set in &mut self.sets {
-                    for line in set.iter_mut().flatten() {
-                        line.live_writer = line.live_writer.min(survivor);
-                    }
+                for slot in self.table.occupied_slots() {
+                    self.live_writer[slot] = self.live_writer[slot].min(survivor);
                 }
             }
         }
@@ -449,36 +467,18 @@ impl Sfc {
     /// thereby discarding the effects of canceled stores."
     pub fn on_full_flush(&mut self) {
         self.stats.full_flushes += 1;
-        for set in &mut self.sets {
-            set.fill(None);
-        }
+        self.table.clear();
         self.flush_ranges.clear();
-        self.occupancy = 0;
     }
 
     /// Marks the line holding `access` corrupt without flushing — the §2.4.2
     /// alternative recovery for output dependence violations.
     pub fn corrupt_line(&mut self, access: MemAccess) {
         let word = access.addr().word_index();
-        let set_idx = self.set_of(word);
-        for line in self.sets[set_idx].iter_mut().flatten() {
-            if line.word == word {
-                line.corrupt = line.corrupt | line.valid;
-                return;
-            }
-        }
-    }
-}
-
-impl SfcLine {
-    fn empty(word: u64) -> SfcLine {
-        SfcLine {
-            word,
-            data: [0; 8],
-            valid: ByteMask::EMPTY,
-            corrupt: ByteMask::EMPTY,
-            live_writer: SeqNum::ZERO,
-            writers: [0; 8],
+        let set = self.table.set_of(word);
+        if let Some(way) = self.table.first_match(set, word) {
+            let slot = self.table.slot(set, way);
+            self.corrupt[slot] = self.corrupt[slot] | self.valid[slot];
         }
     }
 }
@@ -745,6 +745,43 @@ mod tests {
         assert_eq!(s.load_lookup(d(0x208), FLOOR), SfcLoadResult::Corrupt);
         // Sequences outside the hull still forward.
         assert_eq!(s.load_lookup(d(0x100), FLOOR), SfcLoadResult::Forward(1));
+    }
+
+    #[test]
+    fn flush_ranges_stay_sorted_and_coalesced() {
+        let mut s = endpoints_sfc(8);
+        // Out-of-order, overlapping, and adjacent inserts.
+        s.on_partial_flush(SeqNum(9), SeqNum(12)); // 10..=12
+        s.on_partial_flush(SeqNum(2), SeqNum(4)); // 3..=4, sorts before
+        assert_eq!(s.flush_ranges, vec![(3, 4), (10, 12)]);
+        // Overlapping 11..=15 extends the second range in place.
+        s.on_partial_flush(SeqNum(10), SeqNum(15));
+        assert_eq!(s.flush_ranges, vec![(3, 4), (10, 15)]);
+        // Adjacent 5..=6 fuses with 3..=4 (no gap between 4 and 5).
+        s.on_partial_flush(SeqNum(4), SeqNum(6));
+        assert_eq!(s.flush_ranges, vec![(3, 6), (10, 15)]);
+        // 7..=9 bridges both neighbors into one range.
+        s.on_partial_flush(SeqNum(6), SeqNum(9));
+        assert_eq!(s.flush_ranges, vec![(3, 15)]);
+        // Membership is exact at the boundaries.
+        assert!(!s.is_canceled(2));
+        assert!(s.is_canceled(3));
+        assert!(s.is_canceled(15));
+        assert!(!s.is_canceled(16));
+    }
+
+    #[test]
+    fn flush_range_capacity_merges_lowest_pair() {
+        let mut s = endpoints_sfc(2);
+        s.on_partial_flush(SeqNum(2), SeqNum(4)); // 3..=4
+        s.on_partial_flush(SeqNum(9), SeqNum(12)); // 10..=12
+        s.on_partial_flush(SeqNum(19), SeqNum(22)); // 20..=22: overflow
+        // The two lowest ranges merge into their convex hull; membership
+        // only grows (seq 7 was never flushed but is now conservatively
+        // treated as canceled).
+        assert_eq!(s.flush_ranges, vec![(3, 12), (20, 22)]);
+        assert!(s.is_canceled(7));
+        assert!(!s.is_canceled(15));
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Property tests: [`SetTable`] against a naive nested-`Vec` model.
+//!
+//! The flat SoA table replaced per-structure `Vec<Vec<Option<Entry>>>`
+//! implementations under a bit-identity requirement, so the property is
+//! exact equivalence, not approximation: for any sequence of probes,
+//! inserts, evictions and clears, every observable — match masks, way
+//! choices, free-way choices, occupancy and the live-slot sweep — must
+//! equal what the naive model computes. Way order matters: "first" always
+//! means lowest way index.
+//!
+//! Each case derives from a single `u64` seed (geometry choice + op tape
+//! from a xorshift generator), so failures pin as one number in
+//! `prop_set_table.proptest-regressions` and are replayed by
+//! [`regression_seeds_stay_green`] (the vendored proptest does not consume
+//! regression files itself).
+
+use aim_core::{SetHash, SetTable, TableGeometry};
+use proptest::prelude::*;
+
+/// Geometries under test: multi-way, direct-mapped, few-sets-many-ways,
+/// and the 64-way occupancy-word edge case.
+const GEOMETRIES: &[(usize, usize)] = &[(4, 3), (8, 1), (2, 8), (1, 64)];
+
+/// Keys are drawn from a small space so probes hit, alias within a set,
+/// and collide with vacated (stale) slots often.
+const KEY_SPACE: u64 = 32;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// The naive reference: per set, a way-indexed vector of `Option<key>`.
+struct Model {
+    sets: Vec<Vec<Option<u64>>>,
+    occupancy: usize,
+    peak: usize,
+}
+
+impl Model {
+    fn new(sets: usize, ways: usize) -> Model {
+        Model {
+            sets: vec![vec![None; ways]; sets],
+            occupancy: 0,
+            peak: 0,
+        }
+    }
+
+    fn probe(&self, set: usize, key: u64) -> u64 {
+        let mut mask = 0u64;
+        for (w, slot) in self.sets[set].iter().enumerate() {
+            if *slot == Some(key) {
+                mask |= 1 << w;
+            }
+        }
+        mask
+    }
+
+    fn first_match(&self, set: usize, key: u64) -> Option<usize> {
+        self.sets[set].iter().position(|s| *s == Some(key))
+    }
+
+    fn first_free(&self, set: usize) -> Option<usize> {
+        self.sets[set].iter().position(|s| s.is_none())
+    }
+
+    fn occupy(&mut self, set: usize, way: usize, key: u64) {
+        assert!(self.sets[set][way].is_none());
+        self.sets[set][way] = Some(key);
+        self.occupancy += 1;
+        self.peak = self.peak.max(self.occupancy);
+    }
+
+    fn vacate(&mut self, set: usize, way: usize) {
+        assert!(self.sets[set][way].is_some());
+        self.sets[set][way] = None;
+        self.occupancy -= 1;
+    }
+
+    fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.fill(None);
+        }
+        self.occupancy = 0;
+    }
+
+    fn occupied_slots(&self) -> Vec<usize> {
+        let ways = self.sets[0].len();
+        let mut slots = Vec::new();
+        for (set, s) in self.sets.iter().enumerate() {
+            for (w, slot) in s.iter().enumerate() {
+                if slot.is_some() {
+                    slots.push(set * ways + w);
+                }
+            }
+        }
+        slots
+    }
+}
+
+/// Runs one seeded op tape through the table and the model, comparing
+/// every observable after every step.
+fn check_case(seed: u64) -> Result<(), TestCaseError> {
+    let mut rng = XorShift(seed | 1);
+    let (sets, ways) = GEOMETRIES[(rng.next() % GEOMETRIES.len() as u64) as usize];
+    let mut table = SetTable::new(TableGeometry {
+        sets,
+        ways,
+        hash: SetHash::LowBits,
+    });
+    let mut model = Model::new(sets, ways);
+
+    let ops = 20 + (rng.next() % 120);
+    for step in 0..ops {
+        let key = rng.next() % KEY_SPACE;
+        let set = table.set_of(key);
+        match rng.next() % 8 {
+            // Probe-only: no state change.
+            0 => {}
+            // Insert into the first free way; if the set is full, re-key
+            // the first matching way (in-place overwrite) or, failing
+            // that, victim-replace way 0.
+            1..=4 => match table.first_free(set) {
+                Some(way) => {
+                    prop_assert_eq!(model.first_free(set), Some(way), "free way @{}", step);
+                    table.occupy(set, way, key);
+                    model.occupy(set, way, key);
+                }
+                None => {
+                    prop_assert_eq!(model.first_free(set), None, "full set @{}", step);
+                    let way = table.first_match(set, key).unwrap_or(0);
+                    table.replace(set, way, key);
+                    model.sets[set][way] = Some(key);
+                }
+            },
+            // Evict the first way matching the key, if any.
+            5..=6 => {
+                if let Some(way) = table.first_match(set, key) {
+                    table.vacate(set, way);
+                    model.vacate(set, way);
+                }
+            }
+            // Rare full clear.
+            _ => {
+                table.clear();
+                model.clear();
+            }
+        }
+
+        // Every observable agrees with the model, for hitting and for
+        // aliasing keys alike.
+        let other = rng.next() % KEY_SPACE;
+        for probe_key in [key, other] {
+            let s = table.set_of(probe_key);
+            prop_assert_eq!(
+                table.probe(s, probe_key),
+                model.probe(s, probe_key),
+                "probe mask, key {} @{}",
+                probe_key,
+                step
+            );
+            prop_assert_eq!(
+                table.first_match(s, probe_key),
+                model.first_match(s, probe_key),
+                "first match, key {} @{}",
+                probe_key,
+                step
+            );
+        }
+        prop_assert_eq!(table.first_free(set), model.first_free(set), "@{}", step);
+        prop_assert_eq!(table.occupancy(), model.occupancy, "occupancy @{}", step);
+        prop_assert_eq!(table.peak_occupancy(), model.peak, "peak @{}", step);
+        prop_assert_eq!(
+            table.occupied_slots().collect::<Vec<_>>(),
+            model.occupied_slots(),
+            "live-slot sweep @{}",
+            step
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn set_table_matches_naive_model(seed in any::<u64>()) {
+        check_case(seed)?;
+    }
+}
+
+/// Replays every pinned seed from `prop_set_table.proptest-regressions`.
+/// The parsing contract matches the file the vendored proptest would
+/// write: `cc <hash> # shrinks to seed = N`, one failure per line.
+#[test]
+fn regression_seeds_stay_green() {
+    let recorded = include_str!("prop_set_table.proptest-regressions");
+    let mut replayed = 0;
+    for line in recorded.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let seed: u64 = line
+            .split("seed = ")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("malformed regression line: {line}"));
+        check_case(seed).unwrap_or_else(|e| panic!("regression seed {seed}: {e}"));
+        replayed += 1;
+    }
+    assert!(replayed >= 4, "regression file lost its seeds");
+}

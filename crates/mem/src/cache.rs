@@ -1,5 +1,6 @@
 //! Generic set-associative, LRU, tag-only cache timing model.
 
+use aim_core::{SetHash, SetTable, TableGeometry};
 use aim_types::Addr;
 
 /// Geometry of a set-associative cache.
@@ -82,12 +83,6 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    last_used: u64,
-}
-
 /// A set-associative, true-LRU, tag-only cache.
 ///
 /// Models timing only: an access either hits or misses (and fills). Data is
@@ -108,7 +103,11 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Option<Line>>>,
+    /// Line-number keys + per-set occupancy bit-words (the set index is the
+    /// line number's low bits, so the stored key subsumes the tag).
+    table: SetTable,
+    /// Per-slot LRU timestamp column, indexed by the table's flat slot.
+    last_used: Vec<u64>,
     clock: u64,
     stats: CacheStats,
 }
@@ -116,9 +115,15 @@ pub struct Cache {
 impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Cache {
+        let table = SetTable::new(TableGeometry {
+            sets: config.sets(),
+            ways: config.ways(),
+            hash: SetHash::LowBits,
+        });
         Cache {
             config,
-            sets: vec![vec![None; config.ways()]; config.sets()],
+            table,
+            last_used: vec![0; config.sets() * config.ways()],
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -134,57 +139,54 @@ impl Cache {
         self.stats
     }
 
-    fn set_and_tag(&self, addr: Addr) -> (usize, u64) {
-        let line = addr.0 / self.config.line_bytes() as u64;
-        let set = (line as usize) & (self.config.sets() - 1);
-        let tag = line / self.config.sets() as u64;
-        (set, tag)
+    #[inline]
+    fn line_of(&self, addr: Addr) -> u64 {
+        addr.0 / self.config.line_bytes() as u64
     }
 
     /// Accesses `addr`, returning `true` on a hit. A miss fills the line,
     /// evicting the LRU way if the set is full.
     pub fn access(&mut self, addr: Addr) -> bool {
         self.clock += 1;
-        let (set_idx, tag) = self.set_and_tag(addr);
-        let set = &mut self.sets[set_idx];
+        let line = self.line_of(addr);
+        let set = self.table.set_of(line);
 
-        if let Some(line) = set.iter_mut().flatten().find(|l| l.tag == tag) {
-            line.last_used = self.clock;
+        if let Some(way) = self.table.first_match(set, line) {
+            self.last_used[self.table.slot(set, way)] = self.clock;
             self.stats.hits += 1;
             return true;
         }
 
         self.stats.misses += 1;
-        // Fill: an empty way if available, else the LRU way.
-        let victim = match set.iter().position(|w| w.is_none()) {
-            Some(i) => i,
+        // Fill: an empty way if available, else the LRU way (first among
+        // equal timestamps).
+        let way = match self.table.first_free(set) {
+            Some(way) => {
+                self.table.occupy(set, way, line);
+                way
+            }
             None => {
-                let (i, _) = set
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, w)| w.map(|l| l.last_used).unwrap_or(0))
+                let victim = (0..self.table.ways())
+                    .min_by_key(|&w| self.last_used[self.table.slot(set, w)])
                     .expect("cache has at least one way");
-                i
+                self.table.replace(set, victim, line);
+                victim
             }
         };
-        set[victim] = Some(Line {
-            tag,
-            last_used: self.clock,
-        });
+        self.last_used[self.table.slot(set, way)] = self.clock;
         false
     }
 
     /// Probes without filling or updating LRU; returns `true` if resident.
     pub fn probe(&self, addr: Addr) -> bool {
-        let (set_idx, tag) = self.set_and_tag(addr);
-        self.sets[set_idx].iter().flatten().any(|l| l.tag == tag)
+        let line = self.line_of(addr);
+        let set = self.table.set_of(line);
+        self.table.first_match(set, line).is_some()
     }
 
     /// Invalidates every line and zeroes nothing else (stats are kept).
     pub fn invalidate_all(&mut self) {
-        for set in &mut self.sets {
-            set.fill(None);
-        }
+        self.table.clear();
     }
 }
 

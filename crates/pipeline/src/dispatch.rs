@@ -91,6 +91,7 @@ impl Machine<'_> {
 
             self.log(|| format!("dispatch {seq} pc={} `{}`", front.pc, front.instr));
             self.rob.push(entry);
+            self.waiting.push_back(self.rob.stable_of(self.rob.len() - 1));
             self.stats.dispatched += 1;
         }
     }

@@ -27,57 +27,67 @@ impl Machine<'_> {
         let head_seq = self.rob.head().map(|h| h.seq);
         let mut to_issue = std::mem::take(&mut self.issue_scratch);
         to_issue.clear();
+        self.debug_check_wakeup_list();
 
-        for e in self.rob.iter() {
-            if budget == 0 {
-                break;
-            }
-            if e.state != InstrState::Waiting {
-                continue;
-            }
+        // Walk the wakeup list — exactly the Waiting entries, oldest first —
+        // rather than the whole window; selected entries leave the list (a
+        // replay re-inserts them).
+        let mut pos = 0;
+        while pos < self.waiting.len() && budget > 0 {
+            let idx = self.rob.index_of_stable(self.waiting[pos]);
+            let e = self.rob.get_at(idx);
+            debug_assert_eq!(e.state, InstrState::Waiting, "wakeup list drifted");
             let at_head = Some(e.seq) == head_seq;
             if let Some(snapshot) = e.stall_until_free_event {
                 if free_events <= snapshot && !at_head {
+                    pos += 1;
                     continue;
                 }
             }
             if !e.srcs.iter().flatten().all(|&p| self.renamer.is_ready(p)) {
+                pos += 1;
                 continue;
             }
             if let Some(tag) = e.dep_consumes {
                 if !self.tags.is_ready(tag) && !at_head {
+                    pos += 1;
                     continue;
                 }
             }
-            to_issue.push(e.seq);
+            to_issue.push((e.seq, idx));
             budget -= 1;
+            self.waiting.remove(pos);
         }
 
-        for seq in to_issue.drain(..) {
-            self.start_execute(seq);
+        // The captured queue positions stay valid across the whole drain:
+        // executing an instruction never pushes, retires, or squashes ROB
+        // entries — it only mutates their fields.
+        for (seq, idx) in to_issue.drain(..) {
+            self.start_execute(seq, idx);
         }
         self.issue_scratch = to_issue;
     }
 
-    fn src_values(&self, seq: SeqNum) -> (u64, u64) {
-        let e = self.rob.get(seq).expect("issuing instruction exists");
+    fn src_values(&self, idx: usize) -> (u64, u64) {
+        let e = self.rob.get_at(idx);
         let a = e.srcs[0].map_or(0, |p| self.renamer.read(p));
         let b = e.srcs[1].map_or(0, |p| self.renamer.read(p));
         (a, b)
     }
 
-    fn start_execute(&mut self, seq: SeqNum) {
+    fn start_execute(&mut self, seq: SeqNum, idx: usize) {
+        debug_assert_eq!(self.rob.get_at(idx).seq, seq, "stale issue index");
         self.stats.issued += 1;
         if self.config.event_trace {
             let (pc, instr) = {
-                let e = self.rob.get(seq).expect("issuing instruction exists");
+                let e = self.rob.get_at(idx);
                 (e.pc, e.instr)
             };
             self.log(|| format!("issue    {seq} pc={pc} `{instr}`"));
         }
-        let (a, b) = self.src_values(seq);
+        let (a, b) = self.src_values(idx);
         let cycle = self.cycle;
-        let e = self.rob.get_mut(seq).expect("issuing instruction exists");
+        let e = self.rob.get_at_mut(idx);
         e.issued_cycle = cycle;
         let pc = e.pc;
         let instr = e.instr;
@@ -120,10 +130,10 @@ impl Machine<'_> {
                 let raw = a.wrapping_add(offset as u64);
                 let addr = Addr(raw & !(size.bytes() - 1)); // align wrong-path garbage
                 let access = MemAccess::new(addr, size).expect("aligned by construction");
-                match self.exec_load(seq, pc, access) {
+                match self.exec_load(seq, idx, pc, access) {
                     MemOutcome::Done { value, latency } => {
                         result = value;
-                        self.rob.get_mut(seq).expect("exists").mem = Some((access, value));
+                        self.rob.get_at_mut(idx).mem = Some((access, value));
                         self.config.agu_latency + latency
                     }
                     MemOutcome::Replay => return,
@@ -134,9 +144,9 @@ impl Machine<'_> {
                 let raw = a.wrapping_add(offset as u64);
                 let addr = Addr(raw & !(size.bytes() - 1));
                 let access = MemAccess::new(addr, size).expect("aligned by construction");
-                match self.exec_store(seq, pc, access, b) {
+                match self.exec_store(seq, idx, pc, access, b) {
                     MemOutcome::Done { latency, .. } => {
-                        self.rob.get_mut(seq).expect("exists").mem = Some((access, b));
+                        self.rob.get_at_mut(idx).mem = Some((access, b));
                         self.config.agu_latency + latency
                     }
                     MemOutcome::Replay => return,
@@ -144,7 +154,7 @@ impl Machine<'_> {
             }
         };
 
-        let e = self.rob.get_mut(seq).expect("issuing instruction exists");
+        let e = self.rob.get_at_mut(idx);
         e.state = InstrState::Executing;
         e.result = result;
         e.actual_next_pc = actual_next;
@@ -159,7 +169,7 @@ impl Machine<'_> {
         }
     }
 
-    fn replay(&mut self, seq: SeqNum) {
+    fn replay(&mut self, seq: SeqNum, idx: usize) {
         self.log(|| format!("replay   {seq} dropped by the memory unit"));
         // Stall bits only help when the backend emits free events that will
         // later clear them; on backends without them (which replay for
@@ -167,10 +177,39 @@ impl Machine<'_> {
         // instruction must retry every cycle instead.
         let stall = self.config.stall_bits && self.backend.uses_stall_bits();
         let free_events = self.backend.free_event_count();
-        let e = self.rob.get_mut(seq).expect("replaying instruction exists");
+        // Back onto the wakeup list, in (stable-position) order.
+        let stable = self.rob.stable_of(idx);
+        let at = self.waiting.partition_point(|&s| s < stable);
+        debug_assert_ne!(self.waiting.get(at), Some(&stable), "double replay");
+        self.waiting.insert(at, stable);
+        let e = self.rob.get_at_mut(idx);
         e.state = InstrState::Waiting;
         e.replayed = true;
         e.stall_until_free_event = stall.then_some(free_events);
+    }
+
+    /// Debug-build invariant: the wakeup list holds the stable position of
+    /// every Waiting ROB entry, each exactly once, in dispatch order. Drift
+    /// would silently change the issue order (a missed entry never issues; a
+    /// stale one would trip the in-loop state assert).
+    fn debug_check_wakeup_list(&self) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let waiting_in_rob = self
+            .rob
+            .iter()
+            .filter(|e| e.state == InstrState::Waiting)
+            .count();
+        debug_assert_eq!(
+            self.waiting.len(),
+            waiting_in_rob,
+            "wakeup list population drifted from ROB contents"
+        );
+        debug_assert!(
+            self.waiting.iter().zip(self.waiting.iter().skip(1)).all(|(a, b)| a < b),
+            "wakeup list out of order"
+        );
     }
 
     /// Debug-build invariant: the store census and granule filter always
@@ -205,19 +244,17 @@ impl Machine<'_> {
     /// structures — all older instructions have retired, so committed memory
     /// is current. Only meaningful for backends that can refuse execution on
     /// structural conflicts.
-    fn head_bypasses(&self, seq: SeqNum) -> bool {
-        self.backend.supports_head_bypass()
-            && self.at_head(seq)
-            && self.rob.get(seq).is_some_and(|e| e.replayed)
+    fn head_bypasses(&self, seq: SeqNum, idx: usize) -> bool {
+        self.backend.supports_head_bypass() && self.at_head(seq) && self.rob.get_at(idx).replayed
     }
 
-    fn exec_load(&mut self, seq: SeqNum, pc: u64, access: MemAccess) -> MemOutcome {
+    fn exec_load(&mut self, seq: SeqNum, idx: usize, pc: u64, access: MemAccess) -> MemOutcome {
         self.stats.load_executions += 1;
-        if self.head_bypasses(seq) {
+        if self.head_bypasses(seq, idx) {
             self.stats.head_bypasses += 1;
             let value = self.mem.read(access);
             let latency = self.hierarchy.access_data(access.addr()).1;
-            self.rob.get_mut(seq).expect("exists").bypassed = true;
+            self.rob.get_at_mut(idx).bypassed = true;
             return MemOutcome::Done { value, latency };
         }
 
@@ -253,7 +290,7 @@ impl Machine<'_> {
             }
             LoadOutcome::Replay(cause) => {
                 self.stats.replays.count(MemKind::Load, cause);
-                self.replay(seq);
+                self.replay(seq, idx);
                 MemOutcome::Replay
             }
             LoadOutcome::Anti(v) => {
@@ -269,7 +306,7 @@ impl Machine<'_> {
                         corrupt_only: false,
                     },
                 );
-                let e = self.rob.get_mut(seq).expect("exists");
+                let e = self.rob.get_at_mut(idx);
                 e.state = InstrState::Executing;
                 self.exec_events
                     .push(Reverse((self.cycle + self.config.agu_latency + 1, seq.0)));
@@ -278,11 +315,18 @@ impl Machine<'_> {
         }
     }
 
-    fn exec_store(&mut self, seq: SeqNum, pc: u64, access: MemAccess, value: u64) -> MemOutcome {
+    fn exec_store(
+        &mut self,
+        seq: SeqNum,
+        idx: usize,
+        pc: u64,
+        access: MemAccess,
+        value: u64,
+    ) -> MemOutcome {
         self.stats.store_executions += 1;
         let floor = self.rob.floor(SeqNum(self.next_seq));
         let corrupt_on_output = self.config.output_dep_recovery == OutputDepRecovery::MarkCorrupt;
-        let bypass = self.head_bypasses(seq);
+        let bypass = self.head_bypasses(seq, idx);
         let req = StoreRequest {
             seq,
             pc,
@@ -295,7 +339,7 @@ impl Machine<'_> {
         match self.backend.store_execute(&req, &self.mem) {
             StoreOutcome::Replay(cause) => {
                 self.stats.replays.count(MemKind::Store, cause);
-                self.replay(seq);
+                self.replay(seq, idx);
                 MemOutcome::Replay
             }
             StoreOutcome::Done { latency, violations } => {
@@ -331,7 +375,7 @@ impl Machine<'_> {
                     // younger load could read stale memory unchecked by the
                     // skipped SFC.
                     self.mem.write(access, value);
-                    self.rob.get_mut(seq).expect("exists").bypassed = true;
+                    self.rob.get_at_mut(idx).bypassed = true;
                 }
                 if self.config.mdt_filter {
                     // The store has now (successfully) executed: it can never
@@ -340,7 +384,7 @@ impl Machine<'_> {
                     // only ever set for filter-capable backends, so no
                     // capability check is needed here.
                     let bucket = self.filter_bucket(access);
-                    let e = self.rob.get_mut(seq).expect("exists");
+                    let e = self.rob.get_at_mut(idx);
                     if e.counted_unexecuted {
                         e.counted_unexecuted = false;
                         self.unexecuted_stores -= 1;
@@ -369,16 +413,16 @@ impl Machine<'_> {
     }
 
     fn complete_one(&mut self, seq: SeqNum) {
-        let Some(e) = self.rob.get(seq) else {
+        let Some(idx) = self.rob.index_of(seq) else {
             let range = self.violation_range(seq);
             self.pending_violations.drain(range);
             return; // squashed while executing
         };
-        if e.state != InstrState::Executing {
+        if self.rob.get_at(idx).state != InstrState::Executing {
             return;
         }
         let violations = self.take_violations(seq);
-        self.apply_completion(seq, &violations);
+        self.apply_completion(seq, idx, &violations);
         self.violation_scratch = violations;
     }
 }

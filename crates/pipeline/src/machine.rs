@@ -123,9 +123,17 @@ pub struct Machine<'a> {
     /// Scratch buffers reused across cycles so the steady-state loop
     /// allocates nothing: issue's ready list, recovery's squash list, and
     /// completion's taken-violation list keep their capacity run-long.
-    pub(crate) issue_scratch: Vec<SeqNum>,
+    pub(crate) issue_scratch: Vec<(SeqNum, usize)>,
     pub(crate) squash_scratch: Vec<InFlight>,
     pub(crate) violation_scratch: Vec<PendingViolation>,
+
+    /// The scheduler's wakeup list: stable ROB positions
+    /// ([`Rob::stable_of`](crate::rob::Rob::stable_of)) of exactly the
+    /// [`InstrState::Waiting`](crate::rob::InstrState) entries, sorted in
+    /// dispatch order. The issue scan walks this instead of the whole
+    /// window; dispatch appends, issue removes, replay re-inserts, and a
+    /// squash truncates the (youngest-last) tail.
+    pub(crate) waiting: VecDeque<u64>,
 
     /// §4 MDT search filter: count of in-flight stores that have not yet
     /// (successfully) executed, and a counting filter over the granules of
@@ -179,6 +187,7 @@ impl<'a> Machine<'a> {
             exec_events: BinaryHeap::new(),
             pending_violations: Vec::new(),
             issue_scratch: Vec::new(),
+            waiting: VecDeque::new(),
             squash_scratch: Vec::new(),
             violation_scratch: Vec::new(),
             unexecuted_stores: 0,

@@ -48,7 +48,12 @@ impl Machine<'_> {
         taken
     }
 
-    pub(crate) fn apply_completion(&mut self, seq: SeqNum, violations: &[PendingViolation]) {
+    pub(crate) fn apply_completion(
+        &mut self,
+        seq: SeqNum,
+        idx: usize,
+        violations: &[PendingViolation],
+    ) {
         // An anti violation squashes the violating load itself; nothing else
         // about the instruction completes.
         if let Some(v) = violations
@@ -67,23 +72,20 @@ impl Machine<'_> {
 
         // Normal completion: broadcast the result.
         let cycle = self.cycle;
-        let e = self.rob.get_mut(seq).expect("checked above");
+        let e = self.rob.get_at_mut(idx);
+        debug_assert_eq!(e.seq, seq, "stale completion index");
         e.state = InstrState::Completed;
         e.completed_cycle = cycle;
-        if self.config.event_trace {
-            let (pc, result) = {
-                let e = self.rob.get(seq).expect("checked above");
-                (e.pc, e.result)
-            };
-            self.log(|| format!("complete {seq} pc={pc} result={result:#x}"));
-        }
-        let e = self.rob.get_mut(seq).expect("checked above");
+        let pc = e.pc;
         let dest = e.dest;
         let result = e.result;
         let produces = e.dep_produces;
         let instr = e.instr;
         let predicted_next = e.predicted_next_pc;
         let actual_next = e.actual_next_pc;
+        if self.config.event_trace {
+            self.log(|| format!("complete {seq} pc={pc} result={result:#x}"));
+        }
 
         if let Some(d) = dest {
             self.renamer.write(d.new_phys, result);
@@ -97,7 +99,7 @@ impl Machine<'_> {
             let actual = actual_next.expect("control instructions resolve a target");
             if actual != predicted_next {
                 self.stats.flushes.branch += 1;
-                self.recover_control(seq, actual);
+                self.recover_control(seq, idx, actual);
                 return;
             }
         }
@@ -129,8 +131,8 @@ impl Machine<'_> {
 
     /// Recovery for a resolved control misprediction: flush after the branch
     /// and steer fetch to the computed target.
-    fn recover_control(&mut self, branch_seq: SeqNum, actual_next: u64) {
-        let e = self.rob.get(branch_seq).expect("branch in flight");
+    fn recover_control(&mut self, branch_seq: SeqNum, idx: usize, actual_next: u64) {
+        let e = self.rob.get_at(idx);
         let resume_cursor = e.trace_index.map(|t| t + 1);
         // Rebuild the speculative history: everything after this branch is
         // gone, and the branch itself resolves to its actual direction.
@@ -192,6 +194,11 @@ impl Machine<'_> {
         });
         let mut squashed = std::mem::take(&mut self.squash_scratch);
         self.rob.squash_after_into(survivor, &mut squashed);
+        // The squashed entries held the largest stable positions; drop them
+        // from the (sorted) wakeup list in one truncate.
+        let live = self.rob.stable_end();
+        let keep_waiting = self.waiting.partition_point(|&s| s < live);
+        self.waiting.truncate(keep_waiting);
         // Pending violations are keyed by the raising instruction's sequence
         // number and the vector is sorted by it; every squashed instruction
         // is younger than `survivor`, so one truncate drops them all.

@@ -134,6 +134,9 @@ impl InFlight {
 pub struct Rob {
     entries: VecDeque<InFlight>,
     capacity: usize,
+    /// Count of entries ever popped from the head; the offset between an
+    /// entry's queue position and its [`Rob::stable_of`] position.
+    base: u64,
 }
 
 impl Rob {
@@ -142,6 +145,7 @@ impl Rob {
         Rob {
             entries: VecDeque::with_capacity(capacity),
             capacity,
+            base: 0,
         }
     }
 
@@ -180,11 +184,64 @@ impl Rob {
 
     /// Pops the head at retirement.
     pub fn pop_head(&mut self) -> Option<InFlight> {
-        self.entries.pop_front()
+        let popped = self.entries.pop_front();
+        self.base += popped.is_some() as u64;
+        popped
     }
 
-    fn index_of(&self, seq: SeqNum) -> Option<usize> {
-        self.entries.binary_search_by_key(&seq, |e| e.seq).ok()
+    /// The *stable position* of the entry at queue position `idx`: its queue
+    /// position plus the number of entries ever retired. Unlike a raw queue
+    /// position it survives head pops, and unlike a sequence number it maps
+    /// back to a queue position with one subtraction — the scheduler's
+    /// wakeup list holds these. Stable positions of live entries increase
+    /// monotonically in dispatch order; a squash frees the largest ones for
+    /// reuse (see [`Rob::stable_end`]).
+    #[inline]
+    pub fn stable_of(&self, idx: usize) -> u64 {
+        self.base + idx as u64
+    }
+
+    /// Converts a live entry's stable position back to its current queue
+    /// position (for [`Rob::get_at`]).
+    #[inline]
+    pub fn index_of_stable(&self, stable: u64) -> usize {
+        debug_assert!(stable >= self.base, "stable position already retired");
+        (stable - self.base) as usize
+    }
+
+    /// One past the largest live stable position. After a squash, any
+    /// recorded stable position `>= stable_end()` refers to a removed entry.
+    #[inline]
+    pub fn stable_end(&self) -> u64 {
+        self.base + self.entries.len() as u64
+    }
+
+    pub(crate) fn index_of(&self, seq: SeqNum) -> Option<usize> {
+        let head = self.entries.front()?.seq;
+        let tail = self.entries.back().expect("front exists").seq;
+        if seq < head || seq > tail {
+            return None;
+        }
+        // Sequence numbers are strictly increasing, so an entry's index is
+        // bounded by its seq distance from either end of the queue. With no
+        // squash-induced gaps in between (the common case) the upper bound
+        // is exact and the lookup is a single probe.
+        let len = self.entries.len();
+        let mut hi = ((seq.0 - head.0) as usize).min(len - 1);
+        if self.entries[hi].seq == seq {
+            return Some(hi);
+        }
+        let mut lo = (len - 1).saturating_sub((tail.0 - seq.0) as usize);
+        // entries[hi] was just ruled out; search the remaining [lo, hi).
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.entries[mid].seq.cmp(&seq) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid),
+            }
+        }
+        None
     }
 
     /// Immutable lookup by sequence number.
@@ -195,6 +252,29 @@ impl Rob {
     /// Mutable lookup by sequence number.
     pub fn get_mut(&mut self, seq: SeqNum) -> Option<&mut InFlight> {
         self.index_of(seq).map(move |i| &mut self.entries[i])
+    }
+
+    /// Direct lookup by queue position (as yielded by
+    /// [`Rob::iter_from_seq`]). Positions are stable only while no
+    /// push/pop/squash intervenes; the execute stage relies on this to look
+    /// an instruction up once per issue and reuse the position thereafter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[inline]
+    pub fn get_at(&self, idx: usize) -> &InFlight {
+        &self.entries[idx]
+    }
+
+    /// Mutable counterpart of [`Rob::get_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[inline]
+    pub fn get_at_mut(&mut self, idx: usize) -> &mut InFlight {
+        &mut self.entries[idx]
     }
 
     /// The oldest instruction younger than `survivor` (the first to be
@@ -225,6 +305,19 @@ impl Rob {
     /// Iterates over in-flight instructions, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &InFlight> {
         self.entries.iter()
+    }
+
+    /// Iterates oldest-first over the suffix of instructions with
+    /// `seq >= bound`, yielding each entry's queue position alongside it.
+    /// With `bound = SeqNum(0)` this covers the whole buffer; the issue
+    /// stage uses it to skip the long already-issued prefix and to capture
+    /// stable positions for [`Rob::get_at`] during the issue drain.
+    pub fn iter_from_seq(&self, bound: SeqNum) -> impl Iterator<Item = (usize, &InFlight)> {
+        let start = self.entries.partition_point(|e| e.seq < bound);
+        self.entries
+            .range(start..)
+            .enumerate()
+            .map(move |(i, e)| (start + i, e))
     }
 
     /// Iterates mutably, oldest first.
@@ -277,6 +370,52 @@ mod tests {
         assert!(rob.get(SeqNum(10)).is_none());
         rob.get_mut(SeqNum(5)).unwrap().result = 42;
         assert_eq!(rob.get(SeqNum(5)).unwrap().result, 42);
+    }
+
+    #[test]
+    fn lookup_hits_every_entry_across_gap_patterns() {
+        // Exercise the bounded-range fast path (dense prefixes) and the
+        // fallback search (gaps on either side of the probed seq).
+        for gaps in [
+            vec![1, 2, 3, 4],
+            vec![1, 2, 10, 11],
+            vec![1, 8, 9, 10],
+            vec![2, 30, 31, 90],
+        ] {
+            let mut rob = Rob::new(8);
+            for &s in &gaps {
+                rob.push(entry(s));
+            }
+            for &s in &gaps {
+                assert_eq!(rob.get(SeqNum(s)).unwrap().seq, SeqNum(s), "{gaps:?}");
+            }
+            // Every absent seq inside and outside the window misses.
+            for s in 0..=gaps.last().unwrap() + 2 {
+                if !gaps.contains(&s) {
+                    assert!(rob.get(SeqNum(s)).is_none(), "{gaps:?} found absent {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_survives_retire_and_squash_churn() {
+        // Head removals shift indices away from the seq-distance bound;
+        // tail squashes plus redispatch reintroduce gaps at the young end.
+        let mut rob = Rob::new(8);
+        for s in [1, 2, 3, 4, 5] {
+            rob.push(entry(s));
+        }
+        rob.pop_head();
+        rob.pop_head(); // head is now seq 3 at index 0
+        assert_eq!(rob.get(SeqNum(5)).unwrap().seq, SeqNum(5));
+        assert!(rob.get(SeqNum(2)).is_none());
+        rob.squash_after(SeqNum(3));
+        rob.push(entry(9)); // [3, 9]
+        assert_eq!(rob.get(SeqNum(9)).unwrap().seq, SeqNum(9));
+        assert_eq!(rob.get(SeqNum(3)).unwrap().seq, SeqNum(3));
+        assert!(rob.get(SeqNum(4)).is_none());
+        assert!(rob.get(SeqNum(10)).is_none());
     }
 
     #[test]

@@ -13,22 +13,18 @@
 //!   round-robin victim cursor per set, for predictors that cannot afford
 //!   PC aliasing (a wrong no-alias classification costs a pipeline flush).
 
-use aim_core::TableGeometry;
-
-#[derive(Debug, Clone)]
-struct Slot<T> {
-    key: u64,
-    value: T,
-}
+use aim_core::{SetTable, TableGeometry};
 
 /// A PC-indexed table of `T`, either untagged direct-mapped or tagged
 /// set-associative (see the module docs).
 #[derive(Debug, Clone)]
 pub struct PcTable<T> {
-    geom: TableGeometry,
     tagged: bool,
-    /// Set-major storage: `slots[set * ways + way]`.
-    slots: Vec<Option<Slot<T>>>,
+    /// PC keys + per-set occupancy bit-words.
+    table: SetTable,
+    /// Payload column, indexed by the table's flat slot. `Some` exactly on
+    /// occupied slots.
+    values: Vec<Option<T>>,
     /// Per-set round-robin victim cursor (tagged mode only).
     victim: Vec<usize>,
 }
@@ -51,98 +47,88 @@ impl<T> PcTable<T> {
             tagged || geom.ways == 1,
             "PcTable: untagged tables are direct-mapped (ways = 1)"
         );
-        let mut slots = Vec::new();
-        slots.resize_with(geom.entries(), || None);
+        let entries = geom.entries();
+        let sets = geom.sets;
+        let mut values = Vec::new();
+        values.resize_with(entries, || None);
         PcTable {
-            geom,
             tagged,
-            slots,
-            victim: vec![0; geom.sets],
+            table: SetTable::new(geom),
+            values,
+            victim: vec![0; sets],
         }
     }
 
     /// The table's shape.
     pub fn geometry(&self) -> TableGeometry {
-        self.geom
+        self.table.geometry()
     }
 
+    /// The way holding `key`, if any. Untagged slots are shared by every
+    /// key hashing to them (ways = 1, so way 0 is the only candidate).
     #[inline]
-    fn set_range(&self, key: u64) -> std::ops::Range<usize> {
-        let set = self.geom.index(key);
-        set * self.geom.ways..(set + 1) * self.geom.ways
-    }
-
-    #[inline]
-    fn matches(&self, slot: &Slot<T>, key: u64) -> bool {
-        // Untagged slots are shared by every key hashing to them.
-        !self.tagged || slot.key == key
+    fn find(&self, set: usize, key: u64) -> Option<usize> {
+        if self.tagged {
+            self.table.first_match(set, key)
+        } else {
+            (self.table.occ_word(set) != 0).then_some(0)
+        }
     }
 
     /// Looks up `key`.
     pub fn get(&self, key: u64) -> Option<&T> {
-        self.slots[self.set_range(key)]
-            .iter()
-            .flatten()
-            .find(|s| self.matches(s, key))
-            .map(|s| &s.value)
+        let set = self.table.set_of(key);
+        let way = self.find(set, key)?;
+        self.values[self.table.slot(set, way)].as_ref()
     }
 
     /// Looks up `key` mutably.
     pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
-        let range = self.set_range(key);
-        let tagged = self.tagged;
-        self.slots[range]
-            .iter_mut()
-            .flatten()
-            .find(|s| !tagged || s.key == key)
-            .map(|s| &mut s.value)
+        let set = self.table.set_of(key);
+        let way = self.find(set, key)?;
+        self.values[self.table.slot(set, way)].as_mut()
     }
 
     /// Inserts (or overwrites) `key`'s entry. Tagged mode fills a free way
     /// first and then evicts round-robin; untagged mode overwrites the
     /// shared slot.
     pub fn insert(&mut self, key: u64, value: T) {
-        let range = self.set_range(key);
-        let base = range.start;
-        let tagged = self.tagged;
-        // Hit: overwrite in place.
-        if let Some(slot) = self.slots[range.clone()]
-            .iter_mut()
-            .flatten()
-            .find(|s| !tagged || s.key == key)
-        {
-            *slot = Slot { key, value };
-            return;
-        }
-        // Free way, else untagged shared slot (ways = 1, slot 0 occupied is
-        // already handled above), else round-robin victim.
-        let way = match self.slots[range].iter().position(Option::is_none) {
-            Some(w) => w,
-            None => {
-                let set = self.geom.index(key);
-                let w = self.victim[set];
-                self.victim[set] = (w + 1) % self.geom.ways;
-                w
+        let set = self.table.set_of(key);
+        let way = match self.find(set, key) {
+            // Hit: overwrite in place (re-keying is a no-op for untagged
+            // shared slots, which ignore the stored key).
+            Some(way) => {
+                self.table.replace(set, way, key);
+                way
             }
+            None => match self.table.first_free(set) {
+                Some(way) => {
+                    self.table.occupy(set, way, key);
+                    way
+                }
+                None => {
+                    let way = self.victim[set];
+                    self.victim[set] = (way + 1) % self.table.ways();
+                    self.table.replace(set, way, key);
+                    way
+                }
+            },
         };
-        self.slots[base + way] = Some(Slot { key, value });
+        self.values[self.table.slot(set, way)] = Some(value);
     }
 
     /// Removes `key`'s entry, returning its value.
     pub fn remove(&mut self, key: u64) -> Option<T> {
-        let range = self.set_range(key);
-        let tagged = self.tagged;
-        for slot in &mut self.slots[range] {
-            if slot.as_ref().is_some_and(|s| !tagged || s.key == key) {
-                return slot.take().map(|s| s.value);
-            }
-        }
-        None
+        let set = self.table.set_of(key);
+        let way = self.find(set, key)?;
+        self.table.vacate(set, way);
+        self.values[self.table.slot(set, way)].take()
     }
 
     /// Empties the table (cyclic clearing / reset).
     pub fn clear(&mut self) {
-        self.slots.iter_mut().for_each(|s| *s = None);
+        self.table.clear();
+        self.values.iter_mut().for_each(|s| *s = None);
         self.victim.fill(0);
     }
 }

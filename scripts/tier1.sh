@@ -61,6 +61,19 @@ grep -q 'knee: ' <<<"$FILTER_SWEEP_OUT"
 grep -q 'acceptance: every swept filter geometry inside the no-spec..oracle bracket, knee located' \
   <<<"$FILTER_SWEEP_OUT"
 
+# The host-throughput gate: --check replays the matrix single-threaded and
+# fails if the architectural-stats fingerprint diverges (a silent behavior
+# change hiding behind a host-perf win), and the run must print its
+# acceptance line.
+echo "== tier1: table_hostperf differential gate (tiny scale) =="
+AIM_HOSTPERF_JSON="$(mktemp)" \
+  cargo run --release -q -p aim-bench --bin table_hostperf -- --scale tiny --check \
+  | grep -q 'hostperf: ACCEPT'
+
+# Benches must keep compiling even though tier-1 does not time them.
+echo "== tier1: cargo bench --no-run =="
+cargo bench --no-run
+
 echo "== tier1: cargo clippy --all-targets -- -D warnings =="
 cargo clippy --all-targets -- -D warnings
 
