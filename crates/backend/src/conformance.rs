@@ -140,9 +140,16 @@ const STALL_LIMIT: u64 = 1_000;
 /// a hang.
 const ROUNDS_PER_OP: u64 = 2_000;
 
+/// A per-round interference hook standing in for a sibling core: called
+/// with the (1-based) round number and the committed memory, it may write
+/// anything a concurrently retiring core could. See
+/// [`run_script_with_interference`].
+pub type SiblingHook<'h> = dyn FnMut(u64, &mut MainMemory) + 'h;
+
 struct Driver<'a> {
     backend: &'a mut dyn MemBackend,
     script: &'a Script,
+    sibling: Option<&'a mut SiblingHook<'a>>,
     mem: MainMemory,
     states: Vec<OpState>,
     /// Whether the op has seen a `Replay` since its last dispatch (enables
@@ -176,7 +183,11 @@ struct Driver<'a> {
 }
 
 impl<'a> Driver<'a> {
-    fn new(backend: &'a mut dyn MemBackend, script: &'a Script) -> Driver<'a> {
+    fn new(
+        backend: &'a mut dyn MemBackend,
+        script: &'a Script,
+        sibling: Option<&'a mut SiblingHook<'a>>,
+    ) -> Driver<'a> {
         let mut mem = MainMemory::new();
         for &(access, value) in &script.init {
             mem.write(access, value);
@@ -185,6 +196,7 @@ impl<'a> Driver<'a> {
         Driver {
             backend,
             script,
+            sibling,
             mem,
             states: vec![OpState::Waiting; n],
             replayed: vec![false; n],
@@ -469,6 +481,13 @@ impl<'a> Driver<'a> {
         let round_budget = ROUNDS_PER_OP * (self.script.ops.len() as u64 + 1);
         while self.head().is_some() {
             self.out.rounds += 1;
+            // Sibling-core interference fires first: a concurrently retiring
+            // core's stores land in committed memory at an arbitrary point
+            // relative to this core's stages, and "before the whole round"
+            // reaches every stage of it.
+            if let Some(sibling) = self.sibling.as_mut() {
+                sibling(self.out.rounds, &mut self.mem);
+            }
             if self.out.rounds > round_budget {
                 return Err(ConformanceError(format!(
                     "round budget exhausted after {} rounds ({} execs, {} squashes, \
@@ -536,7 +555,29 @@ pub fn run_script(
     backend: &mut dyn MemBackend,
     script: &Script,
 ) -> Result<Conformance, ConformanceError> {
-    Driver::new(backend, script).run()
+    Driver::new(backend, script, None).run()
+}
+
+/// Like [`run_script`], but with a sibling core writing committed memory
+/// between rounds (see [`SiblingHook`]).
+///
+/// This is the executable form of the backend contract's no-cross-core-state
+/// guarantee: a backend's disambiguation state is indexed by *this core's*
+/// in-flight accesses only, so a sibling mutating shared memory at disjoint
+/// addresses — even addresses that alias the same MDT/SFC sets — must leave
+/// every observable of the run (load values, violations, replays, squashes,
+/// rounds, backend stats) identical to the clean run. Only the final memory
+/// image may differ, by exactly the sibling's bytes.
+///
+/// The contract comparison against the in-order reference is the caller's
+/// job ([`check_contract`] assumes no interference): a sibling writing
+/// script-visible words legitimately changes load values.
+pub fn run_script_with_interference(
+    backend: &mut dyn MemBackend,
+    script: &Script,
+    sibling: &mut SiblingHook<'_>,
+) -> Result<Conformance, ConformanceError> {
+    Driver::new(backend, script, Some(sibling)).run()
 }
 
 /// The in-order ground truth for a script: each load's value and the final

@@ -439,6 +439,21 @@ pub fn build(params: &BackendParams) -> Box<dyn MemBackend + Send> {
 /// Sub-word accesses carry their byte mask inside [`MemAccess`]; backends
 /// must forward and disambiguate at byte granularity (a 1-byte store
 /// overlapping an 8-byte load is a forwarding source for exactly that byte).
+///
+/// # No cross-core state
+///
+/// A backend instance serves exactly one core. All of its disambiguation
+/// state (SFC lines, MDT timestamps, queue entries, FIFO slots, PC
+/// predictions) is keyed by the owning core's in-flight accesses and
+/// sequence numbers only; committed memory is consulted exclusively through
+/// the `&MainMemory` handed to the `*_execute` calls. In a multi-core
+/// machine, memory a sibling core commits to may change *values* a load
+/// reads, but must never change the backend's ordering behaviour:
+/// violations, replays and stats depend only on this core's access stream.
+/// The conformance harness enforces this with
+/// [`conformance::run_script_with_interference`] — an adversarial sibling
+/// mutating shared memory (at addresses aliasing the same table sets) must
+/// leave every run observable except the final memory image bit-identical.
 pub trait MemBackend {
     /// Whether a memory instruction of `kind` can be accepted this cycle.
     /// An `Err` stalls dispatch (in order: nothing younger dispatches

@@ -371,3 +371,105 @@ proptest! {
         }
     }
 }
+
+/// The no-cross-core-state guarantee (see the `MemBackend` trait docs): an
+/// adversarial sibling core committing stores to shared memory between
+/// driver rounds — at addresses disjoint from the script's words but
+/// aliasing the same table sets under the power-of-two `LowBits` index —
+/// must leave every observable of the run except the final memory image
+/// bit-identical to an interference-free run.
+#[test]
+fn sibling_interference_is_invisible_to_backends() {
+    use aim_backend::conformance::run_script_with_interference;
+
+    // Script words live at 0x1000..; the sibling writes 0x100000 higher.
+    // 0x100000 is a multiple of every granule×sets product in use (max
+    // 4096 sets × 64-byte granules = 256 KiB), so for LowBits-indexed
+    // tables the sibling's granules land in the same sets as the script's.
+    const SIBLING_OFFSET: u64 = 0x100000;
+    let n_words = 4u64;
+
+    let mut params: Vec<(String, BackendParams)> = all_backend_params()
+        .into_iter()
+        .map(|(n, p)| (n.to_string(), p))
+        .collect();
+    params.extend(geometry_backend_params());
+    for seed in 0..12u64 {
+        let script = Script::random(seed, 24, n_words);
+        for (name, p) in &params {
+            let mut clean_backend = build(p);
+            let clean = run_script(clean_backend.as_mut(), &script)
+                .unwrap_or_else(|e| panic!("{name} clean: {e}"));
+
+            let mut noisy_backend = build(p);
+            let mut sibling = |round: u64, mem: &mut aim_mem::MainMemory| {
+                let word = SIBLING_OFFSET + 0x1000 + 8 * (round % n_words);
+                mem.write(acc(word, AccessSize::Double), round.wrapping_mul(0x1111));
+            };
+            let noisy = run_script_with_interference(noisy_backend.as_mut(), &script, &mut sibling)
+                .unwrap_or_else(|e| panic!("{name} with interference: {e}"));
+
+            assert_eq!(clean.load_values, noisy.load_values, "{name}: load values");
+            assert_eq!(clean.violations, noisy.violations, "{name}: violations");
+            assert_eq!(clean.replays, noisy.replays, "{name}: replays");
+            assert_eq!(clean.squashes, noisy.squashes, "{name}: squashes");
+            assert_eq!(clean.rounds, noisy.rounds, "{name}: rounds");
+            assert_eq!(
+                format!("{:?}", clean.stats),
+                format!("{:?}", noisy.stats),
+                "{name}: backend stats"
+            );
+            // The final image differs exactly by the sibling's bytes.
+            let noisy_script_mem: Vec<(u64, u8)> = noisy
+                .final_mem
+                .iter()
+                .copied()
+                .filter(|&(a, _)| a < SIBLING_OFFSET)
+                .collect();
+            assert_eq!(clean.final_mem, noisy_script_mem, "{name}: script memory");
+            assert!(
+                noisy.final_mem.iter().any(|&(a, _)| a >= SIBLING_OFFSET),
+                "{name}: sibling writes landed"
+            );
+        }
+    }
+}
+
+/// Same guarantee under *set-aliasing pressure on a tiny table*: with a
+/// 4-set MDT every sibling granule collides with some script granule's
+/// set, so any cross-core leakage into MDT timestamp checks would show up
+/// as extra violations or replays.
+#[test]
+fn sibling_interference_with_tiny_mdt_geometry() {
+    use aim_backend::conformance::run_script_with_interference;
+
+    let params = BackendParams::new(BackendConfig::SfcMdt {
+        sfc: SfcConfig {
+            sets: 4,
+            ways: 1,
+            ..SfcConfig::baseline()
+        },
+        mdt: MdtConfig {
+            sets: 4,
+            ways: 1,
+            ..MdtConfig::baseline()
+        },
+    });
+    for seed in 0..12u64 {
+        let script = Script::random(seed, 32, 4);
+        let mut clean_backend = build(&params);
+        let clean = run_script(clean_backend.as_mut(), &script).unwrap();
+        let mut noisy_backend = build(&params);
+        let mut sibling = |round: u64, mem: &mut aim_mem::MainMemory| {
+            // Sweep all four sets every four rounds.
+            let word = 0x200000 + 8 * (round % 4);
+            mem.write(acc(word, AccessSize::Double), !round);
+        };
+        let noisy =
+            run_script_with_interference(noisy_backend.as_mut(), &script, &mut sibling).unwrap();
+        assert_eq!(clean.load_values, noisy.load_values, "seed {seed}: load values");
+        assert_eq!(clean.violations, noisy.violations, "seed {seed}: violations");
+        assert_eq!(clean.replays, noisy.replays, "seed {seed}: replays");
+        assert_eq!(clean.rounds, noisy.rounds, "seed {seed}: rounds");
+    }
+}

@@ -16,8 +16,9 @@
 //! `hostperf: ACCEPT` acceptance line.
 
 use aim_bench::{
-    csv_path_from_args, has_flag, jobs_from_args, rule, run_matrix, run_matrix_timed,
-    scale_from_args, scale_token, specs, stats_fingerprint, CsvTable, HostperfReport,
+    csv_path_from_args, fingerprint_stats, has_flag, jobs_from_args, rule, run_matrix,
+    run_matrix_timed, run_multi_n1, scale_from_args, scale_token, specs, stats_fingerprint,
+    CsvTable, HostperfReport,
 };
 
 fn main() {
@@ -86,20 +87,35 @@ fn main() {
         Err(e) => eprintln!("hostperf report not written: {e}"),
     }
 
-    // Differential gate: with --check, replay the matrix serially and
-    // require the architectural-stats fingerprint to be bit-identical.
+    // Differential gates: with --check, (1) replay the matrix serially and
+    // require the architectural-stats fingerprint to be bit-identical
+    // (jobs=N ≡ jobs=1 determinism), then (2) replay every cell as the sole
+    // core of a MultiMachine and require the same fingerprint again — the
+    // multi-core refactor's N=1 contract, checked over the full matrix.
     let verdict = if has_flag("--check") {
         let serial = run_matrix(&prepared, &spec.configs, 1);
         let replay = stats_fingerprint(&serial);
-        if replay == report.stats_fingerprint {
-            "ACCEPT"
-        } else {
+        if replay != report.stats_fingerprint {
             println!(
                 "hostperf: REJECT — jobs={} fingerprint {:#018x} != jobs=1 fingerprint {replay:#018x}",
                 report.jobs, report.stats_fingerprint
             );
             std::process::exit(1);
         }
+        let n1_cells: Vec<_> = prepared
+            .iter()
+            .flat_map(|p| spec.configs.iter().map(|(_, cfg)| run_multi_n1(p, cfg)))
+            .collect();
+        let n1 = fingerprint_stats(n1_cells.iter());
+        if n1 != report.stats_fingerprint {
+            println!(
+                "hostperf: REJECT — multi-core N=1 fingerprint {n1:#018x} != single-core fingerprint {:#018x}",
+                report.stats_fingerprint
+            );
+            std::process::exit(1);
+        }
+        println!("hostperf: multi-core N=1 fingerprint matches single-core ({n1:#018x})");
+        "ACCEPT"
     } else {
         "ACCEPT"
     };

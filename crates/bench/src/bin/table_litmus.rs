@@ -1,0 +1,86 @@
+//! Memory-model litmus containment table: for every litmus test × backend,
+//! the outcomes the real multi-core machine produces across many seeded
+//! random core schedules versus the outcomes the operational reference
+//! model allows.
+//!
+//! Containment is the acceptance gate — a single disallowed outcome means
+//! a store became visible to a sibling core before retirement (or own-store
+//! forwarding broke) and the run rejects. The relaxed-reachability column
+//! keeps the gate honest: at the default depth, store buffering must
+//! actually show up, or the harness is only ever seeing the sequentially
+//! consistent interleavings.
+//!
+//! Flags/env: `--schedules N` (seeded random schedules per cell; default
+//! `AIM_LITMUS_SCHEDULES`, then 200); `AIM_LITMUS_JSON` overrides the
+//! `BENCH_litmus.json` output path. `scripts/tier1.sh` runs this at a tiny
+//! schedule count and greps the `litmus: ACCEPT` line.
+
+use aim_bench::{rule, LitmusReport};
+
+/// `--schedules N` beats `AIM_LITMUS_SCHEDULES` beats the default 200.
+fn schedules_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--schedules") {
+        return args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("--schedules needs a number"));
+    }
+    std::env::var("AIM_LITMUS_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+fn main() {
+    let schedules = schedules_from_args();
+    let report = LitmusReport::run(schedules);
+
+    println!(
+        "Litmus containment — {} seeded schedules (+ round-robin) per test × backend",
+        schedules
+    );
+    rule(64);
+    println!(
+        "{:<8} {:<10} | {:>8} {:>9} | {:>9}",
+        "test", "backend", "allowed", "observed", "contained"
+    );
+    rule(64);
+    for row in &report.rows {
+        println!(
+            "{:<8} {:<10} | {:>8} {:>9} | {:>9}",
+            row.test,
+            row.backend,
+            row.allowed_outcomes,
+            row.observed_outcomes,
+            if row.contained { "yes" } else { "NO" },
+        );
+    }
+    rule(64);
+
+    match report.write_default() {
+        Ok(path) => println!(
+            "litmus: {} cells in {:.2}s — {path}",
+            report.rows.len(),
+            report.wall_seconds
+        ),
+        Err(e) => eprintln!("litmus report not written: {e}"),
+    }
+
+    if !report.all_contained() {
+        let bad: Vec<String> = report
+            .rows
+            .iter()
+            .filter(|r| !r.contained)
+            .map(|r| format!("{}/{}", r.test, r.backend))
+            .collect();
+        println!("litmus: REJECT — disallowed outcomes on {}", bad.join(", "));
+        std::process::exit(1);
+    }
+    println!(
+        "litmus: ACCEPT schedules={} cells={} relaxed_reachable={}",
+        schedules,
+        report.rows.len(),
+        report.relaxed_reachable
+    );
+}

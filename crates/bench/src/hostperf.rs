@@ -93,22 +93,31 @@ pub fn scale_token(scale: Scale) -> &'static str {
     }
 }
 
-/// FNV-1a over the `Debug` rendering of every cell's host-independent
-/// statistics, workload-major: one word that changes iff *any*
-/// architectural statistic changes anywhere in the matrix. The wall clock
-/// and other [`HostPerf`](aim_pipeline::HostPerf) fields are zeroed first,
-/// so reruns of identical simulations always agree.
-pub fn stats_fingerprint(matrix: &Matrix) -> u64 {
+/// FNV-1a over the `Debug` rendering of each statistics record with its
+/// host-dependent [`HostPerf`](aim_pipeline::HostPerf) fields zeroed: one
+/// word that changes iff *any* architectural statistic changes anywhere in
+/// the sequence. The order of the iterator matters — callers hashing the
+/// same cells must present them in the same order.
+pub fn fingerprint_stats<'a, I>(stats: I) -> u64
+where
+    I: IntoIterator<Item = &'a aim_pipeline::SimStats>,
+{
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut hash = FNV_OFFSET;
-    for (_, _, stats) in matrix.iter() {
-        for byte in format!("{:?}", stats.with_zeroed_host()).bytes() {
+    for s in stats {
+        for byte in format!("{:?}", s.with_zeroed_host()).bytes() {
             hash ^= u64::from(byte);
             hash = hash.wrapping_mul(FNV_PRIME);
         }
     }
     hash
+}
+
+/// [`fingerprint_stats`] over a whole matrix, workload-major — the word
+/// `BENCH_hostperf.json` records and the `--check` replays compare against.
+pub fn stats_fingerprint(matrix: &Matrix) -> u64 {
+    fingerprint_stats(matrix.iter().map(|(_, _, s)| s))
 }
 
 impl HostperfReport {

@@ -38,6 +38,7 @@ use aim_workloads::{Scale, Suite, Workload};
 mod geometry_sweep;
 mod hostperf;
 mod hybrid;
+mod litmus;
 mod matrix;
 mod pcax;
 pub mod specs;
@@ -47,8 +48,9 @@ pub use geometry_sweep::{
     find_knee, grid_tiny_from_args, FilterSweepReport, FilterSweepRow, GeometryGrid, Knee,
     KneePoint, PcaxSweepReport, PcaxSweepRow,
 };
-pub use hostperf::{scale_token, stats_fingerprint, HostperfReport, HostperfRow};
+pub use hostperf::{fingerprint_stats, scale_token, stats_fingerprint, HostperfReport, HostperfRow};
 pub use hybrid::{HybridReport, HybridRow};
+pub use litmus::{LitmusReport, LitmusRow};
 pub use matrix::{run_matrix, run_matrix_timed, Matrix};
 pub use pcax::{PcaxReport, PcaxRow};
 pub use sweep::{SweepReport, SweepRow};
@@ -104,6 +106,23 @@ pub fn prepare(w: Workload, _scale: Scale) -> Prepared {
 pub fn run(p: &Prepared, cfg: &SimConfig) -> SimStats {
     simulate_with_trace(&p.program, &p.trace, cfg)
         .unwrap_or_else(|e| panic!("{} under {}: {e}", p.name, cfg.backend.name()))
+}
+
+/// Runs a prepared workload under `cfg` as the sole core of a
+/// [`MultiMachine`](aim_pipeline::MultiMachine) and returns core 0's
+/// statistics. The multi-core refactor's N=1 contract says this is
+/// bit-identical (wall clock aside) to [`run`]; `table_hostperf --check`
+/// replays the whole matrix through this path and compares fingerprints.
+///
+/// # Panics
+///
+/// Panics on validation or deadlock errors, as [`run`] does.
+pub fn run_multi_n1(p: &Prepared, cfg: &SimConfig) -> SimStats {
+    let multi = aim_pipeline::MultiMachine::new(&[(&p.program, &p.trace)], cfg.clone());
+    let stats = multi
+        .run(aim_pipeline::CoreSchedule::RoundRobin)
+        .unwrap_or_else(|e| panic!("{} under {} (multi N=1): {e}", p.name, cfg.backend.name()));
+    stats.per_core.into_iter().next().expect("one core ran")
 }
 
 /// Parses `--scale tiny|small|full` from the command line (default `full`).

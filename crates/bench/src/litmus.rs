@@ -1,0 +1,228 @@
+//! The memory-model litmus artifact (`BENCH_litmus.json`).
+//!
+//! The `table_litmus` binary runs the `aim-isa` litmus suite (SB, MP, LB,
+//! IRIW and the store-to-load-forwarding variants) on every backend across
+//! many seeded random core schedules, and records — per (test, backend) —
+//! how many outcomes the operational reference model allows, how many the
+//! real multi-core machine actually produced, and whether every produced
+//! outcome was allowed (`contained`). The containment column is the
+//! acceptance gate: a single `false` means a core's store leaked to a
+//! sibling before retirement (or own-store forwarding broke), and the
+//! binary rejects.
+//!
+//! Emitted JSON (`aim-litmus-report/v1`, hand-written — no serde in the
+//! offline build):
+//!
+//! ```json
+//! {
+//!   "schema": "aim-litmus-report/v1",
+//!   "artifact": "table_litmus",
+//!   "schedules": 200,
+//!   "relaxed_reachable": true,
+//!   "wall_seconds": 1.234567,
+//!   "rows": [
+//!     {
+//!       "test": "SB",
+//!       "backend": "sfc-mdt",
+//!       "allowed_outcomes": 3,
+//!       "observed_outcomes": 2,
+//!       "contained": true
+//!     }
+//!   ]
+//! }
+//! ```
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use crate::sweep::{json_escape, json_number};
+use aim_isa::{allowed_outcomes, litmus_suite, RefLimits};
+use aim_pipeline::{run_litmus, BackendChoice, CoreSchedule, MachineClass, SimConfig};
+
+/// One (litmus test, backend) cell of the report.
+#[derive(Debug, Clone)]
+pub struct LitmusRow {
+    /// Litmus test name (`SB`, `SB+fwd`, `MP`, `MP+fwd`, `LB`, `IRIW`).
+    pub test: String,
+    /// Backend token (`nospec` … `oracle`).
+    pub backend: String,
+    /// Distinct outcomes the reference model allows.
+    pub allowed_outcomes: usize,
+    /// Distinct outcomes the machine produced across all schedules.
+    pub observed_outcomes: usize,
+    /// Whether every produced outcome was reference-allowed.
+    pub contained: bool,
+}
+
+/// The litmus containment report.
+#[derive(Debug, Clone)]
+pub struct LitmusReport {
+    /// Seeded random schedules per cell (round-robin runs in addition).
+    pub schedules: u64,
+    /// Whether the relaxed store-buffering outcome (`SB` → both loads
+    /// stale) appeared on at least one backend — the non-vacuity signal.
+    pub relaxed_reachable: bool,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_seconds: f64,
+    /// One row per (test, backend), suite-major in `BackendChoice::ALL`
+    /// order.
+    pub rows: Vec<LitmusRow>,
+}
+
+impl LitmusReport {
+    /// Runs the whole suite on every backend under round-robin plus
+    /// `schedules` seeded random schedules per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference model errors (state-budget overflow would be
+    /// a suite bug) or a simulation fails.
+    pub fn run(schedules: u64) -> LitmusReport {
+        let start = Instant::now();
+        let mut rows = Vec::new();
+        let mut relaxed_reachable = false;
+        for test in litmus_suite() {
+            let allowed = allowed_outcomes(&test.programs, &test.observed, &RefLimits::default())
+                .unwrap_or_else(|e| panic!("{}: reference model failed: {e}", test.name));
+            for backend in BackendChoice::ALL {
+                let cfg = SimConfig::machine(MachineClass::Baseline)
+                    .backend(backend)
+                    .build();
+                let mut seen: BTreeSet<Vec<u64>> = BTreeSet::new();
+                let mut contained = true;
+                let mut all: Vec<CoreSchedule> = vec![CoreSchedule::RoundRobin];
+                // Same seed family as the pipeline litmus integration test.
+                all.extend((0..schedules).map(|i| CoreSchedule::Random {
+                    seed: 0xC0FE + 2 * i + 1,
+                }));
+                for schedule in all {
+                    let outcome = run_litmus(&test, &cfg, schedule).unwrap_or_else(|e| {
+                        panic!("{} on {} under {schedule:?}: {e}", test.name, backend.token())
+                    });
+                    contained &= allowed.contains(&outcome);
+                    seen.insert(outcome);
+                }
+                if test.name == "SB" && seen.contains(&vec![0, 0]) {
+                    relaxed_reachable = true;
+                }
+                rows.push(LitmusRow {
+                    test: test.name.to_string(),
+                    backend: backend.token().to_string(),
+                    allowed_outcomes: allowed.len(),
+                    observed_outcomes: seen.len(),
+                    contained,
+                });
+            }
+        }
+        LitmusReport {
+            schedules,
+            relaxed_reachable,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            rows,
+        }
+    }
+
+    /// Whether every cell's outcomes were contained in the allowed set.
+    pub fn all_contained(&self) -> bool {
+        self.rows.iter().all(|r| r.contained)
+    }
+
+    /// Renders the report as `aim-litmus-report/v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.rows.len() * 140);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"aim-litmus-report/v1\",\n");
+        out.push_str("  \"artifact\": \"table_litmus\",\n");
+        out.push_str(&format!("  \"schedules\": {},\n", self.schedules));
+        out.push_str(&format!(
+            "  \"relaxed_reachable\": {},\n",
+            self.relaxed_reachable
+        ));
+        out.push_str(&format!(
+            "  \"wall_seconds\": {},\n",
+            json_number(self.wall_seconds)
+        ));
+        out.push_str("  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"test\": \"{}\", \"backend\": \"{}\", \"allowed_outcomes\": {}, \
+                 \"observed_outcomes\": {}, \"contained\": {}}}",
+                json_escape(&row.test),
+                json_escape(&row.backend),
+                row.allowed_outcomes,
+                row.observed_outcomes,
+                row.contained,
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Writes the report to the default location — `$AIM_LITMUS_JSON` if
+    /// set, else `BENCH_litmus.json` in the working directory — and returns
+    /// the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_default(&self) -> std::io::Result<String> {
+        let path =
+            std::env::var("AIM_LITMUS_JSON").unwrap_or_else(|_| "BENCH_litmus.json".to_string());
+        self.write(&path)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_run_is_contained_and_covers_the_grid() {
+        let report = LitmusReport::run(2);
+        // 6 tests × 6 backends.
+        assert_eq!(report.rows.len(), 36);
+        assert!(report.all_contained(), "containment must hold: {report:?}");
+        for row in &report.rows {
+            assert!(row.allowed_outcomes >= 1, "{row:?}");
+            assert!(
+                row.observed_outcomes >= 1 && row.observed_outcomes <= row.allowed_outcomes,
+                "{row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_carries_schema_and_rows() {
+        let report = LitmusReport {
+            schedules: 7,
+            relaxed_reachable: true,
+            wall_seconds: 0.25,
+            rows: vec![LitmusRow {
+                test: "SB".to_string(),
+                backend: "lsq".to_string(),
+                allowed_outcomes: 3,
+                observed_outcomes: 2,
+                contained: true,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"aim-litmus-report/v1\""));
+        assert!(json.contains("\"schedules\": 7"));
+        assert!(json.contains("\"relaxed_reachable\": true"));
+        assert!(json.contains("\"test\": \"SB\""));
+        assert!(json.contains("\"contained\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

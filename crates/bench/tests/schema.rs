@@ -1,14 +1,16 @@
 //! Golden-file schema tests: the machine-readable reports downstream
 //! tooling parses (`BENCH_sweep.json`, `BENCH_hybrid.json`,
 //! `BENCH_pcax.json`, `BENCH_pcax_sweep.json`, `BENCH_filter_sweep.json`,
-//! `BENCH_hostperf.json`) must keep a byte-stable serialization for a
+//! `BENCH_hostperf.json`, `BENCH_litmus.json`) must keep a byte-stable
+//! serialization for a
 //! fixed input. Any field added, removed, renamed, or reordered shows up
 //! here as a golden-file diff — update the golden **deliberately**,
 //! alongside the schema version string, never as a drive-by.
 
 use aim_bench::{
     FilterSweepReport, FilterSweepRow, HostperfReport, HostperfRow, HybridReport, HybridRow,
-    PcaxReport, PcaxRow, PcaxSweepReport, PcaxSweepRow, SweepReport, SweepRow,
+    LitmusReport, LitmusRow, PcaxReport, PcaxRow, PcaxSweepReport, PcaxSweepRow, SweepReport,
+    SweepRow,
 };
 use aim_workloads::Scale;
 
@@ -227,6 +229,31 @@ fn golden_hostperf() -> HostperfReport {
     }
 }
 
+/// A fixed, fully populated litmus report.
+fn golden_litmus() -> LitmusReport {
+    LitmusReport {
+        schedules: 200,
+        relaxed_reachable: true,
+        wall_seconds: 1.5,
+        rows: vec![
+            LitmusRow {
+                test: "SB".to_string(),
+                backend: "nospec".to_string(),
+                allowed_outcomes: 3,
+                observed_outcomes: 2,
+                contained: true,
+            },
+            LitmusRow {
+                test: "IRIW".to_string(),
+                backend: "oracle".to_string(),
+                allowed_outcomes: 16,
+                observed_outcomes: 7,
+                contained: true,
+            },
+        ],
+    }
+}
+
 #[test]
 fn sweep_report_serialization_is_golden() {
     let got = golden_sweep().to_json();
@@ -290,6 +317,17 @@ fn hostperf_report_serialization_is_golden() {
         got, want,
         "aim-hostperf-report/v1 serialization drifted; if intentional, update \
          tests/golden/hostperf.golden.json and bump the schema version"
+    );
+}
+
+#[test]
+fn litmus_report_serialization_is_golden() {
+    let got = golden_litmus().to_json();
+    let want = include_str!("golden/litmus.golden.json");
+    assert_eq!(
+        got, want,
+        "aim-litmus-report/v1 serialization drifted; if intentional, update \
+         tests/golden/litmus.golden.json and bump the schema version"
     );
 }
 
@@ -448,5 +486,26 @@ fn reports_keep_their_stable_field_sets() {
             2,
             "hostperf row field {field}"
         );
+    }
+
+    let litmus = golden_litmus().to_json();
+    for field in [
+        "\"schema\"",
+        "\"artifact\"",
+        "\"schedules\"",
+        "\"relaxed_reachable\"",
+        "\"wall_seconds\"",
+        "\"rows\"",
+    ] {
+        assert_eq!(litmus.matches(field).count(), 1, "litmus field {field}");
+    }
+    for field in [
+        "\"test\"",
+        "\"backend\"",
+        "\"allowed_outcomes\"",
+        "\"observed_outcomes\"",
+        "\"contained\"",
+    ] {
+        assert_eq!(litmus.matches(field).count(), 2, "litmus row field {field}");
     }
 }

@@ -34,8 +34,36 @@ pub enum Command {
     Compare(RunArgs),
     /// Assemble and run a `.s` source file (the kernel field is the path).
     Asm(RunArgs),
+    /// Run the multi-core memory-model litmus suite.
+    Litmus(LitmusArgs),
     /// Print usage.
     Help,
+}
+
+/// Options for the `litmus` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LitmusArgs {
+    /// Run only the named test (`SB`, `SB+fwd`, `MP`, `MP+fwd`, `LB`,
+    /// `IRIW`); `None` runs the whole suite.
+    pub test: Option<String>,
+    /// Run only this backend; `None` runs all six.
+    pub backend: Option<BackendChoice>,
+    /// Seeded random core schedules per (test, backend); round-robin always
+    /// runs in addition.
+    pub schedules: u64,
+    /// Run the release-build integrity checks during every schedule.
+    pub paranoid: bool,
+}
+
+impl Default for LitmusArgs {
+    fn default() -> LitmusArgs {
+        LitmusArgs {
+            test: None,
+            backend: None,
+            schedules: 200,
+            paranoid: false,
+        }
+    }
 }
 
 /// Options shared by `run` and `compare`.
@@ -74,6 +102,9 @@ pub struct RunArgs {
     /// Worker threads for `compare` sweeps (0 = `AIM_JOBS`, then host
     /// parallelism).
     pub jobs: usize,
+    /// Run the wakeup-list and store-census integrity checks even in
+    /// release builds.
+    pub paranoid: bool,
 }
 
 impl Default for RunArgs {
@@ -95,6 +126,7 @@ impl Default for RunArgs {
             trace: 0,
             pipeview: 0,
             jobs: 0,
+            paranoid: false,
         }
     }
 }
@@ -120,6 +152,7 @@ USAGE:
   aim-sim run <kernel> [options]     simulate one kernel
   aim-sim compare <kernel> [options] simulate under all six backends
   aim-sim asm <file.s> [options]     assemble and simulate a source file
+  aim-sim litmus [litmus options]    run the multi-core memory-model litmus suite
 
 OPTIONS:
   --machine baseline|aggressive   pipeline configuration      [baseline]
@@ -138,6 +171,13 @@ OPTIONS:
   --trace N                       print the last N pipeline events
   --pipeview N                    draw stage timelines for the last N retirements
   --jobs N                        worker threads for compare sweeps [AIM_JOBS/auto]
+  --paranoid                      run the release-build integrity checks every cycle
+
+LITMUS OPTIONS:
+  --test NAME                     one of SB, SB+fwd, MP, MP+fwd, LB, IRIW  [all]
+  --backend TOKEN                 one backend                              [all]
+  --schedules N                   seeded random core schedules per cell    [200]
+  --paranoid                      as above
 ";
 
 /// Parses a command line (without the program name).
@@ -151,6 +191,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
     let cmd = match it.next().map(String::as_str) {
         None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
         Some("list") => return Ok(Command::List),
+        Some("litmus") => return parse_litmus(it),
         Some(c @ ("run" | "compare" | "asm")) => c.to_string(),
         Some(other) => return Err(ParseError(format!("unknown command `{other}`"))),
     };
@@ -249,6 +290,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                     .parse()
                     .map_err(|_| ParseError(format!("bad job count `{v}`")))?;
             }
+            "--paranoid" => run.paranoid = true,
             other => return Err(ParseError(format!("unknown option `{other}`"))),
         }
     }
@@ -258,6 +300,37 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         "asm" => Command::Asm(run),
         _ => Command::Compare(run),
     })
+}
+
+/// Parses the options of the `litmus` command.
+fn parse_litmus(mut it: std::slice::Iter<'_, String>) -> Result<Command, ParseError> {
+    let mut args = LitmusArgs::default();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ParseError(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--test" => args.test = Some(value("--test")?),
+            "--backend" => {
+                args.backend = Some(
+                    value("--backend")?
+                        .parse()
+                        .map_err(|e: aim_pipeline::UnknownBackend| ParseError(e.to_string()))?,
+                );
+            }
+            "--schedules" => {
+                let v = value("--schedules")?;
+                args.schedules = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad schedule count `{v}`")))?;
+            }
+            "--paranoid" => args.paranoid = true,
+            other => return Err(ParseError(format!("unknown option `{other}`"))),
+        }
+    }
+    Ok(Command::Litmus(args))
 }
 
 /// Parses a `SETSxWAYS` table geometry, e.g. `256x1`.
@@ -323,6 +396,7 @@ pub fn build_config(args: &RunArgs) -> SimConfig {
     cfg.mdt_filter = args.filter;
     cfg.event_trace = args.trace > 0;
     cfg.pipeview = args.pipeview > 0;
+    cfg.paranoid = args.paranoid;
     cfg
 }
 
@@ -540,6 +614,53 @@ mod tests {
             .unwrap_err()
             .0
             .contains("bad job count"));
+    }
+
+    #[test]
+    fn litmus_command_parses() {
+        assert_eq!(
+            parse(&["litmus"]).unwrap(),
+            Command::Litmus(LitmusArgs::default())
+        );
+        let Command::Litmus(args) = parse(&[
+            "litmus",
+            "--test",
+            "SB+fwd",
+            "--backend",
+            "lsq",
+            "--schedules",
+            "32",
+            "--paranoid",
+        ])
+        .unwrap() else {
+            panic!("expected litmus");
+        };
+        assert_eq!(args.test.as_deref(), Some("SB+fwd"));
+        assert_eq!(args.backend, Some(BackendChoice::Lsq));
+        assert_eq!(args.schedules, 32);
+        assert!(args.paranoid);
+        assert!(parse(&["litmus", "--schedules", "lots"])
+            .unwrap_err()
+            .0
+            .contains("bad schedule count"));
+        assert!(parse(&["litmus", "--backend", "psychic"])
+            .unwrap_err()
+            .0
+            .contains("unknown backend"));
+        assert!(parse(&["litmus", "--bogus"])
+            .unwrap_err()
+            .0
+            .contains("unknown option"));
+    }
+
+    #[test]
+    fn paranoid_flag_reaches_the_config() {
+        let Command::Run(args) = parse(&["run", "gzip", "--paranoid"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(args.paranoid);
+        assert!(build_config(&args).paranoid);
+        assert!(!build_config(&RunArgs::default()).paranoid);
     }
 
     #[test]

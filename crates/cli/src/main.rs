@@ -2,7 +2,7 @@
 
 use std::process::ExitCode;
 
-use aim_cli::{build_config, parse_args, report, BackendChoice, Command, RunArgs, USAGE};
+use aim_cli::{build_config, parse_args, report, BackendChoice, Command, LitmusArgs, RunArgs, USAGE};
 use aim_pipeline::{pipeview, simulate_pipeview, simulate_traced};
 
 fn run_program(name: &str, program: &aim_isa::Program, args: &RunArgs) -> Result<(), String> {
@@ -61,6 +61,79 @@ fn compare_parallel(args: &RunArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the litmus suite: every observed outcome must be allowed by the
+/// operational reference model, and the per-cell observed/allowed counts
+/// are printed as a table.
+fn run_litmus_suite(args: &LitmusArgs) -> Result<(), String> {
+    let suite: Vec<_> = aim_isa::litmus_suite()
+        .into_iter()
+        .filter(|t| args.test.as_deref().is_none_or(|name| name == t.name))
+        .collect();
+    if suite.is_empty() {
+        return Err(format!(
+            "unknown litmus test `{}` (SB, SB+fwd, MP, MP+fwd, LB, IRIW)",
+            args.test.as_deref().unwrap_or("")
+        ));
+    }
+    let backends: Vec<BackendChoice> = match args.backend {
+        Some(b) => vec![b],
+        None => BackendChoice::ALL.to_vec(),
+    };
+    let mut disallowed = 0usize;
+    for test in &suite {
+        let allowed =
+            aim_isa::allowed_outcomes(&test.programs, &test.observed, &aim_isa::RefLimits::default())
+                .map_err(|e| format!("{}: reference model failed: {e}", test.name))?;
+        println!(
+            "{} — {} ({} cores, {} allowed outcomes)",
+            test.name,
+            test.description,
+            test.programs.len(),
+            allowed.len()
+        );
+        for &backend in &backends {
+            let mut cfg = aim_pipeline::SimConfig::machine(aim_pipeline::MachineClass::Baseline)
+                .backend(backend)
+                .build();
+            cfg.paranoid = args.paranoid;
+            let mut seen = std::collections::BTreeSet::new();
+            let mut contained = true;
+            let mut schedules = vec![aim_pipeline::CoreSchedule::RoundRobin];
+            schedules.extend((0..args.schedules).map(|i| aim_pipeline::CoreSchedule::Random {
+                seed: 0xC0FE + 2 * i + 1,
+            }));
+            for schedule in schedules {
+                let outcome = aim_pipeline::run_litmus(test, &cfg, schedule)
+                    .map_err(|e| format!("{} on {}: {e}", test.name, backend.token()))?;
+                contained &= allowed.contains(&outcome);
+                seen.insert(outcome);
+            }
+            if !contained {
+                disallowed += 1;
+            }
+            println!(
+                "  {:<10} observed {}/{} outcomes — {}",
+                backend.token(),
+                seen.len(),
+                allowed.len(),
+                if contained { "contained" } else { "DISALLOWED" }
+            );
+        }
+    }
+    if disallowed > 0 {
+        return Err(format!(
+            "{disallowed} (test, backend) cell(s) produced reference-disallowed outcomes"
+        ));
+    }
+    println!(
+        "litmus: every observed outcome allowed ({} tests, {} backends, {} schedules each)",
+        suite.len(),
+        backends.len(),
+        args.schedules + 1
+    );
+    Ok(())
+}
+
 fn run_asm_file(args: &RunArgs) -> Result<(), String> {
     let source = std::fs::read_to_string(&args.kernel)
         .map_err(|e| format!("cannot read `{}`: {e}", args.kernel))?;
@@ -92,6 +165,7 @@ fn main() -> ExitCode {
         }
         Command::Run(args) => run_one(&args),
         Command::Asm(args) => run_asm_file(&args),
+        Command::Litmus(args) => run_litmus_suite(&args),
         Command::Compare(args) => {
             if args.trace == 0 && args.pipeview == 0 {
                 compare_parallel(&args)

@@ -14,6 +14,26 @@
 /// is the "better hash function" it hypothesizes: folding the upper granule
 /// bits into the index so power-of-two strides no longer collapse onto one
 /// set.
+///
+/// # Multi-core: why the hash takes no core id
+///
+/// Both hashes index by *physical address alone*, and that stays correct in
+/// the multi-core machine because SFC and MDT instances are **per-core**
+/// structures: each `Core` owns its backend, and a backend only ever sees
+/// its own core's loads, stores, and sequence numbers (the "No cross-core
+/// state" contract on `aim_backend::MemBackend`). Two cores touching the
+/// same physical address therefore index the same set number in *different*
+/// tables — there is nothing to disambiguate between them here, so salting
+/// the index with a core id would only spread one core's working set across
+/// otherwise-identical sets and change the paper's conflict behaviour.
+/// Cross-core ordering is instead resolved at store retirement through the
+/// shared memory system, where committed values — not table entries —
+/// become visible to siblings. In particular an MDT timestamp can never
+/// alias a sibling's access: timestamps are per-core sequence numbers
+/// checked only against entries the same core inserted. The executable
+/// proof is the conformance interference suite
+/// (`sibling_interference_is_invisible_to_backends`), which replays every
+/// backend bit-identically while a sibling rewrites memory between rounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SetHash {
     /// `set = granule & (sets - 1)` — the paper's simple hash.

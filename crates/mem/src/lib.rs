@@ -14,6 +14,9 @@
 //!   results are validated against an architectural trace.
 //! * [`CacheHierarchy`] — the L1I/L1D/L2 arrangement of the paper's Figure 4
 //!   with its 10/10/100-cycle miss latencies.
+//! * [`SharedMemSystem`] / [`CoreMemSys`] — the multi-core split of the same
+//!   hierarchy: private per-core L1s in front of one shared L2 and one
+//!   committed memory, behind a single-threaded [`SharedHandle`].
 //! * [`StoreFifo`] — the paper's non-associative store FIFO: "a store enters
 //!   the non-associative store FIFO at dispatch, writes its data and address
 //!   to the FIFO during execution, and exits the FIFO at retirement" (Fig. 1).
@@ -33,9 +36,11 @@
 mod cache;
 mod hierarchy;
 mod memory;
+mod shared;
 mod store_fifo;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use hierarchy::{CacheHierarchy, HierarchyConfig, MemLevel};
 pub use memory::MainMemory;
+pub use shared::{CoreMemSys, SharedHandle, SharedMemSystem};
 pub use store_fifo::{StoreFifo, StoreFifoEntry};

@@ -1,0 +1,280 @@
+//! The shared memory system: one committed [`MainMemory`] and one unified
+//! L2 cache, shared by N per-core memory systems.
+//!
+//! This is the multi-core split of [`CacheHierarchy`](crate::CacheHierarchy):
+//! the L1 instruction and data caches are private to a core (they live in
+//! [`CoreMemSys`]), while the L2 and committed memory are process-wide state
+//! behind a [`SharedHandle`]. A single-core machine is the degenerate case —
+//! one `CoreMemSys` holding the only handle — and its hit/miss/latency
+//! behavior is operation-for-operation identical to `CacheHierarchy`, which
+//! is what the N=1 stats-fingerprint gate in `table_hostperf --check`
+//! asserts.
+//!
+//! Sharing is single-threaded by design (`Rc<RefCell<..>>`): the multi-core
+//! scheduler interleaves cores deterministically on one host thread, which
+//! keeps every simulated schedule reproducible from its seed. Cross-thread
+//! parallelism stays where it already is — *between* independent
+//! simulations in `run_matrix`, never inside one machine.
+//!
+//! The defined cross-core commit point is a store's retirement (or its
+//! head-of-ROB bypass, which can only happen when every older instruction
+//! of that core has already retired): [`CoreMemSys::write`] is the only
+//! path by which a core's store becomes visible to its siblings, so
+//! committed stores from different cores interleave in retirement order
+//! under whatever core schedule the driver runs.
+//!
+//! # Examples
+//!
+//! ```
+//! use aim_mem::{CoreMemSys, HierarchyConfig, MainMemory, MemLevel, SharedMemSystem};
+//! use aim_types::Addr;
+//!
+//! let shared = SharedMemSystem::new(MainMemory::new(), HierarchyConfig::default()).into_handle();
+//! let mut c0 = CoreMemSys::attach(0, HierarchyConfig::default(), shared.clone());
+//! let mut c1 = CoreMemSys::attach(1, HierarchyConfig::default(), shared);
+//!
+//! let (level, _) = c0.access_data(Addr(0x4000));
+//! assert_eq!(level, MemLevel::Memory); // cold everywhere
+//! // Core 1 misses its private L1D but hits the shared L2 that core 0 filled.
+//! let (level, _) = c1.access_data(Addr(0x4000));
+//! assert_eq!(level, MemLevel::L2);
+//! ```
+
+use std::cell::{Ref, RefCell};
+use std::rc::Rc;
+
+use aim_types::{Addr, MemAccess};
+
+use crate::cache::{Cache, CacheStats};
+use crate::hierarchy::{HierarchyConfig, MemLevel};
+use crate::memory::MainMemory;
+
+/// The process-wide tier of the memory system: committed architectural
+/// memory plus the unified L2 cache, shared by every core.
+#[derive(Debug)]
+pub struct SharedMemSystem {
+    mem: MainMemory,
+    l2: Cache,
+}
+
+/// A shared, single-threaded handle to the [`SharedMemSystem`]. Cores hold
+/// clones; the multi-core driver holds one more for final-state extraction.
+pub type SharedHandle = Rc<RefCell<SharedMemSystem>>;
+
+impl SharedMemSystem {
+    /// Builds the shared tier over an initial committed-memory image.
+    pub fn new(mem: MainMemory, config: HierarchyConfig) -> SharedMemSystem {
+        SharedMemSystem {
+            mem,
+            l2: Cache::new(config.l2),
+        }
+    }
+
+    /// Wraps the system in a [`SharedHandle`] for cores to clone.
+    pub fn into_handle(self) -> SharedHandle {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// The committed memory image.
+    pub fn mem(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// Mutable committed memory (store commit, test setup).
+    pub fn mem_mut(&mut self) -> &mut MainMemory {
+        &mut self.mem
+    }
+
+    /// Hit/miss counters of the shared L2.
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// Unwraps the committed memory image.
+    pub fn into_memory(self) -> MainMemory {
+        self.mem
+    }
+}
+
+/// One core's view of the memory system: private L1I/L1D caches in front of
+/// the [`SharedMemSystem`].
+///
+/// The access methods replicate `CacheHierarchy`'s latency ladder exactly
+/// (L1 hit → `l1_hit_cycles`; L2 hit → `+l1_miss_cycles`; memory →
+/// `+l2_miss_cycles`), so a core attached to an otherwise-idle shared
+/// system is indistinguishable from the single-core hierarchy.
+#[derive(Debug)]
+pub struct CoreMemSys {
+    core_id: usize,
+    config: HierarchyConfig,
+    l1i: Cache,
+    l1d: Cache,
+    shared: SharedHandle,
+}
+
+impl CoreMemSys {
+    /// Attaches a new core (cold private L1s) to a shared system.
+    pub fn attach(core_id: usize, config: HierarchyConfig, shared: SharedHandle) -> CoreMemSys {
+        CoreMemSys {
+            core_id,
+            config,
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            shared,
+        }
+    }
+
+    /// Builds a self-contained single-core memory system (core id 0) over
+    /// its own private shared tier — the single-core `Machine` path.
+    pub fn single(mem: MainMemory, config: HierarchyConfig) -> CoreMemSys {
+        CoreMemSys::attach(0, config, SharedMemSystem::new(mem, config).into_handle())
+    }
+
+    /// This core's id.
+    pub fn core_id(&self) -> usize {
+        self.core_id
+    }
+
+    /// The configured hierarchy parameters.
+    pub fn config(&self) -> HierarchyConfig {
+        self.config
+    }
+
+    /// The handle to the shared tier (clone to attach sibling cores).
+    pub fn shared(&self) -> &SharedHandle {
+        &self.shared
+    }
+
+    fn access(&mut self, instr: bool, addr: Addr) -> (MemLevel, u64) {
+        let cfg = &self.config;
+        let l1 = if instr { &mut self.l1i } else { &mut self.l1d };
+        if l1.access(addr) {
+            (MemLevel::L1, cfg.l1_hit_cycles)
+        } else if self.shared.borrow_mut().l2.access(addr) {
+            (MemLevel::L2, cfg.l1_hit_cycles + cfg.l1_miss_cycles)
+        } else {
+            (
+                MemLevel::Memory,
+                cfg.l1_hit_cycles + cfg.l1_miss_cycles + cfg.l2_miss_cycles,
+            )
+        }
+    }
+
+    /// Fetches an instruction address; returns the serving level and latency.
+    pub fn access_instr(&mut self, addr: Addr) -> (MemLevel, u64) {
+        self.access(true, addr)
+    }
+
+    /// Accesses a data address (load, or store commit); returns the serving
+    /// level and latency in cycles.
+    pub fn access_data(&mut self, addr: Addr) -> (MemLevel, u64) {
+        self.access(false, addr)
+    }
+
+    /// Reads committed memory.
+    pub fn read(&self, access: MemAccess) -> u64 {
+        self.shared.borrow().mem.read(access)
+    }
+
+    /// Commits a store to shared memory — the cross-core visibility point.
+    pub fn write(&mut self, access: MemAccess, value: u64) {
+        self.shared.borrow_mut().mem.write(access, value);
+    }
+
+    /// Borrows the committed memory image (for backends, which take
+    /// `&MainMemory`). The borrow is a `RefCell` guard: do not hold it
+    /// across another `CoreMemSys` call.
+    pub fn mem(&self) -> Ref<'_, MainMemory> {
+        Ref::map(self.shared.borrow(), |s| &s.mem)
+    }
+
+    /// Hit/miss counters for (this core's L1I, this core's L1D, the shared
+    /// L2). The L2 column reports the whole shared cache — for a
+    /// single-core system that is exactly the per-core traffic; with
+    /// siblings attached it aggregates every core's refills.
+    pub fn stats(&self) -> (CacheStats, CacheStats, CacheStats) {
+        (
+            self.l1i.stats(),
+            self.l1d.stats(),
+            self.shared.borrow().l2.stats(),
+        )
+    }
+
+    /// Unwraps the committed memory image: takes it if this is the last
+    /// handle to the shared tier, clones it otherwise.
+    pub fn into_memory(self) -> MainMemory {
+        match Rc::try_unwrap(self.shared) {
+            Ok(cell) => cell.into_inner().mem,
+            Err(shared) => shared.borrow().mem.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::CacheHierarchy;
+
+    #[test]
+    fn single_core_matches_cache_hierarchy_exactly() {
+        let cfg = HierarchyConfig::default();
+        let mut h = CacheHierarchy::new(cfg);
+        let mut c = CoreMemSys::single(MainMemory::new(), cfg);
+        // A mixed instruction/data stream with reuse at every level.
+        let addrs = [
+            0x0u64, 0x40, 0x80, 0x9000, 0x9040, 0x0, 0x9000, 0x2_0000, 0x9000, 0x40,
+        ];
+        for (i, &a) in addrs.iter().enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(h.access_instr(Addr(a)), c.access_instr(Addr(a)), "i@{a:#x}");
+            } else {
+                assert_eq!(h.access_data(Addr(a)), c.access_data(Addr(a)), "d@{a:#x}");
+            }
+        }
+        assert_eq!(h.stats(), c.stats());
+    }
+
+    #[test]
+    fn l2_is_shared_and_l1_private() {
+        let cfg = HierarchyConfig::default();
+        let shared = SharedMemSystem::new(MainMemory::new(), cfg).into_handle();
+        let mut c0 = CoreMemSys::attach(0, cfg, shared.clone());
+        let mut c1 = CoreMemSys::attach(1, cfg, shared.clone());
+        let (lv, _) = c0.access_data(Addr(0x4000));
+        assert_eq!(lv, MemLevel::Memory);
+        // Sibling misses its private L1D, hits the L2 line core 0 filled.
+        let (lv, lat) = c1.access_data(Addr(0x4000));
+        assert_eq!((lv, lat), (MemLevel::L2, 11));
+        // Each core's L1D saw exactly one access; the shared L2 saw both.
+        assert_eq!(c0.stats().1.accesses(), 1);
+        assert_eq!(c1.stats().1.accesses(), 1);
+        assert_eq!(shared.borrow().l2_stats().accesses(), 2);
+    }
+
+    #[test]
+    fn writes_are_visible_across_cores() {
+        let cfg = HierarchyConfig::default();
+        let shared = SharedMemSystem::new(MainMemory::new(), cfg).into_handle();
+        let mut c0 = CoreMemSys::attach(0, cfg, shared.clone());
+        let c1 = CoreMemSys::attach(1, cfg, shared);
+        let acc = MemAccess::new(Addr(0x1000), aim_types::AccessSize::Double).unwrap();
+        c0.write(acc, 0xdead_beef);
+        assert_eq!(c1.read(acc), 0xdead_beef);
+    }
+
+    #[test]
+    fn into_memory_takes_or_clones() {
+        let cfg = HierarchyConfig::default();
+        let acc = MemAccess::new(Addr(0x8), aim_types::AccessSize::Double).unwrap();
+        let mut solo = CoreMemSys::single(MainMemory::new(), cfg);
+        solo.write(acc, 7);
+        assert_eq!(solo.into_memory().read(acc), 7);
+
+        let shared = SharedMemSystem::new(MainMemory::new(), cfg).into_handle();
+        let mut c0 = CoreMemSys::attach(0, cfg, shared.clone());
+        c0.write(acc, 9);
+        // Another handle is still alive, so this clones.
+        assert_eq!(c0.into_memory().read(acc), 9);
+        assert_eq!(shared.borrow().mem().read(acc), 9);
+    }
+}

@@ -101,6 +101,17 @@ pub struct SimConfig {
     /// Collect per-instruction stage timelines for the pipeline viewer (see
     /// [`crate::pipeview`]); bounded memory, off by default.
     pub pipeview: bool,
+    /// Run the wakeup-list and store-census integrity checks even in
+    /// release builds (they always run under `debug_assertions`). Wired to
+    /// the `--paranoid` CLI flag; off by default because the censuses are
+    /// O(window) per cycle.
+    pub paranoid: bool,
+    /// Validate every retirement against the golden interpreter trace
+    /// (value, address, and path checks). On by default — this is the
+    /// simulator's core correctness oracle. Multi-core litmus runs turn it
+    /// off: sibling cores legitimately change the values loads observe, so
+    /// an isolated per-core trace cannot predict them.
+    pub validate_retirement: bool,
     /// Stop after this many retired instructions (0 = trace length).
     pub max_instrs: u64,
 }
@@ -134,6 +145,8 @@ impl SimConfig {
             mdt_filter: false,
             event_trace: false,
             pipeview: false,
+            paranoid: false,
+            validate_retirement: true,
             max_instrs: 0,
         }
     }

@@ -5,7 +5,7 @@ use aim_backend::MemKind;
 use aim_isa::Instr;
 use aim_types::SeqNum;
 
-use crate::machine::Machine;
+use crate::machine::Core;
 use crate::rob::InFlight;
 
 /// The memory kind of an instruction, if it is a memory instruction.
@@ -19,7 +19,7 @@ pub(crate) fn mem_kind(instr: Instr) -> Option<MemKind> {
     }
 }
 
-impl Machine<'_> {
+impl Core<'_> {
     pub(crate) fn dispatch(&mut self) {
         for _ in 0..self.config.width {
             let Some(front) = self.fetch_buffer.front().copied() else {

@@ -8,7 +8,7 @@ use aim_isa::{ExecClass, Instr};
 use aim_types::{Addr, MemAccess, SeqNum, ViolationKind};
 
 use crate::config::OutputDepRecovery;
-use crate::machine::Machine;
+use crate::machine::Core;
 use crate::recover::PendingViolation;
 use crate::rob::InstrState;
 
@@ -20,7 +20,7 @@ pub(crate) enum MemOutcome {
     Replay,
 }
 
-impl Machine<'_> {
+impl Core<'_> {
     pub(crate) fn issue(&mut self) {
         let mut budget = self.config.issue_width;
         let free_events = self.backend.free_event_count();
@@ -188,12 +188,24 @@ impl Machine<'_> {
         e.stall_until_free_event = stall.then_some(free_events);
     }
 
-    /// Debug-build invariant: the wakeup list holds the stable position of
+    /// Whether the per-cycle integrity censuses run: always in debug
+    /// builds, and in release builds when [`SimConfig::paranoid`] is set
+    /// (the `--paranoid` CLI flag).
+    ///
+    /// [`SimConfig::paranoid`]: crate::SimConfig::paranoid
+    #[inline]
+    fn checks_enabled(&self) -> bool {
+        cfg!(debug_assertions) || self.config.paranoid
+    }
+
+    /// Integrity invariant: the wakeup list holds the stable position of
     /// every Waiting ROB entry, each exactly once, in dispatch order. Drift
     /// would silently change the issue order (a missed entry never issues; a
-    /// stale one would trip the in-loop state assert).
-    fn debug_check_wakeup_list(&self) {
-        if !cfg!(debug_assertions) {
+    /// stale one would trip the in-loop state assert). Runs per issue cycle
+    /// and after every squash truncation; see [`Core::checks_enabled`] for
+    /// when.
+    pub(crate) fn debug_check_wakeup_list(&self) {
+        if !self.checks_enabled() {
             return;
         }
         let waiting_in_rob = self
@@ -201,34 +213,34 @@ impl Machine<'_> {
             .iter()
             .filter(|e| e.state == InstrState::Waiting)
             .count();
-        debug_assert_eq!(
+        assert_eq!(
             self.waiting.len(),
             waiting_in_rob,
             "wakeup list population drifted from ROB contents"
         );
-        debug_assert!(
+        assert!(
             self.waiting.iter().zip(self.waiting.iter().skip(1)).all(|(a, b)| a < b),
             "wakeup list out of order"
         );
     }
 
-    /// Debug-build invariant: the store census and granule filter always
+    /// Integrity invariant: the store census and granule filter always
     /// equal the sums of the per-entry flags in the ROB. A drift here means
     /// a leak in the execute/retire/squash bookkeeping, which would silently
     /// rot the §4 filter into either unsoundness (under-count) or inertness
-    /// (over-count).
+    /// (over-count). See [`Core::checks_enabled`] for when it runs.
     pub(crate) fn debug_check_filter_census(&self) {
-        if !cfg!(debug_assertions) || !self.config.mdt_filter {
+        if !self.checks_enabled() || !self.config.mdt_filter {
             return;
         }
         let unexecuted = self.rob.iter().filter(|e| e.counted_unexecuted).count() as u64;
-        debug_assert_eq!(
+        assert_eq!(
             self.unexecuted_stores, unexecuted,
             "unexecuted-store census drifted from ROB contents"
         );
         let counted = self.rob.iter().filter(|e| e.filter_counted).count() as u64;
         let filter_total: u64 = self.store_granule_filter.iter().map(|&c| c as u64).sum();
-        debug_assert_eq!(
+        assert_eq!(
             filter_total, counted,
             "granule-filter population drifted from ROB contents"
         );
@@ -252,8 +264,8 @@ impl Machine<'_> {
         self.stats.load_executions += 1;
         if self.head_bypasses(seq, idx) {
             self.stats.head_bypasses += 1;
-            let value = self.mem.read(access);
-            let latency = self.hierarchy.access_data(access.addr()).1;
+            let value = self.memsys.read(access);
+            let latency = self.memsys.access_data(access.addr()).1;
             self.rob.get_at_mut(idx).bypassed = true;
             return MemOutcome::Done { value, latency };
         }
@@ -274,17 +286,21 @@ impl Machine<'_> {
             filtered,
         };
 
-        match self.backend.load_execute(&req, &self.mem) {
+        let outcome = {
+            let mem = self.memsys.mem();
+            self.backend.load_execute(&req, &mem)
+        };
+        match outcome {
             LoadOutcome::Done { value, forwarded } => {
                 let latency = if forwarded {
                     self.stats.loads_forwarded += 1;
                     // Forwarding takes the L1-hit time: the SFC (or the
                     // idealized single-cycle store-queue bypass) is accessed
                     // in parallel with the L1.
-                    let _ = self.hierarchy.access_data(access.addr());
+                    let _ = self.memsys.access_data(access.addr());
                     self.config.hierarchy.l1_hit_cycles
                 } else {
-                    self.hierarchy.access_data(access.addr()).1
+                    self.memsys.access_data(access.addr()).1
                 };
                 MemOutcome::Done { value, latency }
             }
@@ -336,7 +352,11 @@ impl Machine<'_> {
             bypass,
         };
 
-        match self.backend.store_execute(&req, &self.mem) {
+        let outcome = {
+            let mem = self.memsys.mem();
+            self.backend.store_execute(&req, &mem)
+        };
+        match outcome {
             StoreOutcome::Replay(cause) => {
                 self.stats.replays.count(MemKind::Store, cause);
                 self.replay(seq, idx);
@@ -373,8 +393,10 @@ impl Machine<'_> {
                     // Commit immediately: the store is non-speculative at the
                     // head, and committing now closes the window in which a
                     // younger load could read stale memory unchecked by the
-                    // skipped SFC.
-                    self.mem.write(access, value);
+                    // skipped SFC. (Cross-core this is still a well-defined
+                    // commit: the head can never be squashed, and every older
+                    // instruction of this core has already retired.)
+                    self.memsys.write(access, value);
                     self.rob.get_at_mut(idx).bypassed = true;
                 }
                 if self.config.mdt_filter {

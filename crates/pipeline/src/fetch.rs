@@ -4,9 +4,9 @@
 use aim_isa::Instr;
 use aim_mem::MemLevel;
 
-use crate::machine::{Fetched, Machine};
+use crate::machine::{Core, Fetched};
 
-impl Machine<'_> {
+impl Core<'_> {
     pub(crate) fn fetch(&mut self) {
         if self.fetch_halted
             || self.cycle < self.fetch_stall_until
@@ -18,7 +18,7 @@ impl Machine<'_> {
         // Model the I-cache on the first access of the group: a miss costs
         // the fill latency before any instruction is delivered.
         let (level, latency) = self
-            .hierarchy
+            .memsys
             .access_instr(self.program.fetch_addr(self.fetch_pc));
         if level != MemLevel::L1 {
             self.fetch_stall_until = self.cycle + latency;

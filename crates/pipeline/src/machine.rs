@@ -8,7 +8,7 @@ use std::fmt;
 
 use aim_backend::MemBackend;
 use aim_isa::{Instr, Program, Reg, Trace};
-use aim_mem::{CacheHierarchy, MainMemory};
+use aim_mem::{CoreMemSys, MainMemory, SharedHandle};
 use aim_predictor::{Gshare, OracleBoost, ProducerSetPredictor, TagScoreboard};
 use aim_types::SeqNum;
 
@@ -66,10 +66,15 @@ pub struct FinalState {
     pub mem: MainMemory,
 }
 
-/// The simulated out-of-order processor.
+/// One simulated out-of-order processor core.
 ///
-/// Construct with [`Machine::new`] and drive with [`Machine::run`], or use
-/// the [`crate::simulate`] convenience function.
+/// A `Core` owns a full pipeline (fetch through retire, with recovery) and
+/// its private L1 caches, and reaches committed memory plus the unified L2
+/// through an [`aim_mem::SharedHandle`]. Construct with [`Machine::new`]
+/// (self-contained single-core, the historical `Machine`) and drive with
+/// [`Machine::run`], or use the [`crate::simulate`] convenience function;
+/// [`crate::MultiMachine`] attaches several cores to one shared memory
+/// system and schedules them.
 ///
 /// # Examples
 ///
@@ -87,7 +92,7 @@ pub struct FinalState {
 /// let stats = machine.run().unwrap();
 /// assert_eq!(stats.retired, 2);
 /// ```
-pub struct Machine<'a> {
+pub struct Core<'a> {
     pub(crate) config: SimConfig,
     pub(crate) program: &'a Program,
     pub(crate) trace: &'a Trace,
@@ -99,8 +104,11 @@ pub struct Machine<'a> {
 
     pub(crate) renamer: Renamer,
     pub(crate) rob: Rob,
-    pub(crate) mem: MainMemory,
-    pub(crate) hierarchy: CacheHierarchy,
+    /// This core's private L1s over the (possibly shared) L2 and committed
+    /// memory. Holding a [`SharedHandle`] makes a `Core` single-threaded
+    /// (`!Send`); the bench harness constructs machines inside their worker
+    /// threads, so cross-simulation parallelism is unaffected.
+    pub(crate) memsys: CoreMemSys,
     pub(crate) backend: Box<dyn MemBackend + Send>,
     pub(crate) dep_pred: ProducerSetPredictor,
     pub(crate) tags: TagScoreboard,
@@ -158,21 +166,55 @@ pub const PIPEVIEW_CAPACITY: usize = 4096;
 /// Maximum events retained by the pipeline trace (a ring of the most recent).
 pub const TRACE_CAPACITY: usize = 65_536;
 
-impl<'a> Machine<'a> {
-    /// Creates a machine over `program`, validated against `trace` (the
-    /// golden architectural run of the same program).
-    pub fn new(program: &'a Program, trace: &'a Trace, config: SimConfig) -> Machine<'a> {
+/// The historical single-core name: a [`Core`] constructed with
+/// [`Machine::new`] owns its entire memory system and behaves exactly as
+/// the pre-multi-core machine did.
+pub type Machine<'a> = Core<'a>;
+
+/// No-forward-progress bound for the per-core deadlock detector.
+const DEADLOCK_CYCLES: u64 = 200_000;
+
+impl<'a> Core<'a> {
+    /// Creates a self-contained single-core machine over `program`,
+    /// validated against `trace` (the golden architectural run of the same
+    /// program).
+    pub fn new(program: &'a Program, trace: &'a Trace, config: SimConfig) -> Core<'a> {
+        let memsys = CoreMemSys::single(program.build_memory(), config.hierarchy);
+        Core::attach(program, trace, config, memsys)
+    }
+
+    /// Creates a core attached to an existing shared memory system as
+    /// `core_id`. The per-core oracle seed folds the core id in so sibling
+    /// cores draw independent streams; core 0 keeps the configured seed
+    /// bit-for-bit (the N=1 equivalence gate).
+    pub fn with_shared(
+        program: &'a Program,
+        trace: &'a Trace,
+        mut config: SimConfig,
+        core_id: usize,
+        shared: SharedHandle,
+    ) -> Core<'a> {
+        config.seed ^= (core_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let memsys = CoreMemSys::attach(core_id, config.hierarchy, shared);
+        Core::attach(program, trace, config, memsys)
+    }
+
+    fn attach(
+        program: &'a Program,
+        trace: &'a Trace,
+        config: SimConfig,
+        memsys: CoreMemSys,
+    ) -> Core<'a> {
         let backend = aim_backend::build(&config.backend_params());
         let target_retired = if config.max_instrs == 0 {
             trace.len() as u64
         } else {
             config.max_instrs.min(trace.len() as u64)
         };
-        Machine {
+        Core {
             renamer: Renamer::new(config.phys_regs),
             rob: Rob::new(config.rob_entries),
-            mem: program.build_memory(),
-            hierarchy: CacheHierarchy::new(config.hierarchy),
+            memsys,
             backend,
             dep_pred: ProducerSetPredictor::with_config(config.dep_predictor),
             tags: TagScoreboard::new(),
@@ -269,47 +311,60 @@ impl<'a> Machine<'a> {
     /// See [`Machine::run`].
     pub fn run_final(mut self) -> Result<(SimStats, FinalState), SimError> {
         self.run_loop()?;
-        let regs = (0..32)
-            .map(|i| self.renamer.read(self.renamer.lookup(Reg::new(i))))
-            .collect();
+        let regs = self.arch_regs();
         Ok((
             self.stats,
             FinalState {
                 regs,
-                mem: self.mem,
+                mem: self.memsys.into_memory(),
             },
         ))
     }
 
+    /// The retired architectural register file `r0..r31`.
+    pub(crate) fn arch_regs(&self) -> Vec<u64> {
+        (0..32)
+            .map(|i| self.renamer.read(self.renamer.lookup(Reg::new(i))))
+            .collect()
+    }
+
+    /// Advances the core by one cycle: retire, then (unless halted)
+    /// complete/issue/dispatch/fetch, with the per-core deadlock check.
+    /// This is the multi-core scheduling quantum — the single-core
+    /// [`Machine::run`] loop calls it back to back.
+    pub(crate) fn step(&mut self) -> Result<(), SimError> {
+        self.cycle += 1;
+        self.retire()?;
+        if self.halted {
+            self.debug_check_filter_census();
+            return Ok(());
+        }
+        self.complete();
+        self.issue();
+        self.dispatch();
+        self.fetch();
+
+        if self.cycle - self.last_retire_cycle > DEADLOCK_CYCLES {
+            return Err(SimError::Deadlock(format!(
+                "no retirement for {} cycles at cycle {}; retired {}, rob {} entries, \
+                 head {:?}",
+                DEADLOCK_CYCLES,
+                self.cycle,
+                self.stats.retired,
+                self.rob.len(),
+                self.rob.head().map(|h| (h.seq, h.pc, h.state))
+            )));
+        }
+        Ok(())
+    }
+
     fn run_loop(&mut self) -> Result<(), SimError> {
-        const DEADLOCK_CYCLES: u64 = 200_000;
         if self.target_retired == 0 {
             return Ok(());
         }
         let wall_start = std::time::Instant::now();
-        loop {
-            self.cycle += 1;
-            self.retire()?;
-            if self.halted {
-                self.debug_check_filter_census();
-                break;
-            }
-            self.complete();
-            self.issue();
-            self.dispatch();
-            self.fetch();
-
-            if self.cycle - self.last_retire_cycle > DEADLOCK_CYCLES {
-                return Err(SimError::Deadlock(format!(
-                    "no retirement for {} cycles at cycle {}; retired {}, rob {} entries, \
-                     head {:?}",
-                    DEADLOCK_CYCLES,
-                    self.cycle,
-                    self.stats.retired,
-                    self.rob.len(),
-                    self.rob.head().map(|h| (h.seq, h.pc, h.state))
-                )));
-            }
+        while !self.halted {
+            self.step()?;
         }
         self.stats.cycles = self.cycle;
         self.stats.host.wall_ns = wall_start.elapsed().as_nanos() as u64;
@@ -321,7 +376,7 @@ impl<'a> Machine<'a> {
         self.backend.stats_into(&mut self.stats.backend);
         self.stats.gshare = self.gshare.stats();
         self.stats.dep_predictor = self.dep_pred.stats();
-        self.stats.caches = self.hierarchy.stats();
+        self.stats.caches = self.memsys.stats();
     }
 
     pub(crate) fn at_head(&self, seq: SeqNum) -> bool {

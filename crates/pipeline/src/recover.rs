@@ -3,7 +3,7 @@
 
 use aim_types::{SeqNum, ViolationKind};
 
-use crate::machine::Machine;
+use crate::machine::Core;
 use crate::rob::InstrState;
 
 /// A pending memory-dependence violation, carried from execute to the
@@ -22,7 +22,7 @@ pub(crate) struct PendingViolation {
     pub(crate) corrupt_only: bool,
 }
 
-impl Machine<'_> {
+impl Core<'_> {
     /// Records a violation to apply when the raising instruction (`seq`)
     /// completes, preserving the sorted-by-raiser invariant of
     /// `pending_violations`. Completion events arrive out of sequence order,
@@ -251,6 +251,10 @@ impl Machine<'_> {
         self.fetch_stall_until = self.fetch_stall_until.max(self.cycle + penalty);
         squashed.clear();
         self.squash_scratch = squashed;
+        // The wakeup-list truncation above and the census decrements are the
+        // squash-path halves of the issue/dispatch bookkeeping; check both
+        // immediately so a drift is pinned to the recovery that caused it.
+        self.debug_check_wakeup_list();
         self.debug_check_filter_census();
     }
 }

@@ -3,11 +3,11 @@
 
 use aim_isa::Instr;
 
-use crate::machine::{Machine, SimError, PIPEVIEW_CAPACITY};
+use crate::machine::{Core, SimError, PIPEVIEW_CAPACITY};
 use crate::pipeview::PipeRecord;
 use crate::rob::{InFlight, InstrState};
 
-impl Machine<'_> {
+impl Core<'_> {
     pub(crate) fn retire(&mut self) -> Result<(), SimError> {
         for _ in 0..self.config.width {
             let Some(head) = self.rob.head() else { break };
@@ -16,7 +16,9 @@ impl Machine<'_> {
             }
             let e = self.rob.pop_head().expect("head checked");
             self.log(|| format!("retire   {} pc={} `{}`", e.seq, e.pc, e.instr));
-            self.validate(&e)?;
+            if self.config.validate_retirement {
+                self.validate(&e)?;
+            }
             if self.config.pipeview {
                 if self.pipe_records.len() == PIPEVIEW_CAPACITY {
                     self.pipe_records.remove(0);
@@ -53,9 +55,10 @@ impl Machine<'_> {
                 let (access, value) = e.mem.expect("completed store has an access");
                 // Memory commits before the backend retirement hook — the
                 // backend contract lets backends read committed state for
-                // their own retiring store.
-                self.mem.write(access, value);
-                let _ = self.hierarchy.access_data(access.addr());
+                // their own retiring store. This is also the cross-core
+                // commit point: sibling cores observe the store from here on.
+                self.memsys.write(access, value);
+                let _ = self.memsys.access_data(access.addr());
                 self.backend.retire_store(e.seq, access);
                 if e.filter_counted {
                     let bucket = self.filter_bucket(access);

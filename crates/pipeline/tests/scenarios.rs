@@ -413,3 +413,55 @@ fn aggressive_true_dep_recovery_squashes_less() {
         c.squashed
     );
 }
+
+/// `--paranoid` runs the wakeup-list and store-census integrity checks in
+/// release builds too; both are invoked at the end of every
+/// `squash_and_redirect`, so a run with plenty of mispredict *and*
+/// violation squashes exercises the truncation bookkeeping directly: any
+/// entry the squash path leaves dangling (or any census it fails to
+/// decrement) trips a hard assert instead of surfacing cycles later.
+#[test]
+fn paranoid_checks_survive_heavy_squashing() {
+    let mut asm = Assembler::new();
+    asm.movi(r(1), 1_500);
+    asm.movi(r(2), 0xB000);
+    asm.movi(r(5), 0x9E37);
+    asm.label("loop");
+    // xorshift for unpredictable branch directions
+    asm.slli(r(6), r(5), 13);
+    asm.xor(r(5), r(5), r(6));
+    asm.srli(r(6), r(5), 7);
+    asm.xor(r(5), r(5), r(6));
+    // A slow store racing a fast same-address load: true-dependence
+    // violations on top of the control squashes.
+    asm.mul(r(7), r(5), r(5));
+    asm.sd(r(7), r(2), 0);
+    asm.ld(r(8), r(2), 0);
+    asm.add(r(20), r(20), r(8));
+    asm.andi(r(9), r(5), 1);
+    asm.beq(r(9), Reg::ZERO, "skip");
+    // Wrong-path store half the time, so squashes truncate pending stores.
+    asm.xori(r(10), r(5), 0x55);
+    asm.sd(r(10), r(2), 0);
+    asm.label("skip");
+    asm.ld(r(11), r(2), 0);
+    asm.add(r(20), r(20), r(11));
+    asm.subi(r(1), r(1), 1);
+    asm.bne(r(1), Reg::ZERO, "loop");
+    asm.halt();
+    let program = asm.assemble().unwrap();
+
+    let mut cfg = SimConfig::machine(MachineClass::Baseline).mode(EnforceMode::All).build();
+    cfg.paranoid = true;
+    cfg.mdt_filter = true; // the census check is live only with the filter on
+    cfg.oracle_fix_probability = 0.0; // raw gshare: plenty of wrong paths
+    cfg.dep_predictor.clear_interval = 1; // violations recur every iteration
+    let stats = run(&program, &cfg);
+    assert!(stats.branch_mispredicts > 50, "need mispredict squashes");
+    assert!(
+        stats.flushes.true_dep + stats.flushes.anti_dep + stats.flushes.output_dep > 10,
+        "need violation squashes: {:?}",
+        stats.flushes
+    );
+    assert!(stats.squashed > 100, "squash path barely exercised");
+}

@@ -63,12 +63,25 @@ grep -q 'acceptance: every swept filter geometry inside the no-spec..oracle brac
 
 # The host-throughput gate: --check replays the matrix single-threaded and
 # fails if the architectural-stats fingerprint diverges (a silent behavior
-# change hiding behind a host-perf win), and the run must print its
-# acceptance line.
+# change hiding behind a host-perf win), then replays it again as 1-core
+# MultiMachines — the multi-core refactor's N=1 bit-identity contract —
+# and the run must print both acceptance lines.
 echo "== tier1: table_hostperf differential gate (tiny scale) =="
-AIM_HOSTPERF_JSON="$(mktemp)" \
-  cargo run --release -q -p aim-bench --bin table_hostperf -- --scale tiny --check \
-  | grep -q 'hostperf: ACCEPT'
+HOSTPERF_OUT="$(AIM_HOSTPERF_JSON="$(mktemp)" \
+  cargo run --release -q -p aim-bench --bin table_hostperf -- --scale tiny --check)"
+grep -q 'hostperf: multi-core N=1 fingerprint matches single-core' <<<"$HOSTPERF_OUT"
+grep -q 'hostperf: ACCEPT' <<<"$HOSTPERF_OUT"
+
+# The memory-model gate: every litmus outcome the multi-core machine
+# produces must be allowed by the operational reference model, on every
+# backend. Tier-1 runs a shallow schedule sweep (the committed
+# BENCH_litmus.json is the full 200-schedule run); the integration test
+# suite already ran the deeper AIM_LITMUS_SCHEDULES default during
+# `cargo test -p aim-pipeline`.
+echo "== tier1: table_litmus containment gate (8 schedules) =="
+AIM_LITMUS_JSON="$(mktemp)" \
+  cargo run --release -q -p aim-bench --bin table_litmus -- --schedules 8 \
+  | grep -q 'litmus: ACCEPT'
 
 # Benches must keep compiling even though tier-1 does not time them.
 echo "== tier1: cargo bench --no-run =="
