@@ -103,13 +103,32 @@ where
     I: IntoIterator<Item = &'a aim_pipeline::SimStats>,
 {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut hash = FNV_OFFSET;
     for s in stats {
-        for byte in format!("{:?}", s.with_zeroed_host()).bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(FNV_PRIME);
-        }
+        hash = crate::cache_key::fnv1a(hash, format!("{:?}", s.with_zeroed_host()).bytes());
+    }
+    hash
+}
+
+/// The fingerprint of one already-rendered statistics text (the
+/// `Debug`-with-zeroed-host form [`fingerprint_stats`] hashes). For a
+/// single record, `fingerprint_text(&format!("{:?}", s.with_zeroed_host()))
+/// == fingerprint_stats([&s])` — the identity the `aim-serve` result cache
+/// relies on to re-fingerprint a cached entry without deserializing it.
+pub fn fingerprint_text(text: &str) -> u64 {
+    fingerprint_texts(std::iter::once(text))
+}
+
+/// [`fingerprint_text`] chained over several texts in order (equals
+/// [`fingerprint_stats`] over the corresponding records).
+pub fn fingerprint_texts<'a, I>(texts: I) -> u64
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut hash = FNV_OFFSET;
+    for text in texts {
+        hash = crate::cache_key::fnv1a(hash, text.bytes());
     }
     hash
 }

@@ -35,24 +35,33 @@ use aim_isa::{Interpreter, Program, Trace};
 use aim_pipeline::{simulate_with_trace, SimConfig, SimStats};
 use aim_workloads::{Scale, Suite, Workload};
 
+mod cache_key;
 mod geometry_sweep;
 mod hostperf;
 mod hybrid;
 mod litmus;
 mod matrix;
 mod pcax;
+mod serve_report;
 pub mod specs;
 mod sweep;
 
+pub use cache_key::{
+    cache_key, cache_key_of_texts, canonical_config_text, program_text, CacheKey, CODE_VERSION,
+};
 pub use geometry_sweep::{
     find_knee, grid_tiny_from_args, FilterSweepReport, FilterSweepRow, GeometryGrid, Knee,
     KneePoint, PcaxSweepReport, PcaxSweepRow,
 };
-pub use hostperf::{fingerprint_stats, scale_token, stats_fingerprint, HostperfReport, HostperfRow};
+pub use hostperf::{
+    fingerprint_stats, fingerprint_text, fingerprint_texts, scale_token, stats_fingerprint,
+    HostperfReport, HostperfRow,
+};
 pub use hybrid::{HybridReport, HybridRow};
 pub use litmus::{LitmusReport, LitmusRow};
 pub use matrix::{run_matrix, run_matrix_timed, Matrix};
 pub use pcax::{PcaxReport, PcaxRow};
+pub use serve_report::{ServeReport, ServeRound};
 pub use sweep::{SweepReport, SweepRow};
 
 /// A workload with its golden trace precomputed (reused across configs).
@@ -148,13 +157,18 @@ pub fn has_flag(flag: &str) -> bool {
 /// wins, then a positive `AIM_JOBS` environment variable, then the host's
 /// available parallelism (falling back to 1 if that is unknowable).
 pub fn resolve_jobs(requested: usize) -> usize {
+    resolve_jobs_with(requested, std::env::var("AIM_JOBS").ok().as_deref())
+}
+
+/// [`resolve_jobs`] with the `AIM_JOBS` environment variable's value passed
+/// explicitly, so the fallback chain is unit-testable without mutating the
+/// process environment. A malformed or non-positive `env_jobs` is ignored,
+/// exactly as an unset variable is.
+pub fn resolve_jobs_with(requested: usize, env_jobs: Option<&str>) -> usize {
     if requested > 0 {
         return requested;
     }
-    if let Some(n) = std::env::var("AIM_JOBS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
+    if let Some(n) = env_jobs.and_then(|v| v.parse::<usize>().ok()) {
         if n > 0 {
             return n;
         }
@@ -162,25 +176,41 @@ pub fn resolve_jobs(requested: usize) -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Extracts the `--jobs N` request (before [`resolve_jobs`] resolution)
+/// from an argument list. Absent means `0` (defer to `AIM_JOBS`, then
+/// auto-detection).
+///
+/// # Errors
+///
+/// Returns a one-line, actionable message — never panics — when `--jobs`
+/// is present without a value or with a non-integer value.
+pub fn parse_jobs_arg(args: &[String]) -> Result<usize, String> {
+    match args.iter().position(|a| a == "--jobs") {
+        Some(i) => match args.get(i + 1) {
+            Some(s) => s.parse().map_err(|_| {
+                format!("--jobs expects a non-negative integer, got `{s}` (e.g. --jobs 4; 0 defers to AIM_JOBS, then auto-detection)")
+            }),
+            None => Err("--jobs expects a value (e.g. --jobs 4; 0 defers to AIM_JOBS, then auto-detection)".to_string()),
+        },
+        None => Ok(0),
+    }
+}
+
 /// Parses `--jobs N` from the command line and resolves it via
 /// [`resolve_jobs`] (so `--jobs 0`, `AIM_JOBS`, and auto-detection all
 /// behave identically across the experiment binaries).
 ///
-/// # Panics
-///
-/// Panics if `--jobs` is present without a parseable integer value.
+/// A malformed `--jobs` prints one actionable line on stderr and exits
+/// with status 2 — no panic, no backtrace.
 pub fn jobs_from_args() -> usize {
     let args: Vec<String> = std::env::args().collect();
-    let requested = match args.iter().position(|a| a == "--jobs") {
-        Some(i) => match args.get(i + 1) {
-            Some(s) => s
-                .parse()
-                .unwrap_or_else(|_| panic!("--jobs expects an integer, got `{s}`")),
-            None => panic!("--jobs expects a value"),
-        },
-        None => 0,
-    };
-    resolve_jobs(requested)
+    match parse_jobs_arg(&args) {
+        Ok(requested) => resolve_jobs(requested),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Parses `--csv <path>` from the command line, if present.
@@ -282,6 +312,31 @@ mod tests {
         assert_eq!(scale_from_args(), Scale::Full);
         assert!(!has_flag("--nonexistent"));
         assert_eq!(csv_path_from_args(), None);
+    }
+
+    #[test]
+    fn jobs_flag_errors_are_one_actionable_line() {
+        let argv = |words: &[&str]| words.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_jobs_arg(&argv(&["bin", "--jobs", "4"])), Ok(4));
+        assert_eq!(parse_jobs_arg(&argv(&["bin", "--scale", "tiny"])), Ok(0));
+        let err = parse_jobs_arg(&argv(&["bin", "--jobs", "x"])).unwrap_err();
+        assert!(err.contains("--jobs expects a non-negative integer, got `x`"), "{err}");
+        assert!(!err.contains('\n'), "error must be one line: {err:?}");
+        let err = parse_jobs_arg(&argv(&["bin", "--jobs"])).unwrap_err();
+        assert!(err.contains("--jobs expects a value"), "{err}");
+        assert!(!err.contains('\n'), "error must be one line: {err:?}");
+    }
+
+    #[test]
+    fn jobs_resolution_prefers_request_then_env_then_host() {
+        assert_eq!(resolve_jobs_with(3, Some("8")), 3);
+        assert_eq!(resolve_jobs_with(0, Some("8")), 8);
+        // Malformed or non-positive AIM_JOBS falls through to the host.
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(resolve_jobs_with(0, Some("many")), host);
+        assert_eq!(resolve_jobs_with(0, Some("0")), host);
+        assert_eq!(resolve_jobs_with(0, None), host);
+        assert!(resolve_jobs_with(0, None) >= 1);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 
 use aim_bench::{
     FilterSweepReport, FilterSweepRow, HostperfReport, HostperfRow, HybridReport, HybridRow,
-    LitmusReport, LitmusRow, PcaxReport, PcaxRow, PcaxSweepReport, PcaxSweepRow, SweepReport,
-    SweepRow,
+    LitmusReport, LitmusRow, PcaxReport, PcaxRow, PcaxSweepReport, PcaxSweepRow, ServeReport,
+    ServeRound, SweepReport, SweepRow,
 };
 use aim_workloads::Scale;
 
@@ -254,6 +254,41 @@ fn golden_litmus() -> LitmusReport {
     }
 }
 
+/// A fixed, fully populated serve report.
+fn golden_serve() -> ServeReport {
+    ServeReport {
+        scale: Scale::Tiny,
+        workers: 4,
+        clients: 2,
+        requests: 480,
+        cache_hits: 240,
+        cache_misses: 240,
+        dedup_waits: 3,
+        sims_run: 240,
+        corrupt_evictions: 1,
+        verified: 12,
+        verify_mismatches: 0,
+        worker_utilization: 0.75,
+        warm_speedup: 42.5,
+        rounds: vec![
+            ServeRound {
+                label: "cold".to_string(),
+                cells: 240,
+                wall_seconds: 2.5,
+                sims_run: 240,
+                cache_hits: 0,
+            },
+            ServeRound {
+                label: "warm1".to_string(),
+                cells: 240,
+                wall_seconds: 0.05,
+                sims_run: 0,
+                cache_hits: 240,
+            },
+        ],
+    }
+}
+
 #[test]
 fn sweep_report_serialization_is_golden() {
     let got = golden_sweep().to_json();
@@ -328,6 +363,17 @@ fn litmus_report_serialization_is_golden() {
         got, want,
         "aim-litmus-report/v1 serialization drifted; if intentional, update \
          tests/golden/litmus.golden.json and bump the schema version"
+    );
+}
+
+#[test]
+fn serve_report_serialization_is_golden() {
+    let got = golden_serve().to_json();
+    let want = include_str!("golden/serve.golden.json");
+    assert_eq!(
+        got, want,
+        "aim-serve-report/v1 serialization drifted; if intentional, update \
+         tests/golden/serve.golden.json and bump the schema version"
     );
 }
 
@@ -486,6 +532,33 @@ fn reports_keep_their_stable_field_sets() {
             2,
             "hostperf row field {field}"
         );
+    }
+
+    let serve = golden_serve().to_json();
+    for field in [
+        "\"schema\"",
+        "\"artifact\"",
+        "\"scale\"",
+        "\"workers\"",
+        "\"clients\"",
+        "\"requests\"",
+        "\"cache_misses\"",
+        "\"dedup_waits\"",
+        "\"corrupt_evictions\"",
+        "\"verified\"",
+        "\"verify_mismatches\"",
+        "\"worker_utilization\"",
+        "\"warm_speedup\"",
+        "\"rounds\"",
+    ] {
+        assert_eq!(serve.matches(field).count(), 1, "serve field {field}");
+    }
+    // One top-level occurrence plus one per round.
+    for field in ["\"cache_hits\"", "\"sims_run\""] {
+        assert_eq!(serve.matches(field).count(), 3, "serve field {field}");
+    }
+    for field in ["\"label\"", "\"cells\"", "\"wall_seconds\""] {
+        assert_eq!(serve.matches(field).count(), 2, "serve round field {field}");
     }
 
     let litmus = golden_litmus().to_json();

@@ -20,6 +20,7 @@ use aim_lsq::LsqConfig;
 use aim_pipeline::{FilterConfig, MachineClass, PcaxConfig, SimConfig, SimStats};
 
 pub use aim_pipeline::{BackendChoice, BackendConfig};
+pub use aim_serve::LsqChoice;
 use aim_predictor::EnforceMode;
 use aim_workloads::Scale;
 
@@ -36,8 +37,111 @@ pub enum Command {
     Asm(RunArgs),
     /// Run the multi-core memory-model litmus suite.
     Litmus(LitmusArgs),
+    /// Run the job server (socket, stdio pipe, or the replay gate).
+    Serve(ServeArgs),
+    /// Submit one job to a serving socket.
+    Submit(SubmitArgs),
     /// Print usage.
     Help,
+}
+
+/// Options for the `serve` command. Exactly one of `socket`, `stdio`, or
+/// `replay` selects the mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Listen on this Unix-domain socket path.
+    pub socket: Option<String>,
+    /// Serve a single connection over stdin/stdout (subprocess pipe mode).
+    pub stdio: bool,
+    /// Replay the hostperf matrix cold/warm against the cache and print
+    /// the `cache-consistent` verdict.
+    pub replay: bool,
+    /// Result-cache directory.
+    pub cache: String,
+    /// Simulation worker threads (0 = `AIM_JOBS`, then host parallelism).
+    pub workers: usize,
+    /// Replay workload scale.
+    pub scale: Scale,
+    /// Replay rounds (round 0 cold, the rest warm; minimum 2).
+    pub rounds: usize,
+    /// Concurrent replay client connections.
+    pub clients: usize,
+    /// Append a verify round recomputing every replay cell.
+    pub verify: bool,
+}
+
+impl Default for ServeArgs {
+    fn default() -> ServeArgs {
+        ServeArgs {
+            socket: None,
+            stdio: false,
+            replay: false,
+            cache: ".aim-serve-cache".to_string(),
+            workers: 0,
+            scale: Scale::Tiny,
+            rounds: 2,
+            clients: 4,
+            verify: false,
+        }
+    }
+}
+
+/// Options for the `submit` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitArgs {
+    /// The serving socket to connect to.
+    pub socket: String,
+    /// Kernel name (empty when `shutdown` is set).
+    pub kernel: String,
+    /// Machine class.
+    pub aggressive: bool,
+    /// Memory-ordering backend.
+    pub backend: BackendChoice,
+    /// Enforcement-mode override (`None` keeps the builder default).
+    pub mode: Option<EnforceMode>,
+    /// LSQ capacity override (`None` keeps the builder default).
+    pub lsq: Option<LsqChoice>,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Ask the server to recompute and byte-compare the cached entry.
+    pub verify: bool,
+    /// Bypass the cache lookup (always simulate).
+    pub no_cache: bool,
+    /// Send a shutdown request instead of a job.
+    pub shutdown: bool,
+}
+
+impl SubmitArgs {
+    /// The wire-level machine configuration this submission names.
+    pub fn config_spec(&self) -> aim_serve::ConfigSpec {
+        aim_serve::ConfigSpec {
+            machine: if self.aggressive {
+                MachineClass::Aggressive
+            } else {
+                MachineClass::Baseline
+            },
+            backend: self.backend,
+            mode: self.mode,
+            lsq: self.lsq,
+        }
+    }
+}
+
+impl Default for SubmitArgs {
+    fn default() -> SubmitArgs {
+        SubmitArgs {
+            socket: String::new(),
+            kernel: String::new(),
+            aggressive: false,
+            backend: BackendChoice::SfcMdt,
+            mode: None,
+            lsq: None,
+            scale: Scale::Tiny,
+            verify: false,
+            no_cache: false,
+            shutdown: false,
+        }
+    }
 }
 
 /// Options for the `litmus` command.
@@ -153,6 +257,10 @@ USAGE:
   aim-sim compare <kernel> [options] simulate under all six backends
   aim-sim asm <file.s> [options]     assemble and simulate a source file
   aim-sim litmus [litmus options]    run the multi-core memory-model litmus suite
+  aim-sim serve --replay|--socket PATH|--stdio [serve options]
+                                     run the caching job server (or its replay gate)
+  aim-sim submit <kernel>|--shutdown --socket PATH [submit options]
+                                     send one job to a serving socket
 
 OPTIONS:
   --machine baseline|aggressive   pipeline configuration      [baseline]
@@ -178,6 +286,20 @@ LITMUS OPTIONS:
   --backend TOKEN                 one backend                              [all]
   --schedules N                   seeded random core schedules per cell    [200]
   --paranoid                      as above
+
+SERVE OPTIONS:
+  --cache DIR                     result-cache directory     [.aim-serve-cache]
+  --workers N                     simulation worker threads  [AIM_JOBS/auto]
+  --scale tiny|small|full         replay workload scale      [tiny]
+  --rounds N                      replay rounds, cold + warm [2]
+  --clients N                     replay client connections  [4]
+  --verify                        append a replay verify round
+
+SUBMIT OPTIONS:
+  --machine, --backend, --mode, --scale   as for `run` (scale defaults to tiny)
+  --lsq 48x32|120x80|256x256      LSQ capacity override      [builder default]
+  --verify                        recompute and byte-compare the cached entry
+  --no-cache                      bypass the cache lookup (always simulate)
 ";
 
 /// Parses a command line (without the program name).
@@ -192,6 +314,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
         Some("list") => return Ok(Command::List),
         Some("litmus") => return parse_litmus(it),
+        Some("serve") => return parse_serve(it),
+        Some("submit") => return parse_submit(it),
         Some(c @ ("run" | "compare" | "asm")) => c.to_string(),
         Some(other) => return Err(ParseError(format!("unknown command `{other}`"))),
     };
@@ -331,6 +455,130 @@ fn parse_litmus(mut it: std::slice::Iter<'_, String>) -> Result<Command, ParseEr
         }
     }
     Ok(Command::Litmus(args))
+}
+
+/// Parses the options of the `serve` command.
+fn parse_serve(mut it: std::slice::Iter<'_, String>) -> Result<Command, ParseError> {
+    let mut args = ServeArgs::default();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ParseError(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--socket" => args.socket = Some(value("--socket")?),
+            "--stdio" => args.stdio = true,
+            "--replay" => args.replay = true,
+            "--cache" => args.cache = value("--cache")?,
+            "--workers" => {
+                let v = value("--workers")?;
+                args.workers = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad worker count `{v}`")))?;
+            }
+            "--scale" => {
+                args.scale = match value("--scale")?.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => return Err(ParseError(format!("unknown scale `{other}`"))),
+                }
+            }
+            "--rounds" => {
+                let v = value("--rounds")?;
+                args.rounds = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad round count `{v}`")))?;
+            }
+            "--clients" => {
+                let v = value("--clients")?;
+                args.clients = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad client count `{v}`")))?;
+            }
+            "--verify" => args.verify = true,
+            other => return Err(ParseError(format!("unknown option `{other}`"))),
+        }
+    }
+    let modes = usize::from(args.socket.is_some()) + usize::from(args.stdio) + usize::from(args.replay);
+    if modes != 1 {
+        return Err(ParseError(
+            "serve needs exactly one of --socket PATH, --stdio, or --replay".to_string(),
+        ));
+    }
+    if args.replay && args.rounds < 2 {
+        return Err(ParseError(format!(
+            "--replay needs at least 2 rounds (one cold, one warm), got {}",
+            args.rounds
+        )));
+    }
+    Ok(Command::Serve(args))
+}
+
+/// Parses the options of the `submit` command.
+fn parse_submit(mut it: std::slice::Iter<'_, String>) -> Result<Command, ParseError> {
+    let mut args = SubmitArgs::default();
+    // The kernel is the first word unless the request is a pure-flag form
+    // (`submit --shutdown --socket …`).
+    if let Some(first) = it.clone().next() {
+        if !first.starts_with("--") {
+            args.kernel = first.clone();
+            it.next();
+        }
+    }
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ParseError(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--socket" => args.socket = value("--socket")?,
+            "--machine" => {
+                args.aggressive = match value("--machine")?.as_str() {
+                    "baseline" => false,
+                    "aggressive" => true,
+                    other => return Err(ParseError(format!("unknown machine `{other}`"))),
+                }
+            }
+            "--backend" => {
+                args.backend = value("--backend")?
+                    .parse()
+                    .map_err(|e: aim_pipeline::UnknownBackend| ParseError(e.to_string()))?;
+            }
+            "--mode" => {
+                args.mode = Some(match value("--mode")?.as_str() {
+                    "enf" => EnforceMode::All,
+                    "not-enf" => EnforceMode::TrueOnly,
+                    "total" => EnforceMode::TotalOrder,
+                    other => return Err(ParseError(format!("unknown mode `{other}`"))),
+                })
+            }
+            "--lsq" => {
+                args.lsq = Some(LsqChoice::parse(&value("--lsq")?).map_err(ParseError)?);
+            }
+            "--scale" => {
+                args.scale = match value("--scale")?.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => return Err(ParseError(format!("unknown scale `{other}`"))),
+                }
+            }
+            "--verify" => args.verify = true,
+            "--no-cache" => args.no_cache = true,
+            "--shutdown" => args.shutdown = true,
+            other => return Err(ParseError(format!("unknown option `{other}`"))),
+        }
+    }
+    if args.socket.is_empty() {
+        return Err(ParseError("submit needs --socket PATH".to_string()));
+    }
+    if args.kernel.is_empty() && !args.shutdown {
+        return Err(ParseError("submit needs a kernel name (or --shutdown)".to_string()));
+    }
+    Ok(Command::Submit(args))
 }
 
 /// Parses a `SETSxWAYS` table geometry, e.g. `256x1`.
@@ -651,6 +899,77 @@ mod tests {
             .unwrap_err()
             .0
             .contains("unknown option"));
+    }
+
+    #[test]
+    fn serve_command_parses() {
+        let Command::Serve(args) = parse(&[
+            "serve", "--replay", "--scale", "tiny", "--rounds", "3", "--clients", "2",
+            "--cache", "/tmp/c", "--workers", "8", "--verify",
+        ])
+        .unwrap() else {
+            panic!("expected serve");
+        };
+        assert!(args.replay && !args.stdio && args.socket.is_none());
+        assert_eq!((args.rounds, args.clients, args.workers), (3, 2, 8));
+        assert_eq!(args.cache, "/tmp/c");
+        assert_eq!(args.scale, Scale::Tiny);
+        assert!(args.verify);
+
+        let Command::Serve(args) = parse(&["serve", "--socket", "/tmp/s.sock"]).unwrap() else {
+            panic!("expected serve");
+        };
+        assert_eq!(args.socket.as_deref(), Some("/tmp/s.sock"));
+
+        // Exactly one mode; replay needs a warm round.
+        assert!(parse(&["serve"]).unwrap_err().0.contains("exactly one"));
+        assert!(parse(&["serve", "--stdio", "--replay"])
+            .unwrap_err()
+            .0
+            .contains("exactly one"));
+        assert!(parse(&["serve", "--replay", "--rounds", "1"])
+            .unwrap_err()
+            .0
+            .contains("at least 2 rounds"));
+        assert!(parse(&["serve", "--replay", "--workers", "many"])
+            .unwrap_err()
+            .0
+            .contains("bad worker count"));
+    }
+
+    #[test]
+    fn submit_command_parses() {
+        let Command::Submit(args) = parse(&[
+            "submit", "gzip", "--socket", "/tmp/s.sock", "--machine", "aggressive",
+            "--backend", "lsq", "--lsq", "120x80", "--scale", "tiny", "--verify",
+        ])
+        .unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(args.kernel, "gzip");
+        assert!(args.aggressive && args.verify && !args.no_cache);
+        assert_eq!(args.backend, BackendChoice::Lsq);
+        assert_eq!(args.lsq, Some(LsqChoice::Aggressive120x80));
+        let spec = args.config_spec();
+        assert_eq!(spec.machine, aim_pipeline::MachineClass::Aggressive);
+        assert_eq!(spec.lsq, Some(LsqChoice::Aggressive120x80));
+
+        let Command::Submit(args) =
+            parse(&["submit", "--shutdown", "--socket", "/tmp/s.sock"]).unwrap()
+        else {
+            panic!("expected submit");
+        };
+        assert!(args.shutdown && args.kernel.is_empty());
+
+        assert!(parse(&["submit", "gzip"]).unwrap_err().0.contains("--socket"));
+        assert!(parse(&["submit", "--socket", "/tmp/s.sock"])
+            .unwrap_err()
+            .0
+            .contains("kernel"));
+        assert!(parse(&["submit", "gzip", "--socket", "/tmp/s", "--lsq", "9x9"])
+            .unwrap_err()
+            .0
+            .contains("unknown lsq capacity"));
     }
 
     #[test]

@@ -2,7 +2,10 @@
 
 use std::process::ExitCode;
 
-use aim_cli::{build_config, parse_args, report, BackendChoice, Command, LitmusArgs, RunArgs, USAGE};
+use aim_cli::{
+    build_config, parse_args, report, BackendChoice, Command, LitmusArgs, RunArgs, ServeArgs,
+    SubmitArgs, USAGE,
+};
 use aim_pipeline::{pipeview, simulate_pipeview, simulate_traced};
 
 fn run_program(name: &str, program: &aim_isa::Program, args: &RunArgs) -> Result<(), String> {
@@ -134,6 +137,129 @@ fn run_litmus_suite(args: &LitmusArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the `serve` command: the replay gate, the stdio pipe mode, or a
+/// Unix-socket server.
+fn run_serve(args: &ServeArgs) -> Result<(), String> {
+    let workers = aim_bench::resolve_jobs(args.workers);
+    let cache_dir = std::path::PathBuf::from(&args.cache);
+    if args.replay {
+        let outcome = aim_serve::run_replay(&aim_serve::ReplayOptions {
+            scale: args.scale,
+            workers,
+            clients: args.clients.max(1),
+            rounds: args.rounds,
+            verify: args.verify,
+            cache_dir,
+        })?;
+        let report = &outcome.report;
+        for round in &report.rounds {
+            println!(
+                "  {:<8} {:>4} cells  {:>8.3}s  sims {:>4}  hits {:>4}",
+                round.label, round.cells, round.wall_seconds, round.sims_run, round.cache_hits
+            );
+        }
+        println!(
+            "  workers {}  utilization {:.0}%  warm speedup {:.1}x  fingerprint {:#018x}",
+            report.workers,
+            100.0 * report.worker_utilization,
+            report.warm_speedup,
+            outcome.fingerprint
+        );
+        report
+            .write_default()
+            .map_err(|e| format!("writing the serve report: {e}"))?;
+        if !outcome.consistent {
+            for finding in &outcome.findings {
+                eprintln!("  finding: {finding}");
+            }
+            return Err(format!(
+                "serve: cache INCONSISTENT ({} finding(s))",
+                outcome.findings.len()
+            ));
+        }
+        println!(
+            "serve: cache-consistent ({} cells x {} rounds{}, warm speedup {:.1}x)",
+            report.rounds.first().map_or(0, |r| r.cells),
+            args.rounds,
+            if args.verify { " + verify" } else { "" },
+            report.warm_speedup
+        );
+        return Ok(());
+    }
+    if args.stdio {
+        let server = aim_serve::Server::new(&cache_dir, workers)
+            .map_err(|e| format!("cache dir `{}`: {e}", args.cache))?;
+        return aim_serve::serve_stdio(&server).map_err(|e| e.to_string());
+    }
+    serve_socket(args, workers, &cache_dir)
+}
+
+#[cfg(unix)]
+fn serve_socket(
+    args: &ServeArgs,
+    workers: usize,
+    cache_dir: &std::path::Path,
+) -> Result<(), String> {
+    let path = args.socket.as_deref().expect("parser guarantees a mode");
+    let server = std::sync::Arc::new(
+        aim_serve::Server::new(cache_dir, workers)
+            .map_err(|e| format!("cache dir `{}`: {e}", args.cache))?,
+    );
+    println!("serving on {path} ({workers} workers, cache {})", args.cache);
+    aim_serve::serve_unix(&server, std::path::Path::new(path)).map_err(|e| e.to_string())
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_: &ServeArgs, _: usize, _: &std::path::Path) -> Result<(), String> {
+    Err("--socket needs Unix-domain sockets; use --stdio on this platform".to_string())
+}
+
+#[cfg(unix)]
+fn run_submit(args: &SubmitArgs) -> Result<(), String> {
+    use aim_types::wire::WireMsg;
+    let path = std::path::PathBuf::from(&args.socket);
+    let mut msgs = Vec::new();
+    if !args.kernel.is_empty() {
+        let spec = args.config_spec().job(&args.kernel, args.scale);
+        msgs.push(spec.to_wire(args.verify, args.no_cache));
+    }
+    if args.shutdown {
+        let mut msg = WireMsg::new();
+        msg.put_str("op", "shutdown");
+        msgs.push(msg);
+    }
+    let replies = aim_serve::submit_unix(&path, &msgs)
+        .map_err(|e| format!("socket `{}`: {e}", args.socket))?;
+    let mut replies = replies.iter();
+    if !args.kernel.is_empty() {
+        let reply = replies.next().expect("one reply per request");
+        let resp = aim_serve::JobResponse::from_wire(reply)?;
+        println!(
+            "{} {}: cycles {}  retired {}  fingerprint {:#018x}  [{}{}]",
+            args.kernel,
+            resp.key,
+            resp.cycles,
+            resp.retired,
+            resp.fingerprint,
+            resp.source.token(),
+            resp.verify.map_or(String::new(), |v| format!(", verify: {}", v.token())),
+        );
+    }
+    if args.shutdown {
+        let reply = replies.next().expect("one reply per request");
+        if reply.bool_field("ok") != Some(true) {
+            return Err("server did not acknowledge the shutdown".to_string());
+        }
+        println!("server shutdown acknowledged");
+    }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn run_submit(_: &SubmitArgs) -> Result<(), String> {
+    Err("submit needs Unix-domain sockets on this platform".to_string())
+}
+
 fn run_asm_file(args: &RunArgs) -> Result<(), String> {
     let source = std::fs::read_to_string(&args.kernel)
         .map_err(|e| format!("cannot read `{}`: {e}", args.kernel))?;
@@ -166,6 +292,8 @@ fn main() -> ExitCode {
         Command::Run(args) => run_one(&args),
         Command::Asm(args) => run_asm_file(&args),
         Command::Litmus(args) => run_litmus_suite(&args),
+        Command::Serve(args) => run_serve(&args),
+        Command::Submit(args) => run_submit(&args),
         Command::Compare(args) => {
             if args.trace == 0 && args.pipeview == 0 {
                 compare_parallel(&args)

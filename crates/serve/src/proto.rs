@@ -1,0 +1,431 @@
+//! The job protocol: what a client may ask and what the server answers.
+//!
+//! A request is one flat [`WireMsg`] with an `op` field:
+//!
+//! * `op: "sim"` — simulate (or recall) one `(kernel, config, scale)`
+//!   cell. Carries a [`JobSpec`] plus the `verify` / `no_cache` flags.
+//! * `op: "stats"` — return the server's lifetime counters.
+//! * `op: "shutdown"` — acknowledge and stop accepting connections.
+//!
+//! A [`JobSpec`] deliberately names configurations the way the CLI and
+//! the bench specs do — machine class, backend token, optional
+//! enforcement mode, optional LSQ capacity — rather than shipping raw
+//! structure geometries. Every configuration in the committed
+//! `table_hostperf` matrix is expressible (a unit test in
+//! [`crate::replay`] pins the correspondence), and the server derives the
+//! exact [`SimConfig`] through the same builder the experiment binaries
+//! use, so a spec means the same simulation everywhere.
+
+use aim_lsq::LsqConfig;
+use aim_pipeline::{BackendChoice, MachineClass, SimConfig};
+use aim_predictor::EnforceMode;
+use aim_types::wire::WireMsg;
+use aim_workloads::Scale;
+
+/// A named LSQ capacity override (the three geometries the paper sweeps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LsqChoice {
+    /// The Figure 5 48-entry / 32-entry baseline queue.
+    Baseline48x32,
+    /// The Figure 6 120-entry / 80-entry aggressive queue.
+    Aggressive120x80,
+    /// The Figure 6 256-entry / 256-entry upper-bound queue.
+    Aggressive256x256,
+}
+
+impl LsqChoice {
+    /// The wire/CLI token (`48x32`, `120x80`, `256x256`).
+    pub fn token(self) -> &'static str {
+        match self {
+            LsqChoice::Baseline48x32 => "48x32",
+            LsqChoice::Aggressive120x80 => "120x80",
+            LsqChoice::Aggressive256x256 => "256x256",
+        }
+    }
+
+    /// Parses a wire/CLI token.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message naming the valid tokens.
+    pub fn parse(token: &str) -> Result<LsqChoice, String> {
+        match token {
+            "48x32" => Ok(LsqChoice::Baseline48x32),
+            "120x80" => Ok(LsqChoice::Aggressive120x80),
+            "256x256" => Ok(LsqChoice::Aggressive256x256),
+            other => Err(format!("unknown lsq capacity `{other}` (48x32|120x80|256x256)")),
+        }
+    }
+
+    /// The concrete queue geometry.
+    pub fn config(self) -> LsqConfig {
+        match self {
+            LsqChoice::Baseline48x32 => LsqConfig::baseline_48x32(),
+            LsqChoice::Aggressive120x80 => LsqConfig::aggressive_120x80(),
+            LsqChoice::Aggressive256x256 => LsqConfig::aggressive_256x256(),
+        }
+    }
+}
+
+/// A machine configuration, named the way the CLI names it. Combined with
+/// a kernel and a scale it becomes a [`JobSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConfigSpec {
+    /// Figure 4 machine column.
+    pub machine: MachineClass,
+    /// Backend family.
+    pub backend: BackendChoice,
+    /// Enforcement-mode override (SFC/MDT-family backends; `None` keeps
+    /// the builder default).
+    pub mode: Option<EnforceMode>,
+    /// LSQ capacity override (`None` keeps the builder default).
+    pub lsq: Option<LsqChoice>,
+}
+
+impl ConfigSpec {
+    /// Binds this configuration to a kernel and scale.
+    pub fn job(&self, kernel: &str, scale: Scale) -> JobSpec {
+        JobSpec {
+            kernel: kernel.to_string(),
+            scale,
+            config: *self,
+        }
+    }
+
+    /// Derives the exact [`SimConfig`] through the shared builder.
+    pub fn to_config(&self) -> SimConfig {
+        let mut b = SimConfig::machine(self.machine).backend(self.backend);
+        if let Some(mode) = self.mode {
+            b = b.mode(mode);
+        }
+        if let Some(lsq) = self.lsq {
+            b = b.lsq(lsq.config());
+        }
+        b.build()
+    }
+}
+
+/// One simulation request: a kernel, a scale, and a [`ConfigSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Workload name (must exist in the `aim-workloads` registry).
+    pub kernel: String,
+    /// Workload scale.
+    pub scale: Scale,
+    /// The machine configuration.
+    pub config: ConfigSpec,
+}
+
+fn machine_token(machine: MachineClass) -> &'static str {
+    match machine {
+        MachineClass::Baseline => "baseline",
+        MachineClass::Aggressive => "aggressive",
+    }
+}
+
+fn parse_machine(token: &str) -> Result<MachineClass, String> {
+    match token {
+        "baseline" => Ok(MachineClass::Baseline),
+        "aggressive" => Ok(MachineClass::Aggressive),
+        other => Err(format!("unknown machine `{other}` (baseline|aggressive)")),
+    }
+}
+
+fn mode_token(mode: EnforceMode) -> &'static str {
+    match mode {
+        EnforceMode::TrueOnly => "not-enf",
+        EnforceMode::All => "enf",
+        EnforceMode::TotalOrder => "total",
+    }
+}
+
+fn parse_mode(token: &str) -> Result<EnforceMode, String> {
+    match token {
+        "not-enf" => Ok(EnforceMode::TrueOnly),
+        "enf" => Ok(EnforceMode::All),
+        "total" => Ok(EnforceMode::TotalOrder),
+        other => Err(format!("unknown mode `{other}` (enf|not-enf|total)")),
+    }
+}
+
+fn parse_scale(token: &str) -> Result<Scale, String> {
+    match token {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "full" => Ok(Scale::Full),
+        other => Err(format!("unknown scale `{other}` (tiny|small|full)")),
+    }
+}
+
+impl JobSpec {
+    /// Encodes this spec (and its flags) as an `op: "sim"` request.
+    pub fn to_wire(&self, verify: bool, no_cache: bool) -> WireMsg {
+        let mut msg = WireMsg::new();
+        msg.put_str("op", "sim")
+            .put_str("kernel", &self.kernel)
+            .put_str("scale", aim_bench::scale_token(self.scale))
+            .put_str("machine", machine_token(self.config.machine))
+            .put_str("backend", self.config.backend.token());
+        if let Some(mode) = self.config.mode {
+            msg.put_str("mode", mode_token(mode));
+        }
+        if let Some(lsq) = self.config.lsq {
+            msg.put_str("lsq", lsq.token());
+        }
+        if verify {
+            msg.put_bool("verify", true);
+        }
+        if no_cache {
+            msg.put_bool("no_cache", true);
+        }
+        msg
+    }
+
+    /// Decodes an `op: "sim"` request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line message for a missing or unrecognized field.
+    pub fn from_wire(msg: &WireMsg) -> Result<JobSpec, String> {
+        let field = |key: &str| {
+            msg.str_field(key)
+                .ok_or_else(|| format!("sim request is missing the `{key}` field"))
+        };
+        let backend: BackendChoice = field("backend")?
+            .parse()
+            .map_err(|e| format!("{e} (nospec|lsq|filtered|sfc-mdt|pcax|oracle)"))?;
+        Ok(JobSpec {
+            kernel: field("kernel")?.to_string(),
+            scale: parse_scale(field("scale")?)?,
+            config: ConfigSpec {
+                machine: parse_machine(field("machine")?)?,
+                backend,
+                mode: msg.str_field("mode").map(parse_mode).transpose()?,
+                lsq: msg.str_field("lsq").map(LsqChoice::parse).transpose()?,
+            },
+        })
+    }
+}
+
+/// Where a response's statistics came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Freshly simulated by this request.
+    Sim,
+    /// Recalled from the on-disk cache; no simulation ran.
+    Cache,
+    /// Folded onto another request's in-flight simulation (single-flight).
+    Dedup,
+}
+
+impl Source {
+    /// The wire token.
+    pub fn token(self) -> &'static str {
+        match self {
+            Source::Sim => "sim",
+            Source::Cache => "cache",
+            Source::Dedup => "dedup",
+        }
+    }
+}
+
+/// The outcome of a `verify: true` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// Nothing was cached; the recomputation seeded the entry.
+    Cold,
+    /// The recomputation matched the cached bytes exactly.
+    Match,
+    /// The recomputation diverged; the entry was replaced.
+    Mismatch,
+}
+
+impl VerifyOutcome {
+    /// The wire token.
+    pub fn token(self) -> &'static str {
+        match self {
+            VerifyOutcome::Cold => "cold",
+            VerifyOutcome::Match => "match",
+            VerifyOutcome::Mismatch => "mismatch",
+        }
+    }
+}
+
+/// The answer to one `op: "sim"` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResponse {
+    /// The cell's content address, in hex.
+    pub key: String,
+    /// Where the statistics came from.
+    pub source: Source,
+    /// Simulated cycles (the headline the CLI prints without parsing the
+    /// statistics text).
+    pub cycles: u64,
+    /// Retired instructions.
+    pub retired: u64,
+    /// FNV-1a fingerprint of the canonical statistics text
+    /// ([`aim_bench::fingerprint_text`]).
+    pub fingerprint: u64,
+    /// The canonical statistics text itself (the `Debug` rendering with
+    /// the host clock zeroed) — what byte-identity checks compare.
+    pub stats_text: String,
+    /// Verify outcome, when the request asked for verification.
+    pub verify: Option<VerifyOutcome>,
+}
+
+impl JobResponse {
+    /// Encodes the response.
+    pub fn to_wire(&self) -> WireMsg {
+        let mut msg = WireMsg::new();
+        msg.put_bool("ok", true)
+            .put_str("key", &self.key)
+            .put_str("source", self.source.token())
+            .put_u64("cycles", self.cycles)
+            .put_u64("retired", self.retired)
+            .put_str("fingerprint", &format!("{:#018x}", self.fingerprint))
+            .put_str("stats", &self.stats_text);
+        if let Some(v) = self.verify {
+            msg.put_str("verify", v.token());
+        }
+        msg
+    }
+
+    /// Decodes a response; a server-side failure (`ok: false`) surfaces as
+    /// the `err` field's message.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's error message, or a one-line description of a
+    /// malformed response.
+    pub fn from_wire(msg: &WireMsg) -> Result<JobResponse, String> {
+        if msg.bool_field("ok") != Some(true) {
+            return Err(msg.str_field("err").unwrap_or("malformed response").to_string());
+        }
+        let field = |key: &str| {
+            msg.str_field(key)
+                .ok_or_else(|| format!("response is missing the `{key}` field"))
+        };
+        let source = match field("source")? {
+            "sim" => Source::Sim,
+            "cache" => Source::Cache,
+            "dedup" => Source::Dedup,
+            other => return Err(format!("unknown source `{other}`")),
+        };
+        let verify = match msg.str_field("verify") {
+            None => None,
+            Some("cold") => Some(VerifyOutcome::Cold),
+            Some("match") => Some(VerifyOutcome::Match),
+            Some("mismatch") => Some(VerifyOutcome::Mismatch),
+            Some(other) => return Err(format!("unknown verify outcome `{other}`")),
+        };
+        let fingerprint = field("fingerprint")?;
+        let fingerprint = fingerprint
+            .strip_prefix("0x")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| format!("bad fingerprint `{fingerprint}`"))?;
+        Ok(JobResponse {
+            key: field("key")?.to_string(),
+            source,
+            cycles: msg.u64_field("cycles").ok_or("response is missing `cycles`")?,
+            retired: msg.u64_field("retired").ok_or("response is missing `retired`")?,
+            fingerprint,
+            stats_text: field("stats")?.to_string(),
+            verify,
+        })
+    }
+}
+
+/// Encodes a server-side failure.
+pub(crate) fn error_reply(message: &str) -> WireMsg {
+    let mut msg = WireMsg::new();
+    msg.put_bool("ok", false).put_str("err", message);
+    msg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            kernel: "gzip".to_string(),
+            scale: Scale::Tiny,
+            config: ConfigSpec {
+                machine: MachineClass::Aggressive,
+                backend: BackendChoice::Lsq,
+                mode: None,
+                lsq: Some(LsqChoice::Aggressive120x80),
+            },
+        }
+    }
+
+    #[test]
+    fn specs_round_trip_through_the_wire() {
+        let s = spec();
+        let msg = s.to_wire(true, false);
+        assert_eq!(msg.str_field("op"), Some("sim"));
+        assert_eq!(msg.bool_field("verify"), Some(true));
+        assert_eq!(msg.bool_field("no_cache"), None);
+        let back = JobSpec::from_wire(&WireMsg::parse(&msg.to_json()).unwrap()).unwrap();
+        assert_eq!(back, s);
+
+        let with_mode = ConfigSpec {
+            machine: MachineClass::Baseline,
+            backend: BackendChoice::SfcMdt,
+            mode: Some(EnforceMode::All),
+            lsq: None,
+        }
+        .job("mcf", Scale::Small);
+        let back = JobSpec::from_wire(&with_mode.to_wire(false, true)).unwrap();
+        assert_eq!(back, with_mode);
+    }
+
+    #[test]
+    fn spec_decode_errors_name_the_problem() {
+        let mut missing = WireMsg::new();
+        missing.put_str("op", "sim").put_str("kernel", "gzip");
+        let err = JobSpec::from_wire(&missing).unwrap_err();
+        assert!(err.contains("missing") && err.contains("backend"), "{err}");
+
+        let mut bad = WireMsg::new();
+        bad.put_str("op", "sim")
+            .put_str("kernel", "gzip")
+            .put_str("scale", "tiny")
+            .put_str("machine", "baseline")
+            .put_str("backend", "lsq")
+            .put_str("lsq", "7x7");
+        assert!(JobSpec::from_wire(&bad).unwrap_err().contains("7x7"));
+    }
+
+    #[test]
+    fn responses_round_trip_including_verify() {
+        let resp = JobResponse {
+            key: "ab".repeat(16),
+            source: Source::Cache,
+            cycles: 123,
+            retired: 456,
+            fingerprint: 0xdead_beef,
+            stats_text: "SimStats { cycles: 123 }".to_string(),
+            verify: Some(VerifyOutcome::Match),
+        };
+        let back =
+            JobResponse::from_wire(&WireMsg::parse(&resp.to_wire().to_json()).unwrap()).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn error_replies_decode_to_their_message() {
+        let err = JobResponse::from_wire(&error_reply("no such kernel `zip9`")).unwrap_err();
+        assert_eq!(err, "no such kernel `zip9`");
+    }
+
+    #[test]
+    fn config_spec_builds_through_the_shared_builder() {
+        let cfg = spec().config.to_config();
+        let expected = SimConfig::machine(MachineClass::Aggressive)
+            .backend(BackendChoice::Lsq)
+            .lsq(LsqConfig::aggressive_120x80())
+            .build();
+        assert_eq!(format!("{cfg:?}"), format!("{expected:?}"));
+    }
+}

@@ -1,0 +1,171 @@
+//! The cache's correctness anchor: cached ≡ recomputed, byte for byte.
+//!
+//! Runs **every committed kernel × every `table_hostperf` configuration**
+//! at tiny scale through one server three times:
+//!
+//! 1. **cold** — empty cache; every cell must simulate (`source: sim`);
+//! 2. **warm** — every cell must come back from disk (`source: cache`)
+//!    with a byte-identical statistics text and fingerprint, and the
+//!    server must run **zero** simulations for the whole pass;
+//! 3. **verify** — every cell recomputes and must byte-match its cached
+//!    entry (`verify: match`, `verify_mismatches == 0`).
+//!
+//! A sample of cells is additionally cross-checked against a direct
+//! `aim_bench::run` outside the server, so the server's canonical text is
+//! anchored to the harness the experiment binaries use — the same
+//! fingerprint idiom `BENCH_hostperf.json` gates on.
+
+use aim_bench::{fingerprint_stats, fingerprint_text};
+use aim_serve::{hostperf_configs, JobSpec, Server, Source, VerifyOutcome};
+use aim_workloads::Scale;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aim_serve_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn all_cells() -> Vec<(String, JobSpec)> {
+    aim_workloads::names()
+        .iter()
+        .flat_map(|kernel| {
+            hostperf_configs()
+                .into_iter()
+                .map(move |(name, cfg)| (format!("{kernel}/{name}"), cfg.job(kernel, Scale::Tiny)))
+        })
+        .collect()
+}
+
+#[test]
+fn cold_warm_verify_are_byte_identical_with_zero_warm_sims() {
+    let dir = temp_dir("cold_warm_verify");
+    let server = Server::new(&dir, 4).unwrap();
+    let cells = all_cells();
+
+    // Cold: every cell simulates.
+    let mut cold = Vec::with_capacity(cells.len());
+    for (label, spec) in &cells {
+        let resp = server.submit(spec, false, false).unwrap();
+        assert_eq!(resp.source, Source::Sim, "{label}: cold request did not simulate");
+        assert!(resp.cycles > 0 && resp.retired > 0, "{label}: empty statistics");
+        assert_eq!(
+            resp.fingerprint,
+            fingerprint_text(&resp.stats_text),
+            "{label}: fingerprint is not the text's FNV"
+        );
+        cold.push(resp);
+    }
+    let after_cold = server.counters();
+    assert_eq!(after_cold.sims_run as usize, cells.len());
+    assert_eq!(after_cold.cache_misses as usize, cells.len());
+    assert_eq!(after_cold.cache_hits, 0);
+
+    // Warm: zero simulations, byte-identical answers.
+    for ((label, spec), cold_resp) in cells.iter().zip(&cold) {
+        let resp = server.submit(spec, false, false).unwrap();
+        assert_eq!(resp.source, Source::Cache, "{label}: warm request was not a cache hit");
+        assert_eq!(resp.key, cold_resp.key, "{label}: key drifted between rounds");
+        assert_eq!(
+            resp.stats_text, cold_resp.stats_text,
+            "{label}: warm statistics differ byte-wise from cold"
+        );
+        assert_eq!(resp.fingerprint, cold_resp.fingerprint, "{label}: fingerprint drifted");
+        assert_eq!((resp.cycles, resp.retired), (cold_resp.cycles, cold_resp.retired));
+    }
+    let after_warm = server.counters();
+    assert_eq!(
+        after_warm.sims_run, after_cold.sims_run,
+        "a warm pass ran simulations"
+    );
+    assert_eq!(after_warm.cache_hits as usize, cells.len());
+
+    // Verify: every recomputation byte-matches its cached entry.
+    for ((label, spec), cold_resp) in cells.iter().zip(&cold) {
+        let resp = server.submit(spec, true, false).unwrap();
+        assert_eq!(
+            resp.verify,
+            Some(VerifyOutcome::Match),
+            "{label}: verify did not reproduce the cached bytes"
+        );
+        assert_eq!(resp.stats_text, cold_resp.stats_text, "{label}: verify text drifted");
+    }
+    let after_verify = server.counters();
+    assert_eq!(after_verify.verify_mismatches, 0);
+    assert_eq!(after_verify.verified as usize, cells.len());
+    assert_eq!(
+        after_verify.sims_run as usize,
+        2 * cells.len(),
+        "verify must re-simulate every cell exactly once"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn server_statistics_match_the_direct_harness_byte_for_byte() {
+    let dir = temp_dir("direct_anchor");
+    let server = Server::new(&dir, 2).unwrap();
+    // A dense-traffic sample: two int kernels and one fp kernel across all
+    // 12 configurations.
+    for kernel in ["gzip", "mcf", "swim"] {
+        let prepared = aim_bench::prepare(
+            aim_workloads::by_name(kernel, Scale::Tiny).unwrap(),
+            Scale::Tiny,
+        );
+        for (name, cfg_spec) in hostperf_configs() {
+            let spec = cfg_spec.job(kernel, Scale::Tiny);
+            let resp = server.submit(&spec, false, false).unwrap();
+            let direct = aim_bench::run(&prepared, &cfg_spec.to_config());
+            let direct_text = format!("{:?}", direct.with_zeroed_host());
+            assert_eq!(
+                resp.stats_text, direct_text,
+                "{kernel}/{name}: server text diverges from aim_bench::run"
+            );
+            assert_eq!(resp.fingerprint, fingerprint_stats(std::iter::once(&direct)));
+            assert_eq!((resp.cycles, resp.retired), (direct.cycles, direct.retired));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn code_version_bump_invalidates_without_false_hits() {
+    let dir = temp_dir("version_bump");
+    let spec = hostperf_configs()[0].1.job("gzip", Scale::Tiny);
+
+    let v1 = Server::with_code_version(&dir, 1, "aim-sim-test/1").unwrap();
+    let first = v1.submit(&spec, false, false).unwrap();
+    assert_eq!(first.source, Source::Sim);
+    assert_eq!(v1.submit(&spec, false, false).unwrap().source, Source::Cache);
+
+    // A new code version on the same directory must miss (stale entries
+    // are simply never found)...
+    let v2 = Server::with_code_version(&dir, 1, "aim-sim-test/2").unwrap();
+    let bumped = v2.submit(&spec, false, false).unwrap();
+    assert_eq!(bumped.source, Source::Sim, "version bump must not reuse old entries");
+    assert_ne!(bumped.key, first.key);
+
+    // ...while the original version's entry is still intact beside it.
+    let v1_again = Server::with_code_version(&dir, 1, "aim-sim-test/1").unwrap();
+    assert_eq!(v1_again.submit(&spec, false, false).unwrap().source, Source::Cache);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_cache_recomputes_but_refreshes_the_entry() {
+    let dir = temp_dir("no_cache");
+    let server = Server::new(&dir, 1).unwrap();
+    let spec = hostperf_configs()[2].1.job("crafty", Scale::Tiny);
+
+    let cold = server.submit(&spec, false, false).unwrap();
+    let forced = server.submit(&spec, false, true).unwrap();
+    assert_eq!(forced.source, Source::Sim, "no_cache must bypass the cache");
+    assert_eq!(forced.stats_text, cold.stats_text, "recomputation must be deterministic");
+    assert_eq!(server.counters().sims_run, 2);
+    // The refreshed entry still serves warm requests.
+    assert_eq!(server.submit(&spec, false, false).unwrap().source, Source::Cache);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,197 @@
+//! Cache-key stability: the content address is a function of *what the
+//! simulation computes*, nothing else.
+//!
+//! Three claims, sampled over the whole [`ConfigSpec`] space from a `u64`
+//! seed:
+//!
+//! 1. **Construction invariance** — builder calls in a different order,
+//!    and defaults filled in explicitly, produce the same canonical
+//!    config text and therefore the same key. A client that spells out
+//!    `lsq: 48x32` must share cache entries with one that relies on the
+//!    default.
+//! 2. **Observability invariance** — flipping the event-trace, pipeline-
+//!    viewer, and paranoid-check knobs never changes the key (they change
+//!    what the host records, never what the machine computes).
+//! 3. **Architectural sensitivity** — flipping any architecturally
+//!    meaningful field (window geometry, penalties, predictor sizing,
+//!    backend policy knobs, the oracle seed) always changes the key, so a
+//!    cached entry can never be served for a different machine.
+//!
+//! Seeds that once exposed failures are pinned in
+//! `key.proptest-regressions` and replayed by
+//! [`regression_seeds_stay_green`] (the vendored proptest does not
+//! consume regression files itself).
+
+use aim_bench::{cache_key_of_texts, canonical_config_text, CacheKey, CODE_VERSION};
+use aim_lsq::LsqConfig;
+use aim_pipeline::{
+    BackendChoice, FilterConfig, MachineClass, OutputDepRecovery, PcaxConfig, SimConfig,
+};
+use aim_predictor::EnforceMode;
+use aim_serve::{ConfigSpec, LsqChoice};
+use proptest::prelude::*;
+
+/// A fixed program text: these properties quantify over configurations,
+/// and the key's kernel sensitivity is pinned by `aim-bench` unit tests.
+const PROGRAM: &str = "program-under-test";
+
+fn key_of(cfg: &SimConfig) -> CacheKey {
+    cache_key_of_texts(PROGRAM, &canonical_config_text(cfg), CODE_VERSION)
+}
+
+/// Decodes a seed into a point of the full [`ConfigSpec`] space.
+fn spec_from_seed(seed: u64) -> ConfigSpec {
+    let machine = if seed & 1 == 0 { MachineClass::Baseline } else { MachineClass::Aggressive };
+    let backend = BackendChoice::ALL[((seed >> 1) % BackendChoice::ALL.len() as u64) as usize];
+    let mode = match (seed >> 4) % 4 {
+        0 => None,
+        1 => Some(EnforceMode::TrueOnly),
+        2 => Some(EnforceMode::All),
+        _ => Some(EnforceMode::TotalOrder),
+    };
+    let lsq = match (seed >> 6) % 4 {
+        0 | 1 => None,
+        2 => Some(LsqChoice::Baseline48x32),
+        _ => Some(LsqChoice::Aggressive120x80),
+    };
+    ConfigSpec { machine, backend, mode, lsq }
+}
+
+/// Builds `spec`'s config with the builder calls in the reverse order.
+fn build_reordered(spec: &ConfigSpec) -> SimConfig {
+    let mut b = SimConfig::machine(spec.machine);
+    if let Some(lsq) = spec.lsq {
+        b = b.lsq(lsq.config());
+    }
+    if let Some(mode) = spec.mode {
+        b = b.mode(mode);
+    }
+    b.backend(spec.backend).build()
+}
+
+/// Builds `spec`'s config with every defaulted knob filled in explicitly
+/// (the builder defaults, spelled out).
+fn build_default_filled(spec: &ConfigSpec) -> SimConfig {
+    let aggressive = spec.machine == MachineClass::Aggressive;
+    let mode = spec.mode.unwrap_or(match spec.backend {
+        BackendChoice::SfcMdt | BackendChoice::Pcax if aggressive => EnforceMode::TotalOrder,
+        BackendChoice::SfcMdt | BackendChoice::Pcax => EnforceMode::All,
+        _ => EnforceMode::TrueOnly,
+    });
+    let lsq = spec.lsq.map_or(LsqConfig::baseline_48x32(), LsqChoice::config);
+    SimConfig::machine(spec.machine)
+        .backend(spec.backend)
+        .mode(mode)
+        .lsq(lsq)
+        .filter(FilterConfig::baseline())
+        .pcax(PcaxConfig::baseline())
+        .build()
+}
+
+/// The architectural mutations the key must be sensitive to.
+fn mutate(cfg: &mut SimConfig, which: u64) {
+    match which % 12 {
+        0 => cfg.rob_entries += 1,
+        1 => cfg.phys_regs += 1,
+        2 => cfg.width += 1,
+        3 => cfg.mispredict_penalty += 1,
+        4 => cfg.seed ^= 1,
+        5 => cfg.mdt_filter = !cfg.mdt_filter,
+        6 => cfg.stall_bits = !cfg.stall_bits,
+        7 => cfg.store_fifo_entries += 1,
+        8 => cfg.max_instrs += 1_000,
+        9 => cfg.gshare_counters *= 2,
+        10 => cfg.sfc_store_extra_latency += 1,
+        _ => {
+            cfg.output_dep_recovery = match cfg.output_dep_recovery {
+                OutputDepRecovery::Flush => OutputDepRecovery::MarkCorrupt,
+                OutputDepRecovery::MarkCorrupt => OutputDepRecovery::Flush,
+            }
+        }
+    }
+}
+
+/// One property case; see the module docs for the three claims.
+fn check_key_case(seed: u64) -> Result<(), TestCaseError> {
+    let spec = spec_from_seed(seed);
+    let cfg = spec.to_config();
+    let key = key_of(&cfg);
+
+    // Determinism and construction invariance.
+    prop_assert_eq!(key, key_of(&cfg));
+    let reordered = build_reordered(&spec);
+    prop_assert_eq!(
+        canonical_config_text(&cfg),
+        canonical_config_text(&reordered),
+        "builder order changed the canonical text for {:?}",
+        spec
+    );
+    let filled = build_default_filled(&spec);
+    prop_assert_eq!(
+        canonical_config_text(&cfg),
+        canonical_config_text(&filled),
+        "explicit defaults changed the canonical text for {:?}",
+        spec
+    );
+    prop_assert_eq!(key, key_of(&filled));
+
+    // Observability invariance.
+    let mut noisy = cfg.clone();
+    noisy.event_trace = (seed >> 8) & 1 == 0;
+    noisy.pipeview = (seed >> 9) & 1 == 0;
+    noisy.paranoid = (seed >> 10) & 1 == 0;
+    prop_assert_eq!(key, key_of(&noisy), "observability knobs fed the key for {:?}", spec);
+
+    // Architectural sensitivity.
+    let mut flipped = cfg.clone();
+    mutate(&mut flipped, seed >> 11);
+    prop_assert_ne!(
+        key,
+        key_of(&flipped),
+        "architectural flip {} left the key unchanged for {:?}",
+        (seed >> 11) % 12,
+        spec
+    );
+
+    // The version string feeds the key (a simulator upgrade is a miss).
+    prop_assert_ne!(
+        key,
+        cache_key_of_texts(PROGRAM, &canonical_config_text(&cfg), "aim-sim-other/0")
+    );
+    Ok(())
+}
+
+proptest! {
+    // Pure hashing and Debug formatting — no simulation — so a generous
+    // case count stays cheap.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn keys_are_stable_and_architecturally_sensitive(seed in any::<u64>()) {
+        check_key_case(seed)?;
+    }
+}
+
+/// Replays every seed recorded in the sibling `.proptest-regressions`
+/// file (standard proptest format, parsed as in the `aim-bench` sweep
+/// tests).
+#[test]
+fn regression_seeds_stay_green() {
+    let recorded = include_str!("key.proptest-regressions");
+    let mut replayed = 0;
+    for line in recorded.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let seed: u64 = line
+            .split("seed = ")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("malformed regression line: {line}"));
+        check_key_case(seed).unwrap_or_else(|e| panic!("regression seed {seed}: {e}"));
+        replayed += 1;
+    }
+    assert!(replayed >= 4, "regression file lost its seeds");
+}

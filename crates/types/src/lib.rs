@@ -25,6 +25,7 @@ mod addr;
 mod mask;
 mod seq;
 mod violation;
+pub mod wire;
 
 pub use addr::{AccessSize, Addr, MemAccess, MisalignedAccess};
 pub use mask::ByteMask;

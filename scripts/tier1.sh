@@ -15,7 +15,8 @@ cd "$(dirname "$0")/.."
 # doc and per-crate bars; they are exercised transitively).
 AIM_PACKAGES=(
   aim-types aim-isa aim-mem aim-predictor aim-lsq aim-core aim-backend
-  aim-pipeline aim-workloads aim-bench aim-cli aim-integration aim-examples
+  aim-pipeline aim-workloads aim-bench aim-serve aim-cli aim-integration
+  aim-examples
 )
 
 echo "== tier1: cargo build --release =="
@@ -82,6 +83,17 @@ echo "== tier1: table_litmus containment gate (8 schedules) =="
 AIM_LITMUS_JSON="$(mktemp)" \
   cargo run --release -q -p aim-bench --bin table_litmus -- --schedules 8 \
   | grep -q 'litmus: ACCEPT'
+
+# The serve gate: replay the hostperf request matrix against an empty
+# result cache twice over framed connections. The cold round must simulate
+# every cell; the warm round must be answered entirely from the
+# content-addressed cache, byte-identical and with zero simulations, or
+# the run exits non-zero without printing its acceptance line.
+echo "== tier1: aim-sim serve replay gate (tiny scale, 2 rounds) =="
+AIM_SERVE_JSON="$(mktemp)" \
+  cargo run --release -q -p aim-cli --bin aim-sim -- \
+    serve --replay --scale tiny --rounds 2 --cache "$(mktemp -d)" \
+  | grep -q 'serve: cache-consistent'
 
 # Benches must keep compiling even though tier-1 does not time them.
 echo "== tier1: cargo bench --no-run =="
