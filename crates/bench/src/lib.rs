@@ -15,6 +15,7 @@
 //! | `table_filter` | §4 MDT search-filter study |
 //! | `table_filter_sweep` | filter sets/ways/counter-width knee (à la §5 sizing) |
 //! | `table_hybrid` | §4 filtered-LSQ hybrid vs the backend bounds |
+//! | `table_far_mem` | far-memory latency × window-size sweep (in `aim-serve`, cache-routed) |
 //! | `table_pcax` | PC-indexed classification backend vs the backend bounds |
 //! | `table_pcax_sweep` | PCAX table sets/ways/threshold knee (à la §5 sizing) |
 //! | `table_power` | §5 activity/power proxy counts |
@@ -36,6 +37,7 @@ use aim_pipeline::{simulate_with_trace, SimConfig, SimStats};
 use aim_workloads::{Scale, Suite, Workload};
 
 mod cache_key;
+mod farmem;
 mod geometry_sweep;
 mod hostperf;
 mod hybrid;
@@ -49,6 +51,7 @@ mod sweep;
 pub use cache_key::{
     cache_key, cache_key_of_texts, canonical_config_text, program_text, CacheKey, CODE_VERSION,
 };
+pub use farmem::{FarMemReport, FarMemRow};
 pub use geometry_sweep::{
     find_knee, grid_tiny_from_args, FilterSweepReport, FilterSweepRow, GeometryGrid, Knee,
     KneePoint, PcaxSweepReport, PcaxSweepRow,

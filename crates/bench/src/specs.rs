@@ -11,8 +11,8 @@ use crate::{GeometryGrid, Prepared};
 use aim_core::{CorruptionPolicy, MdtConfig, MdtTagging, SetHash, TrueDepRecovery};
 use aim_lsq::LsqConfig;
 use aim_pipeline::{
-    BackendChoice, BackendConfig, FilterConfig, MachineClass, OutputDepRecovery, PcaxConfig,
-    SimConfig,
+    BackendChoice, BackendConfig, FarSpec, FilterConfig, MachineClass, MemSpec, OutputDepRecovery,
+    PcaxConfig, SimConfig,
 };
 use aim_predictor::EnforceMode;
 use aim_workloads::Scale;
@@ -501,6 +501,55 @@ pub fn table_hostperf() -> ArtifactSpec {
     }
 }
 
+/// The shared far-memory tier behind every `table_far_mem` cell: the
+/// Figure 4 hierarchy plus a `latency`-cycle third level with 64 MSHRs
+/// completing in batches of 8.
+fn far_mem(latency: u64) -> MemSpec {
+    MemSpec::figure4().with_far(FarSpec::new(latency, 64, 8))
+}
+
+/// `table_far_mem`: window size × far-memory latency per backend. Both
+/// kilo-entry-window classes (aggressive 1024, huge 4096) run behind the
+/// far tier at a moderate and an extreme latency, bracketed by no-spec
+/// and oracle. Two LSQ columns tell the CAM story: the 120×80 queue — the
+/// paper's largest *buildable* Figure 4 CAM — drowns when thousands of
+/// instructions and hundreds-of-cycles loads are in flight, while the
+/// 256×256 upper bound (every cell's normalization base) shows what an
+/// unbuildable CAM would recover. The address-indexed SFC/MDT and PCAX
+/// track the upper bound, not the buildable CAM.
+pub fn table_far_mem() -> ArtifactSpec {
+    let mut configs = Vec::new();
+    for (class, tag) in [(MachineClass::Aggressive, "aggr"), (MachineClass::Huge, "huge")] {
+        for lat in [200u64, 800] {
+            let cell = |backend| SimConfig::machine(class).backend(backend).mem(far_mem(lat)).build();
+            let lsq_cell = |lsq: LsqConfig| {
+                SimConfig::machine(class)
+                    .backend(BackendChoice::Lsq)
+                    .lsq(lsq)
+                    .mem(far_mem(lat))
+                    .build()
+            };
+            configs.push((format!("{tag}-far{lat}-nospec"), cell(BackendChoice::NoSpec)));
+            configs.push((
+                format!("{tag}-far{lat}-lsq-120x80"),
+                lsq_cell(LsqConfig::aggressive_120x80()),
+            ));
+            configs.push((
+                format!("{tag}-far{lat}-lsq-256x256"),
+                lsq_cell(LsqConfig::aggressive_256x256()),
+            ));
+            configs.push((format!("{tag}-far{lat}-sfc-mdt"), cell(BackendChoice::SfcMdt)));
+            configs.push((format!("{tag}-far{lat}-pcax"), cell(BackendChoice::Pcax)));
+            configs.push((format!("{tag}-far{lat}-oracle"), cell(BackendChoice::Oracle)));
+        }
+    }
+    ArtifactSpec {
+        artifact: "table_far_mem",
+        configs,
+        skip: FIG6_EXCLUDED,
+    }
+}
+
 /// `table_window_sweep`: windows 128–1024, fixed 48×32 LSQ vs SFC/MDT
 /// (window-major: `lsq@N` then `sfc-mdt@N` for each window size N).
 pub fn table_window_sweep() -> ArtifactSpec {
@@ -540,6 +589,7 @@ pub fn all_default() -> Vec<ArtifactSpec> {
         table_backend_bounds(),
         table_hostperf(),
         table_hybrid(),
+        table_far_mem(),
         table_pcax(),
         table_pcax_sweep(&pcax_sweep_grid(true)),
         table_window_sweep(),

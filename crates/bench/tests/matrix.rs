@@ -48,7 +48,7 @@ fn parallel_matrix_is_byte_identical_to_serial() {
 #[test]
 fn every_artifact_spec_simulates_at_tiny() {
     let all = specs::all_default();
-    assert_eq!(all.len(), 17, "one spec per experiment binary");
+    assert_eq!(all.len(), 18, "one spec per experiment binary");
     let jobs = aim_bench::resolve_jobs(0);
     for spec in &all {
         let workloads = spec.workloads(Scale::Tiny);

@@ -1,16 +1,17 @@
 //! Golden-file schema tests: the machine-readable reports downstream
 //! tooling parses (`BENCH_sweep.json`, `BENCH_hybrid.json`,
 //! `BENCH_pcax.json`, `BENCH_pcax_sweep.json`, `BENCH_filter_sweep.json`,
-//! `BENCH_hostperf.json`, `BENCH_litmus.json`) must keep a byte-stable
+//! `BENCH_hostperf.json`, `BENCH_litmus.json`, `BENCH_farmem.json`) must
+//! keep a byte-stable
 //! serialization for a
 //! fixed input. Any field added, removed, renamed, or reordered shows up
 //! here as a golden-file diff — update the golden **deliberately**,
 //! alongside the schema version string, never as a drive-by.
 
 use aim_bench::{
-    FilterSweepReport, FilterSweepRow, HostperfReport, HostperfRow, HybridReport, HybridRow,
-    LitmusReport, LitmusRow, PcaxReport, PcaxRow, PcaxSweepReport, PcaxSweepRow, ServeReport,
-    ServeRound, SweepReport, SweepRow,
+    FarMemReport, FarMemRow, FilterSweepReport, FilterSweepRow, HostperfReport, HostperfRow,
+    HybridReport, HybridRow, LitmusReport, LitmusRow, PcaxReport, PcaxRow, PcaxSweepReport,
+    PcaxSweepRow, ServeReport, ServeRound, SweepReport, SweepRow,
 };
 use aim_workloads::Scale;
 
@@ -254,6 +255,60 @@ fn golden_litmus() -> LitmusReport {
     }
 }
 
+/// A fixed, fully populated far-memory report.
+fn golden_farmem() -> FarMemReport {
+    FarMemReport {
+        artifact: "table_far_mem".to_string(),
+        scale: Scale::Tiny,
+        workers: 4,
+        cold_sims: 456,
+        warm_hits: 456,
+        warm_sims: 0,
+        rows: vec![
+            FarMemRow {
+                workload: "gzip".to_string(),
+                suite: "int".to_string(),
+                machine: "huge".to_string(),
+                window: 4096,
+                far_latency: 800,
+                lsq_ipc: 1.234567,
+                nospec_norm: 0.7,
+                cam_norm: 0.62,
+                sfc_mdt_norm: 1.9,
+                pcax_norm: 1.85,
+                oracle_norm: 1.92,
+                cam_gap_closed: 24.6,
+                sfc_gap_closed: 98.4,
+                pcax_gap_closed: 94.3,
+                far_accesses: 1200,
+                far_coalesced: 300,
+                far_overflow: 4,
+                far_peak_inflight: 64,
+            },
+            FarMemRow {
+                workload: "swim".to_string(),
+                suite: "fp".to_string(),
+                machine: "aggr".to_string(),
+                window: 1024,
+                far_latency: 200,
+                lsq_ipc: 2.5,
+                nospec_norm: 0.85,
+                cam_norm: 0.97,
+                sfc_mdt_norm: 1.01,
+                pcax_norm: 1.0,
+                oracle_norm: 1.02,
+                cam_gap_closed: 70.6,
+                sfc_gap_closed: 94.1,
+                pcax_gap_closed: 88.2,
+                far_accesses: 640,
+                far_coalesced: 120,
+                far_overflow: 0,
+                far_peak_inflight: 32,
+            },
+        ],
+    }
+}
+
 /// A fixed, fully populated serve report.
 fn golden_serve() -> ServeReport {
     ServeReport {
@@ -363,6 +418,17 @@ fn litmus_report_serialization_is_golden() {
         got, want,
         "aim-litmus-report/v1 serialization drifted; if intentional, update \
          tests/golden/litmus.golden.json and bump the schema version"
+    );
+}
+
+#[test]
+fn farmem_report_serialization_is_golden() {
+    let got = golden_farmem().to_json();
+    let want = include_str!("golden/farmem.golden.json");
+    assert_eq!(
+        got, want,
+        "aim-farmem-report/v1 serialization drifted; if intentional, update \
+         tests/golden/farmem.golden.json and bump the schema version"
     );
 }
 
@@ -532,6 +598,42 @@ fn reports_keep_their_stable_field_sets() {
             2,
             "hostperf row field {field}"
         );
+    }
+
+    let farmem = golden_farmem().to_json();
+    for field in [
+        "\"schema\"",
+        "\"artifact\"",
+        "\"scale\"",
+        "\"workers\"",
+        "\"cold_sims\"",
+        "\"warm_hits\"",
+        "\"warm_sims\"",
+        "\"rows\"",
+    ] {
+        assert_eq!(farmem.matches(field).count(), 1, "farmem field {field}");
+    }
+    for field in [
+        "\"workload\"",
+        "\"suite\"",
+        "\"machine\"",
+        "\"window\"",
+        "\"far_latency\"",
+        "\"lsq_ipc\"",
+        "\"nospec_norm\"",
+        "\"cam_norm\"",
+        "\"sfc_mdt_norm\"",
+        "\"pcax_norm\"",
+        "\"oracle_norm\"",
+        "\"cam_gap_closed\"",
+        "\"sfc_gap_closed\"",
+        "\"pcax_gap_closed\"",
+        "\"far_accesses\"",
+        "\"far_coalesced\"",
+        "\"far_overflow\"",
+        "\"far_peak_inflight\"",
+    ] {
+        assert_eq!(farmem.matches(field).count(), 2, "farmem row field {field}");
     }
 
     let serve = golden_serve().to_json();

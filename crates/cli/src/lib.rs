@@ -17,7 +17,7 @@ use std::fmt;
 
 use aim_core::{CorruptionPolicy, MdtTagging, SetHash, TableGeometry};
 use aim_lsq::LsqConfig;
-use aim_pipeline::{FilterConfig, MachineClass, PcaxConfig, SimConfig, SimStats};
+use aim_pipeline::{FarSpec, FilterConfig, MachineClass, MemSpec, PcaxConfig, SimConfig, SimStats};
 
 pub use aim_pipeline::{BackendChoice, BackendConfig};
 pub use aim_serve::LsqChoice;
@@ -94,13 +94,23 @@ pub struct SubmitArgs {
     /// Kernel name (empty when `shutdown` is set).
     pub kernel: String,
     /// Machine class.
-    pub aggressive: bool,
+    pub machine: MachineClass,
     /// Memory-ordering backend.
     pub backend: BackendChoice,
     /// Enforcement-mode override (`None` keeps the builder default).
     pub mode: Option<EnforceMode>,
     /// LSQ capacity override (`None` keeps the builder default).
     pub lsq: Option<LsqChoice>,
+    /// PCAX table-geometry override (`--pcax SxW`).
+    pub pcax_table: Option<(usize, usize)>,
+    /// PCAX no-alias acting-threshold override (`--pcax-act N`).
+    pub pcax_act: Option<u8>,
+    /// Filtered-LSQ filter-geometry override (`--filt SxW`).
+    pub filt_table: Option<(usize, usize)>,
+    /// Filtered-LSQ counter-saturation override (`--filt-count N`).
+    pub filt_count: Option<u32>,
+    /// Far-memory tier (`--far LATENCYxMSHRSxBATCH`).
+    pub far: Option<FarSpec>,
     /// Workload scale.
     pub scale: Scale,
     /// Ask the server to recompute and byte-compare the cached entry.
@@ -115,14 +125,14 @@ impl SubmitArgs {
     /// The wire-level machine configuration this submission names.
     pub fn config_spec(&self) -> aim_serve::ConfigSpec {
         aim_serve::ConfigSpec {
-            machine: if self.aggressive {
-                MachineClass::Aggressive
-            } else {
-                MachineClass::Baseline
-            },
-            backend: self.backend,
             mode: self.mode,
             lsq: self.lsq,
+            pcax: self.pcax_table,
+            pcax_act: self.pcax_act,
+            filt: self.filt_table,
+            filt_count: self.filt_count,
+            far: self.far,
+            ..aim_serve::ConfigSpec::new(self.machine, self.backend)
         }
     }
 }
@@ -132,10 +142,15 @@ impl Default for SubmitArgs {
         SubmitArgs {
             socket: String::new(),
             kernel: String::new(),
-            aggressive: false,
+            machine: MachineClass::Baseline,
             backend: BackendChoice::SfcMdt,
             mode: None,
             lsq: None,
+            pcax_table: None,
+            pcax_act: None,
+            filt_table: None,
+            filt_count: None,
+            far: None,
             scale: Scale::Tiny,
             verify: false,
             no_cache: false,
@@ -175,8 +190,9 @@ impl Default for LitmusArgs {
 pub struct RunArgs {
     /// Kernel name (see `aim-sim list`).
     pub kernel: String,
-    /// `baseline` (4-wide, 128-entry window) or `aggressive` (8-wide, 1024).
-    pub aggressive: bool,
+    /// `baseline` (4-wide, 128-entry window), `aggressive` (8-wide, 1024),
+    /// or `huge` (8-wide, 4096-entry kilo-window).
+    pub machine: MachineClass,
     /// Memory-ordering backend.
     pub backend: BackendChoice,
     /// Predictor mode for the SFC/MDT backend.
@@ -199,6 +215,8 @@ pub struct RunArgs {
     pub filt_table: Option<(usize, usize)>,
     /// Filtered-LSQ counter saturation override.
     pub filt_count: Option<u32>,
+    /// Far-memory tier behind the L2 (`--far LATENCYxMSHRSxBATCH`).
+    pub far: Option<FarSpec>,
     /// Print the last N pipeline events after the run.
     pub trace: usize,
     /// Render the last N retired instructions as pipeline timelines.
@@ -215,7 +233,7 @@ impl Default for RunArgs {
     fn default() -> RunArgs {
         RunArgs {
             kernel: String::new(),
-            aggressive: false,
+            machine: MachineClass::Baseline,
             backend: BackendChoice::SfcMdt,
             mode: EnforceMode::All,
             lsq_size: (48, 32),
@@ -227,6 +245,7 @@ impl Default for RunArgs {
             pcax_act: None,
             filt_table: None,
             filt_count: None,
+            far: None,
             trace: 0,
             pipeview: 0,
             jobs: 0,
@@ -263,7 +282,8 @@ USAGE:
                                      send one job to a serving socket
 
 OPTIONS:
-  --machine baseline|aggressive   pipeline configuration      [baseline]
+  --machine baseline|aggressive|huge
+                                  pipeline configuration      [baseline]
   --backend sfc-mdt|lsq|filtered|pcax|oracle|nospec
                                   memory-ordering machinery   [sfc-mdt]
   --mode enf|not-enf|total        predictor enforcement       [enf]
@@ -276,6 +296,7 @@ OPTIONS:
   --pcax-act N                    PCAX no-alias acting threshold 1..=3  [2]
   --filt SxW                      filtered-LSQ filter geometry      [256x2]
   --filt-count N                  filter counter saturation point      [15]
+  --far LATxMSHRSxBATCH           far-memory tier behind the L2, e.g. 400x64x8
   --trace N                       print the last N pipeline events
   --pipeview N                    draw stage timelines for the last N retirements
   --jobs N                        worker threads for compare sweeps [AIM_JOBS/auto]
@@ -297,6 +318,7 @@ SERVE OPTIONS:
 
 SUBMIT OPTIONS:
   --machine, --backend, --mode, --scale   as for `run` (scale defaults to tiny)
+  --pcax, --pcax-act, --filt, --filt-count, --far   as for `run`
   --lsq 48x32|120x80|256x256      LSQ capacity override      [builder default]
   --verify                        recompute and byte-compare the cached entry
   --no-cache                      bypass the cache lookup (always simulate)
@@ -335,13 +357,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 .ok_or_else(|| ParseError(format!("{name} needs a value")))
         };
         match flag.as_str() {
-            "--machine" => {
-                run.aggressive = match value("--machine")?.as_str() {
-                    "baseline" => false,
-                    "aggressive" => true,
-                    other => return Err(ParseError(format!("unknown machine `{other}`"))),
-                }
-            }
+            "--machine" => run.machine = parse_machine_class(&value("--machine")?)?,
             "--backend" => {
                 // The shared BackendChoice FromStr is the single source of
                 // truth for the token vocabulary.
@@ -396,6 +412,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                         .map_err(|_| ParseError(format!("bad filter count `{v}`")))?,
                 );
             }
+            "--far" => run.far = Some(parse_far_spec(&value("--far")?)?),
             "--pipeview" => {
                 let v = value("--pipeview")?;
                 run.pipeview = v
@@ -535,13 +552,7 @@ fn parse_submit(mut it: std::slice::Iter<'_, String>) -> Result<Command, ParseEr
         };
         match flag.as_str() {
             "--socket" => args.socket = value("--socket")?,
-            "--machine" => {
-                args.aggressive = match value("--machine")?.as_str() {
-                    "baseline" => false,
-                    "aggressive" => true,
-                    other => return Err(ParseError(format!("unknown machine `{other}`"))),
-                }
-            }
+            "--machine" => args.machine = parse_machine_class(&value("--machine")?)?,
             "--backend" => {
                 args.backend = value("--backend")?
                     .parse()
@@ -558,6 +569,23 @@ fn parse_submit(mut it: std::slice::Iter<'_, String>) -> Result<Command, ParseEr
             "--lsq" => {
                 args.lsq = Some(LsqChoice::parse(&value("--lsq")?).map_err(ParseError)?);
             }
+            "--pcax" => args.pcax_table = Some(parse_geometry("--pcax", &value("--pcax")?)?),
+            "--pcax-act" => {
+                let v = value("--pcax-act")?;
+                args.pcax_act = Some(
+                    v.parse()
+                        .map_err(|_| ParseError(format!("bad pcax threshold `{v}`")))?,
+                );
+            }
+            "--filt" => args.filt_table = Some(parse_geometry("--filt", &value("--filt")?)?),
+            "--filt-count" => {
+                let v = value("--filt-count")?;
+                args.filt_count = Some(
+                    v.parse()
+                        .map_err(|_| ParseError(format!("bad filter count `{v}`")))?,
+                );
+            }
+            "--far" => args.far = Some(parse_far_spec(&value("--far")?)?),
             "--scale" => {
                 args.scale = match value("--scale")?.as_str() {
                     "tiny" => Scale::Tiny,
@@ -581,6 +609,36 @@ fn parse_submit(mut it: std::slice::Iter<'_, String>) -> Result<Command, ParseEr
     Ok(Command::Submit(args))
 }
 
+/// Parses a `--machine` token.
+fn parse_machine_class(v: &str) -> Result<MachineClass, ParseError> {
+    match v {
+        "baseline" => Ok(MachineClass::Baseline),
+        "aggressive" => Ok(MachineClass::Aggressive),
+        "huge" => Ok(MachineClass::Huge),
+        other => Err(ParseError(format!(
+            "unknown machine `{other}` (baseline|aggressive|huge)"
+        ))),
+    }
+}
+
+/// Parses a `--far LATENCYxMSHRSxBATCH` far-memory spec, e.g. `400x64x8`.
+fn parse_far_spec(v: &str) -> Result<FarSpec, ParseError> {
+    let bad = || ParseError(format!("--far wants LATENCYxMSHRSxBATCH, got `{v}`"));
+    let parts: Vec<&str> = v.split('x').collect();
+    let [lat, mshrs, batch] = parts.as_slice() else {
+        return Err(bad());
+    };
+    let latency: u64 = lat.parse().map_err(|_| bad())?;
+    let mshrs: usize = mshrs.parse().map_err(|_| bad())?;
+    let batch: u64 = batch.parse().map_err(|_| bad())?;
+    if latency == 0 || mshrs == 0 || batch == 0 {
+        return Err(ParseError(format!(
+            "--far parameters must be nonzero, got `{v}`"
+        )));
+    }
+    Ok(FarSpec::new(latency, mshrs, batch))
+}
+
 /// Parses a `SETSxWAYS` table geometry, e.g. `256x1`.
 fn parse_geometry(flag: &str, v: &str) -> Result<(usize, usize), ParseError> {
     let (s, w) = v
@@ -596,15 +654,15 @@ fn parse_geometry(flag: &str, v: &str) -> Result<(usize, usize), ParseError> {
 
 /// Builds the [`SimConfig`] a [`RunArgs`] describes.
 pub fn build_config(args: &RunArgs) -> SimConfig {
-    let class = if args.aggressive {
-        MachineClass::Aggressive
-    } else {
-        MachineClass::Baseline
-    };
-    let mut builder = SimConfig::machine(class).backend(args.backend).lsq(LsqConfig {
-        load_entries: args.lsq_size.0,
-        store_entries: args.lsq_size.1,
-    });
+    let mut builder = SimConfig::machine(args.machine)
+        .backend(args.backend)
+        .lsq(LsqConfig {
+            load_entries: args.lsq_size.0,
+            store_entries: args.lsq_size.1,
+        });
+    if let Some(far) = args.far {
+        builder = builder.mem(MemSpec::figure4().with_far(far));
+    }
     if args.backend == BackendChoice::SfcMdt || args.backend == BackendChoice::Pcax {
         // --mode only steers the SFC/MDT-family predictor (pcax wraps the
         // SFC/MDT); every other backend keeps its TrueOnly default.
@@ -794,7 +852,7 @@ mod tests {
             panic!("expected run");
         };
         assert_eq!(args.kernel, "gzip");
-        assert!(!args.aggressive);
+        assert_eq!(args.machine, MachineClass::Baseline);
         assert_eq!(args.backend, BackendChoice::SfcMdt);
         assert_eq!(args.mode, EnforceMode::All);
     }
@@ -820,12 +878,38 @@ mod tests {
         .unwrap() else {
             panic!("expected compare");
         };
-        assert!(args.aggressive);
+        assert_eq!(args.machine, MachineClass::Aggressive);
         assert_eq!(args.backend, BackendChoice::Lsq);
         assert_eq!(args.mode, EnforceMode::TotalOrder);
         assert_eq!(args.lsq_size, (120, 80));
         assert_eq!(args.scale, Scale::Full);
         assert!(args.untagged && args.endpoints);
+    }
+
+    #[test]
+    fn huge_machine_and_far_tier_parse() {
+        let Command::Run(args) =
+            parse(&["run", "swim", "--machine", "huge", "--far", "400x64x8"]).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(args.machine, MachineClass::Huge);
+        assert_eq!(args.far, Some(FarSpec::new(400, 64, 8)));
+        let cfg = build_config(&args);
+        assert_eq!(cfg.rob_entries, 4096);
+        assert_eq!(cfg.hierarchy.far, Some(FarSpec::new(400, 64, 8)));
+        assert!(parse(&["run", "x", "--machine", "colossal"])
+            .unwrap_err()
+            .0
+            .contains("baseline|aggressive|huge"));
+        assert!(parse(&["run", "x", "--far", "400x64"])
+            .unwrap_err()
+            .0
+            .contains("LATENCYxMSHRSxBATCH"));
+        assert!(parse(&["run", "x", "--far", "400x0x8"])
+            .unwrap_err()
+            .0
+            .contains("nonzero"));
     }
 
     #[test]
@@ -947,12 +1031,29 @@ mod tests {
             panic!("expected submit");
         };
         assert_eq!(args.kernel, "gzip");
-        assert!(args.aggressive && args.verify && !args.no_cache);
+        assert_eq!(args.machine, MachineClass::Aggressive);
+        assert!(args.verify && !args.no_cache);
         assert_eq!(args.backend, BackendChoice::Lsq);
         assert_eq!(args.lsq, Some(LsqChoice::Aggressive120x80));
         let spec = args.config_spec();
         assert_eq!(spec.machine, aim_pipeline::MachineClass::Aggressive);
         assert_eq!(spec.lsq, Some(LsqChoice::Aggressive120x80));
+
+        let Command::Submit(args) = parse(&[
+            "submit", "swim", "--socket", "/tmp/s.sock", "--machine", "huge",
+            "--backend", "pcax", "--pcax", "256x1", "--pcax-act", "3",
+            "--filt", "512x4", "--filt-count", "31", "--far", "400x64x8",
+        ])
+        .unwrap() else {
+            panic!("expected submit");
+        };
+        let spec = args.config_spec();
+        assert_eq!(spec.machine, aim_pipeline::MachineClass::Huge);
+        assert_eq!(spec.pcax, Some((256, 1)));
+        assert_eq!(spec.pcax_act, Some(3));
+        assert_eq!(spec.filt, Some((512, 4)));
+        assert_eq!(spec.filt_count, Some(31));
+        assert_eq!(spec.far, Some(FarSpec::new(400, 64, 8)));
 
         let Command::Submit(args) =
             parse(&["submit", "--shutdown", "--socket", "/tmp/s.sock"]).unwrap()
@@ -1049,7 +1150,7 @@ mod tests {
             other => panic!("expected filtered LSQ backend, got {other:?}"),
         }
         let mut aggr = args.clone();
-        aggr.aggressive = true;
+        aggr.machine = MachineClass::Aggressive;
         assert!(matches!(
             build_config(&aggr).backend,
             BackendConfig::FilteredLsq { lsq, .. }
@@ -1069,7 +1170,7 @@ mod tests {
             other => panic!("expected PCAX backend, got {other:?}"),
         }
         let mut aggr = args;
-        aggr.aggressive = true;
+        aggr.machine = MachineClass::Aggressive;
         assert!(matches!(
             build_config(&aggr).backend,
             BackendConfig::Pcax { mdt, .. } if mdt.sets == 8192
@@ -1157,7 +1258,7 @@ mod tests {
             assert_eq!(args.backend, choice);
             assert_eq!(build_config(&args).backend, expect);
             let mut aggr = args.clone();
-            aggr.aggressive = true;
+            aggr.machine = MachineClass::Aggressive;
             assert_eq!(build_config(&aggr).backend, expect);
         }
         assert!(parse(&["run", "x", "--backend", "psychic"])

@@ -83,6 +83,20 @@ impl MdtConfig {
         }
     }
 
+    /// The kilo-entry-window machine's MDT: 32K sets, 4-way. A 4096-entry
+    /// window keeps thousands of distinct word addresses in flight at
+    /// once; on scattered-address workloads the Figure 4 geometries run
+    /// out of ways and every conflicting load replays. The MDT is
+    /// RAM-indexed, so the fix is simply more SRAM — the scaling freedom
+    /// the paper contrasts against the LSQ's CAM ports.
+    pub fn huge() -> MdtConfig {
+        MdtConfig {
+            sets: 32768,
+            ways: 4,
+            ..MdtConfig::baseline()
+        }
+    }
+
     /// The MDT's shape as a shared [`TableGeometry`] (the flat `sets` /
     /// `ways` / `hash` fields stay public for per-experiment mutation; this
     /// view is what the table indexes through).

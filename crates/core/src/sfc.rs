@@ -65,6 +65,21 @@ impl SfcConfig {
             hash: SetHash::LowBits,
         }
     }
+
+    /// The kilo-entry-window machine's SFC: 2048 sets, 4-way. A 4096-entry
+    /// window can hold thousands of in-flight stores, so the Figure 4
+    /// geometries thrash (set-conflict partial flushes dominate). Growing
+    /// the table is exactly what the paper's design permits: the SFC is a
+    /// RAM-indexed cache, so capacity scales with the window at SRAM cost —
+    /// unlike the LSQ CAM, whose search ports are the scaling wall.
+    pub fn huge() -> SfcConfig {
+        SfcConfig {
+            sets: 2048,
+            ways: 4,
+            corruption: CorruptionPolicy::CorruptBits,
+            hash: SetHash::LowBits,
+        }
+    }
 }
 
 /// Result of a load's SFC lookup, performed in parallel with the L1 D-cache.

@@ -1,8 +1,12 @@
-//! The L1I / L1D / L2 cache hierarchy of the paper's Figure 4.
+//! The L1I / L1D / L2 cache hierarchy of the paper's Figure 4, and the
+//! canonical [`MemSpec`] describing every tier of the memory system.
+
+use std::fmt;
 
 use aim_types::Addr;
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::far::FarSpec;
 
 /// Which level of the hierarchy served an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -15,17 +19,23 @@ pub enum MemLevel {
     Memory,
 }
 
-/// Latency and geometry parameters for [`CacheHierarchy`].
+/// The canonical per-tier description of the memory system: cache
+/// geometries, the latency ladder, and (optionally) the far-memory tier.
 ///
-/// Defaults reproduce Figure 4 of the paper:
+/// This is the single config type every layer threads — the `SimConfig`
+/// builder's `.mem(..)` knob, the shared memory system, the wire
+/// `JobSpec`, and the content-addressed cache key all speak `MemSpec`.
+/// The legacy name [`HierarchyConfig`] is an alias.
+///
+/// Defaults reproduce Figure 4 of the paper (no far tier):
 ///
 /// | cache | geometry | miss latency |
 /// |---|---|---|
 /// | L1 I | 8 KB, 2-way, 128 B lines | 10 cycles |
 /// | L1 D | 8 KB, 4-way, 64 B lines | 10 cycles |
 /// | L2 | 512 KB, 8-way, 128 B lines | 100 cycles |
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct HierarchyConfig {
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct MemSpec {
     /// L1 instruction cache geometry.
     pub l1i: CacheConfig,
     /// L1 data cache geometry.
@@ -36,20 +46,82 @@ pub struct HierarchyConfig {
     pub l1_hit_cycles: u64,
     /// Additional cycles when an access misses L1 and hits L2.
     pub l1_miss_cycles: u64,
-    /// Additional cycles when an access misses L2.
+    /// Additional cycles when an access misses L2 and is served by near
+    /// memory. Ignored when a far tier is configured — the far tier
+    /// replaces the backing store and its completion time replaces this
+    /// ladder step.
     pub l2_miss_cycles: u64,
+    /// The far-memory tier behind the shared L2, if any.
+    pub far: Option<FarSpec>,
 }
 
-impl Default for HierarchyConfig {
-    fn default() -> HierarchyConfig {
-        HierarchyConfig {
+/// The pre-`MemSpec` name of the memory config, kept as an alias so the
+/// original call sites (and their serialized `Debug` text) keep working.
+pub type HierarchyConfig = MemSpec;
+
+impl Default for MemSpec {
+    fn default() -> MemSpec {
+        MemSpec {
             l1i: CacheConfig::new(8 * 1024, 2, 128),
             l1d: CacheConfig::new(8 * 1024, 4, 64),
             l2: CacheConfig::new(512 * 1024, 8, 128),
             l1_hit_cycles: 1,
             l1_miss_cycles: 10,
             l2_miss_cycles: 100,
+            far: None,
         }
+    }
+}
+
+impl MemSpec {
+    /// The paper's Figure 4 hierarchy (the [`Default`]), spelled as a
+    /// builder entry point.
+    pub fn figure4() -> MemSpec {
+        MemSpec::default()
+    }
+
+    /// Returns the spec with a far-memory tier behind the shared L2.
+    pub fn with_far(mut self, far: FarSpec) -> MemSpec {
+        self.far = Some(far);
+        self
+    }
+
+    /// Returns the spec with a different near-memory (L2-miss) latency.
+    pub fn with_l2_miss_cycles(mut self, cycles: u64) -> MemSpec {
+        self.l2_miss_cycles = cycles;
+        self
+    }
+
+    /// The far-memory coalescing granule for `addr`: the L2 line number
+    /// (far misses are tracked at the granularity of the L2 fill).
+    pub fn far_line(&self, addr: Addr) -> u64 {
+        addr.0 / self.l2.line_bytes() as u64
+    }
+}
+
+/// **Compatibility contract** (the content-addressed result cache and the
+/// hostperf stats fingerprint both hash `Debug` text): a `MemSpec` without
+/// a far tier renders byte-identically to the pre-refactor derived
+/// `HierarchyConfig` output, so every pre-existing config keeps its cache
+/// key. Only a spec with `far: Some(..)` renders the new field (under the
+/// `MemSpec` name) — a genuinely new machine, so a new key is correct.
+impl fmt::Debug for MemSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct(if self.far.is_some() {
+            "MemSpec"
+        } else {
+            "HierarchyConfig"
+        });
+        d.field("l1i", &self.l1i)
+            .field("l1d", &self.l1d)
+            .field("l2", &self.l2)
+            .field("l1_hit_cycles", &self.l1_hit_cycles)
+            .field("l1_miss_cycles", &self.l1_miss_cycles)
+            .field("l2_miss_cycles", &self.l2_miss_cycles);
+        if self.far.is_some() {
+            d.field("far", &self.far);
+        }
+        d.finish()
     }
 }
 
@@ -58,6 +130,12 @@ impl Default for HierarchyConfig {
 /// Purely a timing model — see [`Cache`]. Instruction fetches probe L1I→L2;
 /// data accesses probe L1D→L2. Store commits update tags like loads (write-
 /// allocate) but the commit itself is buffered and never stalls retirement.
+///
+/// This is the legacy self-contained form with a flat near-memory backing
+/// latency; it ignores any [`MemSpec::far`] tier. The pipeline runs on the
+/// multi-core split ([`CoreMemSys`](crate::CoreMemSys) over a
+/// [`SharedMemSystem`](crate::SharedMemSystem)), which is where the
+/// far-memory tier is modeled.
 ///
 /// # Examples
 ///
@@ -170,6 +248,42 @@ mod tests {
         // unified L2, which the instruction fill populated).
         let (lv, _) = h.access_data(Addr(0x100));
         assert_eq!(lv, MemLevel::L2);
+    }
+
+    #[test]
+    fn debug_without_far_matches_the_legacy_derived_text() {
+        // The compatibility contract: the cache key and the stats
+        // fingerprint hash Debug text, so a far-less MemSpec must render
+        // exactly as the old derived HierarchyConfig did.
+        let text = format!("{:?}", MemSpec::default());
+        assert_eq!(
+            text,
+            "HierarchyConfig { \
+             l1i: CacheConfig { capacity_bytes: 8192, ways: 2, line_bytes: 128 }, \
+             l1d: CacheConfig { capacity_bytes: 8192, ways: 4, line_bytes: 64 }, \
+             l2: CacheConfig { capacity_bytes: 524288, ways: 8, line_bytes: 128 }, \
+             l1_hit_cycles: 1, l1_miss_cycles: 10, l2_miss_cycles: 100 }"
+        );
+        assert!(!text.contains("far"));
+    }
+
+    #[test]
+    fn debug_with_far_renders_the_new_surface() {
+        let spec = MemSpec::figure4().with_far(FarSpec::new(400, 64, 8));
+        let text = format!("{spec:?}");
+        assert!(text.starts_with("MemSpec {"), "{text}");
+        assert!(
+            text.contains("far: Some(FarSpec { latency: 400, mshrs: 64, batch: 8 })"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn far_line_uses_the_l2_line_size() {
+        let spec = MemSpec::default(); // 128 B L2 lines
+        assert_eq!(spec.far_line(Addr(0)), 0);
+        assert_eq!(spec.far_line(Addr(127)), 0);
+        assert_eq!(spec.far_line(Addr(128)), 1);
     }
 
     #[test]

@@ -14,6 +14,12 @@
 //!   results are validated against an architectural trace.
 //! * [`CacheHierarchy`] — the L1I/L1D/L2 arrangement of the paper's Figure 4
 //!   with its 10/10/100-cycle miss latencies.
+//! * [`MemSpec`] — the canonical per-tier description of the whole memory
+//!   system (cache geometries, latency ladder, optional far tier), threaded
+//!   through the `SimConfig` builder and the wire `JobSpec` alike.
+//! * [`FarMemory`] — an optional high-latency far-memory tier behind the
+//!   shared L2 (hundreds-of-cycles loads, MSHR-bounded in-flight misses,
+//!   batched completion), enabled via [`MemSpec::far`].
 //! * [`SharedMemSystem`] / [`CoreMemSys`] — the multi-core split of the same
 //!   hierarchy: private per-core L1s in front of one shared L2 and one
 //!   committed memory, behind a single-threaded [`SharedHandle`].
@@ -34,13 +40,15 @@
 //! ```
 
 mod cache;
+mod far;
 mod hierarchy;
 mod memory;
 mod shared;
 mod store_fifo;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
-pub use hierarchy::{CacheHierarchy, HierarchyConfig, MemLevel};
+pub use far::{FarMemory, FarSpec, FarStats};
+pub use hierarchy::{CacheHierarchy, HierarchyConfig, MemLevel, MemSpec};
 pub use memory::MainMemory;
 pub use shared::{CoreMemSys, SharedHandle, SharedMemSystem};
 pub use store_fifo::{StoreFifo, StoreFifoEntry};

@@ -46,15 +46,18 @@ use std::rc::Rc;
 use aim_types::{Addr, MemAccess};
 
 use crate::cache::{Cache, CacheStats};
+use crate::far::{FarMemory, FarStats};
 use crate::hierarchy::{HierarchyConfig, MemLevel};
 use crate::memory::MainMemory;
 
 /// The process-wide tier of the memory system: committed architectural
-/// memory plus the unified L2 cache, shared by every core.
+/// memory plus the unified L2 cache (and, when configured, the far-memory
+/// tier behind it), shared by every core.
 #[derive(Debug)]
 pub struct SharedMemSystem {
     mem: MainMemory,
     l2: Cache,
+    far: Option<FarMemory>,
 }
 
 /// A shared, single-threaded handle to the [`SharedMemSystem`]. Cores hold
@@ -62,11 +65,14 @@ pub struct SharedMemSystem {
 pub type SharedHandle = Rc<RefCell<SharedMemSystem>>;
 
 impl SharedMemSystem {
-    /// Builds the shared tier over an initial committed-memory image.
+    /// Builds the shared tier over an initial committed-memory image. A
+    /// [`MemSpec::far`](crate::MemSpec::far) tier, when present, lives here
+    /// — shared by every attached core, like the L2 it sits behind.
     pub fn new(mem: MainMemory, config: HierarchyConfig) -> SharedMemSystem {
         SharedMemSystem {
             mem,
             l2: Cache::new(config.l2),
+            far: config.far.map(FarMemory::new),
         }
     }
 
@@ -88,6 +94,11 @@ impl SharedMemSystem {
     /// Hit/miss counters of the shared L2.
     pub fn l2_stats(&self) -> CacheStats {
         self.l2.stats()
+    }
+
+    /// Counters of the far-memory tier, if one is configured.
+    pub fn far_stats(&self) -> Option<FarStats> {
+        self.far.as_ref().map(FarMemory::stats)
     }
 
     /// Unwraps the committed memory image.
@@ -160,15 +171,103 @@ impl CoreMemSys {
         }
     }
 
+    fn access_at(&mut self, instr: bool, addr: Addr, now: u64) -> (MemLevel, u64) {
+        let cfg = self.config;
+        let l1 = if instr { &mut self.l1i } else { &mut self.l1d };
+        if l1.access(addr) {
+            return (MemLevel::L1, cfg.l1_hit_cycles);
+        }
+        let mut shared = self.shared.borrow_mut();
+        let base = cfg.l1_hit_cycles + cfg.l1_miss_cycles;
+        if shared.l2.access(addr) {
+            (MemLevel::L2, base)
+        } else {
+            match shared.far.as_mut() {
+                Some(far) => (MemLevel::Memory, base + far.access(cfg.far_line(addr), now)),
+                None => (MemLevel::Memory, base + cfg.l2_miss_cycles),
+            }
+        }
+    }
+
     /// Fetches an instruction address; returns the serving level and latency.
+    ///
+    /// This legacy form ignores any far tier (it has no notion of the
+    /// current cycle) — far-aware callers use [`CoreMemSys::access_instr_at`].
     pub fn access_instr(&mut self, addr: Addr) -> (MemLevel, u64) {
         self.access(true, addr)
     }
 
     /// Accesses a data address (load, or store commit); returns the serving
     /// level and latency in cycles.
+    ///
+    /// This legacy form ignores any far tier (it has no notion of the
+    /// current cycle) — far-aware callers use [`CoreMemSys::access_data_at`].
     pub fn access_data(&mut self, addr: Addr) -> (MemLevel, u64) {
         self.access(false, addr)
+    }
+
+    /// Fetches an instruction address at cycle `now`. Identical to
+    /// [`CoreMemSys::access_instr`] without a far tier; with one, an L2
+    /// miss goes to far memory with never-refuse (queueing) semantics.
+    pub fn access_instr_at(&mut self, addr: Addr, now: u64) -> (MemLevel, u64) {
+        self.access_at(true, addr, now)
+    }
+
+    /// Accesses a data address at cycle `now`. Identical to
+    /// [`CoreMemSys::access_data`] without a far tier; with one, an L2
+    /// miss goes to far memory with never-refuse (queueing) semantics —
+    /// the path for accesses that cannot be replayed (store commit,
+    /// head-of-ROB bypass, forwarded-load tag touch).
+    pub fn access_data_at(&mut self, addr: Addr, now: u64) -> (MemLevel, u64) {
+        self.access_at(false, addr, now)
+    }
+
+    /// Admission check for a refusable data access at cycle `now`: `false`
+    /// means the access would miss both caches into a far tier whose MSHRs
+    /// are all busy (counted against the tier's `busy` stat) — nothing is
+    /// filled or allocated, so the caller can drop and replay the access as
+    /// if it never happened. Always `true` without a far tier.
+    pub fn admit_data_at(&mut self, addr: Addr, now: u64) -> bool {
+        let mut shared = self.shared.borrow_mut();
+        let s = &mut *shared;
+        match s.far.as_mut() {
+            Some(far) if !self.l1d.probe(addr) && !s.l2.probe(addr) => {
+                far.admit(self.config.far_line(addr), now)
+            }
+            _ => true,
+        }
+    }
+
+    /// Accesses a data address at cycle `now` with refusable far-memory
+    /// semantics: `None` means the access would miss to far memory but
+    /// every MSHR is busy — nothing is filled or counted, so the caller
+    /// can replay the access later as if it never happened. Always `Some`
+    /// without a far tier (then identical to [`CoreMemSys::access_data`]).
+    pub fn try_access_data_at(&mut self, addr: Addr, now: u64) -> Option<(MemLevel, u64)> {
+        let cfg = self.config;
+        let far_miss = self.shared.borrow().far.is_some()
+            && !self.l1d.probe(addr)
+            && !self.shared.borrow().l2.probe(addr);
+        if far_miss {
+            // Reserve the MSHR before filling any tags: a refused access
+            // must leave no trace, so its replay probes a cold path again.
+            let mut shared = self.shared.borrow_mut();
+            let far = shared.far.as_mut().expect("probed far_miss above");
+            let extra = far.try_access(cfg.far_line(addr), now)?;
+            let l1_hit = self.l1d.access(addr);
+            let l2_hit = shared.l2.access(addr);
+            debug_assert!(!l1_hit && !l2_hit, "probes said both tags miss");
+            return Some((
+                MemLevel::Memory,
+                cfg.l1_hit_cycles + cfg.l1_miss_cycles + extra,
+            ));
+        }
+        Some(self.access_at(false, addr, now))
+    }
+
+    /// Counters of the shared far-memory tier, if one is configured.
+    pub fn far_stats(&self) -> Option<FarStats> {
+        self.shared.borrow().far_stats()
     }
 
     /// Reads committed memory.
@@ -260,6 +359,72 @@ mod tests {
         let acc = MemAccess::new(Addr(0x1000), aim_types::AccessSize::Double).unwrap();
         c0.write(acc, 0xdead_beef);
         assert_eq!(c1.read(acc), 0xdead_beef);
+    }
+
+    #[test]
+    fn at_variants_match_legacy_without_a_far_tier() {
+        let cfg = HierarchyConfig::default();
+        let mut legacy = CoreMemSys::single(MainMemory::new(), cfg);
+        let mut at = CoreMemSys::single(MainMemory::new(), cfg);
+        let addrs = [0x0u64, 0x40, 0x9000, 0x0, 0x9040, 0x2_0000, 0x9000];
+        for (i, &a) in addrs.iter().enumerate() {
+            let now = i as u64 * 3;
+            assert_eq!(legacy.access_instr(Addr(a)), at.access_instr_at(Addr(a), now));
+            assert_eq!(legacy.access_data(Addr(a)), at.access_data_at(Addr(a), now));
+            let (lv, lat) = legacy.access_data(Addr(a));
+            assert_eq!(at.try_access_data_at(Addr(a), now), Some((lv, lat)));
+        }
+        assert_eq!(legacy.stats(), at.stats());
+        assert_eq!(at.far_stats(), None);
+    }
+
+    #[test]
+    fn far_tier_replaces_the_near_memory_ladder_step() {
+        let cfg = HierarchyConfig::default().with_far(crate::FarSpec::new(400, 4, 1));
+        let mut c = CoreMemSys::single(MainMemory::new(), cfg);
+        // Cold miss at cycle 0: 1 (L1) + 10 (L2) + 400 (far) = 411.
+        assert_eq!(c.access_data_at(Addr(0x4000), 0), (MemLevel::Memory, 411));
+        // The tags filled, so a later access hits L1 as usual.
+        assert_eq!(c.access_data_at(Addr(0x4000), 5), (MemLevel::L1, 1));
+        let far = c.far_stats().unwrap();
+        assert_eq!((far.accesses, far.coalesced), (1, 0));
+    }
+
+    #[test]
+    fn far_misses_coalesce_across_sibling_cores() {
+        let cfg = HierarchyConfig::default().with_far(crate::FarSpec::new(400, 4, 1));
+        let shared = SharedMemSystem::new(MainMemory::new(), cfg).into_handle();
+        let mut c0 = CoreMemSys::attach(0, cfg, shared.clone());
+        let mut c1 = CoreMemSys::attach(1, cfg, shared.clone());
+        assert_eq!(c0.access_data_at(Addr(0x4000), 0), (MemLevel::Memory, 411));
+        // Core 1 misses its private L1D, hits the L2 line core 0 already
+        // filled — no second far miss.
+        assert_eq!(c1.access_data_at(Addr(0x4000), 10), (MemLevel::L2, 11));
+        // A different L2 line of the same far region is a fresh far miss
+        // that coalesces only if the far line matches; 0x4080 is L2 line
+        // 0x81 vs 0x80, so it allocates a second MSHR.
+        assert_eq!(c1.access_data_at(Addr(0x4080), 10), (MemLevel::Memory, 411));
+        let far = shared.borrow().far_stats().unwrap();
+        assert_eq!((far.accesses, far.peak_inflight), (2, 2));
+    }
+
+    #[test]
+    fn refused_far_access_leaves_no_trace() {
+        let cfg = HierarchyConfig::default().with_far(crate::FarSpec::new(100, 1, 1));
+        let mut c = CoreMemSys::single(MainMemory::new(), cfg);
+        assert_eq!(c.try_access_data_at(Addr(0x1000), 0), Some((MemLevel::Memory, 111)));
+        // The only MSHR is busy with a different line: refused.
+        assert_eq!(c.try_access_data_at(Addr(0x8000), 10), None);
+        let (_, l1d, l2) = c.stats();
+        // The refused access filled and counted nothing.
+        assert_eq!(l1d.accesses(), 1);
+        assert_eq!(l2.accesses(), 1);
+        assert_eq!(c.far_stats().unwrap().busy, 1);
+        // Replaying after the MSHR drains succeeds with full latency.
+        assert_eq!(
+            c.try_access_data_at(Addr(0x8000), 100),
+            Some((MemLevel::Memory, 111))
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use aim_backend::{
     BackendParams, FilterConfig, LsqConfig, MdtConfig, PartialMatchPolicy, PcaxConfig, SfcConfig,
 };
-use aim_mem::HierarchyConfig;
+use aim_mem::{HierarchyConfig, MemSpec};
 use aim_predictor::{EnforceMode, PredictorConfig};
 
 pub use aim_backend::{BackendChoice, BackendConfig};
@@ -54,7 +54,10 @@ pub struct SimConfig {
     pub mul_latency: u64,
     /// Address-generation latency for loads and stores.
     pub agu_latency: u64,
-    /// Cache geometry and miss latencies.
+    /// Memory-system spec: cache geometry, the latency ladder, and the
+    /// optional far-memory tier (the canonical [`MemSpec`]; the field keeps
+    /// its pre-`MemSpec` name, which the content-addressed cache key's
+    /// canonical `Debug` text depends on).
     pub hierarchy: HierarchyConfig,
     /// Which memory-ordering backend the machine instantiates (see
     /// [`aim_backend::build`]).
@@ -166,6 +169,26 @@ impl SimConfig {
         }
     }
 
+    /// The kilo-entry-window machine: the aggressive 8-wide core scaled to
+    /// a 4096-entry reorder buffer, the regime where thousands of loads can
+    /// be simultaneously outstanding against a far-memory tier and
+    /// associative LSQ search throttles (ROADMAP "scale the window to the
+    /// extreme"; arXiv 2404.11044's operating point).
+    pub fn huge(backend: BackendConfig) -> SimConfig {
+        SimConfig {
+            rob_entries: 4096,
+            phys_regs: 4096 + 64,
+            // §2.4.2's cheap output-dependence recovery: at a 4096-entry
+            // window a conservative flush discards thousands of
+            // instructions per same-address store reordering, so the huge
+            // class takes the paper's stated alternative — "the memory
+            // subsystem could simply mark the corresponding SFC entry as
+            // corrupt" — instead of squashing.
+            output_dep_recovery: OutputDepRecovery::MarkCorrupt,
+            ..SimConfig::aggressive(backend)
+        }
+    }
+
     /// The backend-construction parameters this machine configuration
     /// implies (the input to [`aim_backend::build`]).
     pub fn backend_params(&self) -> BackendParams {
@@ -196,17 +219,22 @@ impl SimConfig {
             lsq: None,
             filter: None,
             pcax: None,
+            mem: None,
         }
     }
 }
 
-/// Which Figure 4 machine column a configuration starts from.
+/// Which machine column a configuration starts from: the paper's two
+/// Figure 4 classes, plus the kilo-entry-window extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MachineClass {
     /// The 4-wide, 128-entry-ROB machine (Figure 4, left column).
     Baseline,
     /// The 8-wide, 1024-entry-ROB machine (Figure 4, right column).
     Aggressive,
+    /// The 8-wide, 4096-entry-ROB kilo-entry-window machine
+    /// ([`SimConfig::huge`]), defaulting to the wide 256×256 LSQ.
+    Huge,
 }
 
 /// Builds a [`SimConfig`] from a machine class and a [`BackendChoice`],
@@ -227,6 +255,7 @@ pub struct MachineBuilder {
     lsq: Option<LsqConfig>,
     filter: Option<FilterConfig>,
     pcax: Option<PcaxConfig>,
+    mem: Option<MemSpec>,
 }
 
 impl MachineBuilder {
@@ -268,16 +297,33 @@ impl MachineBuilder {
         self
     }
 
+    /// Overrides the memory-system spec (default: [`MemSpec::figure4`], the
+    /// paper's hierarchy with no far tier).
+    pub fn mem(mut self, mem: MemSpec) -> MachineBuilder {
+        self.mem = Some(mem);
+        self
+    }
+
     /// Produces the [`SimConfig`].
     pub fn build(self) -> SimConfig {
-        let aggressive = self.class == MachineClass::Aggressive;
-        // Figure 5's baseline geometries vs Figure 6's aggressive ones.
-        let (sfc, mdt) = if aggressive {
-            (SfcConfig::aggressive(), MdtConfig::aggressive())
-        } else {
-            (SfcConfig::baseline(), MdtConfig::baseline())
+        let aggressive = self.class != MachineClass::Baseline;
+        // Figure 5's baseline geometries vs Figure 6's aggressive ones. The
+        // huge class grows both address-indexed tables with the window (a
+        // 4096-entry window keeps thousands of stores and word addresses in
+        // flight, thrashing the Figure 4 geometries with set-conflict
+        // replays) — cheap, because they are RAM-indexed. The LSQ CAM, by
+        // contrast, stays capped at 256×256 — that asymmetry is the paper's
+        // scaling claim.
+        let (sfc, mdt) = match self.class {
+            MachineClass::Baseline => (SfcConfig::baseline(), MdtConfig::baseline()),
+            MachineClass::Aggressive => (SfcConfig::aggressive(), MdtConfig::aggressive()),
+            MachineClass::Huge => (SfcConfig::huge(), MdtConfig::huge()),
         };
-        let lsq = self.lsq.unwrap_or(LsqConfig::baseline_48x32());
+        let lsq = self.lsq.unwrap_or(if self.class == MachineClass::Huge {
+            LsqConfig::aggressive_256x256()
+        } else {
+            LsqConfig::baseline_48x32()
+        });
         let backend = match self.backend {
             BackendChoice::NoSpec => BackendConfig::NoSpec,
             BackendChoice::Lsq => BackendConfig::Lsq(lsq),
@@ -298,12 +344,15 @@ impl MachineBuilder {
             BackendChoice::SfcMdt | BackendChoice::Pcax => EnforceMode::All,
             _ => EnforceMode::TrueOnly,
         });
-        let mut cfg = if aggressive {
-            SimConfig::aggressive(backend)
-        } else {
-            SimConfig::baseline(backend)
+        let mut cfg = match self.class {
+            MachineClass::Baseline => SimConfig::baseline(backend),
+            MachineClass::Aggressive => SimConfig::aggressive(backend),
+            MachineClass::Huge => SimConfig::huge(backend),
         };
         cfg.dep_predictor = PredictorConfig::figure4(mode);
+        if let Some(mem) = self.mem {
+            cfg.hierarchy = mem;
+        }
         cfg
     }
 }
@@ -349,6 +398,50 @@ mod tests {
         }
         // §3.2: the aggressive ENF default is a total order per producer set.
         assert_eq!(c.dep_predictor.mode, EnforceMode::TotalOrder);
+    }
+
+    #[test]
+    fn huge_scales_the_window_and_widens_the_lsq() {
+        let c = SimConfig::machine(MachineClass::Huge).build();
+        assert_eq!(c.width, 8);
+        assert_eq!(c.rob_entries, 4096);
+        assert_eq!(c.phys_regs, 4096 + 64);
+        // §3.2's aggressive ENF default carries over to the huge class.
+        assert_eq!(c.dep_predictor.mode, EnforceMode::TotalOrder);
+        // The address-indexed tables grow with the window (RAM-indexed, so
+        // capacity is cheap — unlike the LSQ CAM below, which stays capped).
+        match c.backend {
+            BackendConfig::SfcMdt { sfc, mdt } => {
+                assert_eq!((sfc.sets, sfc.ways), (2048, 4));
+                assert_eq!((mdt.sets, mdt.ways), (32768, 4));
+            }
+            _ => panic!("expected SFC/MDT backend"),
+        }
+        let lsq = SimConfig::machine(MachineClass::Huge)
+            .backend(BackendChoice::Lsq)
+            .build();
+        match lsq.backend {
+            BackendConfig::Lsq(l) => {
+                assert_eq!((l.load_entries, l.store_entries), (256, 256));
+            }
+            _ => panic!("expected LSQ backend"),
+        }
+    }
+
+    #[test]
+    fn mem_knob_threads_the_spec_into_the_config() {
+        use aim_mem::FarSpec;
+        let spec = MemSpec::figure4().with_far(FarSpec::new(400, 64, 8));
+        let c = SimConfig::machine(MachineClass::Huge).mem(spec).build();
+        assert_eq!(c.hierarchy, spec);
+        assert_eq!(c.hierarchy.far, Some(FarSpec::new(400, 64, 8)));
+        // Default-filled specs are the default hierarchy (the cache-key
+        // compatibility contract rides on this).
+        let default_filled = SimConfig::machine(MachineClass::Baseline)
+            .mem(MemSpec::figure4())
+            .build();
+        let implicit = SimConfig::machine(MachineClass::Baseline).build();
+        assert_eq!(default_filled.hierarchy, implicit.hierarchy);
     }
 
     #[test]

@@ -170,12 +170,24 @@ impl Core<'_> {
     }
 
     fn replay(&mut self, seq: SeqNum, idx: usize) {
+        self.replay_with(seq, idx, true);
+    }
+
+    /// Replay without arming a stall bit: for drops the backend never saw
+    /// (a far-memory MSHR refusal), where no backend free event will ever
+    /// fire to clear the bit and arming it would park the instruction
+    /// forever (the head-of-ROB exemption saves only the head).
+    fn replay_no_stall(&mut self, seq: SeqNum, idx: usize) {
+        self.replay_with(seq, idx, false);
+    }
+
+    fn replay_with(&mut self, seq: SeqNum, idx: usize, allow_stall: bool) {
         self.log(|| format!("replay   {seq} dropped by the memory unit"));
         // Stall bits only help when the backend emits free events that will
         // later clear them; on backends without them (which replay for
         // ordering, not capacity), a stall bit would never clear and the
         // instruction must retry every cycle instead.
-        let stall = self.config.stall_bits && self.backend.uses_stall_bits();
+        let stall = allow_stall && self.config.stall_bits && self.backend.uses_stall_bits();
         let free_events = self.backend.free_event_count();
         // Back onto the wakeup list, in (stable-position) order.
         let stable = self.rob.stable_of(idx);
@@ -265,9 +277,19 @@ impl Core<'_> {
         if self.head_bypasses(seq, idx) {
             self.stats.head_bypasses += 1;
             let value = self.memsys.read(access);
-            let latency = self.memsys.access_data(access.addr()).1;
+            // Queued (never-refuse) far semantics: the head must progress.
+            let latency = self.memsys.access_data_at(access.addr(), self.cycle).1;
             self.rob.get_at_mut(idx).bypassed = true;
             return MemOutcome::Done { value, latency };
+        }
+
+        // Far-memory admission: a load that will miss to the far tier needs
+        // an MSHR. Checked before the backend executes, so a refused load
+        // replays with no backend side effects — and without a stall bit,
+        // since no backend free event corresponds to an MSHR draining.
+        if !self.memsys.admit_data_at(access.addr(), self.cycle) {
+            self.replay_no_stall(seq, idx);
+            return MemOutcome::Replay;
         }
 
         let floor = self.rob.floor(SeqNum(self.next_seq));
@@ -297,10 +319,10 @@ impl Core<'_> {
                     // Forwarding takes the L1-hit time: the SFC (or the
                     // idealized single-cycle store-queue bypass) is accessed
                     // in parallel with the L1.
-                    let _ = self.memsys.access_data(access.addr());
+                    let _ = self.memsys.access_data_at(access.addr(), self.cycle);
                     self.config.hierarchy.l1_hit_cycles
                 } else {
-                    self.memsys.access_data(access.addr()).1
+                    self.memsys.access_data_at(access.addr(), self.cycle).1
                 };
                 MemOutcome::Done { value, latency }
             }

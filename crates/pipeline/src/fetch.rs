@@ -16,10 +16,12 @@ impl Core<'_> {
         }
 
         // Model the I-cache on the first access of the group: a miss costs
-        // the fill latency before any instruction is delivered.
+        // the fill latency before any instruction is delivered. Fetch can
+        // never be replayed, so a far-tier miss takes the queued
+        // (never-refuse) path.
         let (level, latency) = self
             .memsys
-            .access_instr(self.program.fetch_addr(self.fetch_pc));
+            .access_instr_at(self.program.fetch_addr(self.fetch_pc), self.cycle);
         if level != MemLevel::L1 {
             self.fetch_stall_until = self.cycle + latency;
             return;

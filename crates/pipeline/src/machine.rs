@@ -377,6 +377,7 @@ impl<'a> Core<'a> {
         self.stats.gshare = self.gshare.stats();
         self.stats.dep_predictor = self.dep_pred.stats();
         self.stats.caches = self.memsys.stats();
+        self.stats.far = self.memsys.far_stats();
     }
 
     pub(crate) fn at_head(&self, seq: SeqNum) -> bool {

@@ -1,7 +1,9 @@
 //! Aggregate simulation statistics.
 
+use std::fmt;
+
 use aim_backend::{BackendStats, DispatchStall, MemKind, ReplayCause};
-use aim_mem::CacheStats;
+use aim_mem::{CacheStats, FarStats};
 use aim_predictor::{GshareStats, PredictorStats};
 use aim_types::percent;
 
@@ -117,7 +119,7 @@ pub struct HostPerf {
 }
 
 /// Everything a simulation run measured.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct SimStats {
     /// Executed machine cycles.
     pub cycles: u64,
@@ -165,9 +167,51 @@ pub struct SimStats {
     pub dep_predictor: PredictorStats,
     /// (L1I, L1D, L2) cache counters.
     pub caches: (CacheStats, CacheStats, CacheStats),
+    /// Far-memory tier counters — populated only when the config carries a
+    /// [`MemSpec::far`](aim_mem::MemSpec::far) tier. In a multi-core run
+    /// the tier is shared, so every core reports the same aggregate.
+    pub far: Option<FarStats>,
     /// Host-side throughput measurement (non-deterministic; see
     /// [`HostPerf`]).
     pub host: HostPerf,
+}
+
+/// **Compatibility contract** (the hostperf differential gate fingerprints
+/// `Debug` text of zeroed-host stats): a run without a far tier renders
+/// byte-identically to the pre-far derived output — the `far` field is
+/// printed only when populated, in which case the stats describe a machine
+/// that could not previously be configured, so a new fingerprint is
+/// correct.
+impl fmt::Debug for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("SimStats");
+        d.field("cycles", &self.cycles)
+            .field("retired", &self.retired)
+            .field("retired_loads", &self.retired_loads)
+            .field("retired_stores", &self.retired_stores)
+            .field("fetched", &self.fetched)
+            .field("dispatched", &self.dispatched)
+            .field("issued", &self.issued)
+            .field("squashed", &self.squashed)
+            .field("load_executions", &self.load_executions)
+            .field("store_executions", &self.store_executions)
+            .field("loads_forwarded", &self.loads_forwarded)
+            .field("head_bypasses", &self.head_bypasses)
+            .field("mdt_filtered_loads", &self.mdt_filtered_loads)
+            .field("dispatch_stalls", &self.dispatch_stalls)
+            .field("replays", &self.replays)
+            .field("flushes", &self.flushes)
+            .field("branches_retired", &self.branches_retired)
+            .field("branch_mispredicts", &self.branch_mispredicts)
+            .field("backend", &self.backend)
+            .field("gshare", &self.gshare)
+            .field("dep_predictor", &self.dep_predictor)
+            .field("caches", &self.caches);
+        if self.far.is_some() {
+            d.field("far", &self.far);
+        }
+        d.field("host", &self.host).finish()
+    }
 }
 
 impl SimStats {
@@ -278,6 +322,30 @@ mod tests {
         assert_eq!(s.mdt_conflict_rate(), 16.0);
         assert_eq!(s.flushes.total(), 7);
         assert_eq!(s.replays.total(), 86);
+    }
+
+    #[test]
+    fn debug_omits_far_until_populated() {
+        // The fingerprint-compatibility contract: far-less stats must render
+        // exactly as before the field existed.
+        let s = SimStats::default();
+        let text = format!("{s:?}");
+        assert!(!text.contains("far"), "{text}");
+        assert!(text.contains("caches: ") && text.contains("host: "), "{text}");
+        let with_far = SimStats {
+            far: Some(FarStats {
+                accesses: 3,
+                ..FarStats::default()
+            }),
+            ..SimStats::default()
+        };
+        let text = format!("{with_far:?}");
+        assert!(text.contains("far: Some(FarStats { accesses: 3"), "{text}");
+        // Field order around the optional field is preserved.
+        let caches = text.find("caches: ").unwrap();
+        let far = text.find("far: ").unwrap();
+        let host = text.find("host: ").unwrap();
+        assert!(caches < far && far < host);
     }
 
     #[test]

@@ -27,6 +27,9 @@
 //! * `proto` — the job protocol: [`JobSpec`]/[`JobResponse`] and their
 //!   wire encodings;
 //! * `cache` — the checksummed on-disk entry store ([`DiskCache`]);
+//! * `farmem` — the `table_far_mem` request matrix and far-tier stats
+//!   decoder behind the cache-routed far-memory sweep binary
+//!   ([`farmem_configs`], [`parse_far_stats`]);
 //! * `server` — the worker pool, single-flight deduplication, and
 //!   request handling over any `Read + Write` stream ([`Server`]);
 //! * `sock` — Unix-socket and stdin/stdout transports;
@@ -34,14 +37,16 @@
 //!   `aim-sim serve --replay` tier-1 gate ([`run_replay`]).
 
 mod cache;
+mod farmem;
 mod proto;
 mod replay;
 mod server;
 mod sock;
 
 pub use cache::{CacheEntry, DiskCache, Lookup};
+pub use farmem::{farmem_configs, parse_far_stats};
 pub use proto::{ConfigSpec, JobResponse, JobSpec, LsqChoice, Source, VerifyOutcome};
-pub use replay::{hostperf_configs, run_replay, ReplayOptions, ReplayOutcome};
+pub use replay::{hostperf_configs, run_cells, run_replay, ReplayOptions, ReplayOutcome};
 pub use server::{serve_connection, CounterSnapshot, Server};
 pub use sock::{request_over, serve_stdio, StdioStream};
 #[cfg(unix)]

@@ -9,15 +9,19 @@
 //!
 //! A [`JobSpec`] deliberately names configurations the way the CLI and
 //! the bench specs do — machine class, backend token, optional
-//! enforcement mode, optional LSQ capacity — rather than shipping raw
-//! structure geometries. Every configuration in the committed
-//! `table_hostperf` matrix is expressible (a unit test in
+//! enforcement mode, optional LSQ capacity, and the optional geometry
+//! overrides the CLI exposes (`--pcax`, `--pcax-act`, `--filt`,
+//! `--filt-count`, plus the far-memory tier). Every configuration in the
+//! committed `table_hostperf` matrix is expressible (a unit test in
 //! [`crate::replay`] pins the correspondence), and the server derives the
 //! exact [`SimConfig`] through the same builder the experiment binaries
 //! use, so a spec means the same simulation everywhere.
 
 use aim_lsq::LsqConfig;
-use aim_pipeline::{BackendChoice, MachineClass, SimConfig};
+use aim_pipeline::{
+    BackendChoice, FarSpec, FilterConfig, MachineClass, MemSpec, PcaxConfig, SimConfig,
+    TableGeometry,
+};
 use aim_predictor::EnforceMode;
 use aim_types::wire::WireMsg;
 use aim_workloads::Scale;
@@ -80,9 +84,37 @@ pub struct ConfigSpec {
     pub mode: Option<EnforceMode>,
     /// LSQ capacity override (`None` keeps the builder default).
     pub lsq: Option<LsqChoice>,
+    /// PCAX prediction-table geometry override, `(sets, ways)` (the CLI's
+    /// `--pcax SxW`; `None` keeps the builder default).
+    pub pcax: Option<(usize, usize)>,
+    /// PCAX no-alias acting-threshold override (the CLI's `--pcax-act N`).
+    pub pcax_act: Option<u8>,
+    /// Filtered-LSQ filter geometry override, `(sets, ways)` (the CLI's
+    /// `--filt SxW`).
+    pub filt: Option<(usize, usize)>,
+    /// Filtered-LSQ counter-saturation override (the CLI's
+    /// `--filt-count N`).
+    pub filt_count: Option<u32>,
+    /// Far-memory tier (`None` simulates the near-memory-only hierarchy).
+    pub far: Option<FarSpec>,
 }
 
 impl ConfigSpec {
+    /// A spec with every override left at the builder default.
+    pub fn new(machine: MachineClass, backend: BackendChoice) -> ConfigSpec {
+        ConfigSpec {
+            machine,
+            backend,
+            mode: None,
+            lsq: None,
+            pcax: None,
+            pcax_act: None,
+            filt: None,
+            filt_count: None,
+            far: None,
+        }
+    }
+
     /// Binds this configuration to a kernel and scale.
     pub fn job(&self, kernel: &str, scale: Scale) -> JobSpec {
         JobSpec {
@@ -92,7 +124,9 @@ impl ConfigSpec {
         }
     }
 
-    /// Derives the exact [`SimConfig`] through the shared builder.
+    /// Derives the exact [`SimConfig`] through the shared builder,
+    /// applying the geometry overrides the same way the CLI's
+    /// `build_config` does.
     pub fn to_config(&self) -> SimConfig {
         let mut b = SimConfig::machine(self.machine).backend(self.backend);
         if let Some(mode) = self.mode {
@@ -100,6 +134,31 @@ impl ConfigSpec {
         }
         if let Some(lsq) = self.lsq {
             b = b.lsq(lsq.config());
+        }
+        if self.pcax.is_some() || self.pcax_act.is_some() {
+            let baseline = PcaxConfig::baseline();
+            let table = self.pcax.map_or(baseline.table, |(sets, ways)| TableGeometry {
+                sets,
+                ways,
+                ..baseline.table
+            });
+            b = b.pcax(PcaxConfig {
+                table,
+                no_alias_act: self.pcax_act.unwrap_or(baseline.no_alias_act),
+                ..baseline
+            });
+        }
+        if self.filt.is_some() || self.filt_count.is_some() {
+            let baseline = FilterConfig::baseline();
+            let (sets, ways) = self.filt.unwrap_or((baseline.sets, baseline.ways));
+            b = b.filter(FilterConfig {
+                sets,
+                ways,
+                max_count: self.filt_count.unwrap_or(baseline.max_count),
+            });
+        }
+        if let Some(far) = self.far {
+            b = b.mem(MemSpec::figure4().with_far(far));
         }
         b.build()
     }
@@ -120,6 +179,7 @@ fn machine_token(machine: MachineClass) -> &'static str {
     match machine {
         MachineClass::Baseline => "baseline",
         MachineClass::Aggressive => "aggressive",
+        MachineClass::Huge => "huge",
     }
 }
 
@@ -127,8 +187,47 @@ fn parse_machine(token: &str) -> Result<MachineClass, String> {
     match token {
         "baseline" => Ok(MachineClass::Baseline),
         "aggressive" => Ok(MachineClass::Aggressive),
-        other => Err(format!("unknown machine `{other}` (baseline|aggressive)")),
+        "huge" => Ok(MachineClass::Huge),
+        other => Err(format!("unknown machine `{other}` (baseline|aggressive|huge)")),
     }
+}
+
+/// Renders a `(sets, ways)` geometry as the CLI's `SETSxWAYS` token.
+fn geometry_token((sets, ways): (usize, usize)) -> String {
+    format!("{sets}x{ways}")
+}
+
+/// Parses a `SETSxWAYS` geometry token.
+fn parse_pair(field: &str, token: &str) -> Result<(usize, usize), String> {
+    let (s, w) = token
+        .split_once('x')
+        .ok_or_else(|| format!("`{field}` wants SETSxWAYS, got `{token}`"))?;
+    let sets = s.parse().map_err(|_| format!("bad set count `{s}` in `{field}`"))?;
+    let ways = w.parse().map_err(|_| format!("bad way count `{w}` in `{field}`"))?;
+    Ok((sets, ways))
+}
+
+/// Renders a [`FarSpec`] as `LATENCYxMSHRSxBATCH`.
+fn far_token(far: FarSpec) -> String {
+    format!("{}x{}x{}", far.latency, far.mshrs, far.batch)
+}
+
+/// Parses a `LATENCYxMSHRSxBATCH` far-tier token, rejecting the zero
+/// values [`FarSpec::new`] would panic on.
+fn parse_far(token: &str) -> Result<FarSpec, String> {
+    let bad = || format!("`far` wants LATENCYxMSHRSxBATCH, got `{token}`");
+    let mut parts = token.split('x');
+    let mut next = || parts.next().ok_or_else(bad);
+    let latency: u64 = next()?.parse().map_err(|_| bad())?;
+    let mshrs: usize = next()?.parse().map_err(|_| bad())?;
+    let batch: u64 = next()?.parse().map_err(|_| bad())?;
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    if latency == 0 || mshrs == 0 || batch == 0 {
+        return Err(format!("far-tier parameters must be nonzero, got `{token}`"));
+    }
+    Ok(FarSpec::new(latency, mshrs, batch))
 }
 
 fn mode_token(mode: EnforceMode) -> &'static str {
@@ -172,6 +271,21 @@ impl JobSpec {
         if let Some(lsq) = self.config.lsq {
             msg.put_str("lsq", lsq.token());
         }
+        if let Some(pcax) = self.config.pcax {
+            msg.put_str("pcax", &geometry_token(pcax));
+        }
+        if let Some(act) = self.config.pcax_act {
+            msg.put_u64("pcax_act", u64::from(act));
+        }
+        if let Some(filt) = self.config.filt {
+            msg.put_str("filt", &geometry_token(filt));
+        }
+        if let Some(count) = self.config.filt_count {
+            msg.put_u64("filt_count", u64::from(count));
+        }
+        if let Some(far) = self.config.far {
+            msg.put_str("far", &far_token(far));
+        }
         if verify {
             msg.put_bool("verify", true);
         }
@@ -194,6 +308,17 @@ impl JobSpec {
         let backend: BackendChoice = field("backend")?
             .parse()
             .map_err(|e| format!("{e} (nospec|lsq|filtered|sfc-mdt|pcax|oracle)"))?;
+        let narrow = |key: &'static str, max: u64| {
+            msg.u64_field(key)
+                .map(|v| {
+                    if v == 0 || v > max {
+                        Err(format!("`{key}` must be in 1..={max}, got {v}"))
+                    } else {
+                        Ok(v)
+                    }
+                })
+                .transpose()
+        };
         Ok(JobSpec {
             kernel: field("kernel")?.to_string(),
             scale: parse_scale(field("scale")?)?,
@@ -202,6 +327,11 @@ impl JobSpec {
                 backend,
                 mode: msg.str_field("mode").map(parse_mode).transpose()?,
                 lsq: msg.str_field("lsq").map(LsqChoice::parse).transpose()?,
+                pcax: msg.str_field("pcax").map(|t| parse_pair("pcax", t)).transpose()?,
+                pcax_act: narrow("pcax_act", u64::from(u8::MAX))?.map(|v| v as u8),
+                filt: msg.str_field("filt").map(|t| parse_pair("filt", t)).transpose()?,
+                filt_count: narrow("filt_count", u64::from(u32::MAX))?.map(|v| v as u32),
+                far: msg.str_field("far").map(parse_far).transpose()?,
             },
         })
     }
@@ -351,10 +481,8 @@ mod tests {
             kernel: "gzip".to_string(),
             scale: Scale::Tiny,
             config: ConfigSpec {
-                machine: MachineClass::Aggressive,
-                backend: BackendChoice::Lsq,
-                mode: None,
                 lsq: Some(LsqChoice::Aggressive120x80),
+                ..ConfigSpec::new(MachineClass::Aggressive, BackendChoice::Lsq)
             },
         }
     }
@@ -370,14 +498,60 @@ mod tests {
         assert_eq!(back, s);
 
         let with_mode = ConfigSpec {
-            machine: MachineClass::Baseline,
-            backend: BackendChoice::SfcMdt,
             mode: Some(EnforceMode::All),
-            lsq: None,
+            ..ConfigSpec::new(MachineClass::Baseline, BackendChoice::SfcMdt)
         }
         .job("mcf", Scale::Small);
         let back = JobSpec::from_wire(&with_mode.to_wire(false, true)).unwrap();
         assert_eq!(back, with_mode);
+    }
+
+    #[test]
+    fn geometry_overrides_round_trip_through_the_wire() {
+        let full = ConfigSpec {
+            mode: Some(EnforceMode::TotalOrder),
+            lsq: Some(LsqChoice::Aggressive256x256),
+            pcax: Some((256, 1)),
+            pcax_act: Some(3),
+            filt: Some((512, 4)),
+            filt_count: Some(31),
+            far: Some(FarSpec::new(400, 64, 8)),
+            ..ConfigSpec::new(MachineClass::Huge, BackendChoice::Pcax)
+        }
+        .job("swim", Scale::Tiny);
+        let msg = full.to_wire(false, false);
+        assert_eq!(msg.str_field("machine"), Some("huge"));
+        assert_eq!(msg.str_field("pcax"), Some("256x1"));
+        assert_eq!(msg.u64_field("pcax_act"), Some(3));
+        assert_eq!(msg.str_field("filt"), Some("512x4"));
+        assert_eq!(msg.u64_field("filt_count"), Some(31));
+        assert_eq!(msg.str_field("far"), Some("400x64x8"));
+        let back = JobSpec::from_wire(&WireMsg::parse(&msg.to_json()).unwrap()).unwrap();
+        assert_eq!(back, full);
+    }
+
+    #[test]
+    fn geometry_decode_errors_name_the_problem() {
+        let base = |k: &str, v: &str| {
+            let mut msg = WireMsg::new();
+            msg.put_str("op", "sim")
+                .put_str("kernel", "gzip")
+                .put_str("scale", "tiny")
+                .put_str("machine", "huge")
+                .put_str("backend", "pcax")
+                .put_str(k, v);
+            msg
+        };
+        let err = JobSpec::from_wire(&base("pcax", "256")).unwrap_err();
+        assert!(err.contains("SETSxWAYS"), "{err}");
+        let err = JobSpec::from_wire(&base("far", "400x0x8")).unwrap_err();
+        assert!(err.contains("nonzero"), "{err}");
+        let err = JobSpec::from_wire(&base("far", "400x64")).unwrap_err();
+        assert!(err.contains("LATENCYxMSHRSxBATCH"), "{err}");
+        let mut act = base("pcax", "256x1");
+        act.put_u64("pcax_act", 700);
+        let err = JobSpec::from_wire(&act).unwrap_err();
+        assert!(err.contains("pcax_act"), "{err}");
     }
 
     #[test]
@@ -427,5 +601,34 @@ mod tests {
             .lsq(LsqConfig::aggressive_120x80())
             .build();
         assert_eq!(format!("{cfg:?}"), format!("{expected:?}"));
+    }
+
+    #[test]
+    fn geometry_overrides_build_like_the_cli() {
+        let spec = ConfigSpec {
+            pcax: Some((256, 1)),
+            pcax_act: Some(3),
+            far: Some(FarSpec::new(200, 32, 4)),
+            ..ConfigSpec::new(MachineClass::Huge, BackendChoice::Pcax)
+        };
+        let cfg = spec.to_config();
+        let expected = SimConfig::machine(MachineClass::Huge)
+            .backend(BackendChoice::Pcax)
+            .pcax(PcaxConfig {
+                table: TableGeometry {
+                    sets: 256,
+                    ways: 1,
+                    ..PcaxConfig::baseline().table
+                },
+                no_alias_act: 3,
+                ..PcaxConfig::baseline()
+            })
+            .mem(MemSpec::figure4().with_far(FarSpec::new(200, 32, 4)))
+            .build();
+        assert_eq!(format!("{cfg:?}"), format!("{expected:?}"));
+        // A far-less spec still renders the legacy hierarchy text, so its
+        // cache keys stay byte-compatible with the pre-far-tier server.
+        let legacy = ConfigSpec::new(MachineClass::Baseline, BackendChoice::Lsq).to_config();
+        assert!(format!("{legacy:?}").contains("HierarchyConfig {"));
     }
 }

@@ -32,7 +32,11 @@ use std::time::Instant;
 /// (`crates/serve/tests/cache.rs` pins the correspondence against
 /// [`aim_bench::specs::table_hostperf`]).
 pub fn hostperf_configs() -> Vec<(String, ConfigSpec)> {
-    let spec = |machine, backend, mode, lsq| ConfigSpec { machine, backend, mode, lsq };
+    let spec = |machine, backend, mode, lsq| ConfigSpec {
+        mode,
+        lsq,
+        ..ConfigSpec::new(machine, backend)
+    };
     let b = MachineClass::Baseline;
     let a = MachineClass::Aggressive;
     vec![
@@ -93,9 +97,17 @@ pub struct ReplayOutcome {
     pub findings: Vec<String>,
 }
 
-/// Runs one round's cells through `clients` framed connections; returns
-/// responses in cell order.
-fn run_round(
+/// Runs one round of `cells` through `clients` framed in-memory
+/// connections against a shared local server; returns the responses in
+/// cell order. This is the transport every cache-routed driver shares:
+/// the replay gate's rounds and the `table_far_mem` sweep both submit
+/// their matrices through it, so a cell one binary simulated is a warm
+/// hit for the next.
+///
+/// # Errors
+///
+/// Returns a one-line message for protocol or transport failures.
+pub fn run_cells(
     server: &Arc<Server>,
     cells: &[JobSpec],
     clients: usize,
@@ -166,7 +178,7 @@ pub fn run_replay(opts: &ReplayOptions) -> Result<ReplayOutcome, String> {
     for round in 0..opts.rounds.max(1) {
         let before = server.counters();
         let t0 = Instant::now();
-        let responses = run_round(&server, &cells, opts.clients, false)?;
+        let responses = run_cells(&server, &cells, opts.clients, false)?;
         let wall = t0.elapsed().as_secs_f64();
         let after = server.counters();
         let label = if round == 0 { "cold".to_string() } else { format!("warm{round}") };
@@ -212,7 +224,7 @@ pub fn run_replay(opts: &ReplayOptions) -> Result<ReplayOutcome, String> {
     if opts.verify {
         let before = server.counters();
         let t0 = Instant::now();
-        let responses = run_round(&server, &cells, opts.clients, true)?;
+        let responses = run_cells(&server, &cells, opts.clients, true)?;
         let wall = t0.elapsed().as_secs_f64();
         let after = server.counters();
         let mismatched = responses

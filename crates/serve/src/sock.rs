@@ -135,13 +135,8 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
 
-        let spec = ConfigSpec {
-            machine: MachineClass::Baseline,
-            backend: BackendChoice::NoSpec,
-            mode: None,
-            lsq: None,
-        }
-        .job("gzip", Scale::Tiny);
+        let spec = ConfigSpec::new(MachineClass::Baseline, BackendChoice::NoSpec)
+            .job("gzip", Scale::Tiny);
         let mut shutdown = WireMsg::new();
         shutdown.put_str("op", "shutdown");
         let replies =

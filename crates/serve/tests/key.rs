@@ -25,7 +25,8 @@
 use aim_bench::{cache_key_of_texts, canonical_config_text, CacheKey, CODE_VERSION};
 use aim_lsq::LsqConfig;
 use aim_pipeline::{
-    BackendChoice, FilterConfig, MachineClass, OutputDepRecovery, PcaxConfig, SimConfig,
+    BackendChoice, FarSpec, FilterConfig, MachineClass, MemSpec, OutputDepRecovery, PcaxConfig,
+    SimConfig, TableGeometry,
 };
 use aim_predictor::EnforceMode;
 use aim_serve::{ConfigSpec, LsqChoice};
@@ -41,25 +42,72 @@ fn key_of(cfg: &SimConfig) -> CacheKey {
 
 /// Decodes a seed into a point of the full [`ConfigSpec`] space.
 fn spec_from_seed(seed: u64) -> ConfigSpec {
-    let machine = if seed & 1 == 0 { MachineClass::Baseline } else { MachineClass::Aggressive };
-    let backend = BackendChoice::ALL[((seed >> 1) % BackendChoice::ALL.len() as u64) as usize];
-    let mode = match (seed >> 4) % 4 {
+    let machine = match seed % 3 {
+        0 => MachineClass::Baseline,
+        1 => MachineClass::Aggressive,
+        _ => MachineClass::Huge,
+    };
+    let backend = BackendChoice::ALL[((seed >> 2) % BackendChoice::ALL.len() as u64) as usize];
+    let mode = match (seed >> 5) % 4 {
         0 => None,
         1 => Some(EnforceMode::TrueOnly),
         2 => Some(EnforceMode::All),
         _ => Some(EnforceMode::TotalOrder),
     };
-    let lsq = match (seed >> 6) % 4 {
+    let lsq = match (seed >> 7) % 4 {
         0 | 1 => None,
         2 => Some(LsqChoice::Baseline48x32),
         _ => Some(LsqChoice::Aggressive120x80),
     };
-    ConfigSpec { machine, backend, mode, lsq }
+    let pcax = ((seed >> 9) % 4 == 3).then_some((256, 1));
+    let pcax_act = ((seed >> 11) % 4 == 3).then_some(3);
+    let filt = ((seed >> 13) % 4 == 3).then_some((512, 4));
+    let filt_count = ((seed >> 15) % 4 == 3).then_some(31);
+    let far = match (seed >> 17) % 4 {
+        0 | 1 => None,
+        2 => Some(FarSpec::default()),
+        _ => Some(FarSpec::new(200, 32, 4)),
+    };
+    ConfigSpec {
+        mode,
+        lsq,
+        pcax,
+        pcax_act,
+        filt,
+        filt_count,
+        far,
+        ..ConfigSpec::new(machine, backend)
+    }
 }
 
 /// Builds `spec`'s config with the builder calls in the reverse order.
 fn build_reordered(spec: &ConfigSpec) -> SimConfig {
     let mut b = SimConfig::machine(spec.machine);
+    if let Some(far) = spec.far {
+        b = b.mem(MemSpec::figure4().with_far(far));
+    }
+    if spec.filt.is_some() || spec.filt_count.is_some() {
+        let baseline = FilterConfig::baseline();
+        let (sets, ways) = spec.filt.unwrap_or((baseline.sets, baseline.ways));
+        b = b.filter(FilterConfig {
+            sets,
+            ways,
+            max_count: spec.filt_count.unwrap_or(baseline.max_count),
+        });
+    }
+    if spec.pcax.is_some() || spec.pcax_act.is_some() {
+        let baseline = PcaxConfig::baseline();
+        let table = spec.pcax.map_or(baseline.table, |(sets, ways)| TableGeometry {
+            sets,
+            ways,
+            ..baseline.table
+        });
+        b = b.pcax(PcaxConfig {
+            table,
+            no_alias_act: spec.pcax_act.unwrap_or(baseline.no_alias_act),
+            ..baseline
+        });
+    }
     if let Some(lsq) = spec.lsq {
         b = b.lsq(lsq.config());
     }
@@ -72,25 +120,55 @@ fn build_reordered(spec: &ConfigSpec) -> SimConfig {
 /// Builds `spec`'s config with every defaulted knob filled in explicitly
 /// (the builder defaults, spelled out).
 fn build_default_filled(spec: &ConfigSpec) -> SimConfig {
-    let aggressive = spec.machine == MachineClass::Aggressive;
+    let aggressive = spec.machine != MachineClass::Baseline;
     let mode = spec.mode.unwrap_or(match spec.backend {
         BackendChoice::SfcMdt | BackendChoice::Pcax if aggressive => EnforceMode::TotalOrder,
         BackendChoice::SfcMdt | BackendChoice::Pcax => EnforceMode::All,
         _ => EnforceMode::TrueOnly,
     });
-    let lsq = spec.lsq.map_or(LsqConfig::baseline_48x32(), LsqChoice::config);
+    let lsq = spec.lsq.map_or_else(
+        || {
+            if spec.machine == MachineClass::Huge {
+                LsqConfig::aggressive_256x256()
+            } else {
+                LsqConfig::baseline_48x32()
+            }
+        },
+        LsqChoice::config,
+    );
+    let pcax_baseline = PcaxConfig::baseline();
+    let pcax = PcaxConfig {
+        table: spec.pcax.map_or(pcax_baseline.table, |(sets, ways)| TableGeometry {
+            sets,
+            ways,
+            ..pcax_baseline.table
+        }),
+        no_alias_act: spec.pcax_act.unwrap_or(pcax_baseline.no_alias_act),
+        ..pcax_baseline
+    };
+    let filt_baseline = FilterConfig::baseline();
+    let (sets, ways) = spec.filt.unwrap_or((filt_baseline.sets, filt_baseline.ways));
+    let filter = FilterConfig {
+        sets,
+        ways,
+        max_count: spec.filt_count.unwrap_or(filt_baseline.max_count),
+    };
+    // Spelling the default memory hierarchy out explicitly must be
+    // key-identical to leaving `mem` off entirely.
+    let mem = spec.far.map_or(MemSpec::figure4(), |far| MemSpec::figure4().with_far(far));
     SimConfig::machine(spec.machine)
         .backend(spec.backend)
         .mode(mode)
         .lsq(lsq)
-        .filter(FilterConfig::baseline())
-        .pcax(PcaxConfig::baseline())
+        .filter(filter)
+        .pcax(pcax)
+        .mem(mem)
         .build()
 }
 
 /// The architectural mutations the key must be sensitive to.
 fn mutate(cfg: &mut SimConfig, which: u64) {
-    match which % 12 {
+    match which % 14 {
         0 => cfg.rob_entries += 1,
         1 => cfg.phys_regs += 1,
         2 => cfg.width += 1,
@@ -102,6 +180,16 @@ fn mutate(cfg: &mut SimConfig, which: u64) {
         8 => cfg.max_instrs += 1_000,
         9 => cfg.gshare_counters *= 2,
         10 => cfg.sfc_store_extra_latency += 1,
+        11 => {
+            cfg.hierarchy.far = match cfg.hierarchy.far {
+                None => Some(FarSpec::default()),
+                Some(_) => None,
+            }
+        }
+        12 => match &mut cfg.hierarchy.far {
+            Some(far) => far.latency += 1,
+            None => cfg.hierarchy.l2_miss_cycles += 1,
+        },
         _ => {
             cfg.output_dep_recovery = match cfg.output_dep_recovery {
                 OutputDepRecovery::Flush => OutputDepRecovery::MarkCorrupt,
@@ -149,7 +237,7 @@ fn check_key_case(seed: u64) -> Result<(), TestCaseError> {
         key,
         key_of(&flipped),
         "architectural flip {} left the key unchanged for {:?}",
-        (seed >> 11) % 12,
+        (seed >> 11) % 14,
         spec
     );
 

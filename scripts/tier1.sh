@@ -95,6 +95,33 @@ AIM_SERVE_JSON="$(mktemp)" \
     serve --replay --scale tiny --rounds 2 --cache "$(mktemp -d)" \
   | grep -q 'serve: cache-consistent'
 
+# The far-memory gate: the kilo-entry-window × far-latency matrix routes
+# through a shared local server, asserts every backend inside the
+# no-spec..oracle bracket, and replays itself warm (zero simulations,
+# byte-identical) before printing its acceptance line.
+echo "== tier1: table_far_mem acceptance (tiny scale, served matrix) =="
+FARMEM_CACHE="$(mktemp -d)"
+AIM_FARMEM_JSON="$(mktemp)" AIM_SERVE_CACHE="$FARMEM_CACHE" \
+  cargo run --release -q -p aim-serve --bin table_far_mem -- --scale tiny \
+  | grep -q 'acceptance: every backend inside the no-spec..oracle bracket'
+
+# Cross-bin warm reuse: a fresh server process over the same cache
+# directory must answer a CLI submission naming one of the matrix cells
+# (huge machine, far tier) from cache, not by simulating.
+echo "== tier1: cross-bin warm reuse via aim-sim submit =="
+FARMEM_SOCK="$(mktemp -u)"
+cargo run --release -q -p aim-cli --bin aim-sim -- \
+  serve --socket "$FARMEM_SOCK" --cache "$FARMEM_CACHE" &
+FARMEM_SERVE_PID=$!
+for _ in $(seq 1 100); do [ -S "$FARMEM_SOCK" ] && break; sleep 0.1; done
+cargo run --release -q -p aim-cli --bin aim-sim -- \
+  submit swim --socket "$FARMEM_SOCK" --machine huge --backend sfc-mdt \
+  --far 800x64x8 --scale tiny \
+  | grep -q '\[cache\]'
+cargo run --release -q -p aim-cli --bin aim-sim -- \
+  submit --shutdown --socket "$FARMEM_SOCK" >/dev/null
+wait "$FARMEM_SERVE_PID"
+
 # Benches must keep compiling even though tier-1 does not time them.
 echo "== tier1: cargo bench --no-run =="
 cargo bench --no-run
