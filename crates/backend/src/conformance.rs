@@ -32,6 +32,16 @@
 //! sub-word overlaps), and the final committed memory image matches the
 //! in-order reference.
 //!
+//! Sampled-simulation mode adds one more call pattern to the contract: at a
+//! detail-window boundary the pipeline squashes everything unretired, drops
+//! the backend's in-flight state with [`flush`](MemBackend::flush), and then
+//! *functionally warms* the backend — program-order dispatch/execute/retire
+//! through a bounded in-flight lag — before the next detail window resumes
+//! out-of-order execution against the warmed state.
+//! [`run_script_with_handoffs`] / [`check_handoff_contract`] script exactly
+//! that sequence mid-trace, with speculative work deliberately left in
+//! flight at each quiesce.
+//!
 //! Scripts can be written by hand for targeted contract corners or
 //! generated with [`Script::random`] for property-style sweeps; see
 //! `crates/backend/tests/conformance.rs` for both.
@@ -140,6 +150,16 @@ const STALL_LIMIT: u64 = 1_000;
 /// a hang.
 const ROUNDS_PER_OP: u64 = 2_000;
 
+/// In-flight window of the functional-warm protocol — the same bounded lag
+/// the pipeline's warm engine keeps (`aim-pipeline`'s `sample` module) so
+/// retirement trails execution and the backend's structures see realistic
+/// residency.
+const WARM_LAG: usize = 8;
+
+/// Consecutive `Replay`s tolerated per warm op before the driver declares
+/// the backend unable to make program-order progress.
+const WARM_RETRY_LIMIT: u32 = 64;
+
 /// A per-round interference hook standing in for a sibling core: called
 /// with the (1-based) round number and the committed memory, it may write
 /// anything a concurrently retiring core could. See
@@ -179,6 +199,11 @@ struct Driver<'a> {
     next_seq: u64,
     exec_successes: u64,
     squashes_done: Vec<bool>,
+    /// Retirement ceiling: ops at or beyond this index may dispatch and
+    /// execute speculatively but never retire. `run_until` points it at the
+    /// next handoff so a quiesce always finds the window boundary exactly
+    /// where the sampled pipeline would put it.
+    retire_limit: usize,
     out: Conformance,
 }
 
@@ -206,6 +231,7 @@ impl<'a> Driver<'a> {
             next_seq: 1,
             exec_successes: 0,
             squashes_done: vec![false; script.squashes.len()],
+            retire_limit: usize::MAX,
             out: Conformance {
                 load_values: script
                     .ops
@@ -342,6 +368,9 @@ impl<'a> Driver<'a> {
     fn retire_phase(&mut self) -> u64 {
         let mut retired = 0;
         while let Some(i) = self.head() {
+            if i >= self.retire_limit {
+                break;
+            }
             let OpState::Executed(seq, value) = self.states[i] else {
                 break;
             };
@@ -477,9 +506,24 @@ impl<'a> Driver<'a> {
     }
 
     fn run(mut self) -> Result<Conformance, ConformanceError> {
+        self.run_until(usize::MAX)?;
+        Ok(self.finish())
+    }
+
+    fn finish(mut self) -> Conformance {
+        self.backend.stats_into(&mut self.out.stats);
+        self.out.final_mem = self.mem.nonzero_bytes();
+        self.out
+    }
+
+    /// Runs the round loop until every op before `stop` has retired. Ops at
+    /// or beyond `stop` still dispatch and execute speculatively — exactly
+    /// the in-flight work a sampled-mode quiesce then has to squash.
+    fn run_until(&mut self, stop: usize) -> Result<(), ConformanceError> {
+        self.retire_limit = stop;
         let mut stalled = 0u64;
         let round_budget = ROUNDS_PER_OP * (self.script.ops.len() as u64 + 1);
-        while self.head().is_some() {
+        while self.head().is_some_and(|h| h < stop) {
             self.out.rounds += 1;
             // Sibling-core interference fires first: a concurrently retiring
             // core's stores land in committed memory at an arbitrary point
@@ -542,9 +586,169 @@ impl<'a> Driver<'a> {
                 )));
             }
         }
-        self.backend.stats_into(&mut self.out.stats);
-        self.out.final_mem = self.mem.nonzero_bytes();
-        Ok(self.out)
+        Ok(())
+    }
+
+    /// The sampled pipeline's detail→warm transition: squash everything
+    /// unretired (the backend hears `squash_after` with the youngest seq
+    /// ever assigned, like any recovery), then drop all in-flight state with
+    /// a full `flush`. Trained dependences survive, as the pipeline's
+    /// dependence predictor does.
+    fn quiesce(&mut self) -> Result<(), ConformanceError> {
+        let in_flight = self
+            .states
+            .iter()
+            .any(|s| matches!(s, OpState::Dispatched(_) | OpState::Executed(..)));
+        if in_flight {
+            let survivor = self
+                .states
+                .iter()
+                .filter_map(|s| match s {
+                    OpState::Retired(q) => Some(*q),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(SeqNum(0));
+            self.squash(survivor)?;
+        }
+        self.backend.flush();
+        Ok(())
+    }
+
+    /// Retires the oldest in-flight warm op: stores commit their bytes
+    /// before `retire_store`, loads record their (final — nothing younger
+    /// can squash a warm op) observed value.
+    fn warm_retire_front(&mut self, lag: &mut std::collections::VecDeque<(usize, SeqNum, u64)>) {
+        let Some((i, seq, value)) = lag.pop_front() else {
+            return;
+        };
+        let op = self.script.ops[i];
+        match op.kind {
+            MemKind::Store => {
+                self.mem.write(op.access, value);
+                self.backend.retire_store(seq, op.access);
+            }
+            MemKind::Load => {
+                let load_idx = self.script.ops[..i]
+                    .iter()
+                    .filter(|o| o.kind == MemKind::Load)
+                    .count();
+                self.out.load_values[load_idx] = value;
+                self.backend.retire_load(seq, op.access);
+            }
+        }
+        self.states[i] = OpState::Retired(seq);
+    }
+
+    /// Functionally warms ops `range` in program order through the
+    /// warm-engine protocol: bounded [`WARM_LAG`] in-flight window,
+    /// drain-on-refused-dispatch, replay→retire-oldest retry, and the §2.2
+    /// head bypass once nothing older is in flight. Program-order execution
+    /// can never misspeculate, so a violation or anti outcome here is a
+    /// contract breach, not a recovery.
+    fn warm_range(&mut self, range: std::ops::Range<usize>) -> Result<(), ConformanceError> {
+        let mut lag = std::collections::VecDeque::new();
+        for i in range {
+            if matches!(self.states[i], OpState::Retired(_)) {
+                return Err(ConformanceError(format!(
+                    "warm range re-executes already-retired op {i}"
+                )));
+            }
+            let op = self.script.ops[i];
+            if lag.len() >= WARM_LAG {
+                self.warm_retire_front(&mut lag);
+            }
+            while self.backend.can_dispatch(op.kind).is_err() {
+                if lag.is_empty() {
+                    return Err(ConformanceError(format!(
+                        "warm dispatch refused with nothing in flight (op {i})"
+                    )));
+                }
+                self.warm_retire_front(&mut lag);
+            }
+            let seq = SeqNum(self.next_seq);
+            self.next_seq += 1;
+            let hint = (op.kind == MemKind::Store && self.backend.wants_dispatch_hint())
+                .then_some(op.access);
+            self.backend.dispatch(op.kind, seq, Self::pc(i), hint);
+            self.states[i] = OpState::Dispatched(seq);
+
+            let mut retries = 0u32;
+            let value = loop {
+                let floor = lag.front().map_or(seq, |&(_, q, _)| q);
+                let bypass =
+                    retries > 0 && lag.is_empty() && self.backend.supports_head_bypass();
+                match op.kind {
+                    MemKind::Store => {
+                        let req = StoreRequest {
+                            seq,
+                            pc: Self::pc(i),
+                            access: op.access,
+                            value: op.value,
+                            floor,
+                            bypass,
+                        };
+                        match self.backend.store_execute(&req, &self.mem) {
+                            StoreOutcome::Done { violations, .. } => {
+                                if !violations.is_empty() {
+                                    return Err(ConformanceError(format!(
+                                        "program-order warm store raised ordering \
+                                         violations (op {i})"
+                                    )));
+                                }
+                                if bypass {
+                                    // A bypassed store commits at execute so
+                                    // younger warm loads read current memory.
+                                    self.mem.write(op.access, op.value);
+                                }
+                                break op.value;
+                            }
+                            StoreOutcome::Replay(_) => self.out.replays += 1,
+                        }
+                    }
+                    MemKind::Load => {
+                        if bypass {
+                            break self.mem.read(op.access);
+                        }
+                        let req = LoadRequest {
+                            seq,
+                            pc: Self::pc(i),
+                            access: op.access,
+                            floor,
+                            filtered: false,
+                        };
+                        match self.backend.load_execute(&req, &self.mem) {
+                            LoadOutcome::Done { value, .. } => break value,
+                            LoadOutcome::Replay(_) => self.out.replays += 1,
+                            LoadOutcome::Anti(_) => {
+                                return Err(ConformanceError(format!(
+                                    "program-order warm load raised an anti \
+                                     violation (op {i})"
+                                )));
+                            }
+                        }
+                    }
+                }
+                if !lag.is_empty() {
+                    self.warm_retire_front(&mut lag);
+                }
+                retries += 1;
+                if retries > WARM_RETRY_LIMIT {
+                    return Err(ConformanceError(format!(
+                        "warm op {i} still replayed after {WARM_RETRY_LIMIT} retries"
+                    )));
+                }
+            };
+            self.states[i] = OpState::Executed(seq, value);
+            self.exec_successes += 1;
+            lag.push_back((i, seq, value));
+        }
+        // The warm engine drains its lag before handing the machine back to
+        // the detail pipeline: everything warmed is retired state.
+        while !lag.is_empty() {
+            self.warm_retire_front(&mut lag);
+        }
+        Ok(())
     }
 }
 
@@ -578,6 +782,77 @@ pub fn run_script_with_interference(
     sibling: &mut SiblingHook<'_>,
 ) -> Result<Conformance, ConformanceError> {
     Driver::new(backend, script, Some(sibling)).run()
+}
+
+/// Like [`run_script`], but interleaving sampled-mode warm↔detailed
+/// handoffs mid-trace.
+///
+/// `plan` is a sorted list of `(at, warm_len)` handoffs. For each one the
+/// driver runs the scripted out-of-order schedule until every op before
+/// `at` has retired — ops at or beyond `at` dispatch and execute
+/// speculatively in the meantime, so the boundary carries genuine in-flight
+/// state — then performs the detail→warm transition exactly as the sampled
+/// pipeline does (squash everything unretired, full
+/// [`flush`](MemBackend::flush)), functionally warms ops
+/// `at..at + warm_len` in program order, and resumes the scripted schedule
+/// against the warmed backend.
+///
+/// # Errors
+///
+/// Everything [`run_script`] can report, plus breaches specific to the
+/// handoff contract: a warm-stretch op that violates, replays beyond the
+/// retry budget, or refuses dispatch on an empty machine, and a malformed
+/// (unsorted / overlapping) plan.
+pub fn run_script_with_handoffs(
+    backend: &mut dyn MemBackend,
+    script: &Script,
+    plan: &[(usize, usize)],
+) -> Result<Conformance, ConformanceError> {
+    let mut driver = Driver::new(backend, script, None);
+    let mut cursor = 0usize;
+    for &(at, warm_len) in plan {
+        if at < cursor || at > script.ops.len() {
+            return Err(ConformanceError(format!(
+                "handoff at op {at} is out of order (cursor {cursor}, {} ops)",
+                script.ops.len()
+            )));
+        }
+        driver.run_until(at)?;
+        driver.quiesce()?;
+        let end = (at + warm_len).min(script.ops.len());
+        driver.warm_range(at..end)?;
+        cursor = end;
+    }
+    driver.run_until(usize::MAX)?;
+    Ok(driver.finish())
+}
+
+/// Runs `script` with the handoff `plan` (see [`run_script_with_handoffs`])
+/// and checks the architectural outcome against the in-order reference —
+/// the sampled-mode guarantee that mode transitions never leak into
+/// architectural state.
+pub fn check_handoff_contract(
+    backend: &mut dyn MemBackend,
+    script: &Script,
+    plan: &[(usize, usize)],
+) -> Result<Conformance, ConformanceError> {
+    let got = run_script_with_handoffs(backend, script, plan)?;
+    let (want_loads, want_mem) = reference(script);
+    if got.load_values != want_loads {
+        return Err(ConformanceError(format!(
+            "retired load values diverged from in-order reference across handoffs:\n  \
+             got  {:x?}\n  want {:x?}",
+            got.load_values, want_loads
+        )));
+    }
+    if got.final_mem != want_mem {
+        return Err(ConformanceError(format!(
+            "committed memory diverged from in-order reference across handoffs:\n  \
+             got  {:x?}\n  want {:x?}",
+            got.final_mem, want_mem
+        )));
+    }
+    Ok(got)
 }
 
 /// The in-order ground truth for a script: each load's value and the final
@@ -759,6 +1034,27 @@ mod tests {
         let mut sorted = a.exec_priority.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handoff_driver_matches_reference_on_the_lsq() {
+        let mut backend = build(&BackendParams::new(BackendConfig::Lsq(
+            LsqConfig::baseline_48x32(),
+        )));
+        let script = Script::random(11, 24, 4);
+        let got = check_handoff_contract(backend.as_mut(), &script, &[(6, 6), (18, 3)]).unwrap();
+        // The two quiesces squashed whatever was speculatively in flight.
+        assert!(got.squashes >= 1, "quiesce never squashed in-flight work");
+    }
+
+    #[test]
+    fn unsorted_handoff_plans_are_rejected() {
+        let mut backend = build(&BackendParams::new(BackendConfig::Lsq(
+            LsqConfig::baseline_48x32(),
+        )));
+        let script = Script::random(11, 24, 4);
+        let err = run_script_with_handoffs(backend.as_mut(), &script, &[(12, 6), (6, 2)]);
+        assert!(err.is_err(), "overlapping plan must be rejected");
     }
 
     #[test]

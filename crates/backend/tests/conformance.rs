@@ -15,7 +15,9 @@
 //! saturate, the filtered LSQ is performance-transparent — identical
 //! violation/forwarding behavior to the plain LSQ on random programs.
 
-use aim_backend::conformance::{check_contract, run_script, Script, ScriptOp};
+use aim_backend::conformance::{
+    check_contract, check_handoff_contract, run_script, Script, ScriptOp,
+};
 use aim_backend::{
     build, BackendConfig, BackendParams, BackendStats, FilterConfig, FilteredLsqBackend, LsqConfig,
     MdtConfig, MemKind, PcaxConfig, SetHash, SfcConfig, TableGeometry,
@@ -238,6 +240,69 @@ fn external_squash_rollback_conforms() {
     }
 }
 
+/// Satellite: the sampled-mode handoff contract. Mid-trace, every backend
+/// must survive a quiesce (squash of genuinely in-flight speculative work +
+/// full `flush`) followed by a functionally-warmed program-order re-entry,
+/// and still deliver the in-order architectural outcome — on the default
+/// geometries and the aliasing-hostile variants alike.
+#[test]
+fn warm_detail_handoffs_conform_on_every_backend() {
+    let mut params: Vec<(String, BackendParams)> = all_backend_params()
+        .into_iter()
+        .map(|(n, p)| (n.to_string(), p))
+        .collect();
+    params.extend(geometry_backend_params());
+    for seed in 0..16u64 {
+        let script = Script::random(seed, 32, 4);
+        let n = script.ops.len();
+        // Two handoffs per run, at varying phases so the quiesce lands on
+        // different speculative frontiers across seeds.
+        let first = 4 + (seed as usize % 8);
+        let plan = [(first, 5), (n * 3 / 4, 4)];
+        for (name, p) in &params {
+            let mut backend = build(p);
+            if let Err(e) = check_handoff_contract(backend.as_mut(), &script, &plan) {
+                panic!("{name} seed {seed}: {e}");
+            }
+        }
+    }
+}
+
+/// A handoff planted right on a violation-prone pattern: the late-store
+/// script misspeculates in the first detail segment, then the quiesce and
+/// warm re-entry must not strand the trained recovery state — the second
+/// half still retires in-order values.
+#[test]
+fn handoff_after_recovery_conforms() {
+    let ops = vec![
+        store(0x3000, AccessSize::Double, 0x1111),
+        store(0x3000, AccessSize::Double, 0x2222),
+        load(0x3000, AccessSize::Double),
+        store(0x3008, AccessSize::Double, 0x3333),
+        load(0x3008, AccessSize::Double),
+        store(0x3000, AccessSize::Word, 0x44),
+        load(0x3000, AccessSize::Double),
+    ];
+    let n = ops.len();
+    let script = Script {
+        init: vec![],
+        ops,
+        // Loads first: the first segment misspeculates before the handoff.
+        exec_priority: vec![2, 4, 6, 5, 3, 1, 0],
+        squashes: vec![],
+    };
+    assert_eq!(script.exec_priority.len(), n);
+    for (name, params) in all_backend_params() {
+        let mut backend = build(&params);
+        let got = check_handoff_contract(backend.as_mut(), &script, &[(3, 2)])
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        match name {
+            "oracle" | "nospec" => assert_eq!(got.violations, 0, "{name} cannot violate"),
+            _ => assert!(got.violations > 0, "{name} should have misspeculated"),
+        }
+    }
+}
+
 #[test]
 fn capacity_pressure_preserves_retire_order() {
     // A 2×2 LSQ under a 16-op trace: dispatch stalls throttle the window
@@ -367,6 +432,28 @@ proptest! {
         for (name, params) in all_backend_params() {
             let mut backend = build(&params);
             check_contract(backend.as_mut(), &script)
+                .map_err(|e| TestCaseError::fail(format!("{name}: {e}")))?;
+        }
+    }
+
+    /// Satellite: the handoff contract under proptest-driven plans — random
+    /// scripts, random handoff positions and warm lengths (including
+    /// zero-length warms and back-to-back handoffs), every backend.
+    #[test]
+    fn warm_detail_handoffs_conform_property(
+        seed in any::<u64>(),
+        at1 in 0usize..20,
+        warm1 in 0usize..8,
+        gap in 0usize..12,
+        warm2 in 0usize..8,
+    ) {
+        let script = Script::random(seed, 20, 3);
+        let n = script.ops.len();
+        let second = (at1 + warm1 + gap).min(n);
+        let plan = [(at1, warm1), (second, warm2)];
+        for (name, params) in all_backend_params() {
+            let mut backend = build(&params);
+            check_handoff_contract(backend.as_mut(), &script, &plan)
                 .map_err(|e| TestCaseError::fail(format!("{name}: {e}")))?;
         }
     }

@@ -90,6 +90,7 @@ pub fn scale_token(scale: Scale) -> &'static str {
         Scale::Tiny => "tiny",
         Scale::Small => "small",
         Scale::Full => "full",
+        Scale::Huge => "huge",
     }
 }
 

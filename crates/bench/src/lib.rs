@@ -44,6 +44,7 @@ mod hybrid;
 mod litmus;
 mod matrix;
 mod pcax;
+mod sampled;
 mod serve_report;
 pub mod specs;
 mod sweep;
@@ -64,6 +65,7 @@ pub use hybrid::{HybridReport, HybridRow};
 pub use litmus::{LitmusReport, LitmusRow};
 pub use matrix::{run_matrix, run_matrix_timed, Matrix};
 pub use pcax::{PcaxReport, PcaxRow};
+pub use sampled::{SampledReport, SampledRow};
 pub use serve_report::{ServeReport, ServeRound};
 pub use sweep::{SweepReport, SweepRow};
 
@@ -91,14 +93,18 @@ pub fn prepare_all(scale: Scale) -> Vec<Prepared> {
         .collect()
 }
 
-/// Builds and architecturally executes one kernel.
+/// Builds and architecturally executes one kernel. The trace budget
+/// scales with the workload scale: kernels overshoot their nominal
+/// target (control flow retires whole loop iterations), and at
+/// `Scale::Huge` the longest-tailed kernels run past 5M retired
+/// instructions.
 ///
 /// # Panics
 ///
 /// Panics if the kernel faults architecturally.
-pub fn prepare(w: Workload, _scale: Scale) -> Prepared {
+pub fn prepare(w: Workload, scale: Scale) -> Prepared {
     let trace = Interpreter::new(&w.program)
-        .run(5_000_000)
+        .run((10 * scale.target_instrs()).max(5_000_000))
         .unwrap_or_else(|e| panic!("{}: {e}", w.name));
     assert!(trace.halted(), "{} exceeded the trace budget", w.name);
     Prepared {
@@ -137,7 +143,8 @@ pub fn run_multi_n1(p: &Prepared, cfg: &SimConfig) -> SimStats {
     stats.per_core.into_iter().next().expect("one core ran")
 }
 
-/// Parses `--scale tiny|small|full` from the command line (default `full`).
+/// Parses `--scale tiny|small|full|huge` from the command line (default
+/// `full`).
 pub fn scale_from_args() -> Scale {
     let args: Vec<String> = std::env::args().collect();
     match args.iter().position(|a| a == "--scale") {
@@ -145,7 +152,8 @@ pub fn scale_from_args() -> Scale {
             Some("tiny") => Scale::Tiny,
             Some("small") => Scale::Small,
             Some("full") | None => Scale::Full,
-            Some(other) => panic!("unknown scale `{other}` (tiny|small|full)"),
+            Some("huge") => Scale::Huge,
+            Some(other) => panic!("unknown scale `{other}` (tiny|small|full|huge)"),
         },
         None => Scale::Full,
     }

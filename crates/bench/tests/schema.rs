@@ -11,7 +11,7 @@
 use aim_bench::{
     FarMemReport, FarMemRow, FilterSweepReport, FilterSweepRow, HostperfReport, HostperfRow,
     HybridReport, HybridRow, LitmusReport, LitmusRow, PcaxReport, PcaxRow, PcaxSweepReport,
-    PcaxSweepRow, ServeReport, ServeRound, SweepReport, SweepRow,
+    PcaxSweepRow, SampledReport, SampledRow, ServeReport, ServeRound, SweepReport, SweepRow,
 };
 use aim_workloads::Scale;
 
@@ -309,6 +309,57 @@ fn golden_farmem() -> FarMemReport {
     }
 }
 
+/// A fixed, fully populated sampled-convergence report.
+fn golden_sampled() -> SampledReport {
+    SampledReport {
+        artifact: "table_sampled".to_string(),
+        scale: Scale::Huge,
+        workers: 8,
+        cold_sims: 40,
+        warm_hits: 40,
+        warm_sims: 0,
+        machine: "huge".to_string(),
+        window: 4096,
+        far_latency: 800,
+        worst_err_pct: -6.57,
+        speedup: 11.2,
+        rows: vec![
+            SampledRow {
+                workload: "gzip".to_string(),
+                suite: "int".to_string(),
+                trace_len: 2_363_615,
+                warm_insts: 208_112,
+                detail_insts: 6_714,
+                periods: 11,
+                full_ipc: 7.0583,
+                sampled_ipc: 7.1134,
+                err_pct: 0.78,
+                periods_run: 11,
+                detail_pct: 3.1,
+                full_wall_ns: 2_400_000_000,
+                sampled_wall_ns: 210_000_000,
+                speedup: 11.428571,
+            },
+            SampledRow {
+                workload: "swim".to_string(),
+                suite: "fp".to_string(),
+                trace_len: 1_887_626,
+                warm_insts: 166_240,
+                detail_insts: 5_362,
+                periods: 11,
+                full_ipc: 7.7627,
+                sampled_ipc: 7.7006,
+                err_pct: -0.8,
+                periods_run: 11,
+                detail_pct: 3.13,
+                full_wall_ns: 1_900_000_000,
+                sampled_wall_ns: 180_000_000,
+                speedup: 10.555556,
+            },
+        ],
+    }
+}
+
 /// A fixed, fully populated serve report.
 fn golden_serve() -> ServeReport {
     ServeReport {
@@ -429,6 +480,17 @@ fn farmem_report_serialization_is_golden() {
         got, want,
         "aim-farmem-report/v1 serialization drifted; if intentional, update \
          tests/golden/farmem.golden.json and bump the schema version"
+    );
+}
+
+#[test]
+fn sampled_report_serialization_is_golden() {
+    let got = golden_sampled().to_json();
+    let want = include_str!("golden/sampled.golden.json");
+    assert_eq!(
+        got, want,
+        "aim-sampled-report/v1 serialization drifted; if intentional, update \
+         tests/golden/sampled.golden.json and bump the schema version"
     );
 }
 
@@ -635,6 +697,43 @@ fn reports_keep_their_stable_field_sets() {
     ] {
         assert_eq!(farmem.matches(field).count(), 2, "farmem row field {field}");
     }
+
+    let sampled = golden_sampled().to_json();
+    for field in [
+        "\"schema\"",
+        "\"artifact\"",
+        "\"scale\"",
+        "\"workers\"",
+        "\"cold_sims\"",
+        "\"warm_hits\"",
+        "\"warm_sims\"",
+        "\"machine\"",
+        "\"window\"",
+        "\"far_latency\"",
+        "\"worst_err_pct\"",
+        "\"rows\"",
+    ] {
+        assert_eq!(sampled.matches(field).count(), 1, "sampled field {field}");
+    }
+    for field in [
+        "\"workload\"",
+        "\"suite\"",
+        "\"trace_len\"",
+        "\"warm_insts\"",
+        "\"detail_insts\"",
+        "\"periods\"",
+        "\"full_ipc\"",
+        "\"sampled_ipc\"",
+        "\"err_pct\"",
+        "\"periods_run\"",
+        "\"detail_pct\"",
+        "\"full_wall_ns\"",
+        "\"sampled_wall_ns\"",
+    ] {
+        assert_eq!(sampled.matches(field).count(), 2, "sampled row field {field}");
+    }
+    // One top-level aggregate plus one per row.
+    assert_eq!(sampled.matches("\"speedup\"").count(), 3, "sampled speedup field");
 
     let serve = golden_serve().to_json();
     for field in [

@@ -17,7 +17,9 @@ use std::fmt;
 
 use aim_core::{CorruptionPolicy, MdtTagging, SetHash, TableGeometry};
 use aim_lsq::LsqConfig;
-use aim_pipeline::{FarSpec, FilterConfig, MachineClass, MemSpec, PcaxConfig, SimConfig, SimStats};
+use aim_pipeline::{
+    FarSpec, FilterConfig, MachineClass, MemSpec, PcaxConfig, SampleSpec, SimConfig, SimStats,
+};
 
 pub use aim_pipeline::{BackendChoice, BackendConfig};
 pub use aim_serve::LsqChoice;
@@ -111,6 +113,8 @@ pub struct SubmitArgs {
     pub filt_count: Option<u32>,
     /// Far-memory tier (`--far LATENCYxMSHRSxBATCH`).
     pub far: Option<FarSpec>,
+    /// Sampled simulation (`--sample WARMxDETAILxPERIODS`).
+    pub sample: Option<SampleSpec>,
     /// Workload scale.
     pub scale: Scale,
     /// Ask the server to recompute and byte-compare the cached entry.
@@ -132,6 +136,7 @@ impl SubmitArgs {
             filt: self.filt_table,
             filt_count: self.filt_count,
             far: self.far,
+            sample: self.sample,
             ..aim_serve::ConfigSpec::new(self.machine, self.backend)
         }
     }
@@ -151,6 +156,7 @@ impl Default for SubmitArgs {
             filt_table: None,
             filt_count: None,
             far: None,
+            sample: None,
             scale: Scale::Tiny,
             verify: false,
             no_cache: false,
@@ -217,6 +223,8 @@ pub struct RunArgs {
     pub filt_count: Option<u32>,
     /// Far-memory tier behind the L2 (`--far LATENCYxMSHRSxBATCH`).
     pub far: Option<FarSpec>,
+    /// Sampled simulation policy (`--sample WARMxDETAILxPERIODS`).
+    pub sample: Option<SampleSpec>,
     /// Print the last N pipeline events after the run.
     pub trace: usize,
     /// Render the last N retired instructions as pipeline timelines.
@@ -246,6 +254,7 @@ impl Default for RunArgs {
             filt_table: None,
             filt_count: None,
             far: None,
+            sample: None,
             trace: 0,
             pipeview: 0,
             jobs: 0,
@@ -297,6 +306,8 @@ OPTIONS:
   --filt SxW                      filtered-LSQ filter geometry      [256x2]
   --filt-count N                  filter counter saturation point      [15]
   --far LATxMSHRSxBATCH           far-memory tier behind the L2, e.g. 400x64x8
+  --sample WARMxDETAILxPERIODS    sampled simulation: warm up functionally, then
+                                  simulate in detail, repeated, e.g. 20000x2000x10
   --trace N                       print the last N pipeline events
   --pipeview N                    draw stage timelines for the last N retirements
   --jobs N                        worker threads for compare sweeps [AIM_JOBS/auto]
@@ -318,7 +329,7 @@ SERVE OPTIONS:
 
 SUBMIT OPTIONS:
   --machine, --backend, --mode, --scale   as for `run` (scale defaults to tiny)
-  --pcax, --pcax-act, --filt, --filt-count, --far   as for `run`
+  --pcax, --pcax-act, --filt, --filt-count, --far, --sample   as for `run`
   --lsq 48x32|120x80|256x256      LSQ capacity override      [builder default]
   --verify                        recompute and byte-compare the cached entry
   --no-cache                      bypass the cache lookup (always simulate)
@@ -390,6 +401,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                     "tiny" => Scale::Tiny,
                     "small" => Scale::Small,
                     "full" => Scale::Full,
+                    "huge" => Scale::Huge,
                     other => return Err(ParseError(format!("unknown scale `{other}`"))),
                 }
             }
@@ -413,6 +425,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 );
             }
             "--far" => run.far = Some(parse_far_spec(&value("--far")?)?),
+            "--sample" => run.sample = Some(parse_sample_spec(&value("--sample")?)?),
             "--pipeview" => {
                 let v = value("--pipeview")?;
                 run.pipeview = v
@@ -499,6 +512,7 @@ fn parse_serve(mut it: std::slice::Iter<'_, String>) -> Result<Command, ParseErr
                     "tiny" => Scale::Tiny,
                     "small" => Scale::Small,
                     "full" => Scale::Full,
+                    "huge" => Scale::Huge,
                     other => return Err(ParseError(format!("unknown scale `{other}`"))),
                 }
             }
@@ -586,11 +600,13 @@ fn parse_submit(mut it: std::slice::Iter<'_, String>) -> Result<Command, ParseEr
                 );
             }
             "--far" => args.far = Some(parse_far_spec(&value("--far")?)?),
+            "--sample" => args.sample = Some(parse_sample_spec(&value("--sample")?)?),
             "--scale" => {
                 args.scale = match value("--scale")?.as_str() {
                     "tiny" => Scale::Tiny,
                     "small" => Scale::Small,
                     "full" => Scale::Full,
+                    "huge" => Scale::Huge,
                     other => return Err(ParseError(format!("unknown scale `{other}`"))),
                 }
             }
@@ -639,6 +655,23 @@ fn parse_far_spec(v: &str) -> Result<FarSpec, ParseError> {
     Ok(FarSpec::new(latency, mshrs, batch))
 }
 
+/// Parses a `--sample WARMxDETAILxPERIODS` sampling policy, e.g.
+/// `20000x2000x10`: warm up functionally for 20 000 instructions, then
+/// simulate 2 000 in full detail, ten times over.
+fn parse_sample_spec(v: &str) -> Result<SampleSpec, ParseError> {
+    let bad = || ParseError(format!("--sample wants WARMxDETAILxPERIODS, got `{v}`"));
+    let parts: Vec<&str> = v.split('x').collect();
+    let [warm, detail, periods] = parts.as_slice() else {
+        return Err(bad());
+    };
+    let warm: u64 = warm.parse().map_err(|_| bad())?;
+    let detail: u64 = detail.parse().map_err(|_| bad())?;
+    let periods: u32 = periods.parse().map_err(|_| bad())?;
+    SampleSpec::new(warm, detail, periods).ok_or_else(|| {
+        ParseError(format!("--sample parameters must be nonzero, got `{v}`"))
+    })
+}
+
 /// Parses a `SETSxWAYS` table geometry, e.g. `256x1`.
 fn parse_geometry(flag: &str, v: &str) -> Result<(usize, usize), ParseError> {
     let (s, w) = v
@@ -662,6 +695,9 @@ pub fn build_config(args: &RunArgs) -> SimConfig {
         });
     if let Some(far) = args.far {
         builder = builder.mem(MemSpec::figure4().with_far(far));
+    }
+    if let Some(sample) = args.sample {
+        builder = builder.sample(sample);
     }
     if args.backend == BackendChoice::SfcMdt || args.backend == BackendChoice::Pcax {
         // --mode only steers the SFC/MDT-family predictor (pcax wraps the
@@ -720,6 +756,16 @@ pub fn report(name: &str, backend: &str, stats: &SimStats) -> String {
         stats.cycles,
         stats.ipc()
     ));
+    if let Some(s) = &stats.sampled {
+        line(format!(
+            "  sampled: {} detailed windows  {} detail / {} warm retired  ({:.2}% detail); \
+             cycles and rates are extrapolated",
+            s.periods_run,
+            s.detail_retired,
+            s.warm_retired,
+            s.detail_fraction()
+        ));
+    }
     line(format!(
         "  loads {:>7}  stores {:>7}  forwarded {:>6} ({:.2}% of loads)",
         stats.retired_loads,
@@ -910,6 +956,38 @@ mod tests {
             .unwrap_err()
             .0
             .contains("nonzero"));
+    }
+
+    #[test]
+    fn sample_policy_parses_and_builds() {
+        let Command::Run(args) =
+            parse(&["run", "swim", "--scale", "huge", "--sample", "20000x2000x10"]).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(args.scale, Scale::Huge);
+        assert_eq!(args.sample, SampleSpec::new(20_000, 2_000, 10));
+        let cfg = build_config(&args);
+        assert_eq!(cfg.sample, SampleSpec::new(20_000, 2_000, 10));
+        // Default stays off: byte-identical full-detail configuration.
+        assert_eq!(build_config(&RunArgs::default()).sample, None);
+        assert!(parse(&["run", "x", "--sample", "20000x2000"])
+            .unwrap_err()
+            .0
+            .contains("WARMxDETAILxPERIODS"));
+        assert!(parse(&["run", "x", "--sample", "20000x0x10"])
+            .unwrap_err()
+            .0
+            .contains("nonzero"));
+
+        let Command::Submit(args) = parse(&[
+            "submit", "swim", "--socket", "/tmp/s.sock", "--sample", "4000x1000x8",
+        ])
+        .unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(args.sample, SampleSpec::new(4_000, 1_000, 8));
+        assert_eq!(args.config_spec().sample, SampleSpec::new(4_000, 1_000, 8));
     }
 
     #[test]

@@ -27,6 +27,16 @@ pub struct TraceRecord {
     pub next_pc: u64,
 }
 
+impl TraceRecord {
+    /// Whether this instruction redirected control flow (did not fall
+    /// through to `pc + 1`). For a conditional branch this is its taken
+    /// direction — the signal the branch predictor trains on during
+    /// functional warm-up.
+    pub fn taken(&self) -> bool {
+        self.next_pc != self.pc + 1
+    }
+}
+
 /// The golden in-order retirement trace of a program run.
 ///
 /// # Examples
@@ -110,5 +120,21 @@ mod tests {
         assert!(!t.halted());
         t.set_halted();
         assert!(t.halted());
+    }
+
+    #[test]
+    fn taken_is_any_non_fallthrough() {
+        let mut rec = TraceRecord {
+            index: 0,
+            pc: 10,
+            instr: Instr::Nop,
+            reg_write: None,
+            mem_store: None,
+            mem_load: None,
+            next_pc: 11,
+        };
+        assert!(!rec.taken());
+        rec.next_pc = 42;
+        assert!(rec.taken());
     }
 }

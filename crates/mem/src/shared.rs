@@ -280,6 +280,18 @@ impl CoreMemSys {
         self.shared.borrow_mut().mem.write(access, value);
     }
 
+    /// Commits a store at cycle `now` with its write-back cache traffic:
+    /// writes the value to shared memory and issues the never-refuse data
+    /// access that fills the tags and occupies far-tier MSHRs. This is the
+    /// single commit path for both detailed retirement and functional
+    /// warm-up, so the cache/far state a sampled window inherits matches
+    /// what a full-detail run would have produced. Returns the serving
+    /// level and latency (retirement ignores it — commit never stalls).
+    pub fn commit_store(&mut self, access: MemAccess, value: u64, now: u64) -> (MemLevel, u64) {
+        self.write(access, value);
+        self.access_data_at(access.addr(), now)
+    }
+
     /// Borrows the committed memory image (for backends, which take
     /// `&MainMemory`). The borrow is a `RefCell` guard: do not hold it
     /// across another `CoreMemSys` call.
@@ -331,6 +343,19 @@ mod tests {
             }
         }
         assert_eq!(h.stats(), c.stats());
+    }
+
+    #[test]
+    fn commit_store_writes_and_fills_tags() {
+        let cfg = HierarchyConfig::default();
+        let mut c = CoreMemSys::single(MainMemory::new(), cfg);
+        let access = MemAccess::new(Addr(0x8000), aim_types::AccessSize::Double).unwrap();
+        let (lv, _) = c.commit_store(access, 0xDEAD_BEEF, 0);
+        assert_eq!(lv, MemLevel::Memory);
+        assert_eq!(c.read(access), 0xDEAD_BEEF);
+        // The commit filled the cache line: a re-access hits L1.
+        let (lv, lat) = c.access_data_at(access.addr(), 1);
+        assert_eq!((lv, lat), (MemLevel::L1, cfg.l1_hit_cycles));
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Simulator configuration: the paper's Figure 4 in code.
 
+use std::fmt;
+
 use aim_backend::{
     BackendParams, FilterConfig, LsqConfig, MdtConfig, PartialMatchPolicy, PcaxConfig, SfcConfig,
 };
 use aim_mem::{HierarchyConfig, MemSpec};
 use aim_predictor::{EnforceMode, PredictorConfig};
+use aim_types::SampleSpec;
 
 pub use aim_backend::{BackendChoice, BackendConfig};
 
@@ -25,7 +28,7 @@ pub enum OutputDepRecovery {
 /// [`SimConfig::aggressive`] reproduce the two columns of Figure 4;
 /// [`SimConfig::machine`] starts a [`MachineBuilder`] that picks the
 /// class-appropriate geometry for any [`BackendChoice`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SimConfig {
     /// Instructions fetched, dispatched and retired per cycle.
     pub width: usize,
@@ -117,6 +120,59 @@ pub struct SimConfig {
     pub validate_retirement: bool,
     /// Stop after this many retired instructions (0 = trace length).
     pub max_instrs: u64,
+    /// Sampled fast-forward execution: when set, the machine alternates
+    /// functional warm-up stretches with detailed cycle-accurate windows
+    /// under this policy and extrapolates whole-run timing statistics from
+    /// the detailed windows (see [`crate::sample`]). `None` (the default)
+    /// simulates every instruction cycle-accurately.
+    pub sample: Option<SampleSpec>,
+}
+
+/// **Compatibility contract** (the content-addressed serve cache keys the
+/// canonical `Debug` text of the config): a config without a sampling
+/// policy renders byte-identically to the pre-sampling derived output — the
+/// `sample` field is printed only when populated, in which case the run
+/// measures different (extrapolated) statistics and a new cache key is
+/// correct. Mirrors the [`MemSpec`] `far` and `SimStats` treatment.
+impl fmt::Debug for SimConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("SimConfig");
+        d.field("width", &self.width)
+            .field("max_branches_per_cycle", &self.max_branches_per_cycle)
+            .field("issue_width", &self.issue_width)
+            .field("rob_entries", &self.rob_entries)
+            .field("phys_regs", &self.phys_regs)
+            .field("mispredict_penalty", &self.mispredict_penalty)
+            .field(
+                "mdt_violation_extra_penalty",
+                &self.mdt_violation_extra_penalty,
+            )
+            .field("sfc_store_extra_latency", &self.sfc_store_extra_latency)
+            .field("alu_latency", &self.alu_latency)
+            .field("mul_latency", &self.mul_latency)
+            .field("agu_latency", &self.agu_latency)
+            .field("hierarchy", &self.hierarchy)
+            .field("backend", &self.backend)
+            .field("dep_predictor", &self.dep_predictor)
+            .field("gshare_counters", &self.gshare_counters)
+            .field("gshare_history_bits", &self.gshare_history_bits)
+            .field("oracle_fix_probability", &self.oracle_fix_probability)
+            .field("seed", &self.seed)
+            .field("partial_match_policy", &self.partial_match_policy)
+            .field("output_dep_recovery", &self.output_dep_recovery)
+            .field("stall_bits", &self.stall_bits)
+            .field("store_fifo_entries", &self.store_fifo_entries)
+            .field("mdt_filter", &self.mdt_filter)
+            .field("event_trace", &self.event_trace)
+            .field("pipeview", &self.pipeview)
+            .field("paranoid", &self.paranoid)
+            .field("validate_retirement", &self.validate_retirement)
+            .field("max_instrs", &self.max_instrs);
+        if self.sample.is_some() {
+            d.field("sample", &self.sample);
+        }
+        d.finish()
+    }
 }
 
 impl SimConfig {
@@ -151,6 +207,7 @@ impl SimConfig {
             paranoid: false,
             validate_retirement: true,
             max_instrs: 0,
+            sample: None,
         }
     }
 
@@ -220,6 +277,7 @@ impl SimConfig {
             filter: None,
             pcax: None,
             mem: None,
+            sample: None,
         }
     }
 }
@@ -256,6 +314,7 @@ pub struct MachineBuilder {
     filter: Option<FilterConfig>,
     pcax: Option<PcaxConfig>,
     mem: Option<MemSpec>,
+    sample: Option<SampleSpec>,
 }
 
 impl MachineBuilder {
@@ -301,6 +360,13 @@ impl MachineBuilder {
     /// paper's hierarchy with no far tier).
     pub fn mem(mut self, mem: MemSpec) -> MachineBuilder {
         self.mem = Some(mem);
+        self
+    }
+
+    /// Enables sampled fast-forward execution under `spec` (default: off —
+    /// every instruction simulates cycle-accurately).
+    pub fn sample(mut self, spec: SampleSpec) -> MachineBuilder {
+        self.sample = Some(spec);
         self
     }
 
@@ -353,6 +419,7 @@ impl MachineBuilder {
         if let Some(mem) = self.mem {
             cfg.hierarchy = mem;
         }
+        cfg.sample = self.sample;
         cfg
     }
 }
@@ -442,6 +509,32 @@ mod tests {
             .build();
         let implicit = SimConfig::machine(MachineClass::Baseline).build();
         assert_eq!(default_filled.hierarchy, implicit.hierarchy);
+    }
+
+    #[test]
+    fn sample_knob_threads_and_debug_stays_compatible() {
+        // Compatibility contract: with sampling off (the default), the
+        // canonical Debug text must not mention the field at all — every
+        // committed cache fingerprint rides on this.
+        let off = SimConfig::machine(MachineClass::Baseline).build();
+        assert_eq!(off.sample, None);
+        let off_text = format!("{off:?}");
+        assert!(!off_text.contains("sample"), "{off_text}");
+        assert!(off_text.ends_with("max_instrs: 0 }"), "{off_text}");
+
+        let spec = SampleSpec::new(2_000, 500, 10).unwrap();
+        let on = SimConfig::machine(MachineClass::Baseline)
+            .sample(spec)
+            .build();
+        assert_eq!(on.sample, Some(spec));
+        let on_text = format!("{on:?}");
+        assert!(
+            on_text.contains(
+                "max_instrs: 0, sample: Some(SampleSpec { warm_insts: 2000, \
+                 detail_insts: 500, periods: 10 }) }"
+            ),
+            "{on_text}"
+        );
     }
 
     #[test]

@@ -362,6 +362,9 @@ impl<'a> Core<'a> {
         if self.target_retired == 0 {
             return Ok(());
         }
+        if self.config.sample.is_some() {
+            return self.run_sampled();
+        }
         let wall_start = std::time::Instant::now();
         while !self.halted {
             self.step()?;

@@ -179,7 +179,7 @@ impl Core<'_> {
         }
     }
 
-    fn squash_and_redirect(
+    pub(crate) fn squash_and_redirect(
         &mut self,
         survivor: SeqNum,
         resume_pc: u64,

@@ -57,11 +57,10 @@ impl Core<'_> {
                 // backend contract lets backends read committed state for
                 // their own retiring store. This is also the cross-core
                 // commit point: sibling cores observe the store from here on.
-                self.memsys.write(access, value);
                 // The commit is buffered and never stalls retirement, so a
                 // far-tier miss takes the queued (never-refuse) path — the
                 // write-back traffic still occupies MSHRs and delays loads.
-                let _ = self.memsys.access_data_at(access.addr(), self.cycle);
+                let _ = self.memsys.commit_store(access, value, self.cycle);
                 self.backend.retire_store(e.seq, access);
                 if e.filter_counted {
                     let bucket = self.filter_bucket(access);

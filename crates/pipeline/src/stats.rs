@@ -118,6 +118,34 @@ pub struct HostPerf {
     pub event_strings_built: u64,
 }
 
+/// Coverage record of a sampled (fast-forward) run: how much of the program
+/// ran functionally vs cycle-accurately. Present on [`SimStats::sampled`]
+/// only when the run sampled, in which case the whole-run event counters and
+/// cycle count are *extrapolated* from the detailed windows (see
+/// [`SimStats::extrapolate`]); the retired-instruction counts are always
+/// exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SampledStats {
+    /// Detailed windows actually completed (≤ the configured `periods`:
+    /// short programs can end mid-schedule).
+    pub periods_run: u32,
+    /// Instructions retired by the functional warm-up engine.
+    pub warm_retired: u64,
+    /// Instructions retired inside detailed cycle-accurate windows.
+    pub detail_retired: u64,
+    /// Machine cycles spent inside detailed windows (the timing sample the
+    /// whole-run cycle count scales up from).
+    pub detail_cycles: u64,
+}
+
+impl SampledStats {
+    /// Fraction of retired instructions that ran cycle-accurately, in
+    /// percent.
+    pub fn detail_fraction(&self) -> f64 {
+        percent(self.detail_retired, self.warm_retired + self.detail_retired)
+    }
+}
+
 /// Everything a simulation run measured.
 #[derive(Clone, Default)]
 pub struct SimStats {
@@ -171,6 +199,11 @@ pub struct SimStats {
     /// [`MemSpec::far`](aim_mem::MemSpec::far) tier. In a multi-core run
     /// the tier is shared, so every core reports the same aggregate.
     pub far: Option<FarStats>,
+    /// Sampled-run coverage — populated only when the config carries a
+    /// [`SampleSpec`](aim_types::SampleSpec), in which case the event
+    /// counters and cycle count above are extrapolated from the detailed
+    /// windows (retired counts stay exact).
+    pub sampled: Option<SampledStats>,
     /// Host-side throughput measurement (non-deterministic; see
     /// [`HostPerf`]).
     pub host: HostPerf,
@@ -209,6 +242,9 @@ impl fmt::Debug for SimStats {
             .field("caches", &self.caches);
         if self.far.is_some() {
             d.field("far", &self.far);
+        }
+        if self.sampled.is_some() {
+            d.field("sampled", &self.sampled);
         }
         d.field("host", &self.host).finish()
     }
@@ -280,6 +316,58 @@ impl SimStats {
             ..self.clone()
         }
     }
+
+    /// Converts detailed-window measurements into whole-run estimates after
+    /// a sampled run: every *event* counter (fetches, issues, replays,
+    /// flushes, …) and the cycle count scale by
+    /// `retired / sampled.detail_retired` — events accrue per detailed
+    /// instruction, so the windows are a proportional sample of the whole
+    /// run. The retired-instruction counts are left exact (every
+    /// instruction really retired, functionally or in detail), and the
+    /// *structure* statistics (backend, gshare, predictor, caches, far) stay
+    /// raw whole-run counts — both engines drive those structures, so their
+    /// totals are already complete.
+    ///
+    /// No-op (beyond recording `sampled`) when no detailed instruction
+    /// retired.
+    pub fn extrapolate(&mut self, sampled: SampledStats) {
+        let den = sampled.detail_retired;
+        if den > 0 {
+            let num = self.retired;
+            let scale = |x: u64| ((x as u128 * num as u128 + den as u128 / 2) / den as u128) as u64;
+            self.cycles = scale(sampled.detail_cycles);
+            self.fetched = scale(self.fetched);
+            self.dispatched = scale(self.dispatched);
+            self.issued = scale(self.issued);
+            self.squashed = scale(self.squashed);
+            self.load_executions = scale(self.load_executions);
+            self.store_executions = scale(self.store_executions);
+            self.loads_forwarded = scale(self.loads_forwarded);
+            self.head_bypasses = scale(self.head_bypasses);
+            self.mdt_filtered_loads = scale(self.mdt_filtered_loads);
+            let d = &mut self.dispatch_stalls;
+            d.rob_full = scale(d.rob_full);
+            d.no_phys_reg = scale(d.no_phys_reg);
+            d.lq_full = scale(d.lq_full);
+            d.sq_full = scale(d.sq_full);
+            d.fifo_full = scale(d.fifo_full);
+            let r = &mut self.replays;
+            r.load_mdt_conflicts = scale(r.load_mdt_conflicts);
+            r.store_mdt_conflicts = scale(r.store_mdt_conflicts);
+            r.store_sfc_conflicts = scale(r.store_sfc_conflicts);
+            r.load_corrupt = scale(r.load_corrupt);
+            r.load_partial = scale(r.load_partial);
+            r.order_waits = scale(r.order_waits);
+            let fl = &mut self.flushes;
+            fl.branch = scale(fl.branch);
+            fl.true_dep = scale(fl.true_dep);
+            fl.anti_dep = scale(fl.anti_dep);
+            fl.output_dep = scale(fl.output_dep);
+            self.branches_retired = scale(self.branches_retired);
+            self.branch_mispredicts = scale(self.branch_mispredicts);
+        }
+        self.sampled = Some(sampled);
+    }
 }
 
 #[cfg(test)]
@@ -346,6 +434,78 @@ mod tests {
         let far = text.find("far: ").unwrap();
         let host = text.find("host: ").unwrap();
         assert!(caches < far && far < host);
+    }
+
+    #[test]
+    fn debug_omits_sampled_until_populated() {
+        // Same fingerprint contract as `far`: a non-sampled run renders
+        // exactly as before the field existed.
+        let s = SimStats::default();
+        assert!(!format!("{s:?}").contains("sampled"));
+        let with = SimStats {
+            far: Some(FarStats::default()),
+            sampled: Some(SampledStats {
+                periods_run: 2,
+                warm_retired: 900,
+                detail_retired: 100,
+                detail_cycles: 50,
+            }),
+            ..SimStats::default()
+        };
+        let text = format!("{with:?}");
+        let far = text.find("far: ").unwrap();
+        let sampled = text.find("sampled: Some(SampledStats").unwrap();
+        let host = text.find("host: ").unwrap();
+        assert!(far < sampled && sampled < host, "{text}");
+    }
+
+    #[test]
+    fn extrapolate_scales_events_and_keeps_retired_exact() {
+        let mut s = SimStats {
+            cycles: 1_000_000, // warm-inflated; replaced by the estimate
+            retired: 1_000,
+            retired_loads: 300,
+            retired_stores: 200,
+            fetched: 120,
+            issued: 110,
+            loads_forwarded: 7,
+            flushes: FlushCounts {
+                branch: 3,
+                ..FlushCounts::default()
+            },
+            ..SimStats::default()
+        };
+        s.extrapolate(SampledStats {
+            periods_run: 4,
+            warm_retired: 900,
+            detail_retired: 100,
+            detail_cycles: 50,
+        });
+        // Factor = 1000 / 100 = 10×.
+        assert_eq!(s.cycles, 500);
+        assert_eq!(s.fetched, 1_200);
+        assert_eq!(s.issued, 1_100);
+        assert_eq!(s.loads_forwarded, 70);
+        assert_eq!(s.flushes.branch, 30);
+        assert_eq!(s.retired, 1_000);
+        assert_eq!(s.retired_loads, 300);
+        assert_eq!(s.retired_stores, 200);
+        assert_eq!(s.ipc(), 2.0);
+        let c = s.sampled.unwrap();
+        assert_eq!(c.detail_fraction(), 10.0);
+    }
+
+    #[test]
+    fn extrapolate_with_no_detail_retired_only_records_coverage() {
+        let mut s = SimStats {
+            retired: 10,
+            cycles: 10,
+            fetched: 3,
+            ..SimStats::default()
+        };
+        s.extrapolate(SampledStats::default());
+        assert_eq!((s.cycles, s.fetched), (10, 3));
+        assert_eq!(s.sampled, Some(SampledStats::default()));
     }
 
     #[test]

@@ -129,6 +129,36 @@ impl Gshare {
     pub fn stats(&self) -> GshareStats {
         self.stats
     }
+
+    /// Trains the predictor on one committed branch during functional
+    /// warm-up (sampled simulation): predicts, lets `oracle` repair a
+    /// mispredict exactly as the detailed front end would, shifts the
+    /// *actual* direction into the history, and updates the counter under
+    /// the prediction-time history.
+    ///
+    /// Functional execution never leaves the correct path, so the history
+    /// register tracks actual directions — the same state a detailed window
+    /// observes after every in-flight branch ahead of it has retired.
+    pub fn warm_train(&mut self, pc: u64, taken: bool, oracle: Option<&mut OracleBoost>) {
+        let h = self.history();
+        let pred = self.predict(pc);
+        let effective = if pred != taken {
+            match oracle {
+                Some(o) => {
+                    if o.fixes_mispredict() {
+                        taken
+                    } else {
+                        pred
+                    }
+                }
+                None => pred,
+            }
+        } else {
+            pred
+        };
+        self.speculate(taken);
+        self.update(pc, taken, effective, h);
+    }
 }
 
 /// The paper's idealized fix-up: "80% of mispredicts turned to correct
@@ -253,6 +283,29 @@ mod tests {
         assert_eq!(g.stats().correct, 1);
         assert_eq!(g.stats().incorrect, 1);
         assert_eq!(g.stats().accuracy(), 50.0);
+    }
+
+    #[test]
+    fn warm_train_learns_a_bias_and_tracks_history() {
+        let mut g = Gshare::new(64, 4);
+        for _ in 0..8 {
+            g.warm_train(0x99, true, None);
+        }
+        assert!(g.predict(0x99));
+        // Eight actual-taken directions shifted into the history register.
+        assert_eq!(g.history() & 0xF, 0xF);
+        assert_eq!(g.stats().correct + g.stats().incorrect, 8);
+    }
+
+    #[test]
+    fn warm_train_oracle_repairs_count_as_correct() {
+        // A saturated-not-taken counter mispredicts a taken branch; a
+        // p=1.0 oracle repairs every one, so stats stay all-correct.
+        let mut g = Gshare::new(16, 0);
+        let mut o = OracleBoost::new(1.0, 3);
+        g.warm_train(0, true, Some(&mut o));
+        assert_eq!(g.stats().correct, 1);
+        assert_eq!(g.stats().incorrect, 0);
     }
 
     #[test]

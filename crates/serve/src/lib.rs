@@ -30,6 +30,9 @@
 //! * `farmem` — the `table_far_mem` request matrix and far-tier stats
 //!   decoder behind the cache-routed far-memory sweep binary
 //!   ([`farmem_configs`], [`parse_far_stats`]);
+//! * `sampled` — the per-kernel tiled sampling policy and sampled-stats
+//!   decoder behind the cache-routed sampled-convergence binary
+//!   ([`sampled_policy`], [`parse_sampled_stats`]);
 //! * `server` — the worker pool, single-flight deduplication, and
 //!   request handling over any `Read + Write` stream ([`Server`]);
 //! * `sock` — Unix-socket and stdin/stdout transports;
@@ -40,11 +43,15 @@ mod cache;
 mod farmem;
 mod proto;
 mod replay;
+mod sampled;
 mod server;
 mod sock;
 
 pub use cache::{CacheEntry, DiskCache, Lookup};
 pub use farmem::{farmem_configs, parse_far_stats};
+pub use sampled::{
+    parse_sampled_stats, sampled_policy, SAMPLE_DETAIL_DIVISOR, SAMPLE_PERIODS,
+};
 pub use proto::{ConfigSpec, JobResponse, JobSpec, LsqChoice, Source, VerifyOutcome};
 pub use replay::{hostperf_configs, run_cells, run_replay, ReplayOptions, ReplayOutcome};
 pub use server::{serve_connection, CounterSnapshot, Server};

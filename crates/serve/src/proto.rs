@@ -19,8 +19,8 @@
 
 use aim_lsq::LsqConfig;
 use aim_pipeline::{
-    BackendChoice, FarSpec, FilterConfig, MachineClass, MemSpec, PcaxConfig, SimConfig,
-    TableGeometry,
+    BackendChoice, FarSpec, FilterConfig, MachineClass, MemSpec, PcaxConfig, SampleSpec,
+    SimConfig, TableGeometry,
 };
 use aim_predictor::EnforceMode;
 use aim_types::wire::WireMsg;
@@ -97,6 +97,8 @@ pub struct ConfigSpec {
     pub filt_count: Option<u32>,
     /// Far-memory tier (`None` simulates the near-memory-only hierarchy).
     pub far: Option<FarSpec>,
+    /// Sampled fast-forward execution policy (`None` runs full detail).
+    pub sample: Option<SampleSpec>,
 }
 
 impl ConfigSpec {
@@ -112,6 +114,7 @@ impl ConfigSpec {
             filt: None,
             filt_count: None,
             far: None,
+            sample: None,
         }
     }
 
@@ -159,6 +162,9 @@ impl ConfigSpec {
         }
         if let Some(far) = self.far {
             b = b.mem(MemSpec::figure4().with_far(far));
+        }
+        if let Some(sample) = self.sample {
+            b = b.sample(sample);
         }
         b.build()
     }
@@ -230,6 +236,27 @@ fn parse_far(token: &str) -> Result<FarSpec, String> {
     Ok(FarSpec::new(latency, mshrs, batch))
 }
 
+/// Renders a [`SampleSpec`] as `WARMxDETAILxPERIODS`.
+fn sample_token(sample: SampleSpec) -> String {
+    format!("{}x{}x{}", sample.warm_insts, sample.detail_insts, sample.periods)
+}
+
+/// Parses a `WARMxDETAILxPERIODS` sampling token, rejecting the zero
+/// values [`SampleSpec::new`] rejects.
+fn parse_sample(token: &str) -> Result<SampleSpec, String> {
+    let bad = || format!("`sample` wants WARMxDETAILxPERIODS, got `{token}`");
+    let mut parts = token.split('x');
+    let mut next = || parts.next().ok_or_else(bad);
+    let warm: u64 = next()?.parse().map_err(|_| bad())?;
+    let detail: u64 = next()?.parse().map_err(|_| bad())?;
+    let periods: u32 = next()?.parse().map_err(|_| bad())?;
+    if parts.next().is_some() {
+        return Err(bad());
+    }
+    SampleSpec::new(warm, detail, periods)
+        .ok_or_else(|| format!("sampling parameters must be nonzero, got `{token}`"))
+}
+
 fn mode_token(mode: EnforceMode) -> &'static str {
     match mode {
         EnforceMode::TrueOnly => "not-enf",
@@ -252,7 +279,8 @@ fn parse_scale(token: &str) -> Result<Scale, String> {
         "tiny" => Ok(Scale::Tiny),
         "small" => Ok(Scale::Small),
         "full" => Ok(Scale::Full),
-        other => Err(format!("unknown scale `{other}` (tiny|small|full)")),
+        "huge" => Ok(Scale::Huge),
+        other => Err(format!("unknown scale `{other}` (tiny|small|full|huge)")),
     }
 }
 
@@ -285,6 +313,9 @@ impl JobSpec {
         }
         if let Some(far) = self.config.far {
             msg.put_str("far", &far_token(far));
+        }
+        if let Some(sample) = self.config.sample {
+            msg.put_str("sample", &sample_token(sample));
         }
         if verify {
             msg.put_bool("verify", true);
@@ -332,6 +363,7 @@ impl JobSpec {
                 filt: msg.str_field("filt").map(|t| parse_pair("filt", t)).transpose()?,
                 filt_count: narrow("filt_count", u64::from(u32::MAX))?.map(|v| v as u32),
                 far: msg.str_field("far").map(parse_far).transpose()?,
+                sample: msg.str_field("sample").map(parse_sample).transpose()?,
             },
         })
     }
@@ -516,6 +548,7 @@ mod tests {
             filt: Some((512, 4)),
             filt_count: Some(31),
             far: Some(FarSpec::new(400, 64, 8)),
+            sample: SampleSpec::new(2_000, 500, 10),
             ..ConfigSpec::new(MachineClass::Huge, BackendChoice::Pcax)
         }
         .job("swim", Scale::Tiny);
@@ -526,6 +559,7 @@ mod tests {
         assert_eq!(msg.str_field("filt"), Some("512x4"));
         assert_eq!(msg.u64_field("filt_count"), Some(31));
         assert_eq!(msg.str_field("far"), Some("400x64x8"));
+        assert_eq!(msg.str_field("sample"), Some("2000x500x10"));
         let back = JobSpec::from_wire(&WireMsg::parse(&msg.to_json()).unwrap()).unwrap();
         assert_eq!(back, full);
     }
@@ -548,6 +582,10 @@ mod tests {
         assert!(err.contains("nonzero"), "{err}");
         let err = JobSpec::from_wire(&base("far", "400x64")).unwrap_err();
         assert!(err.contains("LATENCYxMSHRSxBATCH"), "{err}");
+        let err = JobSpec::from_wire(&base("sample", "2000x0x10")).unwrap_err();
+        assert!(err.contains("nonzero"), "{err}");
+        let err = JobSpec::from_wire(&base("sample", "2000x500")).unwrap_err();
+        assert!(err.contains("WARMxDETAILxPERIODS"), "{err}");
         let mut act = base("pcax", "256x1");
         act.put_u64("pcax_act", 700);
         let err = JobSpec::from_wire(&act).unwrap_err();
@@ -609,6 +647,7 @@ mod tests {
             pcax: Some((256, 1)),
             pcax_act: Some(3),
             far: Some(FarSpec::new(200, 32, 4)),
+            sample: SampleSpec::new(4_000, 1_000, 8),
             ..ConfigSpec::new(MachineClass::Huge, BackendChoice::Pcax)
         };
         let cfg = spec.to_config();
@@ -624,6 +663,7 @@ mod tests {
                 ..PcaxConfig::baseline()
             })
             .mem(MemSpec::figure4().with_far(FarSpec::new(200, 32, 4)))
+            .sample(SampleSpec::new(4_000, 1_000, 8).unwrap())
             .build();
         assert_eq!(format!("{cfg:?}"), format!("{expected:?}"));
         // A far-less spec still renders the legacy hierarchy text, so its

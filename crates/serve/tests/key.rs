@@ -26,7 +26,7 @@ use aim_bench::{cache_key_of_texts, canonical_config_text, CacheKey, CODE_VERSIO
 use aim_lsq::LsqConfig;
 use aim_pipeline::{
     BackendChoice, FarSpec, FilterConfig, MachineClass, MemSpec, OutputDepRecovery, PcaxConfig,
-    SimConfig, TableGeometry,
+    SampleSpec, SimConfig, TableGeometry,
 };
 use aim_predictor::EnforceMode;
 use aim_serve::{ConfigSpec, LsqChoice};
@@ -68,6 +68,11 @@ fn spec_from_seed(seed: u64) -> ConfigSpec {
         2 => Some(FarSpec::default()),
         _ => Some(FarSpec::new(200, 32, 4)),
     };
+    let sample = match (seed >> 19) % 4 {
+        0 | 1 => None,
+        2 => SampleSpec::new(2_000, 500, 10),
+        _ => SampleSpec::new(10_000, 1_000, 4),
+    };
     ConfigSpec {
         mode,
         lsq,
@@ -76,6 +81,7 @@ fn spec_from_seed(seed: u64) -> ConfigSpec {
         filt,
         filt_count,
         far,
+        sample,
         ..ConfigSpec::new(machine, backend)
     }
 }
@@ -83,6 +89,9 @@ fn spec_from_seed(seed: u64) -> ConfigSpec {
 /// Builds `spec`'s config with the builder calls in the reverse order.
 fn build_reordered(spec: &ConfigSpec) -> SimConfig {
     let mut b = SimConfig::machine(spec.machine);
+    if let Some(sample) = spec.sample {
+        b = b.sample(sample);
+    }
     if let Some(far) = spec.far {
         b = b.mem(MemSpec::figure4().with_far(far));
     }
@@ -156,19 +165,22 @@ fn build_default_filled(spec: &ConfigSpec) -> SimConfig {
     // Spelling the default memory hierarchy out explicitly must be
     // key-identical to leaving `mem` off entirely.
     let mem = spec.far.map_or(MemSpec::figure4(), |far| MemSpec::figure4().with_far(far));
-    SimConfig::machine(spec.machine)
+    let mut b = SimConfig::machine(spec.machine)
         .backend(spec.backend)
         .mode(mode)
         .lsq(lsq)
         .filter(filter)
         .pcax(pcax)
-        .mem(mem)
-        .build()
+        .mem(mem);
+    if let Some(sample) = spec.sample {
+        b = b.sample(sample);
+    }
+    b.build()
 }
 
 /// The architectural mutations the key must be sensitive to.
 fn mutate(cfg: &mut SimConfig, which: u64) {
-    match which % 14 {
+    match which % 16 {
         0 => cfg.rob_entries += 1,
         1 => cfg.phys_regs += 1,
         2 => cfg.width += 1,
@@ -190,12 +202,24 @@ fn mutate(cfg: &mut SimConfig, which: u64) {
             Some(far) => far.latency += 1,
             None => cfg.hierarchy.l2_miss_cycles += 1,
         },
-        _ => {
+        13 => {
             cfg.output_dep_recovery = match cfg.output_dep_recovery {
                 OutputDepRecovery::Flush => OutputDepRecovery::MarkCorrupt,
                 OutputDepRecovery::MarkCorrupt => OutputDepRecovery::Flush,
             }
         }
+        14 => {
+            // Sampling on/off is architecturally meaningful to the *stats*
+            // a cell stores, so it must be a cache miss.
+            cfg.sample = match cfg.sample {
+                None => SampleSpec::new(2_000, 500, 10),
+                Some(_) => None,
+            }
+        }
+        _ => match &mut cfg.sample {
+            Some(sample) => sample.warm_insts += 1,
+            None => cfg.sample = SampleSpec::new(1_000, 250, 2),
+        },
     }
 }
 
@@ -237,7 +261,7 @@ fn check_key_case(seed: u64) -> Result<(), TestCaseError> {
         key,
         key_of(&flipped),
         "architectural flip {} left the key unchanged for {:?}",
-        (seed >> 11) % 14,
+        (seed >> 11) % 16,
         spec
     );
 

@@ -23,12 +23,14 @@
 
 mod addr;
 mod mask;
+mod sample;
 mod seq;
 mod violation;
 pub mod wire;
 
 pub use addr::{AccessSize, Addr, MemAccess, MisalignedAccess};
 pub use mask::ByteMask;
+pub use sample::SampleSpec;
 pub use seq::SeqNum;
 pub use violation::ViolationKind;
 

@@ -67,6 +67,10 @@ pub enum Scale {
     Small,
     /// ≈ 80–140 k dynamic instructions; for the paper-figure harnesses.
     Full,
+    /// ≈ 2 M dynamic instructions (≈ 18× `Full`) — long enough to stress the
+    /// kilo-entry window and far-memory tier. Intractable in full-detail
+    /// simulation; meant for the sampled fast-forward mode.
+    Huge,
 }
 
 impl Scale {
@@ -76,6 +80,7 @@ impl Scale {
             Scale::Tiny => 4_000,
             Scale::Small => 32_000,
             Scale::Full => 110_000,
+            Scale::Huge => 2_000_000,
         }
     }
 
@@ -197,6 +202,46 @@ mod tests {
                 lens.push(trace.len());
             }
             assert!(lens[0] < lens[1], "{name}: {lens:?}");
+        }
+    }
+
+    #[test]
+    fn huge_scale_is_10_to_100x_full() {
+        let target = Scale::Huge.target_instrs();
+        let full = Scale::Full.target_instrs();
+        assert!(
+            (10 * full..=100 * full).contains(&target),
+            "Huge target {target} outside 10–100× Full ({full})"
+        );
+        // Spot-check an actual dynamic length: a kernel at Huge must run at
+        // least 10× its Full-scale length.
+        for name in ["gzip", "swim"] {
+            let mut lens = Vec::new();
+            for scale in [Scale::Full, Scale::Huge] {
+                let w = by_name(name, scale).unwrap();
+                let trace = Interpreter::new(&w.program).run(20_000_000).unwrap();
+                assert!(trace.halted(), "{name} did not halt at {scale:?}");
+                lens.push(trace.len());
+            }
+            assert!(
+                lens[1] >= 10 * lens[0],
+                "{name}: Huge ran {} instrs vs Full {}",
+                lens[1],
+                lens[0]
+            );
+        }
+    }
+
+    #[test]
+    fn huge_scale_programs_are_deterministic() {
+        for name in ["mcf", "equake"] {
+            let a = by_name(name, Scale::Huge).unwrap();
+            let b = by_name(name, Scale::Huge).unwrap();
+            assert_eq!(
+                format!("{:?}", a.program),
+                format!("{:?}", b.program),
+                "{name}: Huge program not reproducible"
+            );
         }
     }
 

@@ -105,6 +105,20 @@ AIM_FARMEM_JSON="$(mktemp)" AIM_SERVE_CACHE="$FARMEM_CACHE" \
   cargo run --release -q -p aim-serve --bin table_far_mem -- --scale tiny \
   | grep -q 'acceptance: every backend inside the no-spec..oracle bracket'
 
+# The sampled-simulation gate: every kernel's full-detail and sampled
+# cells route through a shared local server as distinct content-addressed
+# entries (sampling is default-off, so the full cells' fingerprints are
+# the same bytes every unsampled client sees — the hostperf --check gate
+# above pins that), the warm replay must answer byte-identically with
+# zero simulations, and in-process reruns must reproduce the served cycle
+# counts exactly. Convergence tolerance and the >=10x wall-clock floor
+# are huge-scale claims, asserted when this binary runs at --scale huge
+# (the committed BENCH_sampled.json is that run).
+echo "== tier1: table_sampled differential gate (tiny scale, served matrix) =="
+AIM_SAMPLED_JSON="$(mktemp)" AIM_SERVE_CACHE="$(mktemp -d)" \
+  cargo run --release -q -p aim-serve --bin table_sampled -- --scale tiny \
+  | grep -q 'acceptance: worst sampled-vs-detail error'
+
 # Cross-bin warm reuse: a fresh server process over the same cache
 # directory must answer a CLI submission naming one of the matrix cells
 # (huge machine, far tier) from cache, not by simulating.
